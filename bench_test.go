@@ -1,0 +1,272 @@
+package rwsync
+
+// This file regenerates every experiment of DESIGN.md's index as a
+// `go test -bench` target.  The RMR experiments (E1-E4) run on the
+// cache-coherent simulator and report exact remote-memory-reference
+// counts via custom benchmark metrics (rmr-*/pass); wall-clock ns/op
+// is not the point there.  The native experiments (E7, E8) measure
+// real goroutines over sync/atomic.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkE1 -benchtime=10x
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"rwsync/internal/ccsim"
+	"rwsync/internal/core"
+	"rwsync/internal/harness"
+	"rwsync/rwlock"
+)
+
+// reportRMR runs one simulator configuration per benchmark iteration
+// and reports per-passage RMR statistics as benchmark metrics.
+func reportRMR(b *testing.B, build func() *core.System, attempts int) {
+	b.Helper()
+	var readerMax, writerMax int64
+	var readerSum, writerSum, readerN, writerN int64
+	for i := 0; i < b.N; i++ {
+		sys := build()
+		r, err := sys.NewRunner(attempts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.CollectStats = true
+		if err := r.Run(ccsim.NewRandomSched(int64(i)+1), 1<<26); err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range r.Stats {
+			if s.Reader {
+				readerSum += s.RMR
+				readerN++
+				if s.RMR > readerMax {
+					readerMax = s.RMR
+				}
+			} else {
+				writerSum += s.RMR
+				writerN++
+				if s.RMR > writerMax {
+					writerMax = s.RMR
+				}
+			}
+		}
+	}
+	if readerN > 0 {
+		b.ReportMetric(float64(readerSum)/float64(readerN), "rmr-reader-mean/pass")
+		b.ReportMetric(float64(readerMax), "rmr-reader-max/pass")
+	}
+	if writerN > 0 {
+		b.ReportMetric(float64(writerSum)/float64(writerN), "rmr-writer-mean/pass")
+		b.ReportMetric(float64(writerMax), "rmr-writer-max/pass")
+	}
+}
+
+// BenchmarkE1_RMR_SWWP validates Theorem 1: Figure 1's RMR/passage is
+// constant in the number of readers (compare the rmr-* metrics across
+// sub-benchmarks — they must stay flat).
+func BenchmarkE1_RMR_SWWP(b *testing.B) {
+	for _, readers := range []int{1, 4, 16, 64} {
+		b.Run(benchName("readers", readers), func(b *testing.B) {
+			reportRMR(b, func() *core.System { return core.NewFig1System(readers) }, 8)
+		})
+	}
+}
+
+// BenchmarkE2_RMR_SWRP validates Theorem 2 for Figure 2.
+func BenchmarkE2_RMR_SWRP(b *testing.B) {
+	for _, readers := range []int{1, 4, 16, 64} {
+		b.Run(benchName("readers", readers), func(b *testing.B) {
+			reportRMR(b, func() *core.System { return core.NewFig2System(readers) }, 8)
+		})
+	}
+}
+
+// BenchmarkE3_RMR_MultiWriter validates Theorems 3-5: the multi-writer
+// constructions keep constant RMR/passage.
+func BenchmarkE3_RMR_MultiWriter(b *testing.B) {
+	points := []struct{ w, r int }{{2, 8}, {4, 32}, {8, 64}}
+	for name, build := range map[string]func(w, r int) *core.System{
+		"MWSF": core.NewMWSFSystem,
+		"MWRP": core.NewMWRPSystem,
+		"MWWP": core.NewMWWPSystem,
+	} {
+		for _, pt := range points {
+			pt := pt
+			build := build
+			b.Run(name+"/w="+itoa(pt.w)+"/r="+itoa(pt.r), func(b *testing.B) {
+				reportRMR(b, func() *core.System { return build(pt.w, pt.r) }, 8)
+			})
+		}
+	}
+}
+
+// BenchmarkE4_RMR_Baselines shows the contrast the paper closes: the
+// centralized lock's rmr-* metrics grow with the process count and the
+// tournament lock's grow with log(n), while E1-E3 stay flat.
+func BenchmarkE4_RMR_Baselines(b *testing.B) {
+	points := []struct{ w, r int }{{2, 8}, {4, 32}, {8, 64}}
+	for _, pt := range points {
+		pt := pt
+		b.Run("Centralized/w="+itoa(pt.w)+"/r="+itoa(pt.r), func(b *testing.B) {
+			reportRMR(b, func() *core.System { return core.NewCentralizedSystem(pt.w, pt.r) }, 8)
+		})
+		b.Run("PhaseFair/w="+itoa(pt.w)+"/r="+itoa(pt.r), func(b *testing.B) {
+			reportRMR(b, func() *core.System { return core.NewPFTicketSystem(pt.w, pt.r) }, 8)
+		})
+		b.Run("TaskFair/w="+itoa(pt.w)+"/r="+itoa(pt.r), func(b *testing.B) {
+			reportRMR(b, func() *core.System { return core.NewTaskFairSystem(pt.w, pt.r) }, 8)
+		})
+		b.Run("Tournament/n="+itoa(pt.w+pt.r), func(b *testing.B) {
+			reportRMR(b, func() *core.System { return core.NewTournamentSystem(pt.w + pt.r) }, 8)
+		})
+	}
+}
+
+// benchLocks builds the native locks for E7/E8.
+func benchLocks() map[string]rwlock.RWLock {
+	out := make(map[string]rwlock.RWLock)
+	for name, f := range harness.NativeLocks(64) {
+		out[name] = f()
+	}
+	return out
+}
+
+// BenchmarkE7_Throughput measures native mixed-workload throughput per
+// lock at several read fractions; ns/op is the per-operation cost.
+func BenchmarkE7_Throughput(b *testing.B) {
+	for _, frac := range []int{50, 90, 99, 100} {
+		frac := frac
+		for name, l := range benchLocks() {
+			l := l
+			b.Run(name+"/read="+itoa(frac), func(b *testing.B) {
+				var shared atomic.Int64
+				b.RunParallel(func(pb *testing.PB) {
+					rng := rand.New(rand.NewSource(rand.Int63()))
+					for pb.Next() {
+						if rng.Intn(100) < frac {
+							tok := l.RLock()
+							_ = shared.Load()
+							l.RUnlock(tok)
+						} else {
+							tok := l.Lock()
+							shared.Add(1)
+							l.Unlock(tok)
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkE8_WriterLatencyUnderReaderStorm times write passages while
+// background readers hammer the lock: ns/op is the writer's
+// acquisition+release latency under storm.  Writer-priority (MWWP)
+// should degrade the least as the storm grows.  Storm readers yield
+// between operations; without the yield, a reader-priority lock lets
+// non-stop readers starve the writer indefinitely on a single core —
+// correct per RP1, but then there is no latency to measure.
+func BenchmarkE8_WriterLatencyUnderReaderStorm(b *testing.B) {
+	const readers = 4
+	for name, l := range benchLocks() {
+		l := l
+		b.Run(name, func(b *testing.B) {
+			var stop atomic.Bool
+			done := make(chan struct{}, readers)
+			for i := 0; i < readers; i++ {
+				go func() {
+					defer func() { done <- struct{}{} }()
+					for !stop.Load() {
+						tok := l.RLock()
+						l.RUnlock(tok)
+						runtime.Gosched()
+					}
+				}()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tok := l.Lock()
+				l.Unlock(tok)
+			}
+			b.StopTimer()
+			stop.Store(true)
+			for i := 0; i < readers; i++ {
+				<-done
+			}
+		})
+	}
+}
+
+// BenchmarkE8_ReaderLatencyUnderWriterStorm is the mirror experiment:
+// reader passages while background writers hammer.  Reader-priority
+// (MWRP) should degrade the least.
+func BenchmarkE8_ReaderLatencyUnderWriterStorm(b *testing.B) {
+	const writers = 2
+	for name, l := range benchLocks() {
+		l := l
+		b.Run(name, func(b *testing.B) {
+			var stop atomic.Bool
+			done := make(chan struct{}, writers)
+			for i := 0; i < writers; i++ {
+				go func() {
+					defer func() { done <- struct{}{} }()
+					for !stop.Load() {
+						tok := l.Lock()
+						l.Unlock(tok)
+						runtime.Gosched()
+					}
+				}()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tok := l.RLock()
+				l.RUnlock(tok)
+			}
+			b.StopTimer()
+			stop.Store(true)
+			for i := 0; i < writers; i++ {
+				<-done
+			}
+		})
+	}
+}
+
+// BenchmarkUncontended measures the raw acquire/release cost of each
+// lock with a single goroutine (ablation: the price of the algorithm's
+// bookkeeping when nothing contends).
+func BenchmarkUncontended(b *testing.B) {
+	for name, l := range benchLocks() {
+		l := l
+		b.Run(name+"/write", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tok := l.Lock()
+				l.Unlock(tok)
+			}
+		})
+		b.Run(name+"/read", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tok := l.RLock()
+				l.RUnlock(tok)
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	n := len(buf)
+	for v > 0 {
+		n--
+		buf[n] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[n:])
+}
+
+func benchName(k string, v int) string { return k + "=" + itoa(v) }

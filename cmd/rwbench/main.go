@@ -1,0 +1,98 @@
+// Command rwbench runs the native-lock experiments (E7 throughput and
+// E8 priority latency in DESIGN.md) against real goroutines and
+// sync/atomic, comparing the paper's locks with sync.RWMutex and the
+// classical baselines.
+//
+// Usage:
+//
+//	rwbench [-ops N] [-seed S] [-workers list] [-markdown] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"rwsync/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rwbench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad worker count %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rwbench", flag.ContinueOnError)
+	ops := fs.Int("ops", 20000, "operations per worker")
+	seed := fs.Int64("seed", 1, "workload seed")
+	workersFlag := fs.String("workers", "", "comma-separated worker counts (default 1,2,4,..,2*NumCPU)")
+	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+	quick := fs.Bool("quick", false, "smaller sweep for smoke runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var workers []int
+	if *workersFlag != "" {
+		var err error
+		workers, err = parseIntList(*workersFlag)
+		if err != nil {
+			return err
+		}
+	} else {
+		for w := 1; w <= 2*runtime.NumCPU(); w *= 2 {
+			workers = append(workers, w)
+		}
+		if len(workers) == 0 {
+			workers = []int{1}
+		}
+	}
+	fractions := []float64{0.5, 0.9, 0.99, 1.0}
+	readers := 8
+	if *quick {
+		fractions = []float64{0.9}
+		readers = 4
+	}
+
+	emit := func(t interface {
+		Render() string
+		Markdown() string
+	}) {
+		if *markdown {
+			fmt.Fprintln(out, t.Markdown())
+		} else {
+			fmt.Fprintln(out, t.Render())
+		}
+	}
+
+	pts := harness.ThroughputSweep(workers, fractions, *ops, *seed)
+	emit(harness.ThroughputTable(
+		fmt.Sprintf("E7: native throughput, ops/sec (GOMAXPROCS=%d, %d ops/worker)", runtime.GOMAXPROCS(0), *ops), pts))
+
+	prio := harness.PrioritySweep(readers, *ops, *seed)
+	emit(harness.PriorityTable(
+		fmt.Sprintf("E8: 1 dedicated writer vs %d readers — latency by class", readers), prio))
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseIntList(t *testing.T) {
+	got, err := parseIntList("1, 2,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("parseIntList = %v", got)
+	}
+	if _, err := parseIntList("1,x"); err == nil {
+		t.Fatal("expected error for non-integer")
+	}
+	got, err = parseIntList("4,")
+	if err != nil || len(got) != 1 {
+		t.Fatalf("trailing comma: %v %v", got, err)
+	}
+}
+
+func TestRunQuick(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-ops", "200", "-workers", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "E7: native throughput") {
+		t.Fatalf("missing E7:\n%s", out)
+	}
+	if !strings.Contains(out, "E8:") {
+		t.Fatalf("missing E8:\n%s", out)
+	}
+	if !strings.Contains(out, "sync.RWMutex") {
+		t.Fatalf("missing baseline column:\n%s", out)
+	}
+}
+
+func TestRunMarkdownOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-ops", "200", "-workers", "1", "-markdown"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "| workers | read% |") {
+		t.Fatalf("markdown table malformed:\n%s", b.String())
+	}
+}
+
+func TestRunBadWorkers(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-workers", "abc"}, &b); err == nil {
+		t.Fatal("expected error for bad -workers")
+	}
+}

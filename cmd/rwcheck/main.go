@@ -1,0 +1,173 @@
+// Command rwcheck verifies the paper's properties (E5/E6 in
+// DESIGN.md).  It model-checks bounded configurations of every
+// algorithm — including the paper's Appendix invariants — and runs
+// monitored random stress schedules with enabledness probes.  It also
+// model-checks the deliberately broken variants of Sections 3.3 and
+// 4.3, which MUST fail: finding their counterexamples reproduces the
+// paper's subtle-feature arguments.
+//
+// Usage:
+//
+//	rwcheck [-attempts N] [-seeds N] [-skip-mc] [-witness]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"rwsync/internal/ccsim"
+	"rwsync/internal/check"
+	"rwsync/internal/core"
+	"rwsync/internal/mc"
+)
+
+// splitLines splits s into lines, dropping a trailing empty line.
+func splitLines(s string) []string {
+	lines := strings.Split(s, "\n")
+	for len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rwcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rwcheck", flag.ContinueOnError)
+	attempts := fs.Int("attempts", 2, "attempts per process for model checking")
+	seeds := fs.Int("seeds", 16, "random stress schedules per system")
+	skipMC := fs.Bool("skip-mc", false, "skip exhaustive model checking")
+	witness := fs.Bool("witness", false, "print counterexample schedules for broken variants")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	type sysCase struct {
+		sys    *core.System
+		config string
+	}
+	good := []sysCase{
+		{core.NewFig1System(2), "1 writer + 2 readers"},
+		{core.NewFig2System(2), "1 writer + 2 readers"},
+		{core.NewMWSFSystem(2, 1), "2 writers + 1 reader"},
+		{core.NewMWRPSystem(2, 1), "2 writers + 1 reader"},
+		{core.NewMWWPSystem(2, 1), "2 writers + 1 reader"},
+		{core.NewAndersonSystem(3), "3 processes"},
+		{core.NewCentralizedSystem(2, 2), "2 writers + 2 readers"},
+		{core.NewPFTicketSystem(2, 2), "2 writers + 2 readers"},
+		{core.NewTaskFairSystem(2, 2), "2 writers + 2 readers"},
+		{core.NewTournamentSystem(3), "3 processes"},
+	}
+	broken := []sysCase{
+		{core.NewFig1BrokenSystem(2), "Section 3.3: writer skips the exit-section wait"},
+		{core.NewFig2BrokenSystem(2, core.Fig2BreakNoLines2022), "Section 4.3(A): reader skips lines 20-22"},
+		{core.NewFig2BrokenSystem(2, core.Fig2BreakDirectCAS), "Section 4.3(B): Promote CASes true directly"},
+	}
+
+	failures := 0
+
+	if !*skipMC {
+		fmt.Fprintln(out, "== E5: exhaustive model checking (P1 + appendix invariants + stuck states) ==")
+		for _, c := range good {
+			r, err := c.sys.NewRunner(*attempts)
+			if err != nil {
+				return err
+			}
+			t0 := time.Now()
+			res := mc.Explore(r, mc.Options{
+				Attempts:    *attempts,
+				Invariant:   c.sys.Invariant,
+				DetectStuck: true,
+			})
+			status := "OK"
+			if res.Violation != nil {
+				status = "FAIL: " + res.Violation.Error()
+				failures++
+			} else if res.Truncated {
+				status = "TRUNCATED"
+				failures++
+			}
+			fmt.Fprintf(out, "  %-22s %-28s %9d states  %8s  %s\n",
+				c.sys.Name, c.config, res.States, time.Since(t0).Round(time.Millisecond), status)
+		}
+
+		fmt.Fprintln(out, "\n== E6: broken variants (violations EXPECTED — reproducing Sections 3.3/4.3) ==")
+		for _, c := range broken {
+			r, err := c.sys.NewRunner(3)
+			if err != nil {
+				return err
+			}
+			res := mc.Explore(r, mc.Options{Attempts: 3, KeepWitness: *witness})
+			if res.Violation == nil {
+				fmt.Fprintf(out, "  %-26s UNEXPECTED: no violation found (%d states)\n", c.sys.Name, res.States)
+				failures++
+				continue
+			}
+			fmt.Fprintf(out, "  %-26s violation found as the paper predicts: %v\n", c.sys.Name, res.Violation)
+			fmt.Fprintf(out, "  %-26s (%s)\n", "", c.config)
+			if *witness {
+				fmt.Fprintf(out, "    counterexample schedule (%d steps):\n", len(res.Witness))
+				for _, line := range splitLines(mc.FormatWitness(r, res.Witness, 3)) {
+					fmt.Fprintf(out, "    %s\n", line)
+				}
+			}
+		}
+	}
+
+	fmt.Fprintln(out, "\n== E5: monitored random stress (P1-P5, RP1/WP1, probes) ==")
+	for _, c := range good {
+		bad := 0
+		for seed := int64(1); seed <= int64(*seeds); seed++ {
+			r, err := c.sys.NewRunner(5)
+			if err != nil {
+				return err
+			}
+			res := check.RunChecked(r, check.RunOpts{
+				Attempts:     5,
+				Sched:        ccsim.NewRandomSched(seed),
+				EnabledBound: c.sys.EnabledBound,
+				FIFE:         c.sys.EnabledBound > 0,
+				Invariant:    c.sys.Invariant,
+				SectionBound: 64,
+			})
+			tr := res.Trace.Attempts()
+			if v := res.FirstViolation(); v != nil {
+				fmt.Fprintf(out, "  %-22s seed=%d FAIL: %v\n", c.sys.Name, seed, v)
+				bad++
+				continue
+			}
+			switch c.sys.Name {
+			case "fig2-swrp", "mwrp":
+				if v := check.ReaderPriority(tr); v != nil {
+					fmt.Fprintf(out, "  %-22s seed=%d FAIL: %v\n", c.sys.Name, seed, v)
+					bad++
+				}
+			case "fig1-swwp", "fig4-mwwp":
+				if v := check.WriterPriority(tr); v != nil {
+					fmt.Fprintf(out, "  %-22s seed=%d FAIL: %v\n", c.sys.Name, seed, v)
+					bad++
+				}
+			}
+		}
+		if bad == 0 {
+			fmt.Fprintf(out, "  %-22s %d seeds OK\n", c.sys.Name, *seeds)
+		} else {
+			failures += bad
+		}
+	}
+
+	if failures > 0 {
+		return fmt.Errorf("%d check(s) failed", failures)
+	}
+	fmt.Fprintln(out, "\nall checks passed")
+	return nil
+}

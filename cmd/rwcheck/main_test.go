@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunStressOnly(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-skip-mc", "-seeds", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "monitored random stress") {
+		t.Fatalf("missing stress section:\n%s", out)
+	}
+	if !strings.Contains(out, "all checks passed") {
+		t.Fatalf("checks did not pass:\n%s", out)
+	}
+	for _, sys := range []string{"fig1-swwp", "fig2-swrp", "mwsf", "mwrp", "fig4-mwwp", "pfticket-rw"} {
+		if !strings.Contains(out, sys) {
+			t.Fatalf("system %s missing from output:\n%s", sys, out)
+		}
+	}
+}
+
+func TestRunFullWithWitness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full model checking in -short mode")
+	}
+	var b strings.Builder
+	if err := run([]string{"-seeds", "1", "-attempts", "2", "-witness"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "exhaustive model checking") {
+		t.Fatalf("missing MC section:\n%s", out)
+	}
+	if strings.Count(out, "violation found as the paper predicts") != 3 {
+		t.Fatalf("expected all 3 broken variants to fail:\n%s", out)
+	}
+	if !strings.Contains(out, "counterexample schedule") || !strings.Contains(out, "final CS occupancy") {
+		t.Fatalf("witness not printed:\n%s", out)
+	}
+}
+
+func TestSplitLines(t *testing.T) {
+	got := splitLines("a\nb\n")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("splitLines = %v", got)
+	}
+	if len(splitLines("")) != 0 {
+		t.Fatal("empty input should yield no lines")
+	}
+}

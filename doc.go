@@ -1,0 +1,21 @@
+// Package rwsync reproduces Bhatt & Jayanti, "Constant RMR Solutions
+// to Reader Writer Synchronization" (Dartmouth TR2010-662, PODC 2010)
+// as a production-quality Go library.
+//
+// The importable artifact is the rwlock subpackage: reader-writer
+// locks with O(1) remote-memory-reference complexity on
+// cache-coherent machines, in writer-priority, reader-priority and
+// no-priority (starvation-free) flavors.
+//
+// The internal packages form the research substrate: a
+// cache-coherent-machine simulator with exact RMR accounting
+// (internal/ccsim), step-accurate encodings of the paper's Figures 1-4
+// plus baselines and deliberately broken variants (internal/core), an
+// explicit-state model checker (internal/mc), trace- and probe-based
+// property checkers (internal/check), and the experiment harness
+// (internal/harness) behind cmd/rmrbench, cmd/rwbench, cmd/rwcheck and
+// the repository-level benchmarks in bench_test.go.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package rwsync

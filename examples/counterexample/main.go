@@ -1,0 +1,60 @@
+// counterexample: watch the model checker reproduce Section 3.3.
+//
+// The paper argues that the Figure 1 writer MUST wait for readers to
+// clear the exit section before entering the CS, sketching a subtle
+// interleaving that breaks mutual exclusion otherwise.  This example
+// model-checks the deliberately broken variant (writer skips lines
+// 9-12), finds the violation, and prints the machine-discovered
+// counterexample schedule — every step from the initial state to a
+// writer and a reader co-occupying the critical section.
+//
+// Run with:
+//
+//	go run ./examples/counterexample
+package main
+
+import (
+	"fmt"
+
+	"rwsync/internal/core"
+	"rwsync/internal/mc"
+)
+
+func main() {
+	fmt.Println("Model-checking the broken Figure 1 variant (no exit-section wait)")
+	fmt.Println("with 1 writer + 2 readers, 3 attempts each ...")
+	fmt.Println()
+
+	sys := core.NewFig1BrokenSystem(2)
+	r, err := sys.NewRunner(3)
+	if err != nil {
+		panic(err)
+	}
+	res := mc.Explore(r, mc.Options{Attempts: 3, KeepWitness: true})
+	if res.Violation == nil {
+		fmt.Println("no violation found — this should not happen!")
+		return
+	}
+	fmt.Printf("violation after exploring %d states: %v\n\n", res.States, res.Violation)
+	fmt.Printf("counterexample schedule (%d steps; proc 0 is the writer):\n\n", len(res.Witness))
+	fmt.Print(mc.FormatWitness(r, res.Witness, 3))
+
+	fmt.Println()
+	fmt.Println("The correct Figure 1 passes the same search: its writer waits for")
+	fmt.Println("the exit section (lines 9-12), and the checker visits every")
+	fmt.Println("reachable state without finding any violation:")
+	fmt.Println()
+
+	good := core.NewFig1System(2)
+	rg, err := good.NewRunner(3)
+	if err != nil {
+		panic(err)
+	}
+	resg := mc.Explore(rg, mc.Options{Attempts: 3, Invariant: good.Invariant, DetectStuck: true})
+	if resg.Violation != nil {
+		fmt.Printf("unexpected violation: %v\n", resg.Violation)
+		return
+	}
+	fmt.Printf("fig1 (correct): %d states explored, mutual exclusion and all\n", resg.States)
+	fmt.Println("appendix invariants hold in every one of them.")
+}

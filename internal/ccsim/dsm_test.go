@@ -1,0 +1,71 @@
+package ccsim
+
+import "testing"
+
+func TestDSMAccountingByHome(t *testing.T) {
+	m := NewMemory(2)
+	m.SetModel(ModelDSM)
+	v := m.NewVar("v", KindRW, 0)
+	m.SetHome(v, 1)
+	if m.Home(v) != 1 {
+		t.Fatalf("home = %d, want 1", m.Home(v))
+	}
+
+	// Process 0: every access remote, including repeated reads (no
+	// caches in DSM).
+	m.Read(0, v)
+	m.Read(0, v)
+	m.Read(0, v)
+	if m.RMR(0) != 3 {
+		t.Fatalf("remote reads RMR = %d, want 3 (no caching in DSM)", m.RMR(0))
+	}
+	// Process 1: accesses to its own module are free.
+	m.Read(1, v)
+	m.Write(1, v, 7)
+	if m.RMR(1) != 0 {
+		t.Fatalf("local accesses RMR = %d, want 0", m.RMR(1))
+	}
+	// Remote write charged.
+	m.Write(0, v, 8)
+	if m.RMR(0) != 4 {
+		t.Fatalf("remote write RMR = %d, want 4", m.RMR(0))
+	}
+}
+
+func TestDSMSpinIsCharged(t *testing.T) {
+	// The crux of the DSM lower bound: a process spinning on a REMOTE
+	// variable pays one RMR per iteration, unlike CC where the spin
+	// hits the cache after the first read.
+	mCC := NewMemory(2)
+	vCC := mCC.NewVar("gate", KindRW, 0)
+	for i := 0; i < 100; i++ {
+		mCC.Read(0, vCC)
+	}
+	if mCC.RMR(0) != 1 {
+		t.Fatalf("CC spin RMR = %d, want 1", mCC.RMR(0))
+	}
+
+	mDSM := NewMemory(2)
+	mDSM.SetModel(ModelDSM)
+	vDSM := mDSM.NewVar("gate", KindRW, 0)
+	mDSM.SetHome(vDSM, 1)
+	for i := 0; i < 100; i++ {
+		mDSM.Read(0, vDSM)
+	}
+	if mDSM.RMR(0) != 100 {
+		t.Fatalf("DSM spin RMR = %d, want 100", mDSM.RMR(0))
+	}
+}
+
+func TestDSMCloneCarriesModel(t *testing.T) {
+	m := NewMemory(2)
+	m.SetModel(ModelDSM)
+	v := m.NewVar("v", KindRW, 0)
+	m.SetHome(v, 1)
+	c := m.Clone()
+	c.Read(0, v)
+	c.Read(0, v)
+	if c.RMR(0) != 2 {
+		t.Fatalf("clone lost DSM accounting: RMR = %d, want 2", c.RMR(0))
+	}
+}

@@ -1,0 +1,133 @@
+package ccsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewRunnerSizeMismatch(t *testing.T) {
+	m := NewMemory(2)
+	prog := twoPhaseProgram(m)
+	if _, err := NewRunner(m, []*Program{prog}, 1); err == nil {
+		t.Fatal("expected error: 1 program for 2-process memory")
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *Program
+		want string
+	}{
+		{
+			"empty",
+			&Program{Name: "empty"},
+			"no instructions",
+		},
+		{
+			"length mismatch",
+			&Program{Name: "m", Instrs: make([]Instr, 2), Phases: make([]Phase, 1)},
+			"2 instrs but 1 phases",
+		},
+		{
+			"bad start",
+			&Program{Name: "s", Instrs: make([]Instr, 1), Phases: []Phase{PhaseCS}},
+			"PC 0 must be the remainder",
+		},
+	}
+	for _, c := range cases {
+		err := c.prog.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestInvalidJumpPanics(t *testing.T) {
+	m := NewMemory(1)
+	bad := &Program{
+		Name:   "jump",
+		Instrs: []Instr{func(c *Ctx) int { return 99 }},
+		Phases: []Phase{PhaseRemainder},
+	}
+	r, err := NewRunner(m, []*Program{bad}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range jump")
+		}
+	}()
+	r.StepProc(0)
+}
+
+func TestNewMemoryValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nprocs = 0")
+		}
+	}()
+	NewMemory(0)
+}
+
+func TestPhaseAndKindStrings(t *testing.T) {
+	if PhaseCS.String() != "CS" || PhaseWaiting.String() != "waiting" {
+		t.Fatal("phase names wrong")
+	}
+	if KindFAA.String() != "fetch&add" || KindCAS.String() != "compare&swap" {
+		t.Fatal("kind names wrong")
+	}
+	if EvEnterCS.String() != "enter-CS" || EvEndExit.String() != "end-exit" {
+		t.Fatal("event names wrong")
+	}
+	// Unknown values render diagnostically rather than panicking.
+	if !strings.Contains(Phase(99).String(), "99") {
+		t.Fatal("unknown phase should render its number")
+	}
+}
+
+func TestStepProcAfterDone(t *testing.T) {
+	m := NewMemory(1)
+	prog := twoPhaseProgram(m)
+	r, err := NewRunner(m, []*Program{prog}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(NewRoundRobin(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if !r.AllDone() {
+		t.Fatal("run incomplete")
+	}
+	if r.StepProc(0) {
+		t.Fatal("stepping a done process must be a no-op")
+	}
+}
+
+func TestRunnerBudgetError(t *testing.T) {
+	m := NewMemory(1)
+	gate := m.NewVar("gate", KindRW, 0)
+	stuck := &Program{
+		Name: "stuck",
+		Instrs: []Instr{
+			func(c *Ctx) int { return 1 },
+			func(c *Ctx) int {
+				if c.Read(gate) != 0 {
+					return 2
+				}
+				return 1
+			},
+			func(c *Ctx) int { return 0 },
+		},
+		Phases: []Phase{PhaseRemainder, PhaseDoorway, PhaseCS},
+	}
+	r, err := NewRunner(m, []*Program{stuck}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.Run(NewRoundRobin(), 50)
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("expected budget-exhausted error, got %v", err)
+	}
+}

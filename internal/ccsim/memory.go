@@ -1,0 +1,317 @@
+// Package ccsim implements a deterministic simulator of an asynchronous
+// cache-coherent (CC) shared-memory multiprocessor, the machine model of
+// Bhatt & Jayanti (TR2010-662).
+//
+// Processes execute one atomic shared-memory operation per step.  The
+// simulator charges remote memory references (RMRs) exactly as the CC
+// model prescribes:
+//
+//   - a read of variable v by process p is remote iff v is not in p's
+//     cache; the read then loads v into p's cache;
+//   - any write, fetch&add, or compare&swap by p costs one RMR and
+//     invalidates every other process's cached copy of v (p's own cache
+//     stays valid).
+//
+// Failed CAS operations are conservatively charged one RMR as well: on
+// real hardware they still acquire the cache line exclusively.
+//
+// The simulator is fully deterministic given a scheduler, supports
+// cloning (used by the model checker and by "enabledness probes" that
+// implement Definition 2 of the paper), and counts RMRs per attempt so
+// that the paper's O(1)-RMR theorems can be validated empirically.
+package ccsim
+
+import "fmt"
+
+// VarKind describes which atomic operations a shared variable supports,
+// mirroring the paper's variable declarations ("read/write variable",
+// "F&A variable", "CAS variable").
+type VarKind uint8
+
+const (
+	// KindRW supports Read and Write.
+	KindRW VarKind = iota
+	// KindFAA supports Read, Write and fetch&add.
+	KindFAA
+	// KindCAS supports Read, Write and compare&swap.
+	KindCAS
+)
+
+// String returns the paper-style name of the kind.
+func (k VarKind) String() string {
+	switch k {
+	case KindRW:
+		return "read/write"
+	case KindFAA:
+		return "fetch&add"
+	case KindCAS:
+		return "compare&swap"
+	default:
+		return fmt.Sprintf("VarKind(%d)", uint8(k))
+	}
+}
+
+// Var is a handle to a shared variable registered in a Memory.
+type Var int32
+
+// Memory is the shared memory of the simulated machine together with
+// the per-process cache state used for RMR accounting.
+//
+// Cache state never influences the values read or written — it only
+// determines whether an operation is charged as remote — so the model
+// checker may ignore it when hashing states.
+type Memory struct {
+	vals  []int64
+	kinds []VarKind
+	names []string
+
+	// cached[v] is a bitset over process ids: bit p set means process
+	// p holds a valid cached copy of variable v.
+	cached []procSet
+
+	nprocs int
+
+	// rmr[p] counts remote memory references charged to process p
+	// since its counter was last reset.
+	rmr []int64
+
+	// ops[p] counts all shared-memory operations by process p.
+	ops []int64
+
+	// writePolicy selects whether writes by a process that already
+	// holds the sole valid copy are charged.  The default
+	// (WriteAlwaysRemote) is the conservative model used in the
+	// paper's upper-bound statements.
+	writePolicy WritePolicy
+
+	// model selects CC (default) or DSM accounting.
+	model Model
+	// homes[v] is the process whose memory module hosts v (DSM only).
+	homes []int
+}
+
+// Model selects the machine model for RMR accounting.
+type Model uint8
+
+const (
+	// ModelCC is the cache-coherent model (the paper's Theorems 1-5
+	// apply): reads hit the cache until invalidated.
+	ModelCC Model = iota
+	// ModelDSM is the distributed-shared-memory model: an access to
+	// variable v by process p is remote iff v's home module is not
+	// p's, and there are no caches — every spin iteration on a remote
+	// variable is charged.  The paper (citing Danek & Hadzilacos)
+	// proves no reader-writer algorithm with concurrent entering can
+	// be sublinear here; experiment E9 measures our algorithms'
+	// behaviour under this model to show the CC result is model-
+	// specific, not an accident of accounting.
+	ModelDSM
+)
+
+// SetModel switches the accounting model.  Call before the run.
+func (m *Memory) SetModel(model Model) { m.model = model }
+
+// SetHome assigns variable v's home memory module (DSM model).
+// The default home is process 0.
+func (m *Memory) SetHome(v Var, proc int) { m.homes[v] = proc }
+
+// Home returns v's home module.
+func (m *Memory) Home(v Var) int { return m.homes[v] }
+
+// WritePolicy selects the RMR accounting rule for write-like operations.
+type WritePolicy uint8
+
+const (
+	// WriteAlwaysRemote charges every write/F&A/CAS one RMR
+	// (conservative; matches the standard CC-model upper bounds).
+	WriteAlwaysRemote WritePolicy = iota
+	// WriteLocalIfExclusive charges a write-like operation only when
+	// some other process holds a cached copy, or the writer itself
+	// does not (a MESI-like "modified state is free" rule).
+	WriteLocalIfExclusive
+)
+
+// procSet is a small bitset over process ids.
+type procSet []uint64
+
+func newProcSet(n int) procSet { return make(procSet, (n+63)/64) }
+
+func (s procSet) has(p int) bool { return s[p/64]&(1<<(uint(p)%64)) != 0 }
+func (s procSet) set(p int)      { s[p/64] |= 1 << (uint(p) % 64) }
+
+// clearExcept clears every bit except p's.
+func (s procSet) clearExcept(p int) {
+	for i := range s {
+		s[i] = 0
+	}
+	s.set(p)
+}
+
+func (s procSet) clone() procSet {
+	c := make(procSet, len(s))
+	copy(c, s)
+	return c
+}
+
+// NewMemory returns an empty memory for nprocs processes.
+func NewMemory(nprocs int) *Memory {
+	if nprocs <= 0 {
+		panic("ccsim: NewMemory requires nprocs >= 1")
+	}
+	return &Memory{
+		nprocs: nprocs,
+		rmr:    make([]int64, nprocs),
+		ops:    make([]int64, nprocs),
+	}
+}
+
+// SetWritePolicy changes the RMR accounting rule for writes.  It must be
+// called before the run begins.
+func (m *Memory) SetWritePolicy(p WritePolicy) { m.writePolicy = p }
+
+// NewVar registers a shared variable with the given name, kind and
+// initial value and returns its handle.
+func (m *Memory) NewVar(name string, kind VarKind, init int64) Var {
+	m.vals = append(m.vals, init)
+	m.kinds = append(m.kinds, kind)
+	m.names = append(m.names, name)
+	m.cached = append(m.cached, newProcSet(m.nprocs))
+	m.homes = append(m.homes, 0)
+	return Var(len(m.vals) - 1)
+}
+
+// NumVars returns the number of registered variables.
+func (m *Memory) NumVars() int { return len(m.vals) }
+
+// NumProcs returns the number of processes the memory was sized for.
+func (m *Memory) NumProcs() int { return m.nprocs }
+
+// Name returns the registered name of v.
+func (m *Memory) Name(v Var) string { return m.names[v] }
+
+// Peek returns the current value of v without touching cache state or
+// RMR counters.  It is intended for checkers and invariant predicates,
+// not for simulated processes.
+func (m *Memory) Peek(v Var) int64 { return m.vals[v] }
+
+// Poke sets the value of v without touching cache state or RMR
+// counters.  It is intended for test setup only.
+func (m *Memory) Poke(v Var, x int64) { m.vals[v] = x }
+
+// RMR returns the remote-reference count charged to process p since the
+// last ResetRMR.
+func (m *Memory) RMR(p int) int64 { return m.rmr[p] }
+
+// Ops returns the total operation count of process p.
+func (m *Memory) Ops(p int) int64 { return m.ops[p] }
+
+// ResetRMR zeroes process p's RMR counter (called at attempt
+// boundaries by the runner).
+func (m *Memory) ResetRMR(p int) { m.rmr[p] = 0 }
+
+// Read performs an atomic read of v by process p.
+func (m *Memory) Read(p int, v Var) int64 {
+	m.ops[p]++
+	if m.model == ModelDSM {
+		if m.homes[v] != p {
+			m.rmr[p]++
+		}
+		return m.vals[v]
+	}
+	if !m.cached[v].has(p) {
+		m.rmr[p]++
+		m.cached[v].set(p)
+	}
+	return m.vals[v]
+}
+
+// chargeWrite applies the write-side RMR accounting for process p on v.
+func (m *Memory) chargeWrite(p int, v Var) {
+	m.ops[p]++
+	if m.model == ModelDSM {
+		if m.homes[v] != p {
+			m.rmr[p]++
+		}
+		return
+	}
+	switch m.writePolicy {
+	case WriteAlwaysRemote:
+		m.rmr[p]++
+	case WriteLocalIfExclusive:
+		exclusive := m.cached[v].has(p)
+		if exclusive {
+			for i := 0; i < m.nprocs; i++ {
+				if i != p && m.cached[v].has(i) {
+					exclusive = false
+					break
+				}
+			}
+		}
+		if !exclusive {
+			m.rmr[p]++
+		}
+	}
+	m.cached[v].clearExcept(p)
+}
+
+// Write performs an atomic write of x to v by process p.
+func (m *Memory) Write(p int, v Var, x int64) {
+	m.chargeWrite(p, v)
+	m.vals[v] = x
+}
+
+// FAA performs fetch&add on v by process p and returns the OLD value,
+// matching the paper's convention (e.g. "if F&A(C[prevD],[1,0]) != [0,0]"
+// tests the pre-increment value).
+func (m *Memory) FAA(p int, v Var, delta int64) int64 {
+	if m.kinds[v] == KindRW {
+		panic(fmt.Sprintf("ccsim: F&A on read/write variable %q", m.names[v]))
+	}
+	m.chargeWrite(p, v)
+	old := m.vals[v]
+	m.vals[v] = old + delta
+	return old
+}
+
+// CAS performs compare&swap on v by process p, returning whether the
+// swap succeeded.
+func (m *Memory) CAS(p int, v Var, old, new int64) bool {
+	if m.kinds[v] != KindCAS {
+		panic(fmt.Sprintf("ccsim: CAS on %s variable %q", m.kinds[v], m.names[v]))
+	}
+	m.chargeWrite(p, v)
+	if m.vals[v] != old {
+		return false
+	}
+	m.vals[v] = new
+	return true
+}
+
+// Clone returns a deep copy of the memory, including cache state and
+// counters.  Used by the model checker and by enabledness probes.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{
+		vals:        append([]int64(nil), m.vals...),
+		kinds:       append([]VarKind(nil), m.kinds...),
+		names:       m.names, // immutable after registration
+		cached:      make([]procSet, len(m.cached)),
+		nprocs:      m.nprocs,
+		rmr:         append([]int64(nil), m.rmr...),
+		ops:         append([]int64(nil), m.ops...),
+		writePolicy: m.writePolicy,
+		model:       m.model,
+		homes:       append([]int(nil), m.homes...),
+	}
+	for i, s := range m.cached {
+		c.cached[i] = s.clone()
+	}
+	return c
+}
+
+// Values returns a copy of all variable values; used for state hashing
+// by the model checker.
+func (m *Memory) Values() []int64 { return append([]int64(nil), m.vals...) }
+
+// AppendValues appends all variable values to dst and returns the
+// extended slice; an allocation-free variant of Values for hot paths.
+func (m *Memory) AppendValues(dst []int64) []int64 { return append(dst, m.vals...) }

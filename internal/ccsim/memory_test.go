@@ -1,0 +1,167 @@
+package ccsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadCachingRMR(t *testing.T) {
+	m := NewMemory(2)
+	v := m.NewVar("v", KindRW, 7)
+
+	if got := m.Read(0, v); got != 7 {
+		t.Fatalf("Read = %d, want 7", got)
+	}
+	if m.RMR(0) != 1 {
+		t.Fatalf("first read should be remote: RMR=%d", m.RMR(0))
+	}
+	m.Read(0, v)
+	m.Read(0, v)
+	if m.RMR(0) != 1 {
+		t.Fatalf("cached reads must be free: RMR=%d", m.RMR(0))
+	}
+
+	// A write by process 1 invalidates process 0's copy.
+	m.Write(1, v, 9)
+	if got := m.Read(0, v); got != 9 {
+		t.Fatalf("Read after write = %d, want 9", got)
+	}
+	if m.RMR(0) != 2 {
+		t.Fatalf("read after invalidation should be remote: RMR=%d", m.RMR(0))
+	}
+}
+
+func TestWriterOwnCacheStaysValid(t *testing.T) {
+	m := NewMemory(2)
+	v := m.NewVar("v", KindRW, 0)
+	m.Write(0, v, 5)
+	before := m.RMR(0)
+	if got := m.Read(0, v); got != 5 {
+		t.Fatalf("Read = %d, want 5", got)
+	}
+	if m.RMR(0) != before {
+		t.Fatal("a writer's own subsequent read must be a cache hit")
+	}
+}
+
+func TestFAAReturnsOldValue(t *testing.T) {
+	m := NewMemory(1)
+	v := m.NewVar("c", KindFAA, 10)
+	if old := m.FAA(0, v, 5); old != 10 {
+		t.Fatalf("FAA old = %d, want 10", old)
+	}
+	if got := m.Peek(v); got != 15 {
+		t.Fatalf("after FAA value = %d, want 15", got)
+	}
+	if old := m.FAA(0, v, -15); old != 15 {
+		t.Fatalf("FAA old = %d, want 15", old)
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	m := NewMemory(1)
+	v := m.NewVar("x", KindCAS, 3)
+	if !m.CAS(0, v, 3, 4) {
+		t.Fatal("CAS(3,4) on 3 must succeed")
+	}
+	if m.CAS(0, v, 3, 5) {
+		t.Fatal("CAS(3,5) on 4 must fail")
+	}
+	if got := m.Peek(v); got != 4 {
+		t.Fatalf("value = %d, want 4", got)
+	}
+}
+
+func TestKindEnforcement(t *testing.T) {
+	m := NewMemory(1)
+	rw := m.NewVar("rw", KindRW, 0)
+	faa := m.NewVar("faa", KindFAA, 0)
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("FAA on RW", func() { m.FAA(0, rw, 1) })
+	mustPanic("CAS on FAA", func() { m.CAS(0, faa, 0, 1) })
+}
+
+func TestWritePolicyLocalIfExclusive(t *testing.T) {
+	m := NewMemory(2)
+	m.SetWritePolicy(WriteLocalIfExclusive)
+	v := m.NewVar("v", KindRW, 0)
+
+	m.Write(0, v, 1) // not cached anywhere: remote
+	if m.RMR(0) != 1 {
+		t.Fatalf("first write RMR=%d, want 1", m.RMR(0))
+	}
+	m.Write(0, v, 2) // exclusive: local
+	if m.RMR(0) != 1 {
+		t.Fatalf("exclusive write RMR=%d, want 1", m.RMR(0))
+	}
+	m.Read(1, v) // process 1 caches it
+	m.Write(0, v, 3)
+	if m.RMR(0) != 2 {
+		t.Fatalf("shared write RMR=%d, want 2", m.RMR(0))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewMemory(2)
+	v := m.NewVar("v", KindRW, 1)
+	m.Read(0, v)
+	c := m.Clone()
+	c.Write(1, v, 42)
+	if m.Peek(v) != 1 {
+		t.Fatal("clone write leaked into the original")
+	}
+	// Original cache state intact: process 0 still holds a valid copy.
+	before := m.RMR(0)
+	m.Read(0, v)
+	if m.RMR(0) != before {
+		t.Fatal("original cache state disturbed by clone")
+	}
+}
+
+func TestProcSetQuick(t *testing.T) {
+	// Property: set/has round-trips for arbitrary process ids.
+	f := func(ids []uint8) bool {
+		s := newProcSet(256)
+		seen := map[int]bool{}
+		for _, id := range ids {
+			s.set(int(id))
+			seen[int(id)] = true
+		}
+		for p := 0; p < 256; p++ {
+			if s.has(p) != seen[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFAACommutesQuick(t *testing.T) {
+	// Property: any interleaving of F&A deltas yields the same final
+	// sum (the algebra packed counters rely on).
+	f := func(deltas []int16) bool {
+		m := NewMemory(1)
+		v := m.NewVar("c", KindFAA, 0)
+		var want int64
+		for _, d := range deltas {
+			m.FAA(0, v, int64(d))
+			want += int64(d)
+		}
+		return m.Peek(v) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package ccsim
+
+import "fmt"
+
+// Phase classifies a program counter into the paper's code sections
+// (Section 2: remainder, doorway, waiting room, CS, exit).  The runner
+// uses phase transitions to emit lifecycle events for the property
+// checkers.
+type Phase uint8
+
+const (
+	// PhaseRemainder is the remainder section.
+	PhaseRemainder Phase = iota
+	// PhaseDoorway is the bounded straight-line prefix of the Try section.
+	PhaseDoorway
+	// PhaseWaiting is the waiting room (busy-wait part of the Try section).
+	PhaseWaiting
+	// PhaseCS is the critical section.
+	PhaseCS
+	// PhaseExit is the exit section.
+	PhaseExit
+)
+
+// String returns the section name as used in the paper.
+func (ph Phase) String() string {
+	switch ph {
+	case PhaseRemainder:
+		return "remainder"
+	case PhaseDoorway:
+		return "doorway"
+	case PhaseWaiting:
+		return "waiting"
+	case PhaseCS:
+		return "CS"
+	case PhaseExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("Phase(%d)", uint8(ph))
+	}
+}
+
+// NumRegs is the size of each process's register file.  Registers hold
+// the algorithms' local variables (d, d', prevD, currD, x, t, slot, ...).
+const NumRegs = 8
+
+// Proc is the dynamic state of one simulated process.  It is a plain
+// value type: copying it (plus the Memory) captures a global state,
+// which is what the model checker does.
+type Proc struct {
+	// ID is the process id (pid in the paper).  IDs are dense 0..n-1.
+	ID int
+	// PC is the program counter, an index into the program's Instrs.
+	PC int
+	// Regs is the register file holding the algorithm's local variables.
+	Regs [NumRegs]int64
+	// Attempt counts completed attempts (Try+CS+Exit cycles).
+	Attempt int
+	// Done reports that the process has completed all its attempts
+	// and halted in the remainder section.
+	Done bool
+}
+
+// Ctx is the execution context handed to an instruction: it scopes all
+// shared-memory operations to the stepping process so RMRs are charged
+// correctly.
+type Ctx struct {
+	M *Memory
+	P *Proc
+}
+
+// Read reads shared variable v.
+func (c *Ctx) Read(v Var) int64 { return c.M.Read(c.P.ID, v) }
+
+// Write writes x to shared variable v.
+func (c *Ctx) Write(v Var, x int64) { c.M.Write(c.P.ID, v, x) }
+
+// FAA performs fetch&add and returns the old value.
+func (c *Ctx) FAA(v Var, delta int64) int64 { return c.M.FAA(c.P.ID, v, delta) }
+
+// CAS performs compare&swap and reports success.
+func (c *Ctx) CAS(v Var, old, new int64) bool { return c.M.CAS(c.P.ID, v, old, new) }
+
+// Instr executes exactly one atomic shared-memory operation (or a pure
+// local computation) on behalf of ctx.P and returns the next program
+// counter.  A busy-wait instruction returns its own PC until its
+// condition holds; each retry is a fresh read step, so RMR accounting
+// of spin loops is exact.
+type Instr func(c *Ctx) int
+
+// Program is the static code of a process: one Instr per PC plus the
+// phase annotation used for event emission and property checking.
+type Program struct {
+	// Name identifies the algorithm and role, e.g. "fig1-writer".
+	Name string
+	// Reader reports whether processes running this program are
+	// readers (as opposed to writers).
+	Reader bool
+	// Instrs is the instruction table, indexed by PC.
+	Instrs []Instr
+	// Phases gives the section of each PC; len(Phases) == len(Instrs).
+	Phases []Phase
+}
+
+// Validate checks structural well-formedness of the program.
+func (pr *Program) Validate() error {
+	if len(pr.Instrs) == 0 {
+		return fmt.Errorf("program %q has no instructions", pr.Name)
+	}
+	if len(pr.Instrs) != len(pr.Phases) {
+		return fmt.Errorf("program %q: %d instrs but %d phases", pr.Name, len(pr.Instrs), len(pr.Phases))
+	}
+	if pr.Phases[0] != PhaseRemainder {
+		return fmt.Errorf("program %q: PC 0 must be the remainder section", pr.Name)
+	}
+	return nil
+}
+
+// Phase returns the section that pc belongs to.
+func (pr *Program) Phase(pc int) Phase { return pr.Phases[pc] }

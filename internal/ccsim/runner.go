@@ -1,0 +1,393 @@
+package ccsim
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EventKind classifies lifecycle events derived from phase transitions.
+type EventKind uint8
+
+const (
+	// EvBeginDoorway fires when a process leaves the remainder section
+	// and starts a new attempt (first step of the doorway).
+	EvBeginDoorway EventKind = iota
+	// EvEndDoorway fires when a process completes the doorway (enters
+	// the waiting room or goes directly to the CS).
+	EvEndDoorway
+	// EvEnterCS fires when a process enters the critical section.
+	EvEnterCS
+	// EvBeginExit fires when a process leaves the CS for the exit section.
+	EvBeginExit
+	// EvEndExit fires when a process completes the exit section,
+	// finishing the attempt.
+	EvEndExit
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvBeginDoorway:
+		return "begin-doorway"
+	case EvEndDoorway:
+		return "end-doorway"
+	case EvEnterCS:
+		return "enter-CS"
+	case EvBeginExit:
+		return "begin-exit"
+	case EvEndExit:
+		return "end-exit"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one lifecycle event in a run.  Step numbers give a total
+// order consistent with the simulated execution.
+type Event struct {
+	Step    int64
+	Proc    int
+	Reader  bool
+	Attempt int // attempt index (0-based) the event belongs to
+	Kind    EventKind
+}
+
+// EventSink receives lifecycle events during a run.
+type EventSink interface {
+	Record(Event)
+}
+
+// AttemptStat summarizes one completed attempt.
+type AttemptStat struct {
+	Proc    int
+	Reader  bool
+	Attempt int
+	RMR     int64 // remote memory references charged during the attempt
+	Steps   int64 // total steps taken during the attempt
+	// DoorwaySteps counts the process's own steps spent in the
+	// doorway; the paper requires the doorway to be bounded
+	// straight-line code, so this must never exceed the program length.
+	DoorwaySteps int64
+	// ExitSteps counts the process's own steps in the exit section;
+	// property P2 (bounded exit) requires a constant bound.
+	ExitSteps int64
+}
+
+// Runner drives a set of processes over a shared memory under a
+// scheduler, emitting events and per-attempt RMR statistics.
+type Runner struct {
+	Mem   *Memory
+	Procs []*Proc
+	Progs []*Program // Progs[i] is the program of Procs[i]
+
+	// AttemptsPerProc is how many attempts each process performs
+	// before halting.  Zero means unlimited (run until step budget).
+	AttemptsPerProc int
+
+	// Sink, if non-nil, receives lifecycle events.
+	Sink EventSink
+
+	// Stats accumulates one entry per completed attempt when
+	// CollectStats is true.
+	CollectStats bool
+	Stats        []AttemptStat
+
+	// TotalSteps is the number of steps executed so far.
+	TotalSteps int64
+
+	active      []int   // ids of processes not yet Done
+	stepStart   []int64 // per-proc: Mem.Ops at attempt start
+	doorwayDone []int64 // per-proc: Mem.Ops when the doorway completed
+	exitStart   []int64 // per-proc: Mem.Ops when the exit section began
+}
+
+// NewRunner assembles a runner.  progs[i] is the program for process i;
+// process ids are 0..len(progs)-1 and must match the Memory's size.
+func NewRunner(mem *Memory, progs []*Program, attemptsPerProc int) (*Runner, error) {
+	if len(progs) != mem.NumProcs() {
+		return nil, fmt.Errorf("ccsim: %d programs for memory sized for %d processes", len(progs), mem.NumProcs())
+	}
+	r := &Runner{
+		Mem:             mem,
+		Progs:           progs,
+		AttemptsPerProc: attemptsPerProc,
+		stepStart:       make([]int64, len(progs)),
+		doorwayDone:     make([]int64, len(progs)),
+		exitStart:       make([]int64, len(progs)),
+	}
+	for i, pr := range progs {
+		if err := pr.Validate(); err != nil {
+			return nil, err
+		}
+		r.Procs = append(r.Procs, &Proc{ID: i})
+		r.active = append(r.active, i)
+	}
+	return r, nil
+}
+
+// Active returns the ids of processes that have not halted.
+func (r *Runner) Active() []int { return r.active }
+
+// AllDone reports whether every process has completed its attempts.
+func (r *Runner) AllDone() bool { return len(r.active) == 0 }
+
+// PhaseOf returns the current phase of process id.
+func (r *Runner) PhaseOf(id int) Phase { return r.Progs[id].Phase(r.Procs[id].PC) }
+
+// legalTransition reports whether moving from to next is a legal
+// section transition (forward within an attempt, self-loop, or
+// wrapping from exit back to remainder).
+func legalTransition(from, to Phase) bool {
+	if from == to {
+		return true
+	}
+	switch from {
+	case PhaseRemainder:
+		return to == PhaseDoorway
+	case PhaseDoorway:
+		return to == PhaseWaiting || to == PhaseCS
+	case PhaseWaiting:
+		return to == PhaseCS
+	case PhaseCS:
+		return to == PhaseExit || to == PhaseRemainder
+	case PhaseExit:
+		return to == PhaseRemainder
+	}
+	return false
+}
+
+// StepProc executes one step of process id, emitting events for any
+// phase transition.  It reports whether the process changed state at
+// all (a spinning process re-reading an unchanged variable returns to
+// the same PC; its registers are unchanged, so the global safety state
+// is a self-loop — the model checker uses this signal).
+func (r *Runner) StepProc(id int) bool {
+	p := r.Procs[id]
+	if p.Done {
+		return false
+	}
+	prog := r.Progs[id]
+	from := prog.Phase(p.PC)
+
+	if from == PhaseRemainder {
+		if r.AttemptsPerProc > 0 && p.Attempt >= r.AttemptsPerProc {
+			p.Done = true
+			r.removeActive(id)
+			return true
+		}
+		// Beginning a new attempt: reset the RMR meter so per-attempt
+		// counts are exact.
+		r.Mem.ResetRMR(id)
+		r.stepStart[id] = r.Mem.Ops(id)
+	}
+
+	oldPC := p.PC
+	oldRegs := p.Regs
+	ctx := Ctx{M: r.Mem, P: p}
+	next := prog.Instrs[p.PC](&ctx)
+	r.TotalSteps++
+	if next < 0 || next >= len(prog.Instrs) {
+		panic(fmt.Sprintf("ccsim: program %q jumped from PC %d to invalid PC %d", prog.Name, p.PC, next))
+	}
+	p.PC = next
+	to := prog.Phase(next)
+	if !legalTransition(from, to) {
+		panic(fmt.Sprintf("ccsim: program %q made illegal section transition %s -> %s (PC %d -> %d)",
+			prog.Name, from, to, oldPC, next))
+	}
+	r.emitTransition(id, p, from, to)
+	return oldPC != p.PC || oldRegs != p.Regs
+}
+
+func (r *Runner) emitTransition(id int, p *Proc, from, to Phase) {
+	if from == to {
+		return
+	}
+	emit := func(k EventKind) {
+		if r.Sink != nil {
+			r.Sink.Record(Event{Step: r.TotalSteps, Proc: id, Reader: r.Progs[id].Reader, Attempt: p.Attempt, Kind: k})
+		}
+	}
+	switch {
+	case from == PhaseRemainder && to == PhaseDoorway:
+		emit(EvBeginDoorway)
+	case from == PhaseDoorway && (to == PhaseWaiting || to == PhaseCS):
+		r.doorwayDone[id] = r.Mem.Ops(id)
+		emit(EvEndDoorway)
+		if to == PhaseCS {
+			emit(EvEnterCS)
+		}
+	case to == PhaseCS:
+		emit(EvEnterCS)
+	case from == PhaseCS:
+		r.exitStart[id] = r.Mem.Ops(id)
+		emit(EvBeginExit)
+		if to == PhaseRemainder {
+			r.finishAttempt(id, p, emit)
+		}
+	case from == PhaseExit && to == PhaseRemainder:
+		r.finishAttempt(id, p, emit)
+	}
+}
+
+func (r *Runner) finishAttempt(id int, p *Proc, emit func(EventKind)) {
+	emit(EvEndExit)
+	if r.CollectStats {
+		r.Stats = append(r.Stats, AttemptStat{
+			Proc:         id,
+			Reader:       r.Progs[id].Reader,
+			Attempt:      p.Attempt,
+			RMR:          r.Mem.RMR(id),
+			Steps:        r.Mem.Ops(id) - r.stepStart[id],
+			DoorwaySteps: r.doorwayDone[id] - r.stepStart[id],
+			ExitSteps:    r.Mem.Ops(id) - r.exitStart[id],
+		})
+	}
+	p.Attempt++
+}
+
+func (r *Runner) removeActive(id int) {
+	for i, a := range r.active {
+		if a == id {
+			r.active = append(r.active[:i], r.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// Halt marks process id as done immediately.  Tests use it to model a
+// class of processes staying in the remainder section forever (e.g.
+// the concurrent-entering property P5 quantifies over runs in which
+// all writers remain in the remainder section).  Halting a process
+// that is mid-attempt models a crash.
+func (r *Runner) Halt(id int) {
+	p := r.Procs[id]
+	if p.Done {
+		return
+	}
+	p.Done = true
+	r.removeActive(id)
+}
+
+// Run executes steps chosen by sched until every process is done or
+// maxSteps is exhausted.  It returns an error when the budget runs out,
+// which liveness tests interpret as potential starvation or livelock.
+func (r *Runner) Run(sched Scheduler, maxSteps int64) error {
+	for !r.AllDone() {
+		if r.TotalSteps >= maxSteps {
+			return fmt.Errorf("ccsim: step budget %d exhausted with %d processes still active", maxSteps, len(r.active))
+		}
+		id := sched.Next(r.active, r.TotalSteps)
+		r.StepProc(id)
+	}
+	return nil
+}
+
+// Clone deep-copies the runner's dynamic state (memory and processes).
+// Programs are immutable and shared; sinks and stats are not copied.
+// Clones are the substrate of the model checker and of enabledness
+// probes.
+func (r *Runner) Clone() *Runner {
+	c := &Runner{
+		Mem:             r.Mem.Clone(),
+		Progs:           r.Progs,
+		AttemptsPerProc: r.AttemptsPerProc,
+		TotalSteps:      r.TotalSteps,
+		active:          append([]int(nil), r.active...),
+		stepStart:       append([]int64(nil), r.stepStart...),
+		doorwayDone:     append([]int64(nil), r.doorwayDone...),
+		exitStart:       append([]int64(nil), r.exitStart...),
+	}
+	for _, p := range r.Procs {
+		cp := *p
+		c.Procs = append(c.Procs, &cp)
+	}
+	return c
+}
+
+// EnabledToEnterCS implements Definition 2 of the paper operationally:
+// process id is enabled in the current configuration if it reaches the
+// CS within bound of its OWN steps, regardless of what other processes
+// do.  Since other processes take no steps in the probe, reaching the
+// CS in a solo run within the bound witnesses enabledness; failing to
+// is a property violation when a checker asserts the process must be
+// enabled.  The probe runs on a clone; the runner is not disturbed.
+func (r *Runner) EnabledToEnterCS(id int, bound int) bool {
+	c := r.Clone()
+	p := c.Procs[id]
+	if p.Done {
+		return false
+	}
+	for i := 0; i < bound; i++ {
+		if c.Progs[id].Phase(p.PC) == PhaseCS {
+			return true
+		}
+		c.StepProc(id)
+	}
+	return c.Progs[id].Phase(p.PC) == PhaseCS
+}
+
+// RestoreState is the inverse of EncodeState: it overwrites the
+// safety-relevant state (process PCs, registers, attempt counts, done
+// flags, shared values) from data.  Cache state and counters are left
+// as-is — they influence only RMR accounting, never control flow — so
+// a restored runner takes exactly the transitions the encoded
+// configuration allows.  The model checker uses Encode/Restore to
+// explore the state graph without keeping full clones.
+func (r *Runner) RestoreState(data []byte) {
+	off := 0
+	u32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return v
+	}
+	u64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		return v
+	}
+	r.active = r.active[:0]
+	for _, p := range r.Procs {
+		p.PC = int(u32())
+		for i := range p.Regs {
+			p.Regs[i] = int64(u64())
+		}
+		p.Attempt = int(u32())
+		p.Done = data[off] == 1
+		off++
+		if !p.Done {
+			r.active = append(r.active, p.ID)
+		}
+	}
+	for v := 0; v < r.Mem.NumVars(); v++ {
+		r.Mem.Poke(Var(v), int64(u64()))
+	}
+}
+
+// EncodeState appends a canonical encoding of the safety-relevant
+// global state (per-process PC, registers, attempt count, done flag,
+// plus all shared variable values) to dst.  Cache state is excluded:
+// it affects only RMR accounting, never values or control flow.
+func (r *Runner) EncodeState(dst []byte) []byte {
+	var buf [8]byte
+	for _, p := range r.Procs {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(p.PC))
+		dst = append(dst, buf[:4]...)
+		for _, reg := range p.Regs {
+			binary.LittleEndian.PutUint64(buf[:], uint64(reg))
+			dst = append(dst, buf[:]...)
+		}
+		binary.LittleEndian.PutUint32(buf[:4], uint32(p.Attempt))
+		dst = append(dst, buf[:4]...)
+		if p.Done {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	for _, v := range r.Mem.Values() {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}

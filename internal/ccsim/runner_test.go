@@ -1,0 +1,276 @@
+package ccsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// twoPhaseProgram is a trivial correct program: remainder -> doorway
+// (one write) -> waiting (spin on a flag) -> CS -> exit (one write).
+// The flag starts open, so processes never actually block.
+func twoPhaseProgram(m *Memory) *Program {
+	flag := m.NewVar("flag", KindRW, 1)
+	scratch := m.NewVar("scratch", KindRW, 0)
+	return &Program{
+		Name: "two-phase",
+		Instrs: []Instr{
+			func(c *Ctx) int { return 1 },
+			func(c *Ctx) int { c.Write(scratch, int64(c.P.ID)); return 2 },
+			func(c *Ctx) int {
+				if c.Read(flag) != 0 {
+					return 3
+				}
+				return 2
+			},
+			func(c *Ctx) int { return 4 },
+			func(c *Ctx) int { c.Write(scratch, 0); return 0 },
+		},
+		Phases: []Phase{PhaseRemainder, PhaseDoorway, PhaseWaiting, PhaseCS, PhaseExit},
+	}
+}
+
+func TestRunnerLifecycleEvents(t *testing.T) {
+	m := NewMemory(1)
+	prog := twoPhaseProgram(m)
+	r, err := NewRunner(m, []*Program{prog}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	r.Sink = sinkFunc(func(e Event) { events = append(events, e) })
+	if err := r.Run(NewRoundRobin(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	want := []EventKind{
+		EvBeginDoorway, EvEndDoorway, EvEnterCS, EvBeginExit, EvEndExit,
+		EvBeginDoorway, EvEndDoorway, EvEnterCS, EvBeginExit, EvEndExit,
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events, want %d", len(events), len(want))
+	}
+	for i, e := range events {
+		if e.Kind != want[i] {
+			t.Fatalf("event %d = %s, want %s", i, e.Kind, want[i])
+		}
+	}
+	// Attempt indices: first five events attempt 0, next five attempt 1.
+	for i, e := range events {
+		wantAtt := i / 5
+		if e.Attempt != wantAtt {
+			t.Fatalf("event %d attempt = %d, want %d", i, e.Attempt, wantAtt)
+		}
+	}
+}
+
+type sinkFunc func(Event)
+
+func (f sinkFunc) Record(e Event) { f(e) }
+
+func TestRunnerAttemptStats(t *testing.T) {
+	m := NewMemory(2)
+	prog := twoPhaseProgram(m)
+	r, err := NewRunner(m, []*Program{prog, prog}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.CollectStats = true
+	if err := r.Run(NewRandomSched(5), 10000); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Stats) != 6 {
+		t.Fatalf("got %d attempt stats, want 6", len(r.Stats))
+	}
+	for _, s := range r.Stats {
+		if s.DoorwaySteps != 1 {
+			t.Fatalf("doorway steps = %d, want 1", s.DoorwaySteps)
+		}
+		if s.ExitSteps != 1 {
+			t.Fatalf("exit steps = %d, want 1", s.ExitSteps)
+		}
+		if s.RMR == 0 || s.Steps < 3 {
+			t.Fatalf("implausible stats: %+v", s)
+		}
+	}
+}
+
+func TestIllegalTransitionPanics(t *testing.T) {
+	m := NewMemory(1)
+	bad := &Program{
+		Name: "bad",
+		Instrs: []Instr{
+			func(c *Ctx) int { return 1 },
+			func(c *Ctx) int { return 0 }, // CS -> remainder is fine...
+		},
+		Phases: []Phase{PhaseRemainder, PhaseExit}, // ...but remainder -> exit is not
+	}
+	r, err := NewRunner(m, []*Program{bad}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on illegal section transition")
+		}
+	}()
+	r.StepProc(0)
+}
+
+func TestEncodeRestoreRoundTrip(t *testing.T) {
+	m := NewMemory(2)
+	prog := twoPhaseProgram(m)
+	r, err := NewRunner(m, []*Program{prog, prog}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance to an arbitrary mid-run state.
+	for i := 0; i < 13; i++ {
+		r.StepProc(i % 2)
+	}
+	enc := r.EncodeState(nil)
+
+	// Mutate, then restore.
+	for i := 0; i < 7; i++ {
+		r.StepProc(0)
+	}
+	r.RestoreState(enc)
+	enc2 := r.EncodeState(nil)
+	if string(enc) != string(enc2) {
+		t.Fatal("encode/restore round trip diverged")
+	}
+}
+
+func TestEncodeRestoreQuick(t *testing.T) {
+	// Property: restoring an encoded state always reproduces the same
+	// encoding, from any reachable state and any interleaving prefix.
+	f := func(schedule []uint8) bool {
+		m := NewMemory(3)
+		prog := twoPhaseProgram(m)
+		r, err := NewRunner(m, []*Program{prog, prog, prog}, 0)
+		if err != nil {
+			return false
+		}
+		for _, b := range schedule {
+			r.StepProc(int(b) % 3)
+		}
+		enc := r.EncodeState(nil)
+		r.StepProc(0)
+		r.StepProc(1)
+		r.RestoreState(enc)
+		return string(r.EncodeState(nil)) == string(enc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewMemory(2)
+	prog := twoPhaseProgram(m)
+	r, err := NewRunner(m, []*Program{prog, prog}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.StepProc(0)
+	c := r.Clone()
+	for i := 0; i < 5; i++ {
+		c.StepProc(1)
+	}
+	if r.Procs[1].PC != 0 {
+		t.Fatal("stepping the clone moved the original")
+	}
+}
+
+func TestEnabledToEnterCS(t *testing.T) {
+	m := NewMemory(2)
+	gate := m.NewVar("gate", KindRW, 0)
+	waiting := &Program{
+		Name: "waiter",
+		Instrs: []Instr{
+			func(c *Ctx) int { return 1 },
+			func(c *Ctx) int { c.Read(gate); return 2 },
+			func(c *Ctx) int {
+				if c.Read(gate) != 0 {
+					return 3
+				}
+				return 2
+			},
+			func(c *Ctx) int { return 4 },
+			func(c *Ctx) int { return 0 },
+		},
+		Phases: []Phase{PhaseRemainder, PhaseDoorway, PhaseWaiting, PhaseCS, PhaseExit},
+	}
+	opener := &Program{
+		Name: "opener",
+		Instrs: []Instr{
+			func(c *Ctx) int { return 1 },
+			func(c *Ctx) int { c.Write(gate, 1); return 2 },
+			func(c *Ctx) int { return 3 },
+			func(c *Ctx) int { return 0 },
+		},
+		Phases: []Phase{PhaseRemainder, PhaseDoorway, PhaseCS, PhaseExit},
+	}
+	r, err := NewRunner(m, []*Program{waiting, opener}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.StepProc(0)
+	r.StepProc(0) // waiter now spins at PC 2 with the gate closed
+	if r.EnabledToEnterCS(0, 100) {
+		t.Fatal("waiter must not be enabled while the gate is closed")
+	}
+	r.StepProc(1)
+	r.StepProc(1) // opener opens the gate
+	if !r.EnabledToEnterCS(0, 100) {
+		t.Fatal("waiter must be enabled once the gate is open")
+	}
+	// The probe must not disturb the real runner.
+	if r.PhaseOf(0) != PhaseWaiting {
+		t.Fatal("probe moved the real process")
+	}
+}
+
+func TestSchedulersCoverAllProcs(t *testing.T) {
+	active := []int{0, 1, 2, 3}
+	for _, s := range []Scheduler{NewRoundRobin(), NewRandomSched(1), NewWeightedSched(1, []float64{1, 1, 1, 1})} {
+		seen := map[int]bool{}
+		for i := int64(0); i < 1000; i++ {
+			seen[s.Next(active, i)] = true
+		}
+		if len(seen) != 4 {
+			t.Fatalf("%T visited only %d of 4 processes", s, len(seen))
+		}
+	}
+}
+
+func TestStallSchedStallsVictim(t *testing.T) {
+	s := NewStallSched(3, 1, 100)
+	active := []int{0, 1, 2}
+	victim := 0
+	for i := int64(0); i < 1000; i++ {
+		if s.Next(active, i) == 1 {
+			victim++
+		}
+	}
+	if victim == 0 || victim > 20 {
+		t.Fatalf("victim stepped %d times out of 1000; want sparse but nonzero", victim)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	m := NewMemory(2)
+	prog := twoPhaseProgram(m)
+	r, err := NewRunner(m, []*Program{prog, prog}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Halt(0)
+	if err := r.Run(NewRoundRobin(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	if r.Procs[0].Attempt != 0 {
+		t.Fatal("halted process ran")
+	}
+	if r.Procs[1].Attempt != 5 {
+		t.Fatalf("live process completed %d attempts, want 5", r.Procs[1].Attempt)
+	}
+}

@@ -1,0 +1,133 @@
+package ccsim
+
+import "math/rand"
+
+// Scheduler decides which process takes the next step.  The simulated
+// machine is asynchronous: any interleaving a Scheduler produces is a
+// legal run, and adversarial schedulers are how the paper's worst cases
+// are exercised.
+type Scheduler interface {
+	// Next returns the id of the process to step, chosen from active
+	// (non-empty, sorted ascending).  step is the global step number.
+	Next(active []int, step int64) int
+}
+
+// RoundRobin steps processes in cyclic id order.  Round-robin is a
+// strongly fair schedule, appropriate for liveness checks
+// (starvation-freedom, livelock-freedom).
+type RoundRobin struct {
+	last int
+}
+
+// NewRoundRobin returns a round-robin scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{last: -1} }
+
+// Next implements Scheduler.
+func (s *RoundRobin) Next(active []int, _ int64) int {
+	// Pick the smallest active id strictly greater than last, wrapping.
+	for _, id := range active {
+		if id > s.last {
+			s.last = id
+			return id
+		}
+	}
+	s.last = active[0]
+	return active[0]
+}
+
+// RandomSched picks the next process uniformly at random.  Runs are
+// reproducible given the seed.
+type RandomSched struct {
+	rng *rand.Rand
+}
+
+// NewRandomSched returns a seeded uniform scheduler.
+func NewRandomSched(seed int64) *RandomSched {
+	return &RandomSched{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Scheduler.
+func (s *RandomSched) Next(active []int, _ int64) int {
+	return active[s.rng.Intn(len(active))]
+}
+
+// WeightedSched picks the next process with probability proportional to
+// its weight; processes with zero weight are stepped only when every
+// active process has zero weight.  Weighting readers far above the
+// writer (or vice versa) produces the storm scenarios used in the
+// priority experiments.
+type WeightedSched struct {
+	rng     *rand.Rand
+	weights []float64
+}
+
+// NewWeightedSched returns a seeded weighted scheduler; weights[i] is
+// process i's weight.
+func NewWeightedSched(seed int64, weights []float64) *WeightedSched {
+	return &WeightedSched{rng: rand.New(rand.NewSource(seed)), weights: weights}
+}
+
+// Next implements Scheduler.
+func (s *WeightedSched) Next(active []int, _ int64) int {
+	total := 0.0
+	for _, id := range active {
+		total += s.weights[id]
+	}
+	if total == 0 {
+		return active[s.rng.Intn(len(active))]
+	}
+	x := s.rng.Float64() * total
+	for _, id := range active {
+		x -= s.weights[id]
+		if x < 0 {
+			return id
+		}
+	}
+	return active[len(active)-1]
+}
+
+// StallSched stalls one designated process: it steps the victim only
+// once every Period steps, and otherwise schedules the remaining
+// processes uniformly at random.  This is the adversary used to check
+// that enabled processes stay enabled and that RMR bounds hold even
+// when a process is almost never scheduled.
+type StallSched struct {
+	rng    *rand.Rand
+	victim int
+	period int64
+}
+
+// NewStallSched returns a scheduler that steps victim only every period
+// steps.
+func NewStallSched(seed int64, victim int, period int64) *StallSched {
+	if period < 1 {
+		period = 1
+	}
+	return &StallSched{rng: rand.New(rand.NewSource(seed)), victim: victim, period: period}
+}
+
+// Next implements Scheduler.
+func (s *StallSched) Next(active []int, step int64) int {
+	victimActive := false
+	for _, id := range active {
+		if id == s.victim {
+			victimActive = true
+			break
+		}
+	}
+	if victimActive && step%s.period == s.period-1 {
+		return s.victim
+	}
+	if victimActive && len(active) == 1 {
+		return s.victim
+	}
+	for {
+		id := active[s.rng.Intn(len(active))]
+		if id != s.victim || !victimActive {
+			return id
+		}
+		if len(active) == 1 {
+			return id
+		}
+	}
+}

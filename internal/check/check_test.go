@@ -1,0 +1,226 @@
+package check
+
+import (
+	"testing"
+
+	"rwsync/internal/ccsim"
+)
+
+// ev builds an event quickly.
+func ev(step int64, proc int, reader bool, attempt int, kind ccsim.EventKind) ccsim.Event {
+	return ccsim.Event{Step: step, Proc: proc, Reader: reader, Attempt: attempt, Kind: kind}
+}
+
+func TestTraceAttemptAssembly(t *testing.T) {
+	tr := &Trace{}
+	tr.Record(ev(1, 0, false, 0, ccsim.EvBeginDoorway))
+	tr.Record(ev(2, 0, false, 0, ccsim.EvEndDoorway))
+	tr.Record(ev(5, 0, false, 0, ccsim.EvEnterCS))
+	tr.Record(ev(7, 0, false, 0, ccsim.EvBeginExit))
+	tr.Record(ev(9, 0, false, 0, ccsim.EvEndExit))
+	tr.Record(ev(11, 1, true, 0, ccsim.EvBeginDoorway))
+
+	as := tr.Attempts()
+	if len(as) != 2 {
+		t.Fatalf("got %d attempts, want 2", len(as))
+	}
+	w := as[0]
+	if w.Begin != 1 || w.DoorEnd != 2 || w.EnterCS != 5 || w.ExitBeg != 7 || w.End != 9 {
+		t.Fatalf("writer attempt mis-assembled: %+v", w)
+	}
+	if !w.Complete() {
+		t.Fatal("completed attempt reported incomplete")
+	}
+	r := as[1]
+	if r.Begin != 11 || r.DoorEnd != Never || r.Complete() {
+		t.Fatalf("incomplete attempt mis-assembled: %+v", r)
+	}
+}
+
+func TestDoorwayPrecedes(t *testing.T) {
+	a := &Attempt{DoorEnd: 5}
+	b := &Attempt{Begin: 7}
+	c := &Attempt{Begin: 3}
+	d := &Attempt{DoorEnd: Never}
+	if !a.DoorwayPrecedes(b) {
+		t.Fatal("5 < 7 must precede")
+	}
+	if a.DoorwayPrecedes(c) {
+		t.Fatal("5 > 3 must not precede")
+	}
+	if d.DoorwayPrecedes(b) {
+		t.Fatal("incomplete doorway precedes nothing")
+	}
+}
+
+func TestMutualExclusionDetectsOverlap(t *testing.T) {
+	// Reader in CS, then writer enters before the reader exits.
+	tr := &Trace{}
+	tr.Record(ev(1, 1, true, 0, ccsim.EvEnterCS))
+	tr.Record(ev(2, 0, false, 0, ccsim.EvEnterCS))
+	v := MutualExclusion(tr)
+	if v == nil {
+		t.Fatal("expected a violation")
+	}
+	if v.Property != "P1 mutual exclusion" {
+		t.Fatalf("wrong property: %v", v)
+	}
+}
+
+func TestMutualExclusionAllowsReaderSharing(t *testing.T) {
+	tr := &Trace{}
+	tr.Record(ev(1, 1, true, 0, ccsim.EvEnterCS))
+	tr.Record(ev(2, 2, true, 0, ccsim.EvEnterCS))
+	tr.Record(ev(3, 1, true, 0, ccsim.EvBeginExit))
+	tr.Record(ev(4, 2, true, 0, ccsim.EvBeginExit))
+	tr.Record(ev(5, 0, false, 0, ccsim.EvEnterCS))
+	if v := MutualExclusion(tr); v != nil {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+}
+
+func TestFCFSWritersDetectsOvertake(t *testing.T) {
+	a := &Attempt{Proc: 0, Reader: false, Begin: 1, DoorEnd: 2, EnterCS: 20}
+	b := &Attempt{Proc: 1, Reader: false, Begin: 5, DoorEnd: 6, EnterCS: 10}
+	if v := FCFSWriters([]*Attempt{a, b}); v == nil {
+		t.Fatal("expected FCFS violation: a doorway-precedes b but b entered first")
+	}
+	// Swap entry order: no violation.
+	a.EnterCS, b.EnterCS = 10, 20
+	if v := FCFSWriters([]*Attempt{a, b}); v != nil {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+}
+
+func TestFCFSWritersHandlesStarvedPredecessor(t *testing.T) {
+	// a doorway-precedes b, b entered, a never did: that IS a
+	// violation (b entered before a).
+	a := &Attempt{Proc: 0, Reader: false, Begin: 1, DoorEnd: 2, EnterCS: Never}
+	b := &Attempt{Proc: 1, Reader: false, Begin: 5, DoorEnd: 6, EnterCS: 10}
+	if v := FCFSWriters([]*Attempt{a, b}); v == nil {
+		t.Fatal("expected violation when the predecessor never enters")
+	}
+}
+
+func TestBoundedSections(t *testing.T) {
+	stats := []ccsim.AttemptStat{
+		{Proc: 0, DoorwaySteps: 3, ExitSteps: 2},
+		{Proc: 1, DoorwaySteps: 9, ExitSteps: 1},
+	}
+	if v := BoundedSections(stats, 10); v != nil {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+	if v := BoundedSections(stats, 8); v == nil {
+		t.Fatal("expected doorway bound violation at 9 > 8")
+	}
+	stats[0].ExitSteps = 100
+	if v := BoundedSections(stats, 50); v == nil {
+		t.Fatal("expected exit bound violation")
+	}
+}
+
+func TestOverlapsHelper(t *testing.T) {
+	iv := [][2]int64{{10, 20}, {30, 40}}
+	cases := []struct {
+		lo, hi int64
+		want   bool
+	}{
+		{0, 5, false},
+		{0, 11, true},
+		{20, 30, false}, // half-open: [10,20) and [30,40)
+		{35, 36, true},
+		{40, 50, false},
+		{15, 15, false}, // empty interval
+		{25, 26, false},
+	}
+	for _, c := range cases {
+		if got := overlaps(iv, c.lo, c.hi); got != c.want {
+			t.Fatalf("overlaps(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestReaderPriorityRelation(t *testing.T) {
+	// Scenario: reader r in waiting room [10, 50), writer w in Try
+	// [20, 60), CS occupied during [15, 25).  r >rp w holds via the
+	// occupancy clause; w entered at 60 after r at 50: no violation.
+	r := &Attempt{Proc: 1, Reader: true, Begin: 5, DoorEnd: 10, EnterCS: 50, ExitBeg: 55}
+	w := &Attempt{Proc: 0, Reader: false, Begin: 20, DoorEnd: 22, EnterCS: 60, ExitBeg: 70}
+	occ := &Attempt{Proc: 2, Reader: true, Begin: 12, DoorEnd: 13, EnterCS: 15, ExitBeg: 25}
+	if v := ReaderPriority([]*Attempt{r, w, occ}); v != nil {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+	// Flip the CS entries: now the writer overtakes a >rp reader.
+	r.EnterCS, w.EnterCS = 60, 50
+	w.ExitBeg = 55
+	r.ExitBeg = 70
+	if v := ReaderPriority([]*Attempt{r, w, occ}); v == nil {
+		t.Fatal("expected RP1 violation")
+	}
+}
+
+func TestWriterPriorityRelation(t *testing.T) {
+	// w doorway-precedes r and r entered first: WP1 violation.
+	w := &Attempt{Proc: 0, Reader: false, Begin: 1, DoorEnd: 2, EnterCS: 50, ExitBeg: 60}
+	r := &Attempt{Proc: 1, Reader: true, Begin: 10, DoorEnd: 12, EnterCS: 20, ExitBeg: 30}
+	if v := WriterPriority([]*Attempt{w, r}); v == nil {
+		t.Fatal("expected WP1 violation")
+	}
+	// r began its doorway before w finished its own: doorway
+	// concurrent, no writer was in the CS: no violation.
+	r.Begin = 1
+	if v := WriterPriority([]*Attempt{w, r}); v != nil {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+}
+
+func TestWriterPriorityOccupancyClauseUsesWriterCSOnly(t *testing.T) {
+	// A READER occupies the CS while w waits and r is in Try: that
+	// does NOT establish w >wp r (Definition 4 requires a writer in
+	// the CS), so r entering first is fine.  r begins its doorway
+	// before w completes its own, so doorway precedence is out too.
+	w := &Attempt{Proc: 0, Reader: false, Begin: 5, DoorEnd: 6, EnterCS: 50, ExitBeg: 60}
+	r := &Attempt{Proc: 1, Reader: true, Begin: 5, DoorEnd: 12, EnterCS: 20, ExitBeg: 30}
+	occ := &Attempt{Proc: 2, Reader: true, Begin: 1, DoorEnd: 2, EnterCS: 3, ExitBeg: 40}
+	if v := WriterPriority([]*Attempt{w, r, occ}); v != nil {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+}
+
+func TestRunCheckedReportsIncomplete(t *testing.T) {
+	// A process that spins forever on a closed gate: the run must be
+	// reported incomplete, not hang.
+	m := ccsim.NewMemory(1)
+	gate := m.NewVar("gate", ccsim.KindRW, 0)
+	prog := &ccsim.Program{
+		Name: "stuck",
+		Instrs: []ccsim.Instr{
+			func(c *ccsim.Ctx) int { return 1 },
+			func(c *ccsim.Ctx) int { c.Read(gate); return 2 },
+			func(c *ccsim.Ctx) int {
+				if c.Read(gate) != 0 {
+					return 3
+				}
+				return 2
+			},
+			func(c *ccsim.Ctx) int { return 4 },
+			func(c *ccsim.Ctx) int { return 0 },
+		},
+		Phases: []ccsim.Phase{ccsim.PhaseRemainder, ccsim.PhaseDoorway, ccsim.PhaseWaiting, ccsim.PhaseCS, ccsim.PhaseExit},
+	}
+	r, err := ccsim.NewRunner(m, []*ccsim.Program{prog}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunChecked(r, RunOpts{Attempts: 1, MaxSteps: 1000})
+	if !res.Incomplete {
+		t.Fatal("expected an incomplete run")
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := violationf("P1", "proc %d", 3)
+	if v.Error() != "P1: proc 3" {
+		t.Fatalf("Error() = %q", v.Error())
+	}
+}

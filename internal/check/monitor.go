@@ -1,0 +1,229 @@
+package check
+
+import (
+	"rwsync/internal/ccsim"
+)
+
+// attemptState tracks a live attempt for the online monitor.
+type attemptState struct {
+	proc    int
+	reader  bool
+	begin   int64 // step the doorway began
+	doorEnd int64 // step the doorway completed; Never until then
+	inCS    bool
+	// entered records that the attempt has (ever) entered the CS; FIFE
+	// and unstoppable-reader probes apply only to attempts still on
+	// their way in, not to attempts already in the CS or exit section.
+	entered bool
+}
+
+// Monitor is an online event sink that checks properties requiring
+// enabledness probes at specific moments of the run:
+//
+//   - FIFE (P4): when a read attempt r' enters the CS, every read
+//     attempt that doorway-precedes it and has not yet entered must be
+//     enabled (Definition 2, decided by a solo-run probe).
+//   - Unstoppable reader, part 1 (RP2.1): when a reader is in the CS,
+//     every reader in the waiting room must be enabled.
+//
+// It also performs the same streaming occupancy check as
+// MutualExclusion so that violations surface immediately.
+type Monitor struct {
+	R *ccsim.Runner
+	// EnabledBound is the own-step bound b used by probes.
+	EnabledBound int
+	// FIFE enables the first-in-first-enabled probe on reader CS entry.
+	FIFE bool
+	// UnstoppableReader enables the RP2.1 probe on reader CS entry.
+	UnstoppableReader bool
+
+	// Trace accumulates all events for offline checking.
+	Trace Trace
+
+	// Violations collects everything found; the run is not stopped.
+	Violations []*Violation
+
+	active    map[int]*attemptState // keyed by proc id
+	readersIn int
+	writersIn int
+}
+
+// NewMonitor builds a monitor for runner r with probe bound bound.
+func NewMonitor(r *ccsim.Runner, bound int) *Monitor {
+	return &Monitor{R: r, EnabledBound: bound, active: make(map[int]*attemptState)}
+}
+
+// Record implements ccsim.EventSink.
+func (m *Monitor) Record(e ccsim.Event) {
+	m.Trace.Record(e)
+	switch e.Kind {
+	case ccsim.EvBeginDoorway:
+		m.active[e.Proc] = &attemptState{proc: e.Proc, reader: e.Reader, begin: e.Step, doorEnd: Never}
+	case ccsim.EvEndDoorway:
+		if a := m.active[e.Proc]; a != nil {
+			a.doorEnd = e.Step
+		}
+	case ccsim.EvEnterCS:
+		m.onEnterCS(e)
+	case ccsim.EvBeginExit:
+		if e.Reader {
+			m.readersIn--
+		} else {
+			m.writersIn--
+		}
+		if a := m.active[e.Proc]; a != nil {
+			a.inCS = false
+		}
+	case ccsim.EvEndExit:
+		delete(m.active, e.Proc)
+	}
+}
+
+func (m *Monitor) onEnterCS(e ccsim.Event) {
+	// Streaming mutual exclusion.
+	if e.Reader {
+		if m.writersIn > 0 {
+			m.Violations = append(m.Violations, violationf("P1 mutual exclusion",
+				"reader %d entered the CS at step %d while a writer was inside", e.Proc, e.Step))
+		}
+		m.readersIn++
+	} else {
+		if m.writersIn > 0 || m.readersIn > 0 {
+			m.Violations = append(m.Violations, violationf("P1 mutual exclusion",
+				"writer %d entered the CS at step %d while occupied (%dw/%dr)", e.Proc, e.Step, m.writersIn, m.readersIn))
+		}
+		m.writersIn++
+	}
+	cur := m.active[e.Proc]
+	if cur != nil {
+		cur.inCS = true
+		cur.entered = true
+	}
+	if !e.Reader || cur == nil {
+		return
+	}
+
+	// A reader just entered the CS: probe the properties that this
+	// configuration triggers.
+	for _, a := range m.active {
+		if !a.reader || a.proc == e.Proc || a.entered {
+			continue
+		}
+		// FIFE: a doorway-precedes the entering attempt, yet the
+		// entering attempt got in first — a must now be enabled.
+		fife := m.FIFE && a.doorEnd != Never && a.doorEnd < cur.begin
+		// RP2.1: a reader occupies the CS; every reader in the
+		// waiting room (doorway complete, not yet in CS) must be
+		// enabled.
+		unstoppable := m.UnstoppableReader && a.doorEnd != Never
+		if !fife && !unstoppable {
+			continue
+		}
+		if !m.R.EnabledToEnterCS(a.proc, m.EnabledBound) {
+			prop := "P4 FIFE among readers"
+			if !fife {
+				prop = "RP2.1 unstoppable reader"
+			}
+			m.Violations = append(m.Violations, violationf(prop,
+				"reader %d (doorway done at %d) not enabled when reader %d entered the CS at step %d",
+				a.proc, a.doorEnd, e.Proc, e.Step))
+		}
+	}
+}
+
+// RunOpts configures RunChecked.
+type RunOpts struct {
+	// Attempts per process (0 = unlimited; then MaxSteps bounds the run).
+	Attempts int
+	// MaxSteps bounds the run length.
+	MaxSteps int64
+	// Sched drives the interleaving.
+	Sched ccsim.Scheduler
+	// EnabledBound is the probe bound (own steps to reach the CS).
+	EnabledBound int
+	// FIFE / UnstoppableReader select the online probes.
+	FIFE              bool
+	UnstoppableReader bool
+	// Invariant, if non-nil, is evaluated every InvariantEvery steps
+	// (default 1) and after the final step.
+	Invariant      func(*ccsim.Runner) error
+	InvariantEvery int64
+	// SectionBound checks bounded doorway / bounded exit (P2) on every
+	// completed attempt; 0 disables.
+	SectionBound int64
+}
+
+// RunResult is the outcome of RunChecked.
+type RunResult struct {
+	Trace      *Trace
+	Stats      []ccsim.AttemptStat
+	Violations []*Violation
+	// Incomplete is set when the step budget ran out before all
+	// processes finished (potential starvation/livelock under the
+	// given scheduler).
+	Incomplete bool
+}
+
+// FirstViolation returns the first recorded violation, or nil.
+func (r *RunResult) FirstViolation() *Violation {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return r.Violations[0]
+}
+
+// RunChecked executes a monitored run of the runner under opts,
+// performing online probes, periodic invariant evaluation, and the
+// full battery of offline trace checks afterwards.
+func RunChecked(r *ccsim.Runner, opts RunOpts) *RunResult {
+	if opts.Sched == nil {
+		opts.Sched = ccsim.NewRoundRobin()
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 1 << 22
+	}
+	every := opts.InvariantEvery
+	if every <= 0 {
+		every = 1
+	}
+
+	r.AttemptsPerProc = opts.Attempts
+	r.CollectStats = true
+	mon := NewMonitor(r, opts.EnabledBound)
+	mon.FIFE = opts.FIFE
+	mon.UnstoppableReader = opts.UnstoppableReader
+	r.Sink = mon
+
+	res := &RunResult{Trace: &mon.Trace}
+	for !r.AllDone() {
+		if r.TotalSteps >= opts.MaxSteps {
+			res.Incomplete = true
+			break
+		}
+		id := opts.Sched.Next(r.Active(), r.TotalSteps)
+		r.StepProc(id)
+		if opts.Invariant != nil && r.TotalSteps%every == 0 {
+			if err := opts.Invariant(r); err != nil {
+				res.Violations = append(res.Violations, violationf("invariant", "%v (step %d)", err, r.TotalSteps))
+				break
+			}
+		}
+	}
+	if opts.Invariant != nil {
+		if err := opts.Invariant(r); err != nil {
+			res.Violations = append(res.Violations, violationf("invariant", "%v (final)", err))
+		}
+	}
+
+	res.Stats = r.Stats
+	res.Violations = append(res.Violations, mon.Violations...)
+	if v := MutualExclusion(&mon.Trace); v != nil {
+		res.Violations = append(res.Violations, v)
+	}
+	if opts.SectionBound > 0 {
+		if v := BoundedSections(r.Stats, opts.SectionBound); v != nil {
+			res.Violations = append(res.Violations, v)
+		}
+	}
+	return res
+}

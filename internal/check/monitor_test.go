@@ -1,0 +1,174 @@
+package check
+
+import (
+	"testing"
+
+	"rwsync/internal/ccsim"
+)
+
+// gateSystem builds a 3-process system (1 opener "writer", 2 waiting
+// "readers") whose readers block on a gate the writer opens, giving
+// the monitor deterministic material to probe.
+func gateSystem() (*ccsim.Memory, []*ccsim.Program) {
+	m := ccsim.NewMemory(3)
+	gate := m.NewVar("gate", ccsim.KindRW, 0)
+	writer := &ccsim.Program{
+		Name: "opener",
+		Instrs: []ccsim.Instr{
+			func(c *ccsim.Ctx) int { return 1 },
+			func(c *ccsim.Ctx) int { c.Read(gate); return 2 }, // doorway
+			func(c *ccsim.Ctx) int { return 3 },               // CS
+			func(c *ccsim.Ctx) int { c.Write(gate, 1); return 0 },
+		},
+		Phases: []ccsim.Phase{ccsim.PhaseRemainder, ccsim.PhaseDoorway, ccsim.PhaseCS, ccsim.PhaseExit},
+	}
+	reader := &ccsim.Program{
+		Name:   "gated-reader",
+		Reader: true,
+		Instrs: []ccsim.Instr{
+			func(c *ccsim.Ctx) int { return 1 },
+			func(c *ccsim.Ctx) int { c.Read(gate); return 2 }, // doorway
+			func(c *ccsim.Ctx) int { // waiting room
+				if c.Read(gate) != 0 {
+					return 3
+				}
+				return 2
+			},
+			func(c *ccsim.Ctx) int { return 4 }, // CS
+			func(c *ccsim.Ctx) int { c.Read(gate); return 0 },
+		},
+		Phases: []ccsim.Phase{ccsim.PhaseRemainder, ccsim.PhaseDoorway, ccsim.PhaseWaiting, ccsim.PhaseCS, ccsim.PhaseExit},
+	}
+	return m, []*ccsim.Program{writer, reader, reader}
+}
+
+func TestMonitorFIFEProbePasses(t *testing.T) {
+	// Both readers wait on the same gate; when one enters, the other
+	// is enabled (the gate stays open): no FIFE violation.
+	m, progs := gateSystem()
+	r, err := ccsim.NewRunner(m, progs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunChecked(r, RunOpts{
+		Attempts:     1,
+		Sched:        ccsim.NewRoundRobin(),
+		EnabledBound: 16,
+		FIFE:         true,
+	})
+	if v := res.FirstViolation(); v != nil {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+}
+
+// TestMonitorFIFEProbeCatchesViolation crafts a lock where FIFE truly
+// fails: the gate CLOSES after admitting one reader, so the reader
+// left behind — which doorway-preceded the one that got in — is not
+// enabled.
+func TestMonitorFIFEProbeCatchesViolation(t *testing.T) {
+	m := ccsim.NewMemory(2)
+	gate := m.NewVar("gate", ccsim.KindCAS, 1)
+	// A turnstile reader: it enters the CS by atomically slamming the
+	// gate shut behind it, so the reader left waiting is NOT enabled.
+	reader := &ccsim.Program{
+		Name:   "turnstile",
+		Reader: true,
+		Instrs: []ccsim.Instr{
+			func(c *ccsim.Ctx) int { return 1 },
+			func(c *ccsim.Ctx) int { c.Read(gate); return 2 }, // doorway
+			func(c *ccsim.Ctx) int { // waiting room: CAS through the gate
+				if c.CAS(gate, 1, 0) {
+					return 3
+				}
+				return 2
+			},
+			func(c *ccsim.Ctx) int { return 4 },               // CS
+			func(c *ccsim.Ctx) int { c.Read(gate); return 0 }, // exit (never reopens)
+		},
+		Phases: []ccsim.Phase{ccsim.PhaseRemainder, ccsim.PhaseDoorway, ccsim.PhaseWaiting, ccsim.PhaseCS, ccsim.PhaseExit},
+	}
+	r, err := ccsim.NewRunner(m, []*ccsim.Program{reader, reader}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proc 0 completes its doorway FIRST, then proc 1 overtakes.
+	mon := NewMonitor(r, 32)
+	mon.FIFE = true
+	r.Sink = mon
+	r.StepProc(0)
+	r.StepProc(0) // proc 0: doorway done, now waiting
+	r.StepProc(1)
+	r.StepProc(1) // proc 1: doorway done
+	r.StepProc(1) // proc 1: CAS through the gate, into the CS
+	found := false
+	for _, v := range mon.Violations {
+		if v.Property == "P4 FIFE among readers" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a FIFE violation; got %v", mon.Violations)
+	}
+}
+
+func TestMonitorUnstoppableReaderProbe(t *testing.T) {
+	// Same turnstile construction, but exercised through the
+	// UnstoppableReader flag with the doorway orders swapped so FIFE
+	// alone would not fire.
+	m := ccsim.NewMemory(2)
+	gate := m.NewVar("gate", ccsim.KindCAS, 1)
+	reader := &ccsim.Program{
+		Name:   "turnstile",
+		Reader: true,
+		Instrs: []ccsim.Instr{
+			func(c *ccsim.Ctx) int { return 1 },
+			func(c *ccsim.Ctx) int { c.Read(gate); return 2 },
+			func(c *ccsim.Ctx) int {
+				if c.CAS(gate, 1, 0) {
+					return 3
+				}
+				return 2
+			},
+			func(c *ccsim.Ctx) int { return 4 },
+			func(c *ccsim.Ctx) int { c.Read(gate); return 0 },
+		},
+		Phases: []ccsim.Phase{ccsim.PhaseRemainder, ccsim.PhaseDoorway, ccsim.PhaseWaiting, ccsim.PhaseCS, ccsim.PhaseExit},
+	}
+	r, err := ccsim.NewRunner(m, []*ccsim.Program{reader, reader}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := NewMonitor(r, 32)
+	mon.UnstoppableReader = true
+	r.Sink = mon
+	// Proc 1 enters the CS first; proc 0's doorway completes later,
+	// so FIFE does not relate them — but RP2.1 still requires the
+	// waiting reader to be enabled while a reader occupies the CS.
+	r.StepProc(1)
+	r.StepProc(1) // proc 1 doorway done
+	r.StepProc(0)
+	r.StepProc(0) // proc 0 doorway done (later)
+	r.StepProc(1) // proc 1 CASes through the gate into the CS
+	found := false
+	for _, v := range mon.Violations {
+		if v.Property == "RP2.1 unstoppable reader" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected an RP2.1 violation; got %v", mon.Violations)
+	}
+}
+
+func TestMonitorStreamingMutex(t *testing.T) {
+	// Two writers entering the CS back-to-back without exits must
+	// trip the streaming occupancy check.
+	mon := NewMonitor(nil, 0)
+	mon.Record(ccsim.Event{Step: 1, Proc: 0, Kind: ccsim.EvBeginDoorway})
+	mon.Record(ccsim.Event{Step: 2, Proc: 0, Kind: ccsim.EvEnterCS})
+	mon.Record(ccsim.Event{Step: 3, Proc: 1, Kind: ccsim.EvBeginDoorway})
+	mon.Record(ccsim.Event{Step: 4, Proc: 1, Kind: ccsim.EvEnterCS})
+	if len(mon.Violations) == 0 {
+		t.Fatal("expected a streaming mutual-exclusion violation")
+	}
+}

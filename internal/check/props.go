@@ -1,0 +1,224 @@
+package check
+
+import (
+	"sort"
+
+	"rwsync/internal/ccsim"
+)
+
+// MutualExclusion checks P1 over a trace: whenever a writer is in the
+// CS, no other process is.  It returns the first violation found, or
+// nil.
+func MutualExclusion(t *Trace) *Violation {
+	readersIn := 0
+	writersIn := 0
+	for _, e := range t.Events {
+		switch e.Kind {
+		case ccsim.EvEnterCS:
+			if e.Reader {
+				if writersIn > 0 {
+					return violationf("P1 mutual exclusion",
+						"reader %d entered the CS at step %d while a writer was inside", e.Proc, e.Step)
+				}
+				readersIn++
+			} else {
+				if writersIn > 0 || readersIn > 0 {
+					return violationf("P1 mutual exclusion",
+						"writer %d entered the CS at step %d while %d writers and %d readers were inside",
+						e.Proc, e.Step, writersIn, readersIn)
+				}
+				writersIn++
+			}
+		case ccsim.EvBeginExit:
+			if e.Reader {
+				readersIn--
+			} else {
+				writersIn--
+			}
+		}
+	}
+	return nil
+}
+
+// FCFSWriters checks P3: if write attempt a doorway-precedes write
+// attempt b, then b does not enter the CS before a.
+func FCFSWriters(attempts []*Attempt) *Violation {
+	var writes []*Attempt
+	for _, a := range attempts {
+		if !a.Reader {
+			writes = append(writes, a)
+		}
+	}
+	for _, a := range writes {
+		for _, b := range writes {
+			if a == b || !a.DoorwayPrecedes(b) {
+				continue
+			}
+			if b.EnterCS < a.EnterCS {
+				return violationf("P3 FCFS among writers",
+					"writer %d/%d doorway-precedes writer %d/%d but entered the CS later (steps %d vs %d)",
+					a.Proc, a.Index, b.Proc, b.Index, a.EnterCS, b.EnterCS)
+			}
+		}
+	}
+	return nil
+}
+
+// BoundedSections checks that every completed attempt's doorway and
+// exit section used at most bound of the process's own steps (the
+// paper requires a bounded doorway by definition of the Try section,
+// and bounded exit is property P2).
+func BoundedSections(stats []ccsim.AttemptStat, bound int64) *Violation {
+	for _, s := range stats {
+		if s.DoorwaySteps > bound {
+			return violationf("bounded doorway",
+				"proc %d attempt %d took %d doorway steps (bound %d)", s.Proc, s.Attempt, s.DoorwaySteps, bound)
+		}
+		if s.ExitSteps > bound {
+			return violationf("P2 bounded exit",
+				"proc %d attempt %d took %d exit steps (bound %d)", s.Proc, s.Attempt, s.ExitSteps, bound)
+		}
+	}
+	return nil
+}
+
+// csIntervals returns the sorted [EnterCS, ExitBeg) occupancy
+// intervals of the given attempts; attempts that never exited extend
+// to Never.
+func csIntervals(attempts []*Attempt, onlyWriters bool) [][2]int64 {
+	var iv [][2]int64
+	for _, a := range attempts {
+		if a.EnterCS == Never {
+			continue
+		}
+		if onlyWriters && a.Reader {
+			continue
+		}
+		end := a.ExitBeg
+		if end == Never {
+			end = Never
+		}
+		iv = append(iv, [2]int64{a.EnterCS, end})
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i][0] < iv[j][0] })
+	return iv
+}
+
+// overlaps reports whether any interval in iv intersects [lo, hi).
+func overlaps(iv [][2]int64, lo, hi int64) bool {
+	if lo >= hi {
+		return false
+	}
+	i := sort.Search(len(iv), func(i int) bool { return iv[i][1] > lo })
+	return i < len(iv) && iv[i][0] < hi
+}
+
+// readerPriorityRelated implements Definition 3 (r >rp w):
+// r doorway-precedes w, or there is a time when some process is in the
+// CS, r is in the waiting room, and w is in the Try section.
+func readerPriorityRelated(r, w *Attempt, anyCS [][2]int64) bool {
+	if r.DoorwayPrecedes(w) {
+		return true
+	}
+	// r in waiting room: [DoorEnd, EnterCS); w in Try: [Begin, EnterCS).
+	lo := max64(r.DoorEnd, w.Begin)
+	hi := min64(r.EnterCS, w.EnterCS)
+	return overlaps(anyCS, lo, hi)
+}
+
+// writerPriorityRelated implements Definition 4 (w >wp r):
+// w doorway-precedes r, or there is a time when some WRITER is in the
+// CS, w is in the waiting room, and r is in the Try section.
+func writerPriorityRelated(w, r *Attempt, writerCS [][2]int64) bool {
+	if w.DoorwayPrecedes(r) {
+		return true
+	}
+	lo := max64(w.DoorEnd, r.Begin)
+	hi := min64(w.EnterCS, r.EnterCS)
+	return overlaps(writerCS, lo, hi)
+}
+
+// ReaderPriority checks RP1: if r >rp w then w does not enter the CS
+// before r.
+func ReaderPriority(attempts []*Attempt) *Violation {
+	anyCS := csIntervals(attempts, false)
+	for _, r := range attempts {
+		if !r.Reader {
+			continue
+		}
+		for _, w := range attempts {
+			if w.Reader {
+				continue
+			}
+			if readerPriorityRelated(r, w, anyCS) && w.EnterCS < r.EnterCS {
+				return violationf("RP1 reader priority",
+					"read attempt %d/%d >rp write attempt %d/%d, but the writer entered the CS first (steps %d vs %d)",
+					r.Proc, r.Index, w.Proc, w.Index, r.EnterCS, w.EnterCS)
+			}
+		}
+	}
+	return nil
+}
+
+// WriterPriority checks WP1: if w >wp r then r does not enter the CS
+// before w.
+func WriterPriority(attempts []*Attempt) *Violation {
+	writerCS := csIntervals(attempts, true)
+	for _, w := range attempts {
+		if w.Reader {
+			continue
+		}
+		for _, r := range attempts {
+			if !r.Reader {
+				continue
+			}
+			if writerPriorityRelated(w, r, writerCS) && r.EnterCS < w.EnterCS {
+				return violationf("WP1 writer priority",
+					"write attempt %d/%d >wp read attempt %d/%d, but the reader entered the CS first (steps %d vs %d)",
+					w.Proc, w.Index, r.Proc, r.Index, w.EnterCS, r.EnterCS)
+			}
+		}
+	}
+	return nil
+}
+
+// WriterBypasses returns, for the worst-affected write attempt, how
+// many other write attempts with strictly later doorways entered the
+// CS before it.  FCFS locks (P3) score 0; locks without writer
+// ordering (e.g. the centralized baseline) can score arbitrarily high
+// — the metric quantifies the fairness half of the paper's claims.
+func WriterBypasses(attempts []*Attempt) int {
+	worst := 0
+	for _, a := range attempts {
+		if a.Reader {
+			continue
+		}
+		n := 0
+		for _, b := range attempts {
+			if b.Reader || a == b {
+				continue
+			}
+			if a.DoorwayPrecedes(b) && b.EnterCS < a.EnterCS {
+				n++
+			}
+		}
+		if n > worst {
+			worst = n
+		}
+	}
+	return worst
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

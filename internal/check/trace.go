@@ -1,0 +1,115 @@
+// Package check verifies the paper's properties — mutual exclusion
+// (P1), bounded exit (P2), FCFS among writers (P3), FIFE among readers
+// (P4), concurrent entering (P5), livelock/starvation freedom (P6/P7)
+// and the priority relations (RP1, WP1) — against simulator runs.
+//
+// Two complementary mechanisms are provided:
+//
+//   - Trace: an offline event log assembled into per-attempt records,
+//     over which the pairwise and interval-based properties are
+//     decided exactly;
+//   - Monitor: an online event sink that, at the moments the
+//     definitions quantify over, issues "enabledness probes"
+//     (Runner.EnabledToEnterCS — Definition 2 made operational) for
+//     FIFE and the unstoppable-reader/writer properties.
+package check
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rwsync/internal/ccsim"
+)
+
+// Never is the timestamp used for events that did not occur.
+const Never = int64(math.MaxInt64)
+
+// Attempt is the assembled lifecycle of one attempt: the step numbers
+// of its section transitions (Never when the transition never
+// happened, e.g. an attempt still waiting when the run ended).
+type Attempt struct {
+	Proc    int
+	Index   int // attempt index within the process
+	Reader  bool
+	Begin   int64 // doorway began (attempt started)
+	DoorEnd int64 // doorway completed
+	EnterCS int64
+	ExitBeg int64 // CS left, exit section began
+	End     int64 // exit completed (attempt finished)
+}
+
+// Complete reports whether the attempt finished its exit section.
+func (a *Attempt) Complete() bool { return a.End != Never }
+
+// DoorwayPrecedes implements Definition 1: a doorway-precedes b iff a
+// completed the doorway before b began executing it.
+func (a *Attempt) DoorwayPrecedes(b *Attempt) bool {
+	return a.DoorEnd != Never && a.DoorEnd < b.Begin
+}
+
+// Trace is an append-only event log; it implements ccsim.EventSink.
+type Trace struct {
+	Events []ccsim.Event
+}
+
+// Record implements ccsim.EventSink.
+func (t *Trace) Record(e ccsim.Event) { t.Events = append(t.Events, e) }
+
+// Attempts assembles the raw events into per-attempt records, sorted
+// by (Proc, Index).
+func (t *Trace) Attempts() []*Attempt {
+	m := make(map[int64]*Attempt)
+	key := func(proc, idx int) int64 { return int64(proc)<<32 | int64(idx) }
+	get := func(e ccsim.Event) *Attempt {
+		k := key(e.Proc, e.Attempt)
+		a, ok := m[k]
+		if !ok {
+			a = &Attempt{
+				Proc: e.Proc, Index: e.Attempt, Reader: e.Reader,
+				Begin: Never, DoorEnd: Never, EnterCS: Never, ExitBeg: Never, End: Never,
+			}
+			m[k] = a
+		}
+		return a
+	}
+	for _, e := range t.Events {
+		a := get(e)
+		switch e.Kind {
+		case ccsim.EvBeginDoorway:
+			a.Begin = e.Step
+		case ccsim.EvEndDoorway:
+			a.DoorEnd = e.Step
+		case ccsim.EvEnterCS:
+			a.EnterCS = e.Step
+		case ccsim.EvBeginExit:
+			a.ExitBeg = e.Step
+		case ccsim.EvEndExit:
+			a.End = e.Step
+		}
+	}
+	out := make([]*Attempt, 0, len(m))
+	for _, a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Proc != out[j].Proc {
+			return out[i].Proc < out[j].Proc
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// Violation describes a property violation found by a checker.
+type Violation struct {
+	Property string
+	Detail   string
+}
+
+// Error makes Violation usable as an error.
+func (v *Violation) Error() string { return v.Property + ": " + v.Detail }
+
+func violationf(prop, format string, args ...any) *Violation {
+	return &Violation{Property: prop, Detail: fmt.Sprintf(format, args...)}
+}

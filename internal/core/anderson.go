@@ -1,0 +1,137 @@
+package core
+
+import "rwsync/internal/ccsim"
+
+// AndersonVars holds the shared variables of T.E. Anderson's
+// array-based queueing lock [Anderson 1990], the O(1)-RMR mutual
+// exclusion lock M that the paper's Figure 3 transformation and
+// Figure 4 algorithm use to serialize writers.
+//
+// Anderson's lock satisfies mutual exclusion, starvation freedom, FCFS
+// (from the fetch&increment ticket), bounded exit, and the property
+// Section 5 relies on: if a set S of processes is in the waiting room
+// and no process is in the CS or exit section, some process in S is
+// enabled (the process whose slot holds true).
+type AndersonVars struct {
+	// Ticket is the fetch&increment counter assigning waiting slots.
+	Ticket ccsim.Var
+	// Slots[i] is true when the process holding slot i may enter.
+	Slots []ccsim.Var
+	// Size is the slot-array length; it must be at least the maximum
+	// number of processes that use the lock concurrently.
+	Size int64
+}
+
+// NewAndersonVars registers the lock's variables: Slots[0] starts true
+// (the first ticket holder enters immediately), all others false.
+func NewAndersonVars(m *ccsim.Memory, name string, size int) *AndersonVars {
+	if size < 1 {
+		panic("core: Anderson lock needs size >= 1")
+	}
+	av := &AndersonVars{Size: int64(size)}
+	av.Ticket = m.NewVar(name+".Ticket", ccsim.KindFAA, 0)
+	for i := 0; i < size; i++ {
+		init := int64(0)
+		if i == 0 {
+			init = 1
+		}
+		av.Slots = append(av.Slots, m.NewVar(name+".Slots["+itoa(i)+"]", ccsim.KindRW, init))
+	}
+	return av
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+// appendAndersonAcquire appends the three acquire instructions
+// (ticket fetch, slot spin, slot claim) starting at PC start and
+// continuing at after.  The slot index is stored in register slotReg.
+// ticketPhase is the phase of the ticket fetch (the doorway of locks
+// built on M); the spin and claim are waiting-room steps.
+func appendAndersonAcquire(instrs []ccsim.Instr, phases []ccsim.Phase, av *AndersonVars,
+	start, after, slotReg int, ticketPhase ccsim.Phase) ([]ccsim.Instr, []ccsim.Phase) {
+
+	spin := start + 1
+	claim := start + 2
+
+	instrs = append(instrs, func(c *ccsim.Ctx) int {
+		c.P.Regs[slotReg] = c.FAA(av.Ticket, 1) % av.Size
+		return spin
+	})
+	phases = append(phases, ticketPhase)
+
+	instrs = append(instrs, func(c *ccsim.Ctx) int {
+		if c.Read(av.Slots[c.P.Regs[slotReg]]) != 0 {
+			return claim
+		}
+		return spin
+	})
+	phases = append(phases, ccsim.PhaseWaiting)
+
+	instrs = append(instrs, func(c *ccsim.Ctx) int {
+		c.Write(av.Slots[c.P.Regs[slotReg]], 0)
+		return after
+	})
+	phases = append(phases, ccsim.PhaseWaiting)
+
+	return instrs, phases
+}
+
+// appendAndersonRelease appends the single release instruction
+// (opening the successor slot) at the current end of the program.
+func appendAndersonRelease(instrs []ccsim.Instr, phases []ccsim.Phase, av *AndersonVars,
+	after, slotReg int, phase ccsim.Phase) ([]ccsim.Instr, []ccsim.Phase) {
+
+	instrs = append(instrs, func(c *ccsim.Ctx) int {
+		c.Write(av.Slots[(c.P.Regs[slotReg]+1)%av.Size], 1)
+		return after
+	})
+	phases = append(phases, phase)
+	return instrs, phases
+}
+
+// NewAndersonSystem assembles a pure Anderson mutex system with n
+// processes, used to test the substrate on its own (mutual exclusion,
+// FCFS, O(1) RMR).
+func NewAndersonSystem(n int) *System {
+	validateSplit(n, 0)
+	mem := ccsim.NewMemory(n)
+	av := NewAndersonVars(mem, "M", n)
+
+	const slotReg = 0
+	build := func() *ccsim.Program {
+		var instrs []ccsim.Instr
+		var phases []ccsim.Phase
+		instrs = append(instrs, func(c *ccsim.Ctx) int { return 1 })
+		phases = append(phases, ccsim.PhaseRemainder)
+		instrs, phases = appendAndersonAcquire(instrs, phases, av, 1, 4, slotReg, ccsim.PhaseDoorway)
+		instrs = append(instrs, func(c *ccsim.Ctx) int { return 5 })
+		phases = append(phases, ccsim.PhaseCS)
+		instrs, phases = appendAndersonRelease(instrs, phases, av, 0, slotReg, ccsim.PhaseExit)
+		return &ccsim.Program{Name: "anderson", Reader: false, Instrs: instrs, Phases: phases}
+	}
+	prog := build()
+	progs := make([]*ccsim.Program, n)
+	for i := range progs {
+		progs[i] = prog
+	}
+	return &System{
+		Name:         "anderson-mutex",
+		Mem:          mem,
+		Progs:        progs,
+		NumWriters:   n,
+		NumReaders:   0,
+		EnabledBound: 8,
+	}
+}

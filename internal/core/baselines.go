@@ -1,0 +1,270 @@
+package core
+
+import "rwsync/internal/ccsim"
+
+// This file implements the baselines the paper's contribution is
+// measured against in the RMR experiments (E4 in DESIGN.md):
+//
+//   - CentralizedRW: the folklore counter-based reader-writer spin
+//     lock (in the lineage of Courtois-Heymans-Parnas [1]).  All
+//     processes spin on ONE word, so every arrival/departure
+//     invalidates every spinner's cache: the writer pays Θ(readers)
+//     RMRs per passage and readers pay Θ(writers+readers) under
+//     contention.  This is the gap the paper's algorithms close.
+//
+//   - Tournament mutex: a binary tree of Peterson 2-process locks
+//     (the classical O(log n)-RMR mutual exclusion construction,
+//     standing in for the Danek-Hadzilacos O(log n) upper bound [5]
+//     that was the best known reader-writer bound before this paper).
+//     Used as a "big lock" both classes acquire exclusively, it has no
+//     reader concurrency at all.
+
+// CentralizedVars holds the single packed counter of the centralized
+// reader-writer lock: writer count in bits >= 32, reader count below.
+type CentralizedVars struct {
+	Cnt ccsim.Var
+}
+
+// NewCentralizedVars registers the counter (a fetch&add variable).
+func NewCentralizedVars(m *ccsim.Memory) *CentralizedVars {
+	return &CentralizedVars{Cnt: m.NewVar("Cnt", ccsim.KindFAA, 0)}
+}
+
+// Centralized writer program counters.
+const (
+	cwRem      = iota
+	cwDoor     // no-op doorway (the lock has no FCFS structure)
+	cwAnnounce // F&A(Cnt, +WW); branch on prior state
+	cwDrain    // spin until reader count is 0  (Θ(readers) RMRs)
+	cwBackoff  // F&A(Cnt, -WW): another writer holds or waits
+	cwRewait   // spin until no writer present, then retry
+	cwCS
+	cwExit // F&A(Cnt, -WW)
+	cwLen
+)
+
+func centralizedWriter(v *CentralizedVars) *ccsim.Program {
+	instrs := make([]ccsim.Instr, cwLen)
+	phases := []ccsim.Phase{
+		ccsim.PhaseRemainder, ccsim.PhaseDoorway, ccsim.PhaseWaiting, ccsim.PhaseWaiting,
+		ccsim.PhaseWaiting, ccsim.PhaseWaiting, ccsim.PhaseCS, ccsim.PhaseExit,
+	}
+	instrs[cwRem] = func(c *ccsim.Ctx) int { return cwDoor }
+	instrs[cwDoor] = func(c *ccsim.Ctx) int { return cwAnnounce }
+	instrs[cwAnnounce] = func(c *ccsim.Ctx) int {
+		old := c.FAA(v.Cnt, WW)
+		switch {
+		case old == 0:
+			return cwCS
+		case UnpackWW(old) == 0:
+			return cwDrain
+		default:
+			return cwBackoff
+		}
+	}
+	instrs[cwDrain] = func(c *ccsim.Ctx) int {
+		if UnpackRC(c.Read(v.Cnt)) == 0 {
+			return cwCS
+		}
+		return cwDrain
+	}
+	instrs[cwBackoff] = func(c *ccsim.Ctx) int {
+		c.FAA(v.Cnt, -WW)
+		return cwRewait
+	}
+	instrs[cwRewait] = func(c *ccsim.Ctx) int {
+		if UnpackWW(c.Read(v.Cnt)) == 0 {
+			return cwAnnounce
+		}
+		return cwRewait
+	}
+	instrs[cwCS] = func(c *ccsim.Ctx) int { return cwExit }
+	instrs[cwExit] = func(c *ccsim.Ctx) int {
+		c.FAA(v.Cnt, -WW)
+		return cwRem
+	}
+	return &ccsim.Program{Name: "centralized-writer", Reader: false, Instrs: instrs, Phases: phases}
+}
+
+// Centralized reader program counters.
+const (
+	crRem     = iota
+	crDoor    // no-op doorway
+	crEnter   // F&A(Cnt, +1); enter if no writer
+	crBackoff // F&A(Cnt, -1)
+	crRewait  // spin until no writer present, then retry
+	crCS
+	crExit // F&A(Cnt, -1)
+	crLen
+)
+
+func centralizedReader(v *CentralizedVars) *ccsim.Program {
+	instrs := make([]ccsim.Instr, crLen)
+	phases := []ccsim.Phase{
+		ccsim.PhaseRemainder, ccsim.PhaseDoorway, ccsim.PhaseWaiting,
+		ccsim.PhaseWaiting, ccsim.PhaseWaiting, ccsim.PhaseCS, ccsim.PhaseExit,
+	}
+	instrs[crRem] = func(c *ccsim.Ctx) int { return crDoor }
+	instrs[crDoor] = func(c *ccsim.Ctx) int { return crEnter }
+	instrs[crEnter] = func(c *ccsim.Ctx) int {
+		old := c.FAA(v.Cnt, 1)
+		if UnpackWW(old) == 0 {
+			return crCS
+		}
+		return crBackoff
+	}
+	instrs[crBackoff] = func(c *ccsim.Ctx) int {
+		c.FAA(v.Cnt, -1)
+		return crRewait
+	}
+	instrs[crRewait] = func(c *ccsim.Ctx) int {
+		if UnpackWW(c.Read(v.Cnt)) == 0 {
+			return crEnter
+		}
+		return crRewait
+	}
+	instrs[crCS] = func(c *ccsim.Ctx) int { return crExit }
+	instrs[crExit] = func(c *ccsim.Ctx) int {
+		c.FAA(v.Cnt, -1)
+		return crRem
+	}
+	return &ccsim.Program{Name: "centralized-reader", Reader: true, Instrs: instrs, Phases: phases}
+}
+
+// NewCentralizedSystem assembles the centralized baseline with
+// numWriters writers and numReaders readers.
+func NewCentralizedSystem(numWriters, numReaders int) *System {
+	validateSplit(numWriters, numReaders)
+	mem := ccsim.NewMemory(numWriters + numReaders)
+	v := NewCentralizedVars(mem)
+	wp := centralizedWriter(v)
+	rp := centralizedReader(v)
+	progs := make([]*ccsim.Program, 0, numWriters+numReaders)
+	for i := 0; i < numWriters; i++ {
+		progs = append(progs, wp)
+	}
+	for i := 0; i < numReaders; i++ {
+		progs = append(progs, rp)
+	}
+	return &System{
+		Name:       "centralized-rw",
+		Mem:        mem,
+		Progs:      progs,
+		NumWriters: numWriters,
+		NumReaders: numReaders,
+		// The centralized lock has no enabledness guarantees; probes
+		// are not used against it.
+		EnabledBound: 0,
+	}
+}
+
+// tournamentNode holds the Peterson variables of one tree node.
+type tournamentNode struct {
+	flag [2]ccsim.Var
+	turn ccsim.Var
+}
+
+// NewTournamentSystem assembles an n-process tournament-tree mutex
+// (Peterson locks at each node of a binary tree).  Every process —
+// reader or writer alike — acquires the tree exclusively, so the
+// system is a valid (if concurrency-free) reader-writer lock with
+// Θ(log n) RMR complexity per passage.
+func NewTournamentSystem(n int) *System {
+	validateSplit(n, 0)
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	if size < 2 {
+		size = 2
+	}
+	mem := ccsim.NewMemory(n)
+	nodes := make([]tournamentNode, size) // heap-indexed 1..size-1
+	for j := 1; j < size; j++ {
+		nodes[j].flag[0] = mem.NewVar("node"+itoa(j)+".flag0", ccsim.KindRW, 0)
+		nodes[j].flag[1] = mem.NewVar("node"+itoa(j)+".flag1", ccsim.KindRW, 0)
+		nodes[j].turn = mem.NewVar("node"+itoa(j)+".turn", ccsim.KindRW, 0)
+	}
+
+	progs := make([]*ccsim.Program, n)
+	for p := 0; p < n; p++ {
+		progs[p] = tournamentProgram(nodes, size, p)
+	}
+	return &System{
+		Name:         "tournament-mutex",
+		Mem:          mem,
+		Progs:        progs,
+		NumWriters:   n,
+		NumReaders:   0,
+		EnabledBound: 0,
+	}
+}
+
+// tournamentProgram builds process p's program: acquire Peterson locks
+// leaf-to-root, CS, release root-to-leaf.
+func tournamentProgram(nodes []tournamentNode, size, p int) *ccsim.Program {
+	// Path from leaf to root with the side entered from at each node.
+	type hop struct {
+		node int
+		side int64
+	}
+	var path []hop
+	cur := size + p
+	for cur > 1 {
+		path = append(path, hop{node: cur / 2, side: int64(cur & 1)})
+		cur /= 2
+	}
+
+	var instrs []ccsim.Instr
+	var phases []ccsim.Phase
+	add := func(ph ccsim.Phase, ins ccsim.Instr) {
+		instrs = append(instrs, ins)
+		phases = append(phases, ph)
+	}
+
+	add(ccsim.PhaseRemainder, func(c *ccsim.Ctx) int { return 1 })
+	pc := 1
+	for li, h := range path {
+		nd := nodes[h.node]
+		s := h.side
+		setFlag, setTurn, spinA, spinB, next := pc, pc+1, pc+2, pc+3, pc+4
+		ph := ccsim.PhaseWaiting
+		if li == 0 {
+			ph = ccsim.PhaseDoorway // first step of the attempt
+		}
+		add(ph, func(c *ccsim.Ctx) int { c.Write(nd.flag[s], 1); return setTurn })
+		add(ccsim.PhaseWaiting, func(c *ccsim.Ctx) int { c.Write(nd.turn, s); return spinA })
+		add(ccsim.PhaseWaiting, func(c *ccsim.Ctx) int {
+			if c.Read(nd.flag[1-s]) == 0 {
+				return next
+			}
+			return spinB
+		})
+		add(ccsim.PhaseWaiting, func(c *ccsim.Ctx) int {
+			if c.Read(nd.turn) != s {
+				return next
+			}
+			return spinA
+		})
+		_ = setFlag
+		pc = next
+	}
+	csPC := pc
+	add(ccsim.PhaseCS, func(c *ccsim.Ctx) int { return csPC + 1 })
+	pc++
+	for i := len(path) - 1; i >= 0; i-- {
+		nd := nodes[path[i].node]
+		s := path[i].side
+		next := pc + 1
+		if i == 0 {
+			next = 0
+		}
+		add(ccsim.PhaseExit, func(c *ccsim.Ctx) int { c.Write(nd.flag[s], 0); return next })
+		pc++
+	}
+	if len(path) == 0 {
+		// Degenerate single-process tree: release directly.
+		instrs[csPC] = func(c *ccsim.Ctx) int { return 0 }
+	}
+	return &ccsim.Program{Name: "tournament-" + itoa(p), Reader: false, Instrs: instrs, Phases: phases}
+}

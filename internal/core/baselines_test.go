@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+
+	"rwsync/internal/ccsim"
+	"rwsync/internal/check"
+	"rwsync/internal/mc"
+)
+
+func TestCentralizedMutualExclusion(t *testing.T) {
+	for _, cfg := range []struct{ w, r int }{{1, 2}, {2, 3}, {3, 1}} {
+		for seed := int64(1); seed <= 6; seed++ {
+			sys := NewCentralizedSystem(cfg.w, cfg.r)
+			r, err := sys.NewRunner(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := &check.Trace{}
+			r.Sink = tr
+			if err := r.Run(ccsim.NewRandomSched(seed), 1<<22); err != nil {
+				t.Fatalf("w=%d r=%d seed=%d: %v", cfg.w, cfg.r, seed, err)
+			}
+			if v := check.MutualExclusion(tr); v != nil {
+				t.Fatalf("w=%d r=%d seed=%d: %v", cfg.w, cfg.r, seed, v)
+			}
+		}
+	}
+}
+
+func TestCentralizedModelCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model checking in -short mode")
+	}
+	sys := NewCentralizedSystem(2, 2)
+	r, err := sys.NewRunner(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mc.Explore(r, mc.Options{Attempts: 2, DetectStuck: true})
+	if res.Violation != nil {
+		t.Fatalf("centralized: %v", res.Violation)
+	}
+	t.Logf("centralized 2w+2r attempts=2: %d states", res.States)
+}
+
+func TestCentralizedWriterRMRGrowsWithReaders(t *testing.T) {
+	// The motivating gap (E4): the centralized writer's worst-case RMR
+	// per passage grows with the number of readers, because it spins on
+	// the same word every exiting reader modifies.
+	worst := func(readers int) int64 {
+		sys := NewCentralizedSystem(1, readers)
+		r, err := sys.NewRunner(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.CollectStats = true
+		if err := r.Run(ccsim.NewRandomSched(99), 1<<24); err != nil {
+			t.Fatal(err)
+		}
+		var w int64
+		for _, s := range r.Stats {
+			if !s.Reader && s.RMR > w {
+				w = s.RMR
+			}
+		}
+		return w
+	}
+	small, large := worst(2), worst(32)
+	if large < small+8 {
+		t.Fatalf("expected writer RMR to grow with readers: %d (2 readers) vs %d (32 readers)", small, large)
+	}
+	t.Logf("centralized writer worst RMR: %d with 2 readers, %d with 32 readers", small, large)
+}
+
+func TestTournamentMutualExclusion(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 6, 8} {
+		for seed := int64(1); seed <= 4; seed++ {
+			sys := NewTournamentSystem(n)
+			r, err := sys.NewRunner(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := &check.Trace{}
+			r.Sink = tr
+			if err := r.Run(ccsim.NewRandomSched(seed), 1<<22); err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			if v := check.MutualExclusion(tr); v != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, v)
+			}
+		}
+	}
+}
+
+func TestTournamentModelCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model checking in -short mode")
+	}
+	for _, n := range []int{2, 3} {
+		sys := NewTournamentSystem(n)
+		r, err := sys.NewRunner(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := mc.Explore(r, mc.Options{Attempts: 2, DetectStuck: true})
+		if res.Violation != nil {
+			t.Fatalf("tournament n=%d: %v", n, res.Violation)
+		}
+		t.Logf("tournament n=%d attempts=2: %d states", n, res.States)
+	}
+}
+
+func TestTournamentRMRGrowsLogarithmically(t *testing.T) {
+	// Under round-robin scheduling the tournament lock pays a fixed
+	// cost per tree level, so RMR per passage grows with log n while
+	// the paper's locks stay flat.
+	worst := func(n int) int64 {
+		sys := NewTournamentSystem(n)
+		r, err := sys.NewRunner(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.CollectStats = true
+		if err := r.Run(ccsim.NewRoundRobin(), 1<<24); err != nil {
+			t.Fatal(err)
+		}
+		var w int64
+		for _, s := range r.Stats {
+			if s.RMR > w {
+				w = s.RMR
+			}
+		}
+		return w
+	}
+	small, large := worst(2), worst(32)
+	if large <= small {
+		t.Fatalf("expected tournament RMR to grow with n: %d (n=2) vs %d (n=32)", small, large)
+	}
+	t.Logf("tournament worst RMR: %d at n=2, %d at n=32", small, large)
+}

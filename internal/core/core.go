@@ -1,0 +1,129 @@
+// Package core contains executable, step-accurate encodings of the
+// reader-writer algorithms of Bhatt & Jayanti, "Constant RMR Solutions
+// to Reader Writer Synchronization" (Dartmouth TR2010-662 / PODC 2010),
+// together with the baselines the paper argues against and the
+// deliberately broken variants discussed in its Sections 3.3 and 4.3.
+//
+// Each algorithm is expressed as ccsim programs — one atomic
+// shared-memory operation per instruction — so that
+//
+//   - the simulator can count remote memory references (RMRs) exactly,
+//     validating the paper's O(1) RMR theorems (Theorems 1–5);
+//   - the model checker can exhaustively explore bounded configurations
+//     and check both the exported properties (P1–P7, RP1/2, WP1/2) and
+//     the appendix invariants (Figure 5 and Appendix A.1);
+//   - the broken variants demonstrably violate mutual exclusion,
+//     reproducing the paper's subtle-feature arguments.
+//
+// The package exposes constructors that assemble a System: a memory, a
+// set of programs (writers first, then readers), named variable handles
+// and an optional invariant predicate.
+package core
+
+import (
+	"fmt"
+
+	"rwsync/internal/ccsim"
+)
+
+// WW is the fetch&add unit of the writer-waiting component in the
+// paper's two-component F&A words [writer-waiting, reader-count]: the
+// count occupies bits 0..31 and writer-waiting occupies bit 32.
+const WW = int64(1) << 32
+
+// Packed returns the packed representation of [writer-waiting=ww,
+// reader-count=rc].
+func Packed(ww, rc int64) int64 { return ww*WW + rc }
+
+// UnpackWW extracts the writer-waiting component of a packed word.
+func UnpackWW(v int64) int64 { return v >> 32 }
+
+// UnpackRC extracts the reader-count component of a packed word.
+func UnpackRC(v int64) int64 { return v & (WW - 1) }
+
+// XTrue is the sentinel encoding the value "true" of the CAS variable
+// X in Figure 2 (domain PID ∪ {true}); pids are process ids >= 0.
+const XTrue = int64(-1)
+
+// Sentinels for the Figure 4 CAS variable W-token
+// (domain PID ∪ {false} ∪ {0,1}); pids are process ids >= 0.
+const (
+	// TokenFalse encodes the value "false".
+	TokenFalse = int64(-2)
+	// tokenSide0 and tokenSide1 encode the side values 0 and 1.
+	tokenSide0 = int64(-3)
+	tokenSide1 = int64(-4)
+)
+
+// TokenSide encodes side d (0 or 1) as a W-token value.
+func TokenSide(d int64) int64 {
+	if d == 0 {
+		return tokenSide0
+	}
+	return tokenSide1
+}
+
+// IsSideToken reports whether t encodes a side value.
+func IsSideToken(t int64) bool { return t == tokenSide0 || t == tokenSide1 }
+
+// SideOfToken decodes the side from a side token.
+func SideOfToken(t int64) int64 {
+	if t == tokenSide0 {
+		return 0
+	}
+	return 1
+}
+
+// System is an assembled instance of an algorithm: the shared memory,
+// one program per process (writers first, then readers), and metadata
+// used by the checkers.
+type System struct {
+	// Name identifies the algorithm, e.g. "fig1-swwp".
+	Name string
+	// Mem is the shared memory with all variables registered and
+	// initialized.
+	Mem *ccsim.Memory
+	// Progs holds the per-process programs: processes 0..NumWriters-1
+	// are writers, the rest readers.
+	Progs []*ccsim.Program
+	// NumWriters and NumReaders give the process split.
+	NumWriters, NumReaders int
+	// Invariant, if non-nil, checks algorithm-specific state
+	// invariants (the paper's appendix) against a runner's current
+	// configuration; it returns a descriptive error on violation.
+	Invariant func(r *ccsim.Runner) error
+	// EnabledBound is the step bound b for enabledness probes
+	// (Definition 2): a process asserted enabled must reach the CS
+	// within this many of its own steps.
+	EnabledBound int
+}
+
+// NewRunner builds a ccsim runner for the system.
+func (s *System) NewRunner(attemptsPerProc int) (*ccsim.Runner, error) {
+	return ccsim.NewRunner(s.Mem, s.Progs, attemptsPerProc)
+}
+
+// CheckInvariant runs the system invariant, if any.
+func (s *System) CheckInvariant(r *ccsim.Runner) error {
+	if s.Invariant == nil {
+		return nil
+	}
+	return s.Invariant(r)
+}
+
+// sel returns a when d == 0 and b otherwise; it mirrors the paper's
+// indexed variables like Gate[d] and C[d].
+func sel(d int64, a, b ccsim.Var) ccsim.Var {
+	if d == 0 {
+		return a
+	}
+	return b
+}
+
+// validateSplit panics on nonsensical process counts (programming
+// error in callers, mirrors the sync package convention on misuse).
+func validateSplit(writers, readers int) {
+	if writers < 0 || readers < 0 || writers+readers == 0 {
+		panic(fmt.Sprintf("core: invalid process split writers=%d readers=%d", writers, readers))
+	}
+}

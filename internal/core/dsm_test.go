@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"rwsync/internal/ccsim"
+)
+
+// dsmWorstReaderRMR runs fig1 with n readers under the DSM model and
+// returns the worst reader RMR per passage.
+func dsmWorstReaderRMR(t *testing.T, n int) int64 {
+	t.Helper()
+	sys := NewFig1System(n)
+	sys.Mem.SetModel(ccsim.ModelDSM)
+	for v := 0; v < sys.Mem.NumVars(); v++ {
+		sys.Mem.SetHome(ccsim.Var(v), v%(n+1))
+	}
+	r, err := sys.NewRunner(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.CollectStats = true
+	if err := r.Run(ccsim.NewRandomSched(17), 1<<24); err != nil {
+		t.Fatal(err)
+	}
+	var worst int64
+	for _, s := range r.Stats {
+		if s.Reader && s.RMR > worst {
+			worst = s.RMR
+		}
+	}
+	return worst
+}
+
+// TestFig1DSMBoundIsLost demonstrates what the paper states via the
+// Danek-Hadzilacos lower bound: the constant-RMR result is specific to
+// the CC model.  Under DSM accounting the very same algorithm's
+// per-passage RMR is not constant — waiting readers pay every spin
+// iteration on remote gates, so the worst passage grows well past the
+// CC-model constant (11 for Figure 1).
+func TestFig1DSMBoundIsLost(t *testing.T) {
+	ccBound := int64(11) // measured CC-model constant for Figure 1
+	worst := dsmWorstReaderRMR(t, 16)
+	if worst <= 2*ccBound {
+		t.Fatalf("expected DSM worst reader RMR to blow past the CC constant; got %d (CC bound %d)", worst, ccBound)
+	}
+	t.Logf("fig1 DSM worst reader RMR with 16 readers: %d (CC-model constant: %d)", worst, ccBound)
+}
+
+// TestFig1DSMStillCorrect: the accounting model changes costs, not
+// semantics — mutual exclusion and completion are unaffected.
+func TestFig1DSMStillCorrect(t *testing.T) {
+	sys := NewFig1System(3)
+	sys.Mem.SetModel(ccsim.ModelDSM)
+	r, err := sys.NewRunner(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(ccsim.NewRandomSched(3), 1<<22); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckInvariant(r); err != nil {
+		t.Fatal(err)
+	}
+}

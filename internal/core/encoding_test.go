@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rwsync/internal/ccsim"
+)
+
+func TestPackedRoundTrip(t *testing.T) {
+	f := func(ww bool, rc uint16) bool {
+		w := int64(0)
+		if ww {
+			w = 1
+		}
+		v := Packed(w, int64(rc))
+		return UnpackWW(v) == w && UnpackRC(v) == int64(rc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackedArithmetic(t *testing.T) {
+	// The F&A algebra the algorithms rely on: component-wise adds
+	// never interfere while the reader count stays non-negative.
+	v := Packed(0, 0)
+	v += 1 // reader registers
+	v += 1
+	v += WW // writer announces
+	if UnpackWW(v) != 1 || UnpackRC(v) != 2 {
+		t.Fatalf("packed state = [%d,%d], want [1,2]", UnpackWW(v), UnpackRC(v))
+	}
+	v -= 1
+	v -= 1
+	if v != Packed(1, 0) {
+		t.Fatalf("after reader exits: %d, want %d", v, Packed(1, 0))
+	}
+	v -= WW
+	if v != 0 {
+		t.Fatalf("after writer withdraws: %d, want 0", v)
+	}
+	// The paper's [1,1] test value.
+	if Packed(1, 1) != WW+1 {
+		t.Fatal("the [1,1] sentinel must be WW+1")
+	}
+}
+
+func TestTokenSideRoundTrip(t *testing.T) {
+	for _, d := range []int64{0, 1} {
+		tok := TokenSide(d)
+		if !IsSideToken(tok) {
+			t.Fatalf("TokenSide(%d) not recognized as side token", d)
+		}
+		if SideOfToken(tok) != d {
+			t.Fatalf("SideOfToken(TokenSide(%d)) = %d", d, SideOfToken(tok))
+		}
+	}
+}
+
+func TestSentinelDomainsDisjoint(t *testing.T) {
+	// Process ids are >= 0; every sentinel must be distinct from ids
+	// and from each other (the injectivity DESIGN.md claims).
+	sentinels := []int64{XTrue, TokenFalse, TokenSide(0), TokenSide(1)}
+	seen := map[int64]bool{}
+	for _, s := range sentinels {
+		if s >= 0 {
+			t.Fatalf("sentinel %d collides with the pid domain", s)
+		}
+		if seen[s] && s != XTrue { // XTrue and nothing else may repeat
+			t.Fatalf("duplicate sentinel %d", s)
+		}
+		seen[s] = true
+	}
+	if TokenSide(0) == TokenSide(1) {
+		t.Fatal("side tokens collide")
+	}
+	if IsSideToken(TokenFalse) || IsSideToken(XTrue) {
+		t.Fatal("IsSideToken misclassifies sentinels")
+	}
+	if IsSideToken(0) || IsSideToken(7) {
+		t.Fatal("IsSideToken misclassifies pids")
+	}
+}
+
+// TestSection33ScenarioReplay scripts the exact prose scenario of
+// Section 3.3 against the BROKEN Figure 1 variant (writer enters the
+// CS without waiting for the exit section to clear) and confirms the
+// mutual-exclusion breach the paper narrates:
+//
+//	"The writer w is at Line 6 waiting for Permit[0]... reader r is
+//	in [the exit section after] the critical section, r' is at Line
+//	17 with d = 0 set long ago... r exits and executes Line 27...
+//	r' increments both sides... gets [1,1] at Line 22 and executes
+//	Line 23 [waking w].  If w does not wait for r to exit, r is
+//	poised to set Permit[0] for a FUTURE writer..."
+func TestSection33ScenarioReplay(t *testing.T) {
+	sys := NewFig1BrokenSystem(2) // writer 0, readers 1 (=r), 2 (=r')
+	run, err := sys.NewRunner(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// r enters the CS on side 0 (writer still in remainder, Gate[0] open).
+	stepTo := func(proc, pc int) {
+		for i := 0; run.Procs[proc].PC != pc; i++ {
+			run.StepProc(proc)
+			if i > 300 {
+				t.Fatalf("proc %d never reached PC %d (at %d)", proc, pc, run.Procs[proc].PC)
+			}
+		}
+	}
+	stepTo(1, F1RCS)
+	// r' reads D=0 (line 16) and stalls before its increment (line 17).
+	stepTo(2, F1RIncCd)
+
+	// The writer starts an attempt: D->1, then waits at line 6 for
+	// Permit[0] since r is registered on side 0.
+	stepTo(0, F1WWaitPermit)
+
+	// r exits the CS: increments EC, decrements C[0] -> [1,0], and is
+	// about to wake the writer... the paper wants r past line 27 with
+	// PC=28 (Permit step pending).
+	stepTo(1, F1RPermitT2)
+
+	// r' now performs lines 17-23: it increments C[0] (stale d=0),
+	// notices D changed, increments C[1], re-reads d=1, decrements
+	// C[0] getting [1,1], and wakes the writer via Permit[0].
+	stepTo(2, F1RWait)
+
+	// The BROKEN writer proceeds into the CS of attempt 1 without
+	// waiting for the exit section — r stays parked at line 28,
+	// "poised to set Permit[0] equal to true for a future writer".
+	stepTo(0, F1WCS)
+
+	// Writer finishes attempt 1 and runs attempt 2 (prevD=1): it
+	// waits for r', which is registered on side 1.
+	stepTo(0, F1WWaitPermit)
+	// r' enters the CS through Gate[1] (opened by attempt 1's exit),
+	// exits completely, and — as the last side-1 reader — wakes the
+	// writer.  (r' is careful not to touch Permit[0].)
+	stepTo(2, F1RRem)
+	// Writer completes attempt 2; its exit opens Gate[0].
+	stepTo(0, F1WCS)
+	stepTo(0, F1WRem)
+
+	// r' begins a fresh attempt: d = 0, registers in C[0], sails
+	// through the open Gate[0] into the CS, and STAYS there.
+	stepTo(2, F1RCS)
+
+	// Writer attempt 3 (prevD=0): line 4 sets Permit[0] = false, line
+	// 5 sees C[0] = [0,1] (r' inside!) and parks at line 6.
+	stepTo(0, F1WWaitPermit)
+
+	// The stale reader r finally executes line 28: Permit[0] = true —
+	// for the WRONG writer attempt.  The writer barrels into the CS
+	// while r' is still there: mutual exclusion collapses, exactly as
+	// Section 3.3 narrates.
+	stepTo(1, F1RDecEC)
+	stepTo(0, F1WCS)
+
+	if run.PhaseOf(0) != ccsim.PhaseCS || run.PhaseOf(2) != ccsim.PhaseCS {
+		t.Fatalf("expected writer and reader co-occupancy; writer=%v reader'=%v",
+			run.PhaseOf(0), run.PhaseOf(2))
+	}
+}

@@ -1,0 +1,324 @@
+package core
+
+import "rwsync/internal/ccsim"
+
+// Fig1Vars holds handles to the shared variables of the paper's
+// Figure 1 (single-writer multi-reader lock with starvation freedom
+// and writer priority).
+type Fig1Vars struct {
+	D          ccsim.Var // side the writer attempts from (read/write)
+	ExitPermit ccsim.Var // last exiting reader wakes the writer (read/write)
+	Permit     [2]ccsim.Var
+	Gate       [2]ccsim.Var
+	EC         ccsim.Var    // F&A [writer-waiting, readers-in-exit]
+	C          [2]ccsim.Var // F&A [writer-waiting, reader-count] per side
+}
+
+// NewFig1Vars registers Figure 1's shared variables with their paper
+// initial values: D=0, Gate[0]=true, Gate[1]=false, counters [0,0].
+func NewFig1Vars(m *ccsim.Memory) *Fig1Vars {
+	v := &Fig1Vars{}
+	v.D = m.NewVar("D", ccsim.KindRW, 0)
+	v.ExitPermit = m.NewVar("ExitPermit", ccsim.KindRW, 0)
+	v.Permit[0] = m.NewVar("Permit[0]", ccsim.KindRW, 0)
+	v.Permit[1] = m.NewVar("Permit[1]", ccsim.KindRW, 0)
+	v.Gate[0] = m.NewVar("Gate[0]", ccsim.KindRW, 1)
+	v.Gate[1] = m.NewVar("Gate[1]", ccsim.KindRW, 0)
+	v.EC = m.NewVar("EC", ccsim.KindFAA, 0)
+	v.C[0] = m.NewVar("C[0]", ccsim.KindFAA, 0)
+	v.C[1] = m.NewVar("C[1]", ccsim.KindFAA, 0)
+	return v
+}
+
+// Register assignments of the Figure 1 writer.
+const (
+	f1wRegPrev = 0 // prevD
+	f1wRegCurr = 1 // currD
+)
+
+// Writer program counters for Figure 1 (paper line numbers in comments).
+const (
+	F1WRem        = iota // line 1: remainder section
+	F1WReadD             // line 2: prevD <- D; currD <- !prevD
+	F1WWriteD            // line 3: D <- currD   (doorway ends here)
+	F1WPermitF           // line 4: Permit[prevD] <- false
+	F1WIncWW             // line 5: if F&A(C[prevD],[1,0]) != [0,0]
+	F1WWaitPermit        // line 6: wait till Permit[prevD]
+	F1WDecWW             // line 7: F&A(C[prevD],[-1,0])
+	F1WGateF             // line 8: Gate[prevD] <- false
+	F1WExitPermF         // line 9: ExitPermit <- false
+	F1WIncEC             // line 10: if F&A(EC,[1,0]) != [0,0]
+	F1WWaitExitP         // line 11: wait till ExitPermit
+	F1WDecEC             // line 12: F&A(EC,[-1,0])
+	F1WCS                // line 13: critical section
+	F1WExit              // line 14: Gate[currD] <- true
+	f1wLen
+)
+
+// fig1WriterOpts toggles the deliberate bug of Section 3.3.
+type fig1WriterOpts struct {
+	// skipExitWait removes lines 9-12 (the writer's wait for readers
+	// to clear the exit section).  The paper argues this breaks
+	// mutual exclusion; the model checker confirms it.
+	skipExitWait bool
+}
+
+// Fig1Writer builds the Figure 1 writer program.
+func Fig1Writer(v *Fig1Vars) *ccsim.Program { return fig1Writer(v, fig1WriterOpts{}) }
+
+// Fig1WriterNoExitWait builds the broken Section 3.3 variant of the
+// Figure 1 writer that enters the CS without waiting for the exit
+// section to clear.
+func Fig1WriterNoExitWait(v *Fig1Vars) *ccsim.Program {
+	return fig1Writer(v, fig1WriterOpts{skipExitWait: true})
+}
+
+func fig1Writer(v *Fig1Vars, opts fig1WriterOpts) *ccsim.Program {
+	instrs := make([]ccsim.Instr, f1wLen)
+	phases := make([]ccsim.Phase, f1wLen)
+
+	phases[F1WRem] = ccsim.PhaseRemainder
+	phases[F1WReadD] = ccsim.PhaseDoorway
+	phases[F1WWriteD] = ccsim.PhaseDoorway
+	for pc := F1WPermitF; pc <= F1WDecEC; pc++ {
+		phases[pc] = ccsim.PhaseWaiting
+	}
+	phases[F1WCS] = ccsim.PhaseCS
+	phases[F1WExit] = ccsim.PhaseExit
+
+	instrs[F1WRem] = func(c *ccsim.Ctx) int { return F1WReadD }
+	instrs[F1WReadD] = func(c *ccsim.Ctx) int {
+		prev := c.Read(v.D)
+		c.P.Regs[f1wRegPrev] = prev
+		c.P.Regs[f1wRegCurr] = 1 - prev
+		return F1WWriteD
+	}
+	instrs[F1WWriteD] = func(c *ccsim.Ctx) int {
+		c.Write(v.D, c.P.Regs[f1wRegCurr])
+		return F1WPermitF
+	}
+	instrs[F1WPermitF] = func(c *ccsim.Ctx) int {
+		c.Write(sel(c.P.Regs[f1wRegPrev], v.Permit[0], v.Permit[1]), 0)
+		return F1WIncWW
+	}
+	instrs[F1WIncWW] = func(c *ccsim.Ctx) int {
+		old := c.FAA(sel(c.P.Regs[f1wRegPrev], v.C[0], v.C[1]), WW)
+		if old != 0 {
+			return F1WWaitPermit
+		}
+		return F1WDecWW
+	}
+	instrs[F1WWaitPermit] = func(c *ccsim.Ctx) int {
+		if c.Read(sel(c.P.Regs[f1wRegPrev], v.Permit[0], v.Permit[1])) != 0 {
+			return F1WDecWW
+		}
+		return F1WWaitPermit
+	}
+	instrs[F1WDecWW] = func(c *ccsim.Ctx) int {
+		c.FAA(sel(c.P.Regs[f1wRegPrev], v.C[0], v.C[1]), -WW)
+		return F1WGateF
+	}
+	instrs[F1WGateF] = func(c *ccsim.Ctx) int {
+		c.Write(sel(c.P.Regs[f1wRegPrev], v.Gate[0], v.Gate[1]), 0)
+		if opts.skipExitWait {
+			return F1WCS
+		}
+		return F1WExitPermF
+	}
+	instrs[F1WExitPermF] = func(c *ccsim.Ctx) int {
+		c.Write(v.ExitPermit, 0)
+		return F1WIncEC
+	}
+	instrs[F1WIncEC] = func(c *ccsim.Ctx) int {
+		if c.FAA(v.EC, WW) != 0 {
+			return F1WWaitExitP
+		}
+		return F1WDecEC
+	}
+	instrs[F1WWaitExitP] = func(c *ccsim.Ctx) int {
+		if c.Read(v.ExitPermit) != 0 {
+			return F1WDecEC
+		}
+		return F1WWaitExitP
+	}
+	instrs[F1WDecEC] = func(c *ccsim.Ctx) int {
+		c.FAA(v.EC, -WW)
+		return F1WCS
+	}
+	instrs[F1WCS] = func(c *ccsim.Ctx) int { return F1WExit }
+	instrs[F1WExit] = func(c *ccsim.Ctx) int {
+		c.Write(sel(c.P.Regs[f1wRegCurr], v.Gate[0], v.Gate[1]), 1)
+		return F1WRem
+	}
+
+	name := "fig1-writer"
+	if opts.skipExitWait {
+		name = "fig1-writer-no-exit-wait"
+	}
+	return &ccsim.Program{Name: name, Reader: false, Instrs: instrs, Phases: phases}
+}
+
+// Register assignments of the Figure 1 reader.
+const (
+	f1rRegD  = 0 // d
+	f1rRegD2 = 1 // d'
+)
+
+// Reader program counters for Figure 1 (paper line numbers in comments).
+const (
+	F1RRem       = iota // line 15: remainder section
+	F1RReadD            // line 16: d <- D
+	F1RIncCd            // line 17: F&A(C[d],[0,1])
+	F1RReadD2           // line 18-19: d' <- D; if d != d'
+	F1RIncCd2           // line 20: F&A(C[d'],[0,1])
+	F1RReadD3           // line 21: d <- D
+	F1RDecOther         // line 22: if F&A(C[!d],[0,-1]) = [1,1]
+	F1RPermitT          // line 23: Permit[!d] <- true
+	F1RWait             // line 24: wait till Gate[d]
+	F1RCS               // line 25: critical section
+	F1RIncEC            // line 26: F&A(EC,[0,1])
+	F1RDecCd            // line 27: if F&A(C[d],[0,-1]) = [1,1]
+	F1RPermitT2         // line 28: Permit[d] <- true
+	F1RDecEC            // line 29: if F&A(EC,[0,-1]) = [1,1]
+	F1RExitPermT        // line 30: ExitPermit <- true
+	f1rLen
+)
+
+// Fig1Reader builds the Figure 1 reader program.
+func Fig1Reader(v *Fig1Vars) *ccsim.Program {
+	instrs := make([]ccsim.Instr, f1rLen)
+	phases := make([]ccsim.Phase, f1rLen)
+
+	phases[F1RRem] = ccsim.PhaseRemainder
+	for pc := F1RReadD; pc <= F1RPermitT; pc++ {
+		phases[pc] = ccsim.PhaseDoorway
+	}
+	phases[F1RWait] = ccsim.PhaseWaiting
+	phases[F1RCS] = ccsim.PhaseCS
+	for pc := F1RIncEC; pc <= F1RExitPermT; pc++ {
+		phases[pc] = ccsim.PhaseExit
+	}
+
+	instrs[F1RRem] = func(c *ccsim.Ctx) int { return F1RReadD }
+	instrs[F1RReadD] = func(c *ccsim.Ctx) int {
+		c.P.Regs[f1rRegD] = c.Read(v.D)
+		return F1RIncCd
+	}
+	instrs[F1RIncCd] = func(c *ccsim.Ctx) int {
+		c.FAA(sel(c.P.Regs[f1rRegD], v.C[0], v.C[1]), 1)
+		return F1RReadD2
+	}
+	instrs[F1RReadD2] = func(c *ccsim.Ctx) int {
+		c.P.Regs[f1rRegD2] = c.Read(v.D)
+		if c.P.Regs[f1rRegD2] != c.P.Regs[f1rRegD] {
+			return F1RIncCd2
+		}
+		return F1RWait
+	}
+	instrs[F1RIncCd2] = func(c *ccsim.Ctx) int {
+		c.FAA(sel(c.P.Regs[f1rRegD2], v.C[0], v.C[1]), 1)
+		return F1RReadD3
+	}
+	instrs[F1RReadD3] = func(c *ccsim.Ctx) int {
+		c.P.Regs[f1rRegD] = c.Read(v.D)
+		return F1RDecOther
+	}
+	instrs[F1RDecOther] = func(c *ccsim.Ctx) int {
+		other := 1 - c.P.Regs[f1rRegD]
+		old := c.FAA(sel(other, v.C[0], v.C[1]), -1)
+		if old == Packed(1, 1) {
+			return F1RPermitT
+		}
+		return F1RWait
+	}
+	instrs[F1RPermitT] = func(c *ccsim.Ctx) int {
+		other := 1 - c.P.Regs[f1rRegD]
+		c.Write(sel(other, v.Permit[0], v.Permit[1]), 1)
+		return F1RWait
+	}
+	instrs[F1RWait] = func(c *ccsim.Ctx) int {
+		if c.Read(sel(c.P.Regs[f1rRegD], v.Gate[0], v.Gate[1])) != 0 {
+			return F1RCS
+		}
+		return F1RWait
+	}
+	instrs[F1RCS] = func(c *ccsim.Ctx) int { return F1RIncEC }
+	instrs[F1RIncEC] = func(c *ccsim.Ctx) int {
+		c.FAA(v.EC, 1)
+		return F1RDecCd
+	}
+	instrs[F1RDecCd] = func(c *ccsim.Ctx) int {
+		old := c.FAA(sel(c.P.Regs[f1rRegD], v.C[0], v.C[1]), -1)
+		if old == Packed(1, 1) {
+			return F1RPermitT2
+		}
+		return F1RDecEC
+	}
+	instrs[F1RPermitT2] = func(c *ccsim.Ctx) int {
+		c.Write(sel(c.P.Regs[f1rRegD], v.Permit[0], v.Permit[1]), 1)
+		return F1RDecEC
+	}
+	instrs[F1RDecEC] = func(c *ccsim.Ctx) int {
+		old := c.FAA(v.EC, -1)
+		if old == Packed(1, 1) {
+			return F1RExitPermT
+		}
+		return F1RRem
+	}
+	instrs[F1RExitPermT] = func(c *ccsim.Ctx) int {
+		c.Write(v.ExitPermit, 1)
+		return F1RRem
+	}
+
+	return &ccsim.Program{Name: "fig1-reader", Reader: true, Instrs: instrs, Phases: phases}
+}
+
+// NewFig1System assembles the Figure 1 single-writer multi-reader
+// system: process 0 is the writer, processes 1..numReaders are readers.
+func NewFig1System(numReaders int) *System {
+	return newFig1System(numReaders, false)
+}
+
+// NewFig1BrokenSystem assembles the Section 3.3 broken variant (writer
+// does not wait for the exit section to clear).  Model checking it must
+// find a mutual-exclusion violation.
+func NewFig1BrokenSystem(numReaders int) *System {
+	return newFig1System(numReaders, true)
+}
+
+func newFig1System(numReaders int, broken bool) *System {
+	validateSplit(1, numReaders)
+	mem := ccsim.NewMemory(1 + numReaders)
+	v := NewFig1Vars(mem)
+	var wp *ccsim.Program
+	if broken {
+		wp = Fig1WriterNoExitWait(v)
+	} else {
+		wp = Fig1Writer(v)
+	}
+	progs := []*ccsim.Program{wp}
+	rp := Fig1Reader(v)
+	for i := 0; i < numReaders; i++ {
+		progs = append(progs, rp)
+	}
+	name := "fig1-swwp"
+	sys := &System{
+		Name:       name,
+		Mem:        mem,
+		Progs:      progs,
+		NumWriters: 1,
+		NumReaders: numReaders,
+		// A reader that must be enabled needs at most its remaining
+		// doorway steps plus the gate read and CS entry; the writer
+		// needs its full waiting room.  A small multiple of program
+		// length is a safe bound.
+		EnabledBound: 4 * (f1wLen + f1rLen),
+	}
+	if !broken {
+		sys.Invariant = fig1Invariant(v, 0)
+		sys.Name = "fig1-swwp"
+	} else {
+		sys.Name = "fig1-swwp-broken"
+	}
+	return sys
+}

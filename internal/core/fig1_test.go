@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"rwsync/internal/ccsim"
+	"rwsync/internal/check"
+	"rwsync/internal/mc"
+)
+
+// runChecked is a test helper: run sys under sched with all online and
+// offline property checks on, failing the test on any violation.
+func runChecked(t *testing.T, sys *System, sched ccsim.Scheduler, attempts int, opts check.RunOpts) *check.RunResult {
+	t.Helper()
+	r, err := sys.NewRunner(attempts)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	opts.Attempts = attempts
+	opts.Sched = sched
+	if opts.EnabledBound == 0 {
+		opts.EnabledBound = sys.EnabledBound
+	}
+	if opts.Invariant == nil {
+		opts.Invariant = sys.Invariant
+	}
+	res := check.RunChecked(r, opts)
+	if v := res.FirstViolation(); v != nil {
+		t.Fatalf("%s: %v", sys.Name, v)
+	}
+	if res.Incomplete {
+		t.Fatalf("%s: run incomplete (possible starvation under %T)", sys.Name, sched)
+	}
+	return res
+}
+
+func TestFig1RandomRunsSatisfyProperties(t *testing.T) {
+	for _, readers := range []int{1, 2, 3, 5} {
+		for seed := int64(1); seed <= 8; seed++ {
+			sys := NewFig1System(readers)
+			res := runChecked(t, sys, ccsim.NewRandomSched(seed), 6, check.RunOpts{
+				FIFE:         true,
+				SectionBound: 32,
+			})
+			tr := res.Trace.Attempts()
+			if v := check.FCFSWriters(tr); v != nil {
+				t.Fatalf("readers=%d seed=%d: %v", readers, seed, v)
+			}
+			if v := check.WriterPriority(tr); v != nil {
+				t.Fatalf("readers=%d seed=%d: %v", readers, seed, v)
+			}
+		}
+	}
+}
+
+func TestFig1RoundRobinCompletes(t *testing.T) {
+	sys := NewFig1System(4)
+	runChecked(t, sys, ccsim.NewRoundRobin(), 10, check.RunOpts{FIFE: true, SectionBound: 32})
+}
+
+func TestFig1StalledWriterDoesNotBlockReaders(t *testing.T) {
+	// Readers must keep completing while the writer is scheduled only
+	// once every 64 steps (it still completes eventually: P7).
+	sys := NewFig1System(3)
+	runChecked(t, sys, ccsim.NewStallSched(7, 0, 64), 5, check.RunOpts{SectionBound: 32})
+}
+
+func TestFig1ConcurrentEntering(t *testing.T) {
+	// P5: with the writer halted in its remainder section, every
+	// reader attempt must finish the Try section in a bounded number
+	// of its own steps (no waiting-room detention at all).
+	sys := NewFig1System(4)
+	r, err := sys.NewRunner(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.CollectStats = true
+	r.Halt(0) // writer stays in the remainder section
+	if err := r.Run(ccsim.NewRandomSched(42), 1<<20); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, s := range r.Stats {
+		if s.Steps > int64(f1rLen)+4 {
+			t.Fatalf("reader %d attempt %d took %d steps with no writer (want <= %d)",
+				s.Proc, s.Attempt, s.Steps, f1rLen+4)
+		}
+	}
+}
+
+func TestFig1RMRConstant(t *testing.T) {
+	// Theorem 1: O(1) RMR per passage in the CC model, independent of
+	// the number of readers.  The constant below is derived from the
+	// program text: each section performs a fixed number of shared
+	// accesses and every busy-wait loop is re-armed at most a bounded
+	// number of times per passage.
+	const maxRMR = 40
+	for _, readers := range []int{1, 2, 4, 8, 16, 32} {
+		sys := NewFig1System(readers)
+		r, err := sys.NewRunner(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.CollectStats = true
+		if err := r.Run(ccsim.NewRandomSched(int64(readers)), 1<<24); err != nil {
+			t.Fatalf("readers=%d: %v", readers, err)
+		}
+		for _, s := range r.Stats {
+			if s.RMR > maxRMR {
+				t.Fatalf("readers=%d proc=%d attempt=%d: RMR=%d exceeds constant bound %d",
+					readers, s.Proc, s.Attempt, s.RMR, maxRMR)
+			}
+		}
+	}
+}
+
+func TestFig1ModelCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model checking in -short mode")
+	}
+	for _, cfg := range []struct{ readers, attempts int }{
+		{1, 3}, {2, 2},
+	} {
+		sys := NewFig1System(cfg.readers)
+		r, err := sys.NewRunner(cfg.attempts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := mc.Explore(r, mc.Options{
+			Attempts:    cfg.attempts,
+			Invariant:   sys.Invariant,
+			DetectStuck: true,
+		})
+		if res.Violation != nil {
+			t.Fatalf("readers=%d attempts=%d: %v", cfg.readers, cfg.attempts, res.Violation)
+		}
+		if res.Truncated {
+			t.Fatalf("readers=%d attempts=%d: truncated at %d states", cfg.readers, cfg.attempts, res.States)
+		}
+		t.Logf("fig1 readers=%d attempts=%d: %d states, all invariants hold", cfg.readers, cfg.attempts, res.States)
+	}
+}
+
+func TestFig1BrokenModelCheckFindsViolation(t *testing.T) {
+	// Section 3.3: without the writer's exit-section wait, mutual
+	// exclusion fails.  The checker must find a counterexample.
+	sys := NewFig1BrokenSystem(2)
+	r, err := sys.NewRunner(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mc.Explore(r, mc.Options{Attempts: 3, KeepWitness: true})
+	if res.Violation == nil {
+		t.Fatalf("expected a mutual-exclusion violation in the broken Figure 1 variant; explored %d states", res.States)
+	}
+	if len(res.Witness) == 0 {
+		t.Fatal("expected a counterexample schedule")
+	}
+	t.Logf("broken fig1: %v (witness length %d, %d states)", res.Violation, len(res.Witness), res.States)
+}

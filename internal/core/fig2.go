@@ -1,0 +1,350 @@
+package core
+
+import "rwsync/internal/ccsim"
+
+// Fig2Vars holds handles to the shared variables of the paper's
+// Figure 2 (single-writer multi-reader lock with reader priority).
+type Fig2Vars struct {
+	D      ccsim.Var
+	Gate   [2]ccsim.Var
+	X      ccsim.Var // CAS variable over PID ∪ {true}; XTrue encodes true
+	Permit ccsim.Var // read/write boolean, initially true
+	C      ccsim.Var // fetch&add reader count
+}
+
+// NewFig2Vars registers Figure 2's shared variables with their paper
+// initial values: D=0, Gate[0]=true, Gate[1]=false, X = some pid
+// (we use pid 0), Permit=true, C=0.
+func NewFig2Vars(m *ccsim.Memory) *Fig2Vars {
+	v := &Fig2Vars{}
+	v.D = m.NewVar("D", ccsim.KindRW, 0)
+	v.Gate[0] = m.NewVar("Gate[0]", ccsim.KindRW, 1)
+	v.Gate[1] = m.NewVar("Gate[1]", ccsim.KindRW, 0)
+	v.X = m.NewVar("X", ccsim.KindCAS, 0)
+	v.Permit = m.NewVar("Permit", ccsim.KindRW, 1)
+	v.C = m.NewVar("C", ccsim.KindFAA, 0)
+	return v
+}
+
+// Register assignments shared by the Figure 2 writer and reader.
+const (
+	f2RegD = 0 // d — the side read from D
+	f2RegX = 1 // x — the value read from X in Promote / lines 20-22
+)
+
+// promoteOpts selects the faithful Promote (lines 10-16) or the broken
+// Section 4.3(B) variant that CASes true directly without first
+// installing its own pid.
+type promoteOpts struct {
+	directCASTrue bool
+}
+
+// appendPromote appends the six-instruction Promote procedure to the
+// program under construction, starting at PC start; every exit path
+// continues at PC after.  It returns the instruction and phase slices
+// extended by exactly six entries (PCs start..start+5).
+//
+// Paper lines:
+//
+//  10. x = X
+//  11. if (x != true)
+//  12. if (CAS(X, x, i))
+//  13. if (!Permit)
+//  14. if (C = 0)
+//  15. if (CAS(X, i, true))
+//  16. Permit <- true
+func appendPromote(instrs []ccsim.Instr, phases []ccsim.Phase, v *Fig2Vars,
+	start, after int, phase ccsim.Phase, opts promoteOpts) ([]ccsim.Instr, []ccsim.Phase) {
+
+	cas1 := start + 1  // line 12
+	perm := start + 2  // line 13
+	count := start + 3 // line 14
+	cas2 := start + 4  // line 15
+	set := start + 5   // line 16
+
+	add := func(ins ccsim.Instr) {
+		instrs = append(instrs, ins)
+		phases = append(phases, phase)
+	}
+
+	add(func(c *ccsim.Ctx) int { // read
+		x := c.Read(v.X)
+		c.P.Regs[f2RegX] = x
+		if x == XTrue {
+			return after
+		}
+		if opts.directCASTrue {
+			// Broken variant: skip installing our pid (line 12).
+			return perm
+		}
+		return cas1
+	})
+	add(func(c *ccsim.Ctx) int { // cas1
+		if c.CAS(v.X, c.P.Regs[f2RegX], int64(c.P.ID)) {
+			return perm
+		}
+		return after
+	})
+	add(func(c *ccsim.Ctx) int { // perm
+		if c.Read(v.Permit) != 0 {
+			return after
+		}
+		return count
+	})
+	add(func(c *ccsim.Ctx) int { // count
+		if c.Read(v.C) != 0 {
+			return after
+		}
+		return cas2
+	})
+	add(func(c *ccsim.Ctx) int { // cas2
+		expect := int64(c.P.ID)
+		if opts.directCASTrue {
+			expect = c.P.Regs[f2RegX]
+		}
+		if c.CAS(v.X, expect, XTrue) {
+			return set
+		}
+		return after
+	})
+	add(func(c *ccsim.Ctx) int { // set
+		c.Write(v.Permit, 1)
+		return after
+	})
+	return instrs, phases
+}
+
+// Writer program counters for Figure 2 (paper line numbers in comments).
+const (
+	F2WRem       = iota // line 1: remainder
+	F2WReadD            // line 2a: read D
+	F2WWriteD           // line 2b: D <- !D   (doorway ends here)
+	F2WPermF            // line 3: Permit <- false
+	F2WPromote          // lines 10-16 occupy PCs F2WPromote..F2WPromote+5
+	f2wPromEnd   = F2WPromote + 5
+	F2WWait      = f2wPromEnd + 1 // line 5: wait till Permit
+	F2WCS        = F2WWait + 1    // line 6: critical section
+	F2WGateClose = F2WCS + 1      // line 7: Gate[!D] <- false
+	F2WGateOpen  = F2WGateClose + 1
+	F2WSetX      = F2WGateOpen + 1 // line 9: X <- i
+	f2wLen       = F2WSetX + 1
+)
+
+// Fig2Writer builds the Figure 2 writer program.
+func Fig2Writer(v *Fig2Vars) *ccsim.Program { return fig2Writer(v, promoteOpts{}) }
+
+// Fig2WriterDirectCAS builds the broken Section 4.3(B) writer whose
+// Promote CASes true into X directly.
+func Fig2WriterDirectCAS(v *Fig2Vars) *ccsim.Program {
+	return fig2Writer(v, promoteOpts{directCASTrue: true})
+}
+
+func fig2Writer(v *Fig2Vars, opts promoteOpts) *ccsim.Program {
+	instrs := make([]ccsim.Instr, 0, f2wLen)
+	phases := make([]ccsim.Phase, 0, f2wLen)
+	add := func(ph ccsim.Phase, ins ccsim.Instr) {
+		instrs = append(instrs, ins)
+		phases = append(phases, ph)
+	}
+
+	add(ccsim.PhaseRemainder, func(c *ccsim.Ctx) int { return F2WReadD })
+	add(ccsim.PhaseDoorway, func(c *ccsim.Ctx) int { // line 2a
+		c.P.Regs[f2RegD] = c.Read(v.D)
+		return F2WWriteD
+	})
+	add(ccsim.PhaseDoorway, func(c *ccsim.Ctx) int { // line 2b
+		d := 1 - c.P.Regs[f2RegD]
+		c.P.Regs[f2RegD] = d
+		c.Write(v.D, d)
+		return F2WPermF
+	})
+	add(ccsim.PhaseWaiting, func(c *ccsim.Ctx) int { // line 3
+		c.Write(v.Permit, 0)
+		return F2WPromote
+	})
+	instrs, phases = appendPromote(instrs, phases, v, F2WPromote, F2WWait, ccsim.PhaseWaiting, opts)
+	add(ccsim.PhaseWaiting, func(c *ccsim.Ctx) int { // line 5
+		if c.Read(v.Permit) != 0 {
+			return F2WCS
+		}
+		return F2WWait
+	})
+	add(ccsim.PhaseCS, func(c *ccsim.Ctx) int { return F2WGateClose })
+	add(ccsim.PhaseExit, func(c *ccsim.Ctx) int { // line 7
+		c.Write(sel(1-c.P.Regs[f2RegD], v.Gate[0], v.Gate[1]), 0)
+		return F2WGateOpen
+	})
+	add(ccsim.PhaseExit, func(c *ccsim.Ctx) int { // line 8
+		c.Write(sel(c.P.Regs[f2RegD], v.Gate[0], v.Gate[1]), 1)
+		return F2WSetX
+	})
+	add(ccsim.PhaseExit, func(c *ccsim.Ctx) int { // line 9
+		c.Write(v.X, int64(c.P.ID))
+		return F2WRem
+	})
+
+	name := "fig2-writer"
+	if opts.directCASTrue {
+		name = "fig2-writer-direct-cas"
+	}
+	return &ccsim.Program{Name: name, Reader: false, Instrs: instrs, Phases: phases}
+}
+
+// Reader program counters for Figure 2 (paper line numbers in comments).
+const (
+	F2RRem     = iota // line 17: remainder
+	F2RIncC           // line 18: F&A(C, 1)
+	F2RReadD          // line 19: d <- D
+	F2RReadX          // line 20-21: x <- X; if x in PID
+	F2RCAS            // line 22: CAS(X, x, i)
+	F2RCheckX         // line 23: if X = true
+	F2RWait           // line 24: wait till Gate[d]
+	F2RCS             // line 25: critical section
+	F2RDecC           // line 26: F&A(C, -1)
+	F2RPromote        // lines 10-16 occupy PCs F2RPromote..F2RPromote+5
+	f2rLen     = F2RPromote + 6
+)
+
+// fig2ReaderOpts toggles the deliberate bug of Section 4.3(A).
+type fig2ReaderOpts struct {
+	// skipLines2022 removes lines 20-22 (the reader's pid
+	// installation into X), which the paper shows breaks mutual
+	// exclusion.
+	skipLines2022 bool
+	promote       promoteOpts
+}
+
+// Fig2Reader builds the Figure 2 reader program.
+func Fig2Reader(v *Fig2Vars) *ccsim.Program { return fig2Reader(v, fig2ReaderOpts{}) }
+
+// Fig2ReaderNoLines2022 builds the broken Section 4.3(A) reader that
+// skips lines 20-22.
+func Fig2ReaderNoLines2022(v *Fig2Vars) *ccsim.Program {
+	return fig2Reader(v, fig2ReaderOpts{skipLines2022: true})
+}
+
+// Fig2ReaderDirectCAS builds a reader whose Promote uses the broken
+// Section 4.3(B) direct CAS.
+func Fig2ReaderDirectCAS(v *Fig2Vars) *ccsim.Program {
+	return fig2Reader(v, fig2ReaderOpts{promote: promoteOpts{directCASTrue: true}})
+}
+
+func fig2Reader(v *Fig2Vars, opts fig2ReaderOpts) *ccsim.Program {
+	instrs := make([]ccsim.Instr, 0, f2rLen)
+	phases := make([]ccsim.Phase, 0, f2rLen)
+	add := func(ph ccsim.Phase, ins ccsim.Instr) {
+		instrs = append(instrs, ins)
+		phases = append(phases, ph)
+	}
+
+	add(ccsim.PhaseRemainder, func(c *ccsim.Ctx) int { return F2RIncC })
+	add(ccsim.PhaseDoorway, func(c *ccsim.Ctx) int { // line 18
+		c.FAA(v.C, 1)
+		return F2RReadD
+	})
+	add(ccsim.PhaseDoorway, func(c *ccsim.Ctx) int { // line 19
+		c.P.Regs[f2RegD] = c.Read(v.D)
+		if opts.skipLines2022 {
+			return F2RCheckX
+		}
+		return F2RReadX
+	})
+	add(ccsim.PhaseDoorway, func(c *ccsim.Ctx) int { // lines 20-21
+		x := c.Read(v.X)
+		c.P.Regs[f2RegX] = x
+		if x != XTrue {
+			return F2RCAS
+		}
+		return F2RCheckX
+	})
+	add(ccsim.PhaseDoorway, func(c *ccsim.Ctx) int { // line 22
+		c.CAS(v.X, c.P.Regs[f2RegX], int64(c.P.ID))
+		return F2RCheckX
+	})
+	add(ccsim.PhaseDoorway, func(c *ccsim.Ctx) int { // line 23
+		if c.Read(v.X) == XTrue {
+			return F2RWait
+		}
+		return F2RCS
+	})
+	add(ccsim.PhaseWaiting, func(c *ccsim.Ctx) int { // line 24
+		if c.Read(sel(c.P.Regs[f2RegD], v.Gate[0], v.Gate[1])) != 0 {
+			return F2RCS
+		}
+		return F2RWait
+	})
+	add(ccsim.PhaseCS, func(c *ccsim.Ctx) int { return F2RDecC })
+	add(ccsim.PhaseExit, func(c *ccsim.Ctx) int { // line 26
+		c.FAA(v.C, -1)
+		return F2RPromote
+	})
+	instrs, phases = appendPromote(instrs, phases, v, F2RPromote, F2RRem, ccsim.PhaseExit, opts.promote)
+
+	name := "fig2-reader"
+	switch {
+	case opts.skipLines2022:
+		name = "fig2-reader-no-lines-20-22"
+	case opts.promote.directCASTrue:
+		name = "fig2-reader-direct-cas"
+	}
+	return &ccsim.Program{Name: name, Reader: true, Instrs: instrs, Phases: phases}
+}
+
+// Fig2Break selects which Section 4.3 subtle feature to disable in a
+// broken Figure 2 system.
+type Fig2Break int
+
+const (
+	// Fig2BreakNone builds the faithful algorithm.
+	Fig2BreakNone Fig2Break = iota
+	// Fig2BreakNoLines2022 removes reader lines 20-22 (feature A).
+	Fig2BreakNoLines2022
+	// Fig2BreakDirectCAS makes Promote CAS true directly (feature B).
+	Fig2BreakDirectCAS
+)
+
+// NewFig2System assembles the Figure 2 single-writer multi-reader
+// system: process 0 is the writer, processes 1..numReaders readers.
+func NewFig2System(numReaders int) *System {
+	return newFig2System(numReaders, Fig2BreakNone)
+}
+
+// NewFig2BrokenSystem assembles a Section 4.3 broken variant.
+func NewFig2BrokenSystem(numReaders int, br Fig2Break) *System {
+	return newFig2System(numReaders, br)
+}
+
+func newFig2System(numReaders int, br Fig2Break) *System {
+	validateSplit(1, numReaders)
+	mem := ccsim.NewMemory(1 + numReaders)
+	v := NewFig2Vars(mem)
+
+	var wp, rp *ccsim.Program
+	name := "fig2-swrp"
+	switch br {
+	case Fig2BreakNone:
+		wp, rp = Fig2Writer(v), Fig2Reader(v)
+	case Fig2BreakNoLines2022:
+		wp, rp = Fig2Writer(v), Fig2ReaderNoLines2022(v)
+		name = "fig2-swrp-broken-A"
+	case Fig2BreakDirectCAS:
+		wp, rp = Fig2WriterDirectCAS(v), Fig2ReaderDirectCAS(v)
+		name = "fig2-swrp-broken-B"
+	}
+	progs := []*ccsim.Program{wp}
+	for i := 0; i < numReaders; i++ {
+		progs = append(progs, rp)
+	}
+	sys := &System{
+		Name:         name,
+		Mem:          mem,
+		Progs:        progs,
+		NumWriters:   1,
+		NumReaders:   numReaders,
+		EnabledBound: 4 * (f2wLen + f2rLen),
+	}
+	if br == Fig2BreakNone {
+		sys.Invariant = fig2Invariant(v, 0)
+	}
+	return sys
+}

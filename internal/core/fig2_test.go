@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"rwsync/internal/ccsim"
+	"rwsync/internal/check"
+	"rwsync/internal/mc"
+)
+
+func TestFig2RandomRunsSatisfyProperties(t *testing.T) {
+	for _, readers := range []int{1, 2, 3, 5} {
+		for seed := int64(1); seed <= 8; seed++ {
+			sys := NewFig2System(readers)
+			res := runChecked(t, sys, ccsim.NewRandomSched(seed), 6, check.RunOpts{
+				FIFE:              true,
+				UnstoppableReader: true,
+				SectionBound:      32,
+			})
+			tr := res.Trace.Attempts()
+			if v := check.ReaderPriority(tr); v != nil {
+				t.Fatalf("readers=%d seed=%d: %v", readers, seed, v)
+			}
+		}
+	}
+}
+
+func TestFig2RoundRobinCompletes(t *testing.T) {
+	sys := NewFig2System(4)
+	runChecked(t, sys, ccsim.NewRoundRobin(), 10, check.RunOpts{
+		FIFE: true, UnstoppableReader: true, SectionBound: 32,
+	})
+}
+
+func TestFig2StalledWriterDoesNotBlockReaders(t *testing.T) {
+	sys := NewFig2System(3)
+	runChecked(t, sys, ccsim.NewStallSched(11, 0, 64), 5, check.RunOpts{SectionBound: 32})
+}
+
+func TestFig2ConcurrentEntering(t *testing.T) {
+	// P5 with the writer halted: every reader attempt is bounded.
+	sys := NewFig2System(4)
+	r, err := sys.NewRunner(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.CollectStats = true
+	r.Halt(0)
+	if err := r.Run(ccsim.NewRandomSched(7), 1<<20); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, s := range r.Stats {
+		if s.Steps > int64(f2rLen)+4 {
+			t.Fatalf("reader %d attempt %d took %d steps with no writer (want <= %d)",
+				s.Proc, s.Attempt, s.Steps, f2rLen+4)
+		}
+	}
+}
+
+func TestFig2ReaderStormStarvesWriterButNotReaders(t *testing.T) {
+	// Reader priority permits writer starvation (Section 4 intro):
+	// under a reader-heavy schedule the readers keep completing even
+	// while the writer sits in its try section.  We verify that the
+	// readers complete all attempts with the writer stalled mid-try,
+	// and that the writer eventually completes once readers stop.
+	sys := NewFig2System(3)
+	r, err := sys.NewRunner(0) // unlimited; we drive manually
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.CollectStats = true
+	sched := ccsim.NewStallSched(3, 0, 1<<30) // writer essentially never runs
+	readerDone := 0
+	for r.TotalSteps < 1<<16 && readerDone < 60 {
+		id := sched.Next(r.Active(), r.TotalSteps)
+		r.StepProc(id)
+		readerDone = 0
+		for _, p := range r.Procs[1:] {
+			readerDone += p.Attempt
+		}
+	}
+	if readerDone < 60 {
+		t.Fatalf("readers made only %d attempts under writer stall", readerDone)
+	}
+}
+
+func TestFig2RMRConstant(t *testing.T) {
+	// Theorem 2: O(1) RMR per passage in the CC model.
+	const maxRMR = 40
+	for _, readers := range []int{1, 2, 4, 8, 16, 32} {
+		sys := NewFig2System(readers)
+		r, err := sys.NewRunner(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.CollectStats = true
+		if err := r.Run(ccsim.NewRandomSched(int64(readers)*3+1), 1<<24); err != nil {
+			t.Fatalf("readers=%d: %v", readers, err)
+		}
+		for _, s := range r.Stats {
+			if s.RMR > maxRMR {
+				t.Fatalf("readers=%d proc=%d attempt=%d: RMR=%d exceeds constant bound %d",
+					readers, s.Proc, s.Attempt, s.RMR, maxRMR)
+			}
+		}
+	}
+}
+
+func TestFig2ModelCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model checking in -short mode")
+	}
+	for _, cfg := range []struct{ readers, attempts int }{
+		{1, 3}, {2, 2},
+	} {
+		sys := NewFig2System(cfg.readers)
+		r, err := sys.NewRunner(cfg.attempts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := mc.Explore(r, mc.Options{
+			Attempts:    cfg.attempts,
+			Invariant:   sys.Invariant,
+			DetectStuck: true,
+		})
+		if res.Violation != nil {
+			t.Fatalf("readers=%d attempts=%d: %v", cfg.readers, cfg.attempts, res.Violation)
+		}
+		if res.Truncated {
+			t.Fatalf("readers=%d attempts=%d: truncated at %d states", cfg.readers, cfg.attempts, res.States)
+		}
+		t.Logf("fig2 readers=%d attempts=%d: %d states, all invariants hold", cfg.readers, cfg.attempts, res.States)
+	}
+}
+
+func TestFig2BrokenAModelCheckFindsViolation(t *testing.T) {
+	// Section 4.3 feature (A): without reader lines 20-22, mutual
+	// exclusion fails.
+	sys := NewFig2BrokenSystem(2, Fig2BreakNoLines2022)
+	r, err := sys.NewRunner(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mc.Explore(r, mc.Options{Attempts: 3, KeepWitness: true})
+	if res.Violation == nil {
+		t.Fatalf("expected a violation in broken variant A; explored %d states", res.States)
+	}
+	t.Logf("broken fig2 (A): %v (witness length %d, %d states)", res.Violation, len(res.Witness), res.States)
+}
+
+func TestFig2BrokenBModelCheckFindsViolation(t *testing.T) {
+	// Section 4.3 feature (B): if Promote CASes true directly instead
+	// of installing its pid first, mutual exclusion fails.
+	sys := NewFig2BrokenSystem(2, Fig2BreakDirectCAS)
+	r, err := sys.NewRunner(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mc.Explore(r, mc.Options{Attempts: 3, KeepWitness: true})
+	if res.Violation == nil {
+		t.Fatalf("expected a violation in broken variant B; explored %d states", res.States)
+	}
+	t.Logf("broken fig2 (B): %v (witness length %d, %d states)", res.Violation, len(res.Witness), res.States)
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+
+	"rwsync/internal/ccsim"
+)
+
+// This file implements the paper's Figure 4: the multi-writer
+// multi-reader WRITER-PRIORITY lock of Theorem 5.  The plain Figure 3
+// transformation does not preserve writer priority (Section 5.1 gives
+// the counterexample), so Figure 4 threads a W-token handoff between
+// exiting and arriving writers around the SWWP core of Figure 1.
+//
+// Readers run the Figure 1 Read-lock unchanged.
+
+// Fig4Vars bundles the Figure 1 core variables with Figure 4's
+// additional writer-coordination variables and Anderson's lock M.
+type Fig4Vars struct {
+	F1 *Fig1Vars
+	// Wcount counts writers in the try and critical sections (F&A).
+	Wcount ccsim.Var
+	// Wtoken is the CAS handoff token over PID ∪ {false} ∪ {0,1}
+	// (encoded via TokenFalse / TokenSide).
+	Wtoken ccsim.Var
+	M      *AndersonVars
+}
+
+// NewFig4Vars registers the Figure 4 variables.  Wtoken starts as the
+// side token for side 1: the first writer then behaves exactly like
+// the first SWWP writer attempt (D toggles 0 -> 1, previous side 0).
+func NewFig4Vars(m *ccsim.Memory, numWriters int) *Fig4Vars {
+	v := &Fig4Vars{F1: NewFig1Vars(m)}
+	v.Wcount = m.NewVar("Wcount", ccsim.KindFAA, 0)
+	v.Wtoken = m.NewVar("W-token", ccsim.KindCAS, TokenSide(1))
+	v.M = NewAndersonVars(m, "M", maxInt(numWriters, 1))
+	return v
+}
+
+// Register assignments of the Figure 4 writer.
+const (
+	f4RegT    = 3 // t — W-token samples
+	f4RegPrev = mwRegPrev
+	f4RegCurr = mwRegCurr
+	f4RegSlot = mwRegSlot
+)
+
+// Writer program counters for Figure 4 (paper line numbers in comments).
+const (
+	F4WRem      = iota // line 1: remainder
+	F4WIncW            // line 2: F&A(Wcount, 1)
+	F4WReadTok1        // line 3-4: t = W-token; if t in PID
+	F4WCASFalse        // line 5: CAS(W-token, t, false)
+	F4WReadTok2        // line 6-7: t = W-token; if t in {0,1}
+	F4WWriteD          // line 8: D <- t
+	F4WTicket          // line 9 (acquire M): ticket fetch — doorway ends
+	F4WSpinSlot        // acquire M: slot spin
+	F4WClaim           // acquire M: slot claim
+	F4WReadD           // line 10: currD <- D, prevD <- !currD
+	F4WReadTok3        // line 11: if W-token in {0,1}
+	F4WWaitGate        // line 12: wait till Gate[prevD]
+	F4WBody            // line 13 = Figure 1 lines 4..12 at PCs F4WBody..F4WBody+8
+	f4wBodyEnd  = F4WBody + 8
+	F4WCS       = f4wBodyEnd + 1 // line 14: critical section
+	F4WSetTok   = F4WCS + 1      // line 15: W-token <- p
+	F4WDecW     = F4WSetTok + 1  // line 16: F&A(Wcount, -1)
+	F4WRelease  = F4WDecW + 1    // line 17: release(M)
+	F4WReadW    = F4WRelease + 1 // line 18: if Wcount = 0
+	F4WCASSide  = F4WReadW + 1   // line 19: CAS(W-token, p, prevD)
+	F4WOpenGate = F4WCASSide + 1 // line 20: Gate[currD] <- true
+	f4wLen      = F4WOpenGate + 1
+)
+
+// Fig4Writer builds the Figure 4 writer program.
+func Fig4Writer(v *Fig4Vars) *ccsim.Program {
+	instrs := make([]ccsim.Instr, 0, f4wLen)
+	phases := make([]ccsim.Phase, 0, f4wLen)
+	add := func(ph ccsim.Phase, ins ccsim.Instr) {
+		instrs = append(instrs, ins)
+		phases = append(phases, ph)
+	}
+	f1 := v.F1
+
+	add(ccsim.PhaseRemainder, func(c *ccsim.Ctx) int { return F4WIncW })
+	add(ccsim.PhaseDoorway, func(c *ccsim.Ctx) int { // line 2
+		c.FAA(v.Wcount, 1)
+		return F4WReadTok1
+	})
+	add(ccsim.PhaseDoorway, func(c *ccsim.Ctx) int { // lines 3-4
+		t := c.Read(v.Wtoken)
+		c.P.Regs[f4RegT] = t
+		if t >= 0 { // t in PID
+			return F4WCASFalse
+		}
+		return F4WReadTok2
+	})
+	add(ccsim.PhaseDoorway, func(c *ccsim.Ctx) int { // line 5
+		c.CAS(v.Wtoken, c.P.Regs[f4RegT], TokenFalse)
+		return F4WReadTok2
+	})
+	add(ccsim.PhaseDoorway, func(c *ccsim.Ctx) int { // lines 6-7
+		t := c.Read(v.Wtoken)
+		c.P.Regs[f4RegT] = t
+		if IsSideToken(t) {
+			return F4WWriteD
+		}
+		return F4WTicket
+	})
+	add(ccsim.PhaseDoorway, func(c *ccsim.Ctx) int { // line 8
+		c.Write(f1.D, SideOfToken(c.P.Regs[f4RegT]))
+		return F4WTicket
+	})
+	// acquire(M), lines "9": ticket is the last doorway step so that
+	// doorway precedence fixes the FCFS order among writers (P3).
+	instrs, phases = appendAndersonAcquire(instrs, phases, v.M, F4WTicket, F4WReadD, f4RegSlot, ccsim.PhaseDoorway)
+	add(ccsim.PhaseWaiting, func(c *ccsim.Ctx) int { // line 10
+		curr := c.Read(f1.D)
+		c.P.Regs[f4RegCurr] = curr
+		c.P.Regs[f4RegPrev] = 1 - curr
+		return F4WReadTok3
+	})
+	add(ccsim.PhaseWaiting, func(c *ccsim.Ctx) int { // line 11
+		if IsSideToken(c.Read(v.Wtoken)) {
+			return F4WWaitGate
+		}
+		return F4WCS
+	})
+	add(ccsim.PhaseWaiting, func(c *ccsim.Ctx) int { // line 12
+		if c.Read(sel(c.P.Regs[f4RegPrev], f1.Gate[0], f1.Gate[1])) != 0 {
+			return F4WBody
+		}
+		return F4WWaitGate
+	})
+	// line 13: SW-waiting-room() = Figure 1 lines 4..12.
+	instrs, phases = appendFig1WriterTry(instrs, phases, f1, F4WBody, F4WCS, ccsim.PhaseWaiting, f4RegPrev, f4RegCurr, false)
+	add(ccsim.PhaseCS, func(c *ccsim.Ctx) int { return F4WSetTok }) // line 14
+	add(ccsim.PhaseExit, func(c *ccsim.Ctx) int {                   // line 15
+		c.Write(v.Wtoken, int64(c.P.ID))
+		return F4WDecW
+	})
+	add(ccsim.PhaseExit, func(c *ccsim.Ctx) int { // line 16
+		c.FAA(v.Wcount, -1)
+		return F4WRelease
+	})
+	instrs, phases = appendAndersonRelease(instrs, phases, v.M, F4WReadW, f4RegSlot, ccsim.PhaseExit) // line 17
+	add(ccsim.PhaseExit, func(c *ccsim.Ctx) int {                                                     // line 18
+		if c.Read(v.Wcount) == 0 {
+			return F4WCASSide
+		}
+		return F4WRem
+	})
+	add(ccsim.PhaseExit, func(c *ccsim.Ctx) int { // line 19
+		if c.CAS(v.Wtoken, int64(c.P.ID), TokenSide(c.P.Regs[f4RegPrev])) {
+			return F4WOpenGate
+		}
+		return F4WRem
+	})
+	add(ccsim.PhaseExit, func(c *ccsim.Ctx) int { // line 20
+		c.Write(sel(c.P.Regs[f4RegCurr], f1.Gate[0], f1.Gate[1]), 1)
+		return F4WRem
+	})
+
+	return &ccsim.Program{Name: "fig4-writer", Reader: false, Instrs: instrs, Phases: phases}
+}
+
+// NewMWWPSystem assembles the Theorem 5 multi-writer multi-reader
+// writer-priority lock (Figure 4).  Processes 0..numWriters-1 are
+// writers, the rest Figure 1 readers.
+func NewMWWPSystem(numWriters, numReaders int) *System {
+	validateSplit(numWriters, numReaders)
+	mem := ccsim.NewMemory(numWriters + numReaders)
+	v := NewFig4Vars(mem, numWriters)
+
+	wp := Fig4Writer(v)
+	rp := Fig1Reader(v.F1)
+	progs := make([]*ccsim.Program, 0, numWriters+numReaders)
+	for i := 0; i < numWriters; i++ {
+		progs = append(progs, wp)
+	}
+	for i := 0; i < numReaders; i++ {
+		progs = append(progs, rp)
+	}
+	return &System{
+		Name:         "fig4-mwwp",
+		Mem:          mem,
+		Progs:        progs,
+		NumWriters:   numWriters,
+		NumReaders:   numReaders,
+		EnabledBound: 4 * (f4wLen + f1rLen),
+		Invariant:    fig4Invariant(v, numWriters),
+	}
+}
+
+// Offsets of the SW-waiting-room instructions within the Figure 4
+// writer (appendFig1WriterTry without doorway): the writer holds the
+// writer-waiting unit of C[prevD] between the increment at line 5 and
+// the decrement at line 7, and of EC between lines 10 and 12.
+const (
+	f4wHoldCLo  = F4WBody + 2 // spinning on Permit[prevD]
+	f4wHoldCHi  = F4WBody + 3 // about to decrement C[prevD]
+	f4wHoldECLo = F4WBody + 7 // spinning on ExitPermit
+	f4wHoldECHi = F4WBody + 8 // about to decrement EC
+)
+
+// fig4Invariant checks the structural invariants of Figure 4:
+// Wcount counts writers between their increment (line 2) and decrement
+// (line 16), Anderson's M admits at most one holder, and — reusing the
+// Appendix A.1 accounting — the packed counters C[0], C[1] and EC
+// match the exact multiset of reader and writer program counters.
+func fig4Invariant(v *Fig4Vars, numWriters int) func(r *ccsim.Runner) error {
+	return func(r *ccsim.Runner) error {
+		var wcount int64
+		holders := 0
+		for i := 0; i < numWriters; i++ {
+			pc := r.Procs[i].PC
+			if pc > F4WIncW && pc <= F4WDecW {
+				wcount++
+			}
+			if pc > F4WClaim && pc <= F4WRelease {
+				holders++
+			}
+		}
+		if got := r.Mem.Peek(v.Wcount); got != wcount {
+			return fmt.Errorf("fig4 invariant: Wcount=%d want %d", got, wcount)
+		}
+		if holders > 1 {
+			return fmt.Errorf("fig4 invariant: %d writers hold M simultaneously", holders)
+		}
+
+		// Count consistency of the Figure 1 core under Figure 4's
+		// writers (Appendix A.1, item 1 of every invariant group).
+		var c0, c1, ec int64
+		for i, p := range r.Procs {
+			if i < numWriters {
+				if p.PC >= f4wHoldCLo && p.PC <= f4wHoldCHi {
+					if p.Regs[f4RegPrev] == 0 {
+						c0 += WW
+					} else {
+						c1 += WW
+					}
+				}
+				if p.PC >= f4wHoldECLo && p.PC <= f4wHoldECHi {
+					ec += WW
+				}
+				continue
+			}
+			a, b, e := fig1ReaderContrib(p)
+			c0 += a
+			c1 += b
+			ec += e
+		}
+		if got := r.Mem.Peek(v.F1.C[0]); got != c0 {
+			return fmt.Errorf("fig4 invariant: C[0]=%d,%d want %d,%d",
+				UnpackWW(got), UnpackRC(got), UnpackWW(c0), UnpackRC(c0))
+		}
+		if got := r.Mem.Peek(v.F1.C[1]); got != c1 {
+			return fmt.Errorf("fig4 invariant: C[1]=%d,%d want %d,%d",
+				UnpackWW(got), UnpackRC(got), UnpackWW(c1), UnpackRC(c1))
+		}
+		if got := r.Mem.Peek(v.F1.EC); got != ec {
+			return fmt.Errorf("fig4 invariant: EC=%d,%d want %d,%d",
+				UnpackWW(got), UnpackRC(got), UnpackWW(ec), UnpackRC(ec))
+		}
+		// At most one writer in the SWWP core past the W-token gate
+		// check (PCs F4WBody..F4WCS) — implied by M, restated here to
+		// localize failures.
+		inCore := 0
+		for i := 0; i < numWriters; i++ {
+			pc := r.Procs[i].PC
+			if pc >= F4WReadD && pc <= F4WCS {
+				inCore++
+			}
+		}
+		if inCore > 1 {
+			return fmt.Errorf("fig4 invariant: %d writers inside the SWWP core", inCore)
+		}
+		return nil
+	}
+}

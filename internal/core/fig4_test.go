@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+
+	"rwsync/internal/ccsim"
+	"rwsync/internal/check"
+	"rwsync/internal/mc"
+)
+
+func TestMWWPRandomRunsSatisfyProperties(t *testing.T) {
+	for _, cfg := range []struct{ w, r int }{{1, 2}, {2, 2}, {3, 3}} {
+		for seed := int64(1); seed <= 8; seed++ {
+			sys := NewMWWPSystem(cfg.w, cfg.r)
+			res := runChecked(t, sys, ccsim.NewRandomSched(seed), 5, check.RunOpts{
+				FIFE:         true,
+				SectionBound: 48,
+			})
+			tr := res.Trace.Attempts()
+			if v := check.WriterPriority(tr); v != nil {
+				t.Fatalf("w=%d r=%d seed=%d: %v", cfg.w, cfg.r, seed, v)
+			}
+			if v := check.FCFSWriters(tr); v != nil {
+				t.Fatalf("w=%d r=%d seed=%d: %v", cfg.w, cfg.r, seed, v)
+			}
+		}
+	}
+}
+
+func TestMWWPRoundRobinCompletes(t *testing.T) {
+	sys := NewMWWPSystem(3, 3)
+	runChecked(t, sys, ccsim.NewRoundRobin(), 8, check.RunOpts{SectionBound: 64})
+}
+
+func TestMWWPModelCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model checking in -short mode")
+	}
+	for _, cfg := range []struct{ w, r, attempts int }{
+		{1, 2, 2}, {2, 1, 2},
+	} {
+		sys := NewMWWPSystem(cfg.w, cfg.r)
+		r, err := sys.NewRunner(cfg.attempts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := mc.Explore(r, mc.Options{
+			Attempts:    cfg.attempts,
+			Invariant:   sys.Invariant,
+			DetectStuck: true,
+		})
+		if res.Violation != nil {
+			t.Fatalf("mwwp %dw+%dr: %v", cfg.w, cfg.r, res.Violation)
+		}
+		if res.Truncated {
+			t.Fatalf("mwwp %dw+%dr truncated at %d states", cfg.w, cfg.r, res.States)
+		}
+		t.Logf("mwwp %dw+%dr attempts=%d: %d states", cfg.w, cfg.r, cfg.attempts, res.States)
+	}
+}
+
+func TestMWWPRMRConstant(t *testing.T) {
+	const maxRMR = 56
+	for _, cfg := range []struct{ w, r int }{{2, 2}, {2, 8}, {4, 16}, {4, 32}} {
+		sys := NewMWWPSystem(cfg.w, cfg.r)
+		r, err := sys.NewRunner(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.CollectStats = true
+		if err := r.Run(ccsim.NewRandomSched(int64(cfg.w*131+cfg.r)), 1<<24); err != nil {
+			t.Fatalf("w=%d r=%d: %v", cfg.w, cfg.r, err)
+		}
+		for _, s := range r.Stats {
+			if s.RMR > maxRMR {
+				t.Fatalf("w=%d r=%d proc=%d: RMR=%d exceeds %d", cfg.w, cfg.r, s.Proc, s.RMR, maxRMR)
+			}
+		}
+	}
+}
+
+// stepUntil drives proc id until pred holds, failing after bound steps.
+func stepUntil(t *testing.T, r *ccsim.Runner, id int, bound int, pred func() bool) {
+	t.Helper()
+	for i := 0; i < bound; i++ {
+		if pred() {
+			return
+		}
+		r.StepProc(id)
+	}
+	if !pred() {
+		t.Fatalf("proc %d did not reach the target condition within %d steps (PC=%d)", id, bound, r.Procs[id].PC)
+	}
+}
+
+// TestSection51TransformViolatesWriterPriority reproduces the paper's
+// Section 5.1 counterexample: the plain transformation T applied to
+// Figure 1 does NOT satisfy writer priority.  Schedule: writer w is in
+// the CS, writer w' waits in M's waiting room, reader r completes its
+// doorway and sits in the waiting room; when w executes SW-Write-exit
+// (opening the gate) the reader becomes enabled and enters the CS
+// before w' — even though w' >wp r (w' was in the waiting room while a
+// writer occupied the CS and r was in the Try section).
+func TestSection51TransformViolatesWriterPriority(t *testing.T) {
+	sys := NewMWSFSystem(2, 1) // writers 0,1; reader 2
+	r, err := sys.NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &check.Trace{}
+	r.Sink = tr
+
+	const csPC = 15 // MWSF writer CS program counter
+	// Writer 0 goes all the way into the CS.
+	stepUntil(t, r, 0, 200, func() bool { return r.PhaseOf(0) == ccsim.PhaseCS })
+	// Writer 1 enters M's waiting room (spinning on its Anderson slot).
+	stepUntil(t, r, 1, 200, func() bool { return r.Procs[1].PC == 2 })
+	for i := 0; i < 8; i++ { // let it spin: it stays in the waiting room
+		r.StepProc(1)
+	}
+	// Reader 2 completes its doorway and reaches the waiting room.
+	stepUntil(t, r, 2, 200, func() bool { return r.PhaseOf(2) == ccsim.PhaseWaiting })
+	// Writer 0 exits completely (SW-Write-exit opens Gate[currD]).
+	stepUntil(t, r, 0, 200, func() bool { return r.Procs[0].Done || r.PhaseOf(0) == ccsim.PhaseRemainder })
+	// The reader can now enter the CS before writer 1.
+	stepUntil(t, r, 2, 200, func() bool { return r.PhaseOf(2) == ccsim.PhaseCS })
+	if r.PhaseOf(1) == ccsim.PhaseCS {
+		t.Fatal("unexpected: writer 1 in CS")
+	}
+	// Finish the run so the trace is complete.
+	if err := r.Run(ccsim.NewRoundRobin(), 1<<16); err != nil {
+		t.Fatal(err)
+	}
+	v := check.WriterPriority(tr.Attempts())
+	if v == nil {
+		t.Fatal("expected the Section 5.1 schedule to violate WP1 under plain T∘Fig1")
+	}
+	t.Logf("reproduced Section 5.1: %v", v)
+	_ = csPC
+}
+
+// TestMWWPSection51ScheduleRespectsWriterPriority runs the same
+// adversarial idea against Figure 4 (random storms of readers around
+// writer handoffs) and checks WP1 holds, i.e. Figure 4 fixes the
+// Section 5.1 problem.
+func TestMWWPSection51ScheduleRespectsWriterPriority(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		sys := NewMWWPSystem(2, 3)
+		r, err := sys.NewRunner(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := &check.Trace{}
+		r.Sink = tr
+		// Heavily favor readers so they pounce on every gate opening.
+		weights := []float64{1, 1, 20, 20, 20}
+		if err := r.Run(ccsim.NewWeightedSched(seed, weights), 1<<22); err != nil {
+			t.Fatalf("seed=%d: %v", seed, err)
+		}
+		if v := check.WriterPriority(tr.Attempts()); v != nil {
+			t.Fatalf("seed=%d: %v", seed, v)
+		}
+		if v := check.MutualExclusion(tr); v != nil {
+			t.Fatalf("seed=%d: %v", seed, v)
+		}
+	}
+}
+
+// TestMWWPUnstoppableWriters drives the system into a WP2
+// configuration — CS and exit empty, writers in the waiting room
+// dominating all readers — and verifies that from that configuration,
+// under schedules that step only the waiting writers, one of them
+// enters the CS (the operational content of WP2).
+func TestMWWPUnstoppableWriters(t *testing.T) {
+	sys := NewMWWPSystem(2, 2)
+	r, err := sys.NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both writers complete their doorways and park in the waiting room
+	// (they cannot both enter: one blocks on M or the SWWP core).
+	stepUntil(t, r, 0, 300, func() bool { return r.PhaseOf(0) == ccsim.PhaseWaiting || r.PhaseOf(0) == ccsim.PhaseCS })
+	stepUntil(t, r, 1, 300, func() bool { return r.PhaseOf(1) == ccsim.PhaseWaiting || r.PhaseOf(1) == ccsim.PhaseCS })
+	if r.PhaseOf(0) == ccsim.PhaseCS || r.PhaseOf(1) == ccsim.PhaseCS {
+		// One already got in; this run trivially satisfies WP2.
+		return
+	}
+	// Readers now begin their doorways — they are dominated (>wp) by
+	// both writers, which completed doorways first.
+	r.StepProc(2)
+	r.StepProc(3)
+
+	// From this configuration, stepping ONLY the writers must put one
+	// of them into the CS within a bounded number of steps.
+	probe := r.Clone()
+	for i := 0; i < 500; i++ {
+		if probe.PhaseOf(0) == ccsim.PhaseCS || probe.PhaseOf(1) == ccsim.PhaseCS {
+			t.Logf("a writer entered the CS after %d writer-only steps", i)
+			return
+		}
+		probe.StepProc(i % 2)
+	}
+	t.Fatal("WP2 violated: no writer entered the CS in 500 writer-only steps")
+}

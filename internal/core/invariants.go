@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"rwsync/internal/ccsim"
+)
+
+// This file makes the paper's proof invariants executable.  Appendix
+// A.1 (Figure 1) and Figure 5 (Figure 2) state, for every writer
+// program counter, exact relations between shared-variable values and
+// the multiset of reader program counters.  The model checker
+// evaluates these predicates at every reachable state, so any
+// transcription error in the step machines — or any genuine algorithmic
+// flaw — surfaces as a named invariant violation.
+
+// fig1ReaderContrib returns how much reader state p currently
+// contributes to the reader-count components of C[0], C[1] and EC,
+// derived from Proposition A.1 and the Read-lock control flow.
+func fig1ReaderContrib(p *ccsim.Proc) (c0, c1, ec int64) {
+	d := p.Regs[f1rRegD]
+	d2 := p.Regs[f1rRegD2]
+	add := func(side int64, n int64) {
+		if side == 0 {
+			c0 += n
+		} else {
+			c1 += n
+		}
+	}
+	switch p.PC {
+	case F1RReadD2, F1RIncCd2:
+		// Incremented C[d] at line 17 only.
+		add(d, 1)
+	case F1RReadD3:
+		// Incremented C[d] (line 17) and C[d'] (line 20).
+		add(d, 1)
+		add(d2, 1)
+	case F1RDecOther:
+		// Holds one unit on each side: the two increments were on d
+		// and d' with d != d', i.e. one per side.
+		c0++
+		c1++
+	case F1RPermitT, F1RWait, F1RCS, F1RIncEC, F1RDecCd:
+		// Net one unit on the side it finally belongs to (reg d).
+		add(d, 1)
+	}
+	switch p.PC {
+	case F1RDecCd, F1RPermitT2, F1RDecEC:
+		// Incremented EC at line 26, not yet decremented (line 29).
+		ec = 1
+	}
+	return c0, c1, ec
+}
+
+// fig1Invariant builds the Appendix A.1 invariant predicate for a
+// Figure 1 system whose writer is process writerID and whose remaining
+// processes are Figure 1 readers.
+func fig1Invariant(v *Fig1Vars, writerID int) func(r *ccsim.Runner) error {
+	return func(r *ccsim.Runner) error {
+		m := r.Mem
+		w := r.Procs[writerID]
+
+		// --- Count consistency (item 1 of every invariant group). ---
+		var c0, c1, ec int64
+		for i, p := range r.Procs {
+			if i == writerID {
+				continue
+			}
+			a, b, e := fig1ReaderContrib(p)
+			c0 += a
+			c1 += b
+			ec += e
+		}
+		switch w.PC {
+		case F1WWaitPermit, F1WDecWW:
+			// Writer holds the writer-waiting unit of C[prevD].
+			if w.Regs[f1wRegPrev] == 0 {
+				c0 += WW
+			} else {
+				c1 += WW
+			}
+		case F1WWaitExitP, F1WDecEC:
+			ec += WW
+		}
+		if got := m.Peek(v.C[0]); got != c0 {
+			return fmt.Errorf("fig1 invariant: C[0]=%d,%d want %d,%d (PCw=%d)",
+				UnpackWW(got), UnpackRC(got), UnpackWW(c0), UnpackRC(c0), w.PC)
+		}
+		if got := m.Peek(v.C[1]); got != c1 {
+			return fmt.Errorf("fig1 invariant: C[1]=%d,%d want %d,%d (PCw=%d)",
+				UnpackWW(got), UnpackRC(got), UnpackWW(c1), UnpackRC(c1), w.PC)
+		}
+		if got := m.Peek(v.EC); got != ec {
+			return fmt.Errorf("fig1 invariant: EC=%d,%d want %d,%d (PCw=%d)",
+				UnpackWW(got), UnpackRC(got), UnpackWW(ec), UnpackRC(ec), w.PC)
+		}
+
+		// --- Gate relations (item 2 of the invariant groups). ---
+		d := m.Peek(v.D)
+		g := [2]int64{m.Peek(v.Gate[0]), m.Peek(v.Gate[1])}
+		switch {
+		case w.PC == F1WRem || w.PC == F1WReadD || w.PC == F1WWriteD:
+			if g[d] != 1 || g[1-d] != 0 {
+				return fmt.Errorf("fig1 invariant: PCw=%d expects Gate[D]=1,Gate[!D]=0; got Gate=%v D=%d", w.PC, g, d)
+			}
+		case w.PC >= F1WPermitF && w.PC <= F1WGateF:
+			if g[d] != 0 || g[1-d] != 1 {
+				return fmt.Errorf("fig1 invariant: PCw=%d expects Gate[D]=0,Gate[!D]=1; got Gate=%v D=%d", w.PC, g, d)
+			}
+		case w.PC >= F1WExitPermF && w.PC <= F1WExit:
+			if g[0] != 0 || g[1] != 0 {
+				return fmt.Errorf("fig1 invariant: PCw=%d expects both gates closed; got Gate=%v", w.PC, g)
+			}
+		}
+
+		// --- Side exclusion (item 7/8 of the invariant groups):
+		// while the writer is past its doorway, no reader on the
+		// writer's current side is in the CS or the exit section. ---
+		if w.PC >= F1WPermitF && w.PC <= F1WDecEC {
+			for i, p := range r.Procs {
+				if i == writerID {
+					continue
+				}
+				if p.PC >= F1RCS && p.PC <= F1RExitPermT && p.Regs[f1rRegD] == d {
+					return fmt.Errorf("fig1 invariant: PCw=%d but reader %d with d=D=%d at PC=%d", w.PC, i, d, p.PC)
+				}
+			}
+		}
+
+		// --- Empty CS and exit while the writer is in CS or at the
+		// exit line (invariant group PCw in {13,14}, item 4). ---
+		if w.PC == F1WCS || w.PC == F1WExit {
+			for i, p := range r.Procs {
+				if i == writerID {
+					continue
+				}
+				if p.PC >= F1RCS && p.PC <= F1RExitPermT {
+					return fmt.Errorf("fig1 invariant: writer at PC=%d but reader %d at PC=%d", w.PC, i, p.PC)
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// fig2ReaderHoldsC reports whether reader state p currently contributes
+// one unit to the Figure 2 counter C (the global invariant of Figure 5:
+// C equals the number of readers between their increment at line 18 and
+// their decrement at line 26).
+func fig2ReaderHoldsC(p *ccsim.Proc) bool {
+	return p.PC >= F2RReadD && p.PC <= F2RDecC
+}
+
+// fig2Invariant builds the Figure 5 invariant predicate for a Figure 2
+// system whose writer is process writerID.
+func fig2Invariant(v *Fig2Vars, writerID int) func(r *ccsim.Runner) error {
+	return func(r *ccsim.Runner) error {
+		m := r.Mem
+		w := r.Procs[writerID]
+
+		// --- Global invariant: C counts registered readers. ---
+		var c int64
+		for i, p := range r.Procs {
+			if i == writerID {
+				continue
+			}
+			if fig2ReaderHoldsC(p) {
+				c++
+			}
+		}
+		if got := m.Peek(v.C); got != c {
+			return fmt.Errorf("fig2 invariant: C=%d want %d (PCw=%d)", got, c, w.PC)
+		}
+
+		d := m.Peek(v.D)
+		x := m.Peek(v.X)
+		permit := m.Peek(v.Permit)
+		g := [2]int64{m.Peek(v.Gate[0]), m.Peek(v.Gate[1])}
+
+		// --- Gate relations per writer PC (Figure 5, item 1). ---
+		switch {
+		case w.PC == F2WRem || w.PC == F2WReadD:
+			// PCw in {1,2}: Gate[D]=true, Gate[!D]=false.
+			if g[d] != 1 || g[1-d] != 0 {
+				return fmt.Errorf("fig2 invariant: PCw=%d expects Gate[D]=1,Gate[!D]=0; Gate=%v D=%d", w.PC, g, d)
+			}
+		case w.PC >= F2WPermF && w.PC <= F2WCS:
+			// PCw in {3..6}: D was toggled; Gate[D]=false, Gate[!D]=true.
+			if g[d] != 0 || g[1-d] != 1 {
+				return fmt.Errorf("fig2 invariant: PCw=%d expects Gate[D]=0,Gate[!D]=1; Gate=%v D=%d", w.PC, g, d)
+			}
+		case w.PC == F2WGateOpen:
+			// PCw = 8 (after closing Gate[!D]): both gates closed.
+			if g[0] != 0 || g[1] != 0 {
+				return fmt.Errorf("fig2 invariant: PCw=%d expects both gates closed; Gate=%v", w.PC, g)
+			}
+		case w.PC == F2WSetX:
+			// PCw = 9: Gate[D]=true, Gate[!D]=false.
+			if g[d] != 1 || g[1-d] != 0 {
+				return fmt.Errorf("fig2 invariant: PCw=%d expects Gate[D]=1,Gate[!D]=0; Gate=%v D=%d", w.PC, g, d)
+			}
+		}
+
+		// --- X and Permit relations. ---
+		if w.PC == F2WRem || w.PC == F2WReadD {
+			// PCw in {1,2}: X != true and Permit = true.
+			if x == XTrue {
+				return fmt.Errorf("fig2 invariant: PCw=%d (remainder) but X=true", w.PC)
+			}
+			if permit != 1 {
+				return fmt.Errorf("fig2 invariant: PCw=%d (remainder) but Permit=false", w.PC)
+			}
+		}
+		if w.PC >= F2WCS && w.PC <= F2WSetX {
+			// PCw in {6..9}: X = true, Permit = true.
+			if x != XTrue {
+				return fmt.Errorf("fig2 invariant: PCw=%d (CS/exit) but X=%d != true", w.PC, x)
+			}
+			if permit != 1 {
+				return fmt.Errorf("fig2 invariant: PCw=%d (CS/exit) but Permit=false", w.PC)
+			}
+		}
+
+		// --- Invariant 3 of Section 4.1: a reader in the CS implies
+		// X != true, or the writer is at line 9 with Gate[D] open. ---
+		for i, p := range r.Procs {
+			if i == writerID || p.PC != F2RCS {
+				continue
+			}
+			if x == XTrue && !(w.PC == F2WSetX && g[d] == 1) {
+				return fmt.Errorf("fig2 invariant 3: reader %d in CS with X=true while PCw=%d Gate=%v", i, w.PC, g)
+			}
+		}
+
+		// --- Writer in CS excludes readers from CS (P1 restated as a
+		// state predicate; the mutual-exclusion checker also covers
+		// this, but here it doubles as an invariant sanity check). ---
+		if w.PC == F2WCS {
+			for i, p := range r.Procs {
+				if i != writerID && p.PC == F2RCS {
+					return fmt.Errorf("fig2 invariant: reader %d in CS while writer in CS", i)
+				}
+			}
+		}
+		return nil
+	}
+}

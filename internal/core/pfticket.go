@@ -1,0 +1,199 @@
+package core
+
+import "rwsync/internal/ccsim"
+
+// This file adds a modern practical baseline to the RMR experiments:
+// a phase-fair ticket reader-writer lock in the style of Brandenburg &
+// Anderson (ECRTS 2009) — the paper's reference [26].  Phase-fair
+// locks are excellent on real hardware and give strong fairness
+// (readers wait for at most one writer phase), but all waiting happens
+// on two global words (rin/rout), so in the CC model the writer pays
+// one RMR per reader that entered before it and readers pay one per
+// concurrent arrival: Θ(n) RMR per passage, not O(1).
+//
+// Comparing it against Figures 1-4 shows the paper's contribution is
+// not subsumed by the practical state of the art it cites.
+
+// PFTicketVars holds the four counters of the phase-fair ticket lock.
+type PFTicketVars struct {
+	Rin  ccsim.Var // readers-in << 8 | writer presence/phase bits
+	Rout ccsim.Var // readers-out << 8
+	Win  ccsim.Var // writer ticket dispenser
+	Wout ccsim.Var // writer tickets served
+}
+
+// Phase-fair bit constants (low byte of Rin).
+const (
+	pfReaderUnit = int64(0x100)
+	pfPres       = int64(0x2)
+	pfPhase      = int64(0x1)
+	pfWBits      = pfPres | pfPhase
+)
+
+// NewPFTicketVars registers the lock's counters (all zero).
+func NewPFTicketVars(m *ccsim.Memory) *PFTicketVars {
+	return &PFTicketVars{
+		Rin:  m.NewVar("rin", ccsim.KindFAA, 0),
+		Rout: m.NewVar("rout", ccsim.KindFAA, 0),
+		Win:  m.NewVar("win", ccsim.KindFAA, 0),
+		Wout: m.NewVar("wout", ccsim.KindFAA, 0),
+	}
+}
+
+// Register assignments of the phase-fair programs.
+const (
+	pfRegW   = 0 // reader: the writer bits observed at entry
+	pfRegT   = 0 // writer: my ticket
+	pfRegEnt = 1 // writer: reader entries at publication time
+)
+
+// Phase-fair reader program counters.
+const (
+	pfrRem = iota
+	pfrEnter
+	pfrWait
+	pfrCS
+	pfrExit
+	pfrLen
+)
+
+func pfReader(v *PFTicketVars) *ccsim.Program {
+	instrs := make([]ccsim.Instr, pfrLen)
+	phases := []ccsim.Phase{
+		ccsim.PhaseRemainder, ccsim.PhaseDoorway, ccsim.PhaseWaiting, ccsim.PhaseCS, ccsim.PhaseExit,
+	}
+	instrs[pfrRem] = func(c *ccsim.Ctx) int { return pfrEnter }
+	instrs[pfrEnter] = func(c *ccsim.Ctx) int {
+		w := c.FAA(v.Rin, pfReaderUnit) & pfWBits
+		if w == 0 {
+			return pfrCS
+		}
+		c.P.Regs[pfRegW] = w
+		return pfrWait
+	}
+	instrs[pfrWait] = func(c *ccsim.Ctx) int {
+		// Wait for the writer bits to CHANGE (one phase boundary).
+		if c.Read(v.Rin)&pfWBits != c.P.Regs[pfRegW] {
+			return pfrCS
+		}
+		return pfrWait
+	}
+	instrs[pfrCS] = func(c *ccsim.Ctx) int { return pfrExit }
+	instrs[pfrExit] = func(c *ccsim.Ctx) int {
+		c.FAA(v.Rout, pfReaderUnit)
+		return pfrRem
+	}
+	return &ccsim.Program{Name: "pfticket-reader", Reader: true, Instrs: instrs, Phases: phases}
+}
+
+// Phase-fair writer program counters.
+const (
+	pfwRem = iota
+	pfwTicket
+	pfwFIFO
+	pfwPublish
+	pfwDrain
+	pfwCS
+	pfwClear
+	pfwServe
+	pfwLen
+)
+
+func pfWriter(v *PFTicketVars) *ccsim.Program {
+	instrs := make([]ccsim.Instr, pfwLen)
+	phases := []ccsim.Phase{
+		ccsim.PhaseRemainder, ccsim.PhaseDoorway, ccsim.PhaseWaiting, ccsim.PhaseWaiting,
+		ccsim.PhaseWaiting, ccsim.PhaseCS, ccsim.PhaseExit, ccsim.PhaseExit,
+	}
+	instrs[pfwRem] = func(c *ccsim.Ctx) int { return pfwTicket }
+	instrs[pfwTicket] = func(c *ccsim.Ctx) int {
+		c.P.Regs[pfRegT] = c.FAA(v.Win, 1)
+		return pfwFIFO
+	}
+	instrs[pfwFIFO] = func(c *ccsim.Ctx) int {
+		if c.Read(v.Wout) == c.P.Regs[pfRegT] {
+			return pfwPublish
+		}
+		return pfwFIFO
+	}
+	instrs[pfwPublish] = func(c *ccsim.Ctx) int {
+		bits := pfPres | (c.P.Regs[pfRegT] & pfPhase)
+		old := c.FAA(v.Rin, bits)
+		c.P.Regs[pfRegEnt] = old &^ pfWBits
+		return pfwDrain
+	}
+	instrs[pfwDrain] = func(c *ccsim.Ctx) int {
+		// Θ(readers) in the CC model: every reader exit invalidates
+		// rout and forces a fresh remote read here.
+		if c.Read(v.Rout) == c.P.Regs[pfRegEnt] {
+			return pfwCS
+		}
+		return pfwDrain
+	}
+	instrs[pfwCS] = func(c *ccsim.Ctx) int { return pfwClear }
+	instrs[pfwClear] = func(c *ccsim.Ctx) int {
+		bits := pfPres | (c.P.Regs[pfRegT] & pfPhase)
+		c.FAA(v.Rin, -bits)
+		return pfwServe
+	}
+	instrs[pfwServe] = func(c *ccsim.Ctx) int {
+		c.FAA(v.Wout, 1)
+		return pfwRem
+	}
+	return &ccsim.Program{Name: "pfticket-writer", Reader: false, Instrs: instrs, Phases: phases}
+}
+
+// NewPFTicketSystem assembles the phase-fair baseline with numWriters
+// writers and numReaders readers.
+func NewPFTicketSystem(numWriters, numReaders int) *System {
+	validateSplit(numWriters, numReaders)
+	mem := ccsim.NewMemory(numWriters + numReaders)
+	v := NewPFTicketVars(mem)
+	wp := pfWriter(v)
+	rp := pfReader(v)
+	progs := make([]*ccsim.Program, 0, numWriters+numReaders)
+	for i := 0; i < numWriters; i++ {
+		progs = append(progs, wp)
+	}
+	for i := 0; i < numReaders; i++ {
+		progs = append(progs, rp)
+	}
+	return &System{
+		Name:         "pfticket-rw",
+		Mem:          mem,
+		Progs:        progs,
+		NumWriters:   numWriters,
+		NumReaders:   numReaders,
+		EnabledBound: 0,
+		Invariant:    pfInvariant(v, numWriters, numWriters+numReaders),
+	}
+}
+
+// pfInvariant checks counter consistency of the phase-fair lock:
+// rin's reader field counts reader entries, rout reader exits, and
+// rin-rout equals the readers currently past their entry F&A and not
+// yet past their exit F&A.
+func pfInvariant(v *PFTicketVars, numWriters, total int) func(r *ccsim.Runner) error {
+	return func(r *ccsim.Runner) error {
+		var inFlight int64
+		for i := numWriters; i < total; i++ {
+			pc := r.Procs[i].PC
+			if pc >= pfrWait && pc <= pfrExit {
+				inFlight++
+			}
+		}
+		rin := r.Mem.Peek(v.Rin) &^ pfWBits
+		rout := r.Mem.Peek(v.Rout)
+		if rin-rout != inFlight*pfReaderUnit {
+			return errPFCounts{rin: rin, rout: rout, want: inFlight}
+		}
+		return nil
+	}
+}
+
+type errPFCounts struct{ rin, rout, want int64 }
+
+func (e errPFCounts) Error() string {
+	return "pfticket invariant: rin-rout=" + itoa(int((e.rin-e.rout)/pfReaderUnit)) +
+		" readers in flight, want " + itoa(int(e.want))
+}

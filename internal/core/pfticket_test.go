@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"rwsync/internal/ccsim"
+	"rwsync/internal/check"
+	"rwsync/internal/mc"
+)
+
+func TestPFTicketMutualExclusion(t *testing.T) {
+	for _, cfg := range []struct{ w, r int }{{1, 2}, {2, 3}, {3, 3}} {
+		for seed := int64(1); seed <= 6; seed++ {
+			sys := NewPFTicketSystem(cfg.w, cfg.r)
+			r, err := sys.NewRunner(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := &check.Trace{}
+			r.Sink = tr
+			if err := r.Run(ccsim.NewRandomSched(seed), 1<<22); err != nil {
+				t.Fatalf("w=%d r=%d seed=%d: %v", cfg.w, cfg.r, seed, err)
+			}
+			if v := check.MutualExclusion(tr); v != nil {
+				t.Fatalf("w=%d r=%d seed=%d: %v", cfg.w, cfg.r, seed, v)
+			}
+			if err := sys.CheckInvariant(r); err != nil {
+				t.Fatalf("w=%d r=%d seed=%d: %v", cfg.w, cfg.r, seed, err)
+			}
+			if v := check.FCFSWriters(tr.Attempts()); v != nil {
+				t.Fatalf("w=%d r=%d seed=%d: %v (ticket order is FIFO)", cfg.w, cfg.r, seed, v)
+			}
+		}
+	}
+}
+
+func TestPFTicketModelCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model checking in -short mode")
+	}
+	sys := NewPFTicketSystem(2, 2)
+	r, err := sys.NewRunner(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mc.Explore(r, mc.Options{Attempts: 2, Invariant: sys.Invariant, DetectStuck: true})
+	if res.Violation != nil {
+		t.Fatalf("pfticket: %v", res.Violation)
+	}
+	t.Logf("pfticket 2w+2r attempts=2: %d states", res.States)
+}
+
+// TestPFTicketPhaseFairness: a reader that starts waiting while
+// writers are queued is admitted after at most TWO writer CS entries
+// (the phase it observed plus, in the worst interleaving, the phase
+// that was being published as it arrived).
+func TestPFTicketPhaseFairness(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		sys := NewPFTicketSystem(3, 2)
+		r, err := sys.NewRunner(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := &check.Trace{}
+		r.Sink = tr
+		if err := r.Run(ccsim.NewRandomSched(seed), 1<<22); err != nil {
+			t.Fatal(err)
+		}
+		attempts := tr.Attempts()
+		for _, ra := range attempts {
+			if !ra.Reader || ra.EnterCS == check.Never {
+				continue
+			}
+			writersBetween := 0
+			for _, wa := range attempts {
+				if wa.Reader {
+					continue
+				}
+				if wa.EnterCS != check.Never && wa.EnterCS > ra.Begin && wa.EnterCS < ra.EnterCS {
+					writersBetween++
+				}
+			}
+			if writersBetween > 2 {
+				t.Fatalf("seed=%d: reader %d/%d overtaken by %d writer phases (phase-fairness bound is 2)",
+					seed, ra.Proc, ra.Index, writersBetween)
+			}
+		}
+	}
+}
+
+// TestPFTicketWriterRMRGrowsWithReaders: the reason this practical
+// baseline does not subsume the paper: its writer drains readers on a
+// single word, paying RMRs proportional to the reader count.
+func TestPFTicketWriterRMRGrowsWithReaders(t *testing.T) {
+	// Directed schedule: park all readers inside the CS, then let the
+	// writer publish and drain them one at a time.  Every reader exit
+	// invalidates rout, so the writer's drain loop pays one RMR per
+	// reader — the Θ(n) behaviour the paper's algorithms avoid.
+	drainRMR := func(readers int) int64 {
+		sys := NewPFTicketSystem(1, readers)
+		r, err := sys.NewRunner(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Readers enter the CS (remainder step + enter step).
+		for i := 1; i <= readers; i++ {
+			r.StepProc(i)
+			r.StepProc(i)
+			if r.PhaseOf(i) != ccsim.PhaseCS {
+				t.Fatalf("reader %d not in CS (phase %v)", i, r.PhaseOf(i))
+			}
+		}
+		// Writer publishes and starts draining; release readers one
+		// by one, stepping the writer's spin in between.
+		for step := 0; r.PhaseOf(0) != ccsim.PhaseCS; step++ {
+			r.StepProc(0)
+			next := 1 + step%readers
+			if !r.Procs[next].Done {
+				r.StepProc(next)
+			}
+			if step > 100*readers {
+				t.Fatal("writer never drained")
+			}
+		}
+		return r.Mem.RMR(0)
+	}
+	small, large := drainRMR(2), drainRMR(48)
+	if large < small+24 {
+		t.Fatalf("expected pfticket writer drain RMR to grow with readers: %d (2 readers) vs %d (48 readers)", small, large)
+	}
+	t.Logf("pfticket writer drain RMR: %d with 2 readers, %d with 48 readers", small, large)
+}
+
+// TestFig1WriterDrainRMRConstant is the apples-to-apples companion of
+// the previous test: the IDENTICAL directed scenario (readers parked
+// in the CS, drained one at a time while the writer waits) costs the
+// Figure 1 writer a constant number of RMRs, because only the LAST
+// exiting reader touches the word the writer spins on (Permit[d]).
+func TestFig1WriterDrainRMRConstant(t *testing.T) {
+	drainRMR := func(readers int) int64 {
+		sys := NewFig1System(readers)
+		r, err := sys.NewRunner(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= readers; i++ {
+			for r.PhaseOf(i) != ccsim.PhaseCS {
+				r.StepProc(i)
+			}
+		}
+		for step := 0; r.PhaseOf(0) != ccsim.PhaseCS; step++ {
+			r.StepProc(0)
+			next := 1 + step%readers
+			if !r.Procs[next].Done {
+				r.StepProc(next)
+			}
+			if step > 100*readers+1000 {
+				t.Fatal("writer never drained")
+			}
+		}
+		return r.Mem.RMR(0)
+	}
+	small, large := drainRMR(2), drainRMR(48)
+	if large > small+4 {
+		t.Fatalf("fig1 writer drain RMR grew with readers: %d (2 readers) vs %d (48 readers)", small, large)
+	}
+	t.Logf("fig1 writer drain RMR: %d with 2 readers, %d with 48 readers (constant)", small, large)
+}

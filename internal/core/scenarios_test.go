@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"rwsync/internal/ccsim"
+	"rwsync/internal/check"
+)
+
+// This file contains directed (hand-scheduled) scenario tests that
+// pin down individual clauses of the paper's properties, complementing
+// the exhaustive model checks and randomized stress.
+
+// TestFig1FIFEDirected constructs the canonical FIFE situation: two
+// readers queue on the same side behind a writer; the scheduler lets
+// the LATER one (by doorway order) into the CS first; the earlier one
+// must be enabled at that moment (P4).
+func TestFig1FIFEDirected(t *testing.T) {
+	sys := NewFig1System(2) // writer 0, readers 1 and 2
+	r, err := sys.NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writer enters the CS (side 1 on its first attempt).
+	stepUntil(t, r, 0, 200, func() bool { return r.PhaseOf(0) == ccsim.PhaseCS })
+	// Reader 1 then reader 2 complete their doorways (both side 1,
+	// gate closed): reader 1 doorway-precedes reader 2.
+	stepUntil(t, r, 1, 200, func() bool { return r.PhaseOf(1) == ccsim.PhaseWaiting })
+	stepUntil(t, r, 2, 200, func() bool { return r.PhaseOf(2) == ccsim.PhaseWaiting })
+	// Writer exits, opening Gate[1].
+	stepUntil(t, r, 0, 200, func() bool { return r.PhaseOf(0) == ccsim.PhaseRemainder || r.Procs[0].Done })
+	// Adversary: reader 2 (the later one) races into the CS first.
+	stepUntil(t, r, 2, 200, func() bool { return r.PhaseOf(2) == ccsim.PhaseCS })
+	// FIFE: reader 1 must be enabled RIGHT NOW.
+	if !r.EnabledToEnterCS(1, sys.EnabledBound) {
+		t.Fatal("P4 FIFE violated: earlier reader not enabled when the later one entered the CS")
+	}
+}
+
+// TestFig2RP21Directed pins down RP2 part 1 for Figure 2: a reader in
+// the CS implies every reader in the waiting room is enabled.
+func TestFig2RP21Directed(t *testing.T) {
+	sys := NewFig2System(2) // writer 0, readers 1 and 2
+	r, err := sys.NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reader 1 goes straight into the CS (no writer anywhere).
+	stepUntil(t, r, 1, 200, func() bool { return r.PhaseOf(1) == ccsim.PhaseCS })
+	// Reader 2 runs its try section.  In Figure 2 with the writer in
+	// the remainder section it will not wait (X != true), which is
+	// itself the property: it must reach the CS in bounded solo steps
+	// from ANY point in its try section.
+	r.StepProc(2) // leave the remainder section
+	for r.PhaseOf(2) == ccsim.PhaseDoorway || r.PhaseOf(2) == ccsim.PhaseWaiting {
+		if !r.EnabledToEnterCS(2, sys.EnabledBound) {
+			t.Fatalf("RP2.1 violated: reader 2 not enabled at PC %d while reader 1 occupies the CS", r.Procs[2].PC)
+		}
+		r.StepProc(2)
+	}
+	if r.PhaseOf(2) != ccsim.PhaseCS {
+		t.Fatalf("reader 2 ended in %v", r.PhaseOf(2))
+	}
+}
+
+// TestFig1WP1Directed pins down WP1: a writer that completes its
+// doorway before a reader begins hers is never overtaken.
+func TestFig1WP1Directed(t *testing.T) {
+	sys := NewFig1System(1) // writer 0, reader 1
+	r, err := sys.NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writer completes its doorway (D toggled) but goes no further.
+	stepUntil(t, r, 0, 200, func() bool { return r.PhaseOf(0) == ccsim.PhaseWaiting })
+	// Reader starts AFTER the writer's doorway and runs as far as it
+	// can get on its own: it must NOT reach the CS.
+	for i := 0; i < 200 && r.PhaseOf(1) != ccsim.PhaseCS; i++ {
+		r.StepProc(1)
+	}
+	if r.PhaseOf(1) == ccsim.PhaseCS {
+		t.Fatal("WP1 violated: reader entered the CS before the doorway-preceding writer")
+	}
+	// Once the writer passes through, the reader is released.
+	stepUntil(t, r, 0, 400, func() bool { return r.Procs[0].Done || r.PhaseOf(0) == ccsim.PhaseRemainder })
+	stepUntil(t, r, 1, 400, func() bool { return r.PhaseOf(1) == ccsim.PhaseCS })
+}
+
+// TestFig2RP1Directed pins down RP1: a reader that completes its
+// doorway before the writer begins its own is never overtaken.
+func TestFig2RP1Directed(t *testing.T) {
+	sys := NewFig2System(1) // writer 0, reader 1
+	r, err := sys.NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reader completes its doorway (C incremented).
+	stepUntil(t, r, 1, 200, func() bool {
+		ph := r.PhaseOf(1)
+		return ph == ccsim.PhaseWaiting || ph == ccsim.PhaseCS
+	})
+	// Writer now runs alone as far as it can: it must not reach the
+	// CS, because C > 0 blocks Promote and nobody will set Permit.
+	for i := 0; i < 400 && r.PhaseOf(0) != ccsim.PhaseCS; i++ {
+		r.StepProc(0)
+	}
+	if r.PhaseOf(0) == ccsim.PhaseCS {
+		t.Fatal("RP1 violated: writer entered the CS before the doorway-preceding reader")
+	}
+	// The reader gets in, exits; its Promote releases the writer.
+	stepUntil(t, r, 1, 400, func() bool { return r.Procs[1].Done || r.PhaseOf(1) == ccsim.PhaseRemainder })
+	stepUntil(t, r, 0, 400, func() bool { return r.PhaseOf(0) == ccsim.PhaseCS })
+}
+
+// TestWriterBypassMetric: the paper's locks serve writers FCFS
+// (bypass 0); the centralized baseline has no writer ordering and
+// exhibits bypasses under contention.
+func TestWriterBypassMetric(t *testing.T) {
+	run := func(sys *System, seed int64) int {
+		r, err := sys.NewRunner(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := &check.Trace{}
+		r.Sink = tr
+		if err := r.Run(ccsim.NewRandomSched(seed), 1<<22); err != nil {
+			t.Fatal(err)
+		}
+		return check.WriterBypasses(tr.Attempts())
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		if b := run(NewMWSFSystem(4, 2), seed); b != 0 {
+			t.Fatalf("MWSF writer bypass = %d, want 0 (P3 FCFS)", b)
+		}
+		if b := run(NewMWWPSystem(4, 2), seed); b != 0 {
+			t.Fatalf("MWWP writer bypass = %d, want 0 (P3 FCFS)", b)
+		}
+	}
+	worst := 0
+	for seed := int64(1); seed <= 20; seed++ {
+		if b := run(NewCentralizedSystem(4, 2), seed); b > worst {
+			worst = b
+		}
+	}
+	if worst == 0 {
+		t.Fatal("expected the centralized lock to exhibit writer bypasses under some schedule")
+	}
+	t.Logf("centralized worst writer bypass across 20 seeds: %d", worst)
+}
+
+// TestBoundedSectionsAllSystems checks P2 (bounded exit) and the
+// bounded-doorway requirement across every algorithm, under both fair
+// and adversarial schedules.
+func TestBoundedSectionsAllSystems(t *testing.T) {
+	systems := []func() *System{
+		func() *System { return NewFig1System(3) },
+		func() *System { return NewFig2System(3) },
+		func() *System { return NewMWSFSystem(2, 2) },
+		func() *System { return NewMWRPSystem(2, 2) },
+		func() *System { return NewMWWPSystem(2, 2) },
+		func() *System { return NewPFTicketSystem(2, 2) },
+		func() *System { return NewAndersonSystem(4) },
+	}
+	scheds := []func() ccsim.Scheduler{
+		func() ccsim.Scheduler { return ccsim.NewRoundRobin() },
+		func() ccsim.Scheduler { return ccsim.NewRandomSched(3) },
+	}
+	for _, build := range systems {
+		for _, mk := range scheds {
+			sys := build()
+			r, err := sys.NewRunner(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.CollectStats = true
+			if err := r.Run(mk(), 1<<22); err != nil {
+				t.Fatalf("%s: %v", sys.Name, err)
+			}
+			if v := check.BoundedSections(r.Stats, 16); v != nil {
+				t.Fatalf("%s: %v", sys.Name, v)
+			}
+		}
+	}
+}

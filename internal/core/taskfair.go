@@ -1,0 +1,149 @@
+package core
+
+import "rwsync/internal/ccsim"
+
+// This file implements a task-fair ticket reader-writer lock in the
+// style of Krieger, Stumm, Unrau & Hanna (ICPP 1993) — the paper's
+// reference [25], cited among the algorithms that FAIL concurrent
+// entering (P5).  Readers and writers are served strictly in arrival
+// order; a batch of consecutive readers shares the CS.
+//
+// The failure mode this baseline exists to demonstrate: a reader
+// behind another — possibly stalled — READER must wait for its
+// predecessor to advance the serving counter, even when every writer
+// is in the remainder section.  TestTaskFairConcurrentEnteringFails
+// exhibits the violation with a directed schedule, and the same probe
+// passes on Figures 1 and 2 (their P5 tests).
+
+// TaskFairVars holds the lock's three counters.
+type TaskFairVars struct {
+	Tail    ccsim.Var // ticket dispenser (F&A)
+	Serving ccsim.Var // next ticket allowed to pass the queue head
+	Readers ccsim.Var // readers currently admitted (F&A)
+}
+
+// NewTaskFairVars registers the counters (all zero).
+func NewTaskFairVars(m *ccsim.Memory) *TaskFairVars {
+	return &TaskFairVars{
+		Tail:    m.NewVar("tail", ccsim.KindFAA, 0),
+		Serving: m.NewVar("serving", ccsim.KindFAA, 0),
+		Readers: m.NewVar("readers", ccsim.KindFAA, 0),
+	}
+}
+
+const tfRegTicket = 0
+
+// Task-fair reader program counters.
+const (
+	tfrRem = iota
+	tfrTicket
+	tfrHead   // wait until serving == my ticket
+	tfrAdmit  // readers++; serving++ (hand the head to my successor)
+	tfrAdmit2 // second half of the admission (separate atomic step)
+	tfrCS
+	tfrExit
+	tfrLen
+)
+
+func taskFairReader(v *TaskFairVars) *ccsim.Program {
+	instrs := make([]ccsim.Instr, tfrLen)
+	phases := []ccsim.Phase{
+		ccsim.PhaseRemainder, ccsim.PhaseDoorway, ccsim.PhaseWaiting, ccsim.PhaseWaiting,
+		ccsim.PhaseWaiting, ccsim.PhaseCS, ccsim.PhaseExit,
+	}
+	instrs[tfrRem] = func(c *ccsim.Ctx) int { return tfrTicket }
+	instrs[tfrTicket] = func(c *ccsim.Ctx) int {
+		c.P.Regs[tfRegTicket] = c.FAA(v.Tail, 1)
+		return tfrHead
+	}
+	instrs[tfrHead] = func(c *ccsim.Ctx) int {
+		// Queue-head wait: the CONCURRENT-ENTERING VIOLATION lives
+		// here — a stalled reader predecessor never advances serving.
+		if c.Read(v.Serving) == c.P.Regs[tfRegTicket] {
+			return tfrAdmit
+		}
+		return tfrHead
+	}
+	instrs[tfrAdmit] = func(c *ccsim.Ctx) int {
+		c.FAA(v.Readers, 1)
+		return tfrAdmit2
+	}
+	instrs[tfrAdmit2] = func(c *ccsim.Ctx) int {
+		c.FAA(v.Serving, 1)
+		return tfrCS
+	}
+	instrs[tfrCS] = func(c *ccsim.Ctx) int { return tfrExit }
+	instrs[tfrExit] = func(c *ccsim.Ctx) int {
+		c.FAA(v.Readers, -1)
+		return tfrRem
+	}
+	return &ccsim.Program{Name: "taskfair-reader", Reader: true, Instrs: instrs, Phases: phases}
+}
+
+// Task-fair writer program counters.
+const (
+	tfwRem = iota
+	tfwTicket
+	tfwHead  // wait until serving == my ticket
+	tfwDrain // wait until admitted readers have left
+	tfwCS
+	tfwExit // serving++: release the queue head
+	tfwLen
+)
+
+func taskFairWriter(v *TaskFairVars) *ccsim.Program {
+	instrs := make([]ccsim.Instr, tfwLen)
+	phases := []ccsim.Phase{
+		ccsim.PhaseRemainder, ccsim.PhaseDoorway, ccsim.PhaseWaiting, ccsim.PhaseWaiting,
+		ccsim.PhaseCS, ccsim.PhaseExit,
+	}
+	instrs[tfwRem] = func(c *ccsim.Ctx) int { return tfwTicket }
+	instrs[tfwTicket] = func(c *ccsim.Ctx) int {
+		c.P.Regs[tfRegTicket] = c.FAA(v.Tail, 1)
+		return tfwHead
+	}
+	instrs[tfwHead] = func(c *ccsim.Ctx) int {
+		if c.Read(v.Serving) == c.P.Regs[tfRegTicket] {
+			return tfwDrain
+		}
+		return tfwHead
+	}
+	instrs[tfwDrain] = func(c *ccsim.Ctx) int {
+		if c.Read(v.Readers) == 0 {
+			return tfwCS
+		}
+		return tfwDrain
+	}
+	instrs[tfwCS] = func(c *ccsim.Ctx) int { return tfwExit }
+	instrs[tfwExit] = func(c *ccsim.Ctx) int {
+		c.FAA(v.Serving, 1)
+		return tfwRem
+	}
+	return &ccsim.Program{Name: "taskfair-writer", Reader: false, Instrs: instrs, Phases: phases}
+}
+
+// NewTaskFairSystem assembles the task-fair queue baseline.
+func NewTaskFairSystem(numWriters, numReaders int) *System {
+	validateSplit(numWriters, numReaders)
+	mem := ccsim.NewMemory(numWriters + numReaders)
+	v := NewTaskFairVars(mem)
+	wp := taskFairWriter(v)
+	rp := taskFairReader(v)
+	progs := make([]*ccsim.Program, 0, numWriters+numReaders)
+	for i := 0; i < numWriters; i++ {
+		progs = append(progs, wp)
+	}
+	for i := 0; i < numReaders; i++ {
+		progs = append(progs, rp)
+	}
+	return &System{
+		Name:       "taskfair-rw",
+		Mem:        mem,
+		Progs:      progs,
+		NumWriters: numWriters,
+		NumReaders: numReaders,
+		// No EnabledBound: the lock does NOT satisfy concurrent
+		// entering, so probe-based P5/FIFE checks do not apply.
+		EnabledBound: 0,
+	}
+}

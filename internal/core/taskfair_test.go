@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"rwsync/internal/ccsim"
+	"rwsync/internal/check"
+	"rwsync/internal/mc"
+)
+
+func TestTaskFairMutualExclusion(t *testing.T) {
+	for _, cfg := range []struct{ w, r int }{{1, 2}, {2, 3}} {
+		for seed := int64(1); seed <= 6; seed++ {
+			sys := NewTaskFairSystem(cfg.w, cfg.r)
+			r, err := sys.NewRunner(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := &check.Trace{}
+			r.Sink = tr
+			if err := r.Run(ccsim.NewRandomSched(seed), 1<<22); err != nil {
+				t.Fatalf("w=%d r=%d seed=%d: %v", cfg.w, cfg.r, seed, err)
+			}
+			if v := check.MutualExclusion(tr); v != nil {
+				t.Fatalf("w=%d r=%d seed=%d: %v", cfg.w, cfg.r, seed, v)
+			}
+			// Task-fairness is total FCFS: applies to writers too.
+			if v := check.FCFSWriters(tr.Attempts()); v != nil {
+				t.Fatalf("w=%d r=%d seed=%d: %v", cfg.w, cfg.r, seed, v)
+			}
+		}
+	}
+}
+
+func TestTaskFairModelCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model checking in -short mode")
+	}
+	sys := NewTaskFairSystem(2, 2)
+	r, err := sys.NewRunner(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mc.Explore(r, mc.Options{Attempts: 2, DetectStuck: true})
+	if res.Violation != nil {
+		t.Fatalf("taskfair: %v", res.Violation)
+	}
+	t.Logf("taskfair 2w+2r attempts=2: %d states", res.States)
+}
+
+// TestTaskFairConcurrentEnteringFails reproduces the paper's claim
+// that queue-based fair locks like [25] do NOT satisfy concurrent
+// entering (P5): with EVERY writer in the remainder section, a reader
+// can still be blocked indefinitely — here, behind a reader that took
+// a ticket and stalled before advancing the serving counter.  The
+// same solo-run probe that passes on Figures 1 and 2
+// (TestFig1ConcurrentEntering / TestFig2ConcurrentEntering) fails here.
+func TestTaskFairConcurrentEnteringFails(t *testing.T) {
+	sys := NewTaskFairSystem(1, 2) // writer 0 (never runs), readers 1, 2
+	r, err := sys.NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Halt(0) // all writers remain in the remainder section, forever
+
+	// Reader 1 takes ticket 0 and STALLS at the queue head without
+	// advancing serving.
+	r.StepProc(1) // leave remainder
+	r.StepProc(1) // ticket
+	if r.Procs[1].PC != tfrHead {
+		t.Fatalf("reader 1 at PC %d, want head wait", r.Procs[1].PC)
+	}
+	// Reader 2 takes ticket 1 and reaches the queue-head wait.
+	r.StepProc(2)
+	r.StepProc(2)
+
+	// P5 demands reader 2 be enabled (all writers are in the
+	// remainder section).  It is not: its solo runs spin on serving.
+	if r.EnabledToEnterCS(2, 10_000) {
+		t.Fatal("expected the task-fair lock to violate concurrent entering")
+	}
+
+	// Control: the identical scenario on Figure 1 leaves the second
+	// reader enabled.
+	f1 := NewFig1System(2)
+	rf, err := f1.NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf.Halt(0)
+	rf.StepProc(1)
+	rf.StepProc(1) // reader 1 mid-doorway, stalled
+	rf.StepProc(2)
+	rf.StepProc(2)
+	if !rf.EnabledToEnterCS(2, f1.EnabledBound) {
+		t.Fatal("figure 1 reader must be enabled with all writers in remainder (P5)")
+	}
+}
+
+// TestTaskFairReaderBatching: consecutive readers share the CS (the
+// lock is a genuine RW lock, not a mutex).
+func TestTaskFairReaderBatching(t *testing.T) {
+	sys := NewTaskFairSystem(1, 3)
+	r, err := sys.NewRunner(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Halt(0)
+	// March all three readers into the CS together.
+	for i := 1; i <= 3; i++ {
+		for r.PhaseOf(i) != ccsim.PhaseCS {
+			r.StepProc(i)
+		}
+	}
+	inCS := 0
+	for i := 1; i <= 3; i++ {
+		if r.PhaseOf(i) == ccsim.PhaseCS {
+			inCS++
+		}
+	}
+	if inCS != 3 {
+		t.Fatalf("%d readers in CS, want 3", inCS)
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import "rwsync/internal/ccsim"
+
+// This file implements the paper's Figure 3 transformation T: writers
+// wrap the single-writer protocol in Anderson's lock M, readers run
+// the single-writer protocol unchanged.
+//
+//	Write-lock: acquire(M); SW-Write-try(); CS; SW-Write-exit(); release(M)
+//	Read-lock:  SW-Read-try(); CS; SW-Read-exit()
+//
+// Applied to Figure 1 it yields the multi-writer multi-reader
+// starvation-free lock of Theorem 3; applied to Figure 2, the
+// multi-writer multi-reader reader-priority lock of Theorem 4.
+
+// appendFig1WriterTry appends the Figure 1 writer's try-section body
+// to a program under construction.  When withDoorway is true it starts
+// at line 2 (toggle D); otherwise at line 4 (the SW-waiting-room of
+// Figure 4, which assumes prevReg/currReg were already set).  All
+// appended instructions carry phase ph; control continues at PC after.
+func appendFig1WriterTry(instrs []ccsim.Instr, phases []ccsim.Phase, v *Fig1Vars,
+	start, after int, ph ccsim.Phase, prevReg, currReg int, withDoorway bool) ([]ccsim.Instr, []ccsim.Phase) {
+
+	add := func(ins ccsim.Instr) {
+		instrs = append(instrs, ins)
+		phases = append(phases, ph)
+	}
+	pc := start
+	if withDoorway {
+		readD, writeD := pc, pc+1
+		pc += 2
+		_ = readD
+		permitF := pc
+		add(func(c *ccsim.Ctx) int { // line 2
+			prev := c.Read(v.D)
+			c.P.Regs[prevReg] = prev
+			c.P.Regs[currReg] = 1 - prev
+			return writeD
+		})
+		add(func(c *ccsim.Ctx) int { // line 3
+			c.Write(v.D, c.P.Regs[currReg])
+			return permitF
+		})
+	}
+	permitF := pc
+	incWW := pc + 1
+	waitPermit := pc + 2
+	decWW := pc + 3
+	gateF := pc + 4
+	exitPermF := pc + 5
+	incEC := pc + 6
+	waitExitP := pc + 7
+	decEC := pc + 8
+
+	add(func(c *ccsim.Ctx) int { // line 4
+		c.Write(sel(c.P.Regs[prevReg], v.Permit[0], v.Permit[1]), 0)
+		return incWW
+	})
+	add(func(c *ccsim.Ctx) int { // line 5
+		if c.FAA(sel(c.P.Regs[prevReg], v.C[0], v.C[1]), WW) != 0 {
+			return waitPermit
+		}
+		return decWW
+	})
+	add(func(c *ccsim.Ctx) int { // line 6
+		if c.Read(sel(c.P.Regs[prevReg], v.Permit[0], v.Permit[1])) != 0 {
+			return decWW
+		}
+		return waitPermit
+	})
+	add(func(c *ccsim.Ctx) int { // line 7
+		c.FAA(sel(c.P.Regs[prevReg], v.C[0], v.C[1]), -WW)
+		return gateF
+	})
+	add(func(c *ccsim.Ctx) int { // line 8
+		c.Write(sel(c.P.Regs[prevReg], v.Gate[0], v.Gate[1]), 0)
+		return exitPermF
+	})
+	add(func(c *ccsim.Ctx) int { // line 9
+		c.Write(v.ExitPermit, 0)
+		return incEC
+	})
+	add(func(c *ccsim.Ctx) int { // line 10
+		if c.FAA(v.EC, WW) != 0 {
+			return waitExitP
+		}
+		return decEC
+	})
+	add(func(c *ccsim.Ctx) int { // line 11
+		if c.Read(v.ExitPermit) != 0 {
+			return decEC
+		}
+		return waitExitP
+	})
+	add(func(c *ccsim.Ctx) int { // line 12
+		c.FAA(v.EC, -WW)
+		return after
+	})
+	_ = permitF
+	return instrs, phases
+}
+
+// Register assignments of the transformed (multi-writer) writers.
+const (
+	mwRegPrev = 0
+	mwRegCurr = 1
+	mwRegSlot = 2
+	mwRegX    = 1 // Figure 2 writers reuse f2RegX; distinct from slot
+	mwRegD    = 0 // Figure 2 writers reuse f2RegD
+)
+
+// NewMWSFSystem assembles the Theorem 3 multi-writer multi-reader
+// starvation-free lock: T applied to Figure 1.  Processes
+// 0..numWriters-1 are writers, the rest readers.
+func NewMWSFSystem(numWriters, numReaders int) *System {
+	validateSplit(numWriters, numReaders)
+	mem := ccsim.NewMemory(numWriters + numReaders)
+	v := NewFig1Vars(mem)
+	av := NewAndersonVars(mem, "M", maxInt(numWriters, 1))
+
+	var instrs []ccsim.Instr
+	var phases []ccsim.Phase
+	instrs = append(instrs, func(c *ccsim.Ctx) int { return 1 })
+	phases = append(phases, ccsim.PhaseRemainder)
+	// acquire(M): PCs 1..3; the ticket fetch is the combined doorway
+	// (it fixes FCFS order among writers).
+	instrs, phases = appendAndersonAcquire(instrs, phases, av, 1, 4, mwRegSlot, ccsim.PhaseDoorway)
+	// SW-Write-try(): Figure 1 lines 2..12 at PCs 4..14.
+	csPC := 4 + 11
+	instrs, phases = appendFig1WriterTry(instrs, phases, v, 4, csPC, ccsim.PhaseWaiting, mwRegPrev, mwRegCurr, true)
+	// CS at PC 15.
+	instrs = append(instrs, func(c *ccsim.Ctx) int { return csPC + 1 })
+	phases = append(phases, ccsim.PhaseCS)
+	// SW-Write-exit(): Gate[currD] <- true at PC 16.
+	instrs = append(instrs, func(c *ccsim.Ctx) int {
+		c.Write(sel(c.P.Regs[mwRegCurr], v.Gate[0], v.Gate[1]), 1)
+		return csPC + 2
+	})
+	phases = append(phases, ccsim.PhaseExit)
+	// release(M) at PC 17.
+	instrs, phases = appendAndersonRelease(instrs, phases, av, 0, mwRegSlot, ccsim.PhaseExit)
+
+	wp := &ccsim.Program{Name: "mwsf-writer", Reader: false, Instrs: instrs, Phases: phases}
+	rp := Fig1Reader(v)
+	progs := make([]*ccsim.Program, 0, numWriters+numReaders)
+	for i := 0; i < numWriters; i++ {
+		progs = append(progs, wp)
+	}
+	for i := 0; i < numReaders; i++ {
+		progs = append(progs, rp)
+	}
+	return &System{
+		Name:         "mwsf",
+		Mem:          mem,
+		Progs:        progs,
+		NumWriters:   numWriters,
+		NumReaders:   numReaders,
+		EnabledBound: 4 * (len(instrs) + f1rLen),
+		Invariant:    mwAndersonInvariant(numWriters, 3, 17),
+	}
+}
+
+// NewMWRPSystem assembles the Theorem 4 multi-writer multi-reader
+// reader-priority lock: T applied to Figure 2.
+func NewMWRPSystem(numWriters, numReaders int) *System {
+	validateSplit(numWriters, numReaders)
+	mem := ccsim.NewMemory(numWriters + numReaders)
+	v := NewFig2Vars(mem)
+	av := NewAndersonVars(mem, "M", maxInt(numWriters, 1))
+
+	var instrs []ccsim.Instr
+	var phases []ccsim.Phase
+	add := func(ph ccsim.Phase, ins ccsim.Instr) {
+		instrs = append(instrs, ins)
+		phases = append(phases, ph)
+	}
+	add(ccsim.PhaseRemainder, func(c *ccsim.Ctx) int { return 1 })
+	// acquire(M): PCs 1..3.
+	instrs, phases = appendAndersonAcquire(instrs, phases, av, 1, 4, mwRegSlot, ccsim.PhaseDoorway)
+	// SW-Write-try(): Figure 2 lines 2..5.
+	const (
+		readD    = 4
+		writeD   = 5
+		permF    = 6
+		promote  = 7 // ..12
+		waitPerm = 13
+		csPC     = 14
+		gateCl   = 15
+		gateOp   = 16
+		setX     = 17
+		release  = 18
+	)
+	add(ccsim.PhaseWaiting, func(c *ccsim.Ctx) int { // line 2a
+		c.P.Regs[mwRegD] = c.Read(v.D)
+		return writeD
+	})
+	add(ccsim.PhaseWaiting, func(c *ccsim.Ctx) int { // line 2b
+		d := 1 - c.P.Regs[mwRegD]
+		c.P.Regs[mwRegD] = d
+		c.Write(v.D, d)
+		return permF
+	})
+	add(ccsim.PhaseWaiting, func(c *ccsim.Ctx) int { // line 3
+		c.Write(v.Permit, 0)
+		return promote
+	})
+	instrs, phases = appendPromote(instrs, phases, v, promote, waitPerm, ccsim.PhaseWaiting, promoteOpts{})
+	add(ccsim.PhaseWaiting, func(c *ccsim.Ctx) int { // line 5
+		if c.Read(v.Permit) != 0 {
+			return csPC
+		}
+		return waitPerm
+	})
+	add(ccsim.PhaseCS, func(c *ccsim.Ctx) int { return gateCl })
+	add(ccsim.PhaseExit, func(c *ccsim.Ctx) int { // line 7
+		c.Write(sel(1-c.P.Regs[mwRegD], v.Gate[0], v.Gate[1]), 0)
+		return gateOp
+	})
+	add(ccsim.PhaseExit, func(c *ccsim.Ctx) int { // line 8
+		c.Write(sel(c.P.Regs[mwRegD], v.Gate[0], v.Gate[1]), 1)
+		return setX
+	})
+	add(ccsim.PhaseExit, func(c *ccsim.Ctx) int { // line 9
+		c.Write(v.X, int64(c.P.ID))
+		return release
+	})
+	// release(M) at PC 18.
+	instrs, phases = appendAndersonRelease(instrs, phases, av, 0, mwRegSlot, ccsim.PhaseExit)
+
+	wp := &ccsim.Program{Name: "mwrp-writer", Reader: false, Instrs: instrs, Phases: phases}
+	rp := Fig2Reader(v)
+	progs := make([]*ccsim.Program, 0, numWriters+numReaders)
+	for i := 0; i < numWriters; i++ {
+		progs = append(progs, wp)
+	}
+	for i := 0; i < numReaders; i++ {
+		progs = append(progs, rp)
+	}
+	return &System{
+		Name:         "mwrp",
+		Mem:          mem,
+		Progs:        progs,
+		NumWriters:   numWriters,
+		NumReaders:   numReaders,
+		EnabledBound: 4 * (len(instrs) + f2rLen),
+		Invariant:    mwAndersonInvariant(numWriters, 3, 18),
+	}
+}
+
+// mwAndersonInvariant checks Anderson's mutual exclusion among the
+// transformed writers: at most one writer may be past the slot claim
+// (PC > claimPC) and not yet past the release (PC <= releasePC).
+func mwAndersonInvariant(numWriters, claimPC, releasePC int) func(r *ccsim.Runner) error {
+	return func(r *ccsim.Runner) error {
+		holders := 0
+		for i := 0; i < numWriters; i++ {
+			pc := r.Procs[i].PC
+			if pc > claimPC && pc <= releasePC {
+				holders++
+			}
+		}
+		if holders > 1 {
+			return errAndersonMutex(holders)
+		}
+		return nil
+	}
+}
+
+type errAndersonMutexT int
+
+func (e errAndersonMutexT) Error() string {
+	return "anderson invariant: " + itoa(int(e)) + " writers hold M simultaneously"
+}
+
+func errAndersonMutex(n int) error { return errAndersonMutexT(n) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+
+	"rwsync/internal/ccsim"
+	"rwsync/internal/check"
+	"rwsync/internal/mc"
+)
+
+func TestAndersonMutex(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5} {
+		for seed := int64(1); seed <= 6; seed++ {
+			sys := NewAndersonSystem(n)
+			res := runChecked(t, sys, ccsim.NewRandomSched(seed), 6, check.RunOpts{SectionBound: 8})
+			if v := check.FCFSWriters(res.Trace.Attempts()); v != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, v)
+			}
+		}
+	}
+}
+
+func TestAndersonModelCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model checking in -short mode")
+	}
+	sys := NewAndersonSystem(3)
+	r, err := sys.NewRunner(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mc.Explore(r, mc.Options{Attempts: 2, DetectStuck: true})
+	if res.Violation != nil {
+		t.Fatalf("anderson: %v", res.Violation)
+	}
+	t.Logf("anderson n=3 attempts=2: %d states", res.States)
+}
+
+func TestAndersonRMRConstant(t *testing.T) {
+	const maxRMR = 10
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		sys := NewAndersonSystem(n)
+		r, err := sys.NewRunner(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.CollectStats = true
+		if err := r.Run(ccsim.NewRandomSched(int64(n)), 1<<24); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for _, s := range r.Stats {
+			if s.RMR > maxRMR {
+				t.Fatalf("n=%d proc=%d: RMR=%d exceeds %d", n, s.Proc, s.RMR, maxRMR)
+			}
+		}
+	}
+}
+
+func TestMWSFRandomRunsSatisfyProperties(t *testing.T) {
+	for _, cfg := range []struct{ w, r int }{{1, 2}, {2, 2}, {3, 4}} {
+		for seed := int64(1); seed <= 6; seed++ {
+			sys := NewMWSFSystem(cfg.w, cfg.r)
+			res := runChecked(t, sys, ccsim.NewRandomSched(seed), 5, check.RunOpts{
+				FIFE:         true,
+				SectionBound: 32,
+			})
+			tr := res.Trace.Attempts()
+			if v := check.FCFSWriters(tr); v != nil {
+				t.Fatalf("w=%d r=%d seed=%d: %v", cfg.w, cfg.r, seed, v)
+			}
+		}
+	}
+}
+
+func TestMWSFStarvationFreedom(t *testing.T) {
+	// P7 under a fair (round-robin) schedule: every attempt completes.
+	sys := NewMWSFSystem(3, 3)
+	runChecked(t, sys, ccsim.NewRoundRobin(), 8, check.RunOpts{SectionBound: 64})
+}
+
+func TestMWSFModelCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model checking in -short mode")
+	}
+	sys := NewMWSFSystem(2, 1)
+	r, err := sys.NewRunner(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mc.Explore(r, mc.Options{
+		Attempts:    2,
+		Invariant:   sys.Invariant,
+		DetectStuck: true,
+	})
+	if res.Violation != nil {
+		t.Fatalf("mwsf: %v", res.Violation)
+	}
+	if res.Truncated {
+		t.Fatalf("mwsf truncated at %d states", res.States)
+	}
+	t.Logf("mwsf 2w+1r attempts=2: %d states", res.States)
+}
+
+func TestMWSFRMRConstant(t *testing.T) {
+	const maxRMR = 48
+	for _, cfg := range []struct{ w, r int }{{2, 2}, {2, 8}, {4, 16}, {4, 32}} {
+		sys := NewMWSFSystem(cfg.w, cfg.r)
+		r, err := sys.NewRunner(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.CollectStats = true
+		if err := r.Run(ccsim.NewRandomSched(int64(cfg.w*100+cfg.r)), 1<<24); err != nil {
+			t.Fatalf("w=%d r=%d: %v", cfg.w, cfg.r, err)
+		}
+		for _, s := range r.Stats {
+			if s.RMR > maxRMR {
+				t.Fatalf("w=%d r=%d proc=%d: RMR=%d exceeds %d", cfg.w, cfg.r, s.Proc, s.RMR, maxRMR)
+			}
+		}
+	}
+}
+
+func TestMWRPRandomRunsSatisfyProperties(t *testing.T) {
+	for _, cfg := range []struct{ w, r int }{{1, 2}, {2, 2}, {3, 4}} {
+		for seed := int64(1); seed <= 6; seed++ {
+			sys := NewMWRPSystem(cfg.w, cfg.r)
+			res := runChecked(t, sys, ccsim.NewRandomSched(seed), 5, check.RunOpts{
+				FIFE:              true,
+				UnstoppableReader: true,
+				SectionBound:      32,
+			})
+			tr := res.Trace.Attempts()
+			if v := check.ReaderPriority(tr); v != nil {
+				t.Fatalf("w=%d r=%d seed=%d: %v", cfg.w, cfg.r, seed, v)
+			}
+			if v := check.FCFSWriters(tr); v != nil {
+				t.Fatalf("w=%d r=%d seed=%d: %v", cfg.w, cfg.r, seed, v)
+			}
+		}
+	}
+}
+
+func TestMWRPModelCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model checking in -short mode")
+	}
+	sys := NewMWRPSystem(2, 1)
+	r, err := sys.NewRunner(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mc.Explore(r, mc.Options{
+		Attempts:    2,
+		Invariant:   sys.Invariant,
+		DetectStuck: true,
+	})
+	if res.Violation != nil {
+		t.Fatalf("mwrp: %v", res.Violation)
+	}
+	if res.Truncated {
+		t.Fatalf("mwrp truncated at %d states", res.States)
+	}
+	t.Logf("mwrp 2w+1r attempts=2: %d states", res.States)
+}
+
+func TestMWRPRMRConstant(t *testing.T) {
+	const maxRMR = 48
+	for _, cfg := range []struct{ w, r int }{{2, 2}, {2, 8}, {4, 16}} {
+		sys := NewMWRPSystem(cfg.w, cfg.r)
+		r, err := sys.NewRunner(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.CollectStats = true
+		if err := r.Run(ccsim.NewRandomSched(int64(cfg.w*100+cfg.r+7)), 1<<24); err != nil {
+			t.Fatalf("w=%d r=%d: %v", cfg.w, cfg.r, err)
+		}
+		for _, s := range r.Stats {
+			if s.RMR > maxRMR {
+				t.Fatalf("w=%d r=%d proc=%d: RMR=%d exceeds %d", cfg.w, cfg.r, s.Proc, s.RMR, maxRMR)
+			}
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package harness assembles the repository's experiments (E1-E8 in
+// DESIGN.md): RMR sweeps on the CC simulator for the paper's Theorems
+// 1-5 and the baseline contrast, plus native throughput and priority
+// latency measurements.  The cmd/rmrbench and cmd/rwbench tools and
+// the bench_test.go entry points are thin wrappers over this package.
+package harness
+
+import (
+	"fmt"
+
+	"rwsync/internal/ccsim"
+	"rwsync/internal/core"
+	"rwsync/internal/stats"
+	"rwsync/internal/workload"
+	"rwsync/rwlock"
+)
+
+// RMRRow is one sweep point of an RMR experiment.
+type RMRRow struct {
+	Writers int
+	Readers int
+	// Reader and Writer summarize RMRs per completed attempt by role.
+	Reader stats.Summary
+	Writer stats.Summary
+}
+
+// RMRSweep runs the system returned by build for each (writers,
+// readers) point, under a seeded random scheduler, and summarizes the
+// per-attempt RMR counts by role.
+func RMRSweep(build func(writers, readers int) *core.System, points [][2]int, attempts int, seed int64) ([]RMRRow, error) {
+	var rows []RMRRow
+	for _, pt := range points {
+		w, r := pt[0], pt[1]
+		sys := build(w, r)
+		run, err := sys.NewRunner(attempts)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s w=%d r=%d: %w", sys.Name, w, r, err)
+		}
+		run.CollectStats = true
+		budget := int64(attempts) * int64(w+r) * 1 << 16
+		if err := run.Run(ccsim.NewRandomSched(seed+int64(w*1000+r)), budget); err != nil {
+			return nil, fmt.Errorf("harness: %s w=%d r=%d: %w", sys.Name, w, r, err)
+		}
+		var readerRMR, writerRMR []int64
+		for _, s := range run.Stats {
+			if s.Reader {
+				readerRMR = append(readerRMR, s.RMR)
+			} else {
+				writerRMR = append(writerRMR, s.RMR)
+			}
+		}
+		rows = append(rows, RMRRow{
+			Writers: w,
+			Readers: r,
+			Reader:  stats.Summarize(readerRMR),
+			Writer:  stats.Summarize(writerRMR),
+		})
+	}
+	return rows, nil
+}
+
+// RMRSweepDSM is RMRSweep under the DSM accounting model (experiment
+// E9): variables are homed round-robin across the processes and there
+// are no caches, so every spin iteration on a remote variable is
+// charged.  The paper proves (via Danek & Hadzilacos's lower bound)
+// that NO reader-writer algorithm with concurrent entering can be
+// sublinear in this model; this sweep shows our CC-constant algorithms
+// indeed lose their bound, i.e. the CC result is model-specific.
+func RMRSweepDSM(build func(writers, readers int) *core.System, points [][2]int, attempts int, seed int64) ([]RMRRow, error) {
+	var rows []RMRRow
+	for _, pt := range points {
+		w, r := pt[0], pt[1]
+		sys := build(w, r)
+		sys.Mem.SetModel(ccsim.ModelDSM)
+		for v := 0; v < sys.Mem.NumVars(); v++ {
+			sys.Mem.SetHome(ccsim.Var(v), v%(w+r))
+		}
+		run, err := sys.NewRunner(attempts)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s w=%d r=%d: %w", sys.Name, w, r, err)
+		}
+		run.CollectStats = true
+		budget := int64(attempts) * int64(w+r) * 1 << 16
+		if err := run.Run(ccsim.NewRandomSched(seed+int64(w*1000+r)), budget); err != nil {
+			return nil, fmt.Errorf("harness: %s w=%d r=%d: %w", sys.Name, w, r, err)
+		}
+		var readerRMR, writerRMR []int64
+		for _, s := range run.Stats {
+			if s.Reader {
+				readerRMR = append(readerRMR, s.RMR)
+			} else {
+				writerRMR = append(writerRMR, s.RMR)
+			}
+		}
+		rows = append(rows, RMRRow{
+			Writers: w,
+			Readers: r,
+			Reader:  stats.Summarize(readerRMR),
+			Writer:  stats.Summarize(writerRMR),
+		})
+	}
+	return rows, nil
+}
+
+// RMRTable formats sweep rows as a table: RMRs per passage by role.
+func RMRTable(title string, rows []RMRRow) *stats.Table {
+	t := stats.NewTable(title,
+		"writers", "readers",
+		"reader RMR mean", "reader RMR max",
+		"writer RMR mean", "writer RMR max")
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Writers),
+			fmt.Sprintf("%d", r.Readers),
+			fmt.Sprintf("%.1f", r.Reader.Mean),
+			fmt.Sprintf("%d", r.Reader.Max),
+			fmt.Sprintf("%.1f", r.Writer.Mean),
+			fmt.Sprintf("%d", r.Writer.Max),
+		)
+	}
+	return t
+}
+
+// SingleWriterPoints is the standard sweep for E1/E2: one writer,
+// doubling readers.
+func SingleWriterPoints() [][2]int {
+	return [][2]int{{1, 1}, {1, 2}, {1, 4}, {1, 8}, {1, 16}, {1, 32}, {1, 64}}
+}
+
+// MultiWriterPoints is the standard sweep for E3: doubling both roles.
+func MultiWriterPoints() [][2]int {
+	return [][2]int{{1, 2}, {2, 2}, {2, 8}, {4, 8}, {4, 16}, {8, 32}, {8, 64}}
+}
+
+// Builders returns the named system constructors of every algorithm
+// that participates in the RMR experiments.
+func Builders() map[string]func(w, r int) *core.System {
+	return map[string]func(w, r int) *core.System{
+		"fig1-swwp": func(w, r int) *core.System {
+			if w != 1 {
+				panic("fig1 is single-writer")
+			}
+			return core.NewFig1System(r)
+		},
+		"fig2-swrp": func(w, r int) *core.System {
+			if w != 1 {
+				panic("fig2 is single-writer")
+			}
+			return core.NewFig2System(r)
+		},
+		"mwsf":        core.NewMWSFSystem,
+		"mwrp":        core.NewMWRPSystem,
+		"mwwp":        core.NewMWWPSystem,
+		"centralized": core.NewCentralizedSystem,
+		"pfticket":    core.NewPFTicketSystem,
+		"taskfair":    core.NewTaskFairSystem,
+		"tournament": func(w, r int) *core.System {
+			return core.NewTournamentSystem(w + r)
+		},
+	}
+}
+
+// NativeLocks returns the named native lock constructors used in the
+// throughput and priority experiments.
+func NativeLocks(maxWriters int) map[string]func() rwlock.RWLock {
+	return map[string]func() rwlock.RWLock{
+		"MWSF":          func() rwlock.RWLock { return rwlock.NewMWSF(maxWriters) },
+		"MWRP":          func() rwlock.RWLock { return rwlock.NewMWRP(maxWriters) },
+		"MWWP":          func() rwlock.RWLock { return rwlock.NewMWWP(maxWriters) },
+		"CentralizedRW": func() rwlock.RWLock { return rwlock.NewCentralizedRW() },
+		"PhaseFairRW":   func() rwlock.RWLock { return rwlock.NewPhaseFairRW() },
+		"TaskFairRW":    func() rwlock.RWLock { return rwlock.NewTaskFairRW() },
+		"sync.RWMutex":  func() rwlock.RWLock { return rwlock.NewRWMutexLock() },
+	}
+}
+
+// LockNames returns the canonical presentation order of NativeLocks.
+func LockNames() []string {
+	return []string{"MWSF", "MWRP", "MWWP", "CentralizedRW", "PhaseFairRW", "TaskFairRW", "sync.RWMutex"}
+}
+
+// ThroughputPoint is one cell of the E7 experiment.
+type ThroughputPoint struct {
+	Lock         string
+	Workers      int
+	ReadFraction float64
+	OpsPerSec    float64
+}
+
+// ThroughputSweep measures ops/sec for every lock at every (workers,
+// readFraction) point.
+func ThroughputSweep(workers []int, fractions []float64, opsPerWorker int, seed int64) []ThroughputPoint {
+	var out []ThroughputPoint
+	builders := NativeLocks(64)
+	for _, name := range LockNames() {
+		for _, w := range workers {
+			for _, f := range fractions {
+				l := builders[name]()
+				res := workload.Run(l, workload.Config{
+					Workers:      w,
+					ReadFraction: f,
+					OpsPerWorker: opsPerWorker,
+					CSWork:       32,
+					ThinkWork:    32,
+					Seed:         seed,
+				})
+				out = append(out, ThroughputPoint{
+					Lock: name, Workers: w, ReadFraction: f, OpsPerSec: res.Throughput(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ThroughputTable formats E7 results, one row per (workers, fraction),
+// one column per lock.
+func ThroughputTable(title string, pts []ThroughputPoint) *stats.Table {
+	headers := append([]string{"workers", "read%"}, LockNames()...)
+	t := stats.NewTable(title, headers...)
+	type key struct {
+		w int
+		f float64
+	}
+	cells := make(map[key]map[string]float64)
+	var order []key
+	for _, p := range pts {
+		k := key{p.Workers, p.ReadFraction}
+		if cells[k] == nil {
+			cells[k] = make(map[string]float64)
+			order = append(order, k)
+		}
+		cells[k][p.Lock] = p.OpsPerSec
+	}
+	for _, k := range order {
+		row := []string{fmt.Sprintf("%d", k.w), fmt.Sprintf("%.0f", k.f*100)}
+		for _, name := range LockNames() {
+			row = append(row, fmt.Sprintf("%.0f", cells[k][name]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// PriorityPoint is one cell of the E8 experiment: latency of the
+// minority class under a storm of the majority class.
+type PriorityPoint struct {
+	Lock        string
+	WriteP50Ns  int64
+	WriteP99Ns  int64
+	ReadP50Ns   int64
+	ReadP99Ns   int64
+	WriterShare float64 // fraction of completed ops that were writes
+}
+
+// PrioritySweep runs one dedicated writer against readerCount readers
+// per lock and reports both classes' latency distributions.  Under
+// MWWP the writer's tail latency should stay low even under the
+// storm; under MWRP the readers' should.
+func PrioritySweep(readerCount, opsPerWorker int, seed int64) []PriorityPoint {
+	var out []PriorityPoint
+	builders := NativeLocks(8)
+	for _, name := range LockNames() {
+		l := builders[name]()
+		res := workload.Run(l, workload.Config{
+			Workers:          readerCount + 1,
+			DedicatedWriters: 1,
+			OpsPerWorker:     opsPerWorker,
+			CSWork:           64,
+			ThinkWork:        16,
+			Seed:             seed,
+			SampleEvery:      4,
+		})
+		total := res.ReadOps + res.WriteOps
+		share := 0.0
+		if total > 0 {
+			share = float64(res.WriteOps) / float64(total)
+		}
+		out = append(out, PriorityPoint{
+			Lock:        name,
+			WriteP50Ns:  res.WriteLatNs.P50,
+			WriteP99Ns:  res.WriteLatNs.P99,
+			ReadP50Ns:   res.ReadLatNs.P50,
+			ReadP99Ns:   res.ReadLatNs.P99,
+			WriterShare: share,
+		})
+	}
+	return out
+}
+
+// PriorityTable formats E8 results.
+func PriorityTable(title string, pts []PriorityPoint) *stats.Table {
+	t := stats.NewTable(title, "lock", "write p50 ns", "write p99 ns", "read p50 ns", "read p99 ns")
+	for _, p := range pts {
+		t.AddRow(p.Lock,
+			fmt.Sprintf("%d", p.WriteP50Ns),
+			fmt.Sprintf("%d", p.WriteP99Ns),
+			fmt.Sprintf("%d", p.ReadP50Ns),
+			fmt.Sprintf("%d", p.ReadP99Ns),
+		)
+	}
+	return t
+}

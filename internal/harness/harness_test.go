@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRMRSweepFlatForFig1(t *testing.T) {
+	builders := Builders()
+	rows, err := RMRSweep(builders["fig1-swwp"], [][2]int{{1, 2}, {1, 16}}, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Theorem 1: the writer's worst RMR must not grow with readers.
+	if rows[1].Writer.Max > rows[0].Writer.Max+2 {
+		t.Fatalf("fig1 writer RMR grew: %d -> %d", rows[0].Writer.Max, rows[1].Writer.Max)
+	}
+}
+
+func TestRMRSweepGrowsForCentralized(t *testing.T) {
+	builders := Builders()
+	rows, err := RMRSweep(builders["centralized"], [][2]int{{1, 2}, {8, 64}}, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].Reader.Max <= rows[0].Reader.Max {
+		t.Fatalf("centralized reader RMR did not grow: %d -> %d", rows[0].Reader.Max, rows[1].Reader.Max)
+	}
+}
+
+func TestRMRSweepDSMExceedsCC(t *testing.T) {
+	builders := Builders()
+	pts := [][2]int{{1, 16}}
+	cc, err := RMRSweep(builders["fig1-swwp"], pts, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsm, err := RMRSweepDSM(builders["fig1-swwp"], pts, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsm[0].Reader.Max <= cc[0].Reader.Max {
+		t.Fatalf("DSM reader RMR (%d) should exceed CC (%d)", dsm[0].Reader.Max, cc[0].Reader.Max)
+	}
+}
+
+func TestRMRTableShape(t *testing.T) {
+	builders := Builders()
+	rows, err := RMRSweep(builders["mwsf"], [][2]int{{2, 2}}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RMRTable("title", rows).Render()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "writer RMR max") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+}
+
+func TestBuildersCoverAllAlgorithms(t *testing.T) {
+	b := Builders()
+	for _, name := range []string{"fig1-swwp", "fig2-swrp", "mwsf", "mwrp", "mwwp", "centralized", "pfticket", "taskfair", "tournament"} {
+		f, ok := b[name]
+		if !ok {
+			t.Fatalf("missing builder %q", name)
+		}
+		w := 1
+		sys := f(w, 2)
+		if sys == nil || sys.Mem == nil || len(sys.Progs) == 0 {
+			t.Fatalf("builder %q produced a broken system", name)
+		}
+	}
+}
+
+func TestThroughputSweepAndTable(t *testing.T) {
+	pts := ThroughputSweep([]int{2}, []float64{0.9}, 300, 1)
+	if len(pts) != len(LockNames()) {
+		t.Fatalf("got %d points, want %d", len(pts), len(LockNames()))
+	}
+	for _, p := range pts {
+		if p.OpsPerSec <= 0 {
+			t.Fatalf("lock %s reported no throughput", p.Lock)
+		}
+	}
+	out := ThroughputTable("tp", pts).Render()
+	for _, name := range LockNames() {
+		if !strings.Contains(out, name) {
+			t.Fatalf("table missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestPrioritySweepAndTable(t *testing.T) {
+	pts := PrioritySweep(2, 300, 1)
+	if len(pts) != len(LockNames()) {
+		t.Fatalf("got %d points, want %d", len(pts), len(LockNames()))
+	}
+	for _, p := range pts {
+		if p.WriteP50Ns <= 0 || p.ReadP50Ns <= 0 {
+			t.Fatalf("lock %s missing latencies: %+v", p.Lock, p)
+		}
+	}
+	out := PriorityTable("prio", pts).Render()
+	if !strings.Contains(out, "write p99 ns") {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+}
+
+func TestNativeLocksConstructAll(t *testing.T) {
+	for name, f := range NativeLocks(4) {
+		l := f()
+		tok := l.Lock()
+		l.Unlock(tok)
+		rt := l.RLock()
+		l.RUnlock(rt)
+		_ = name
+	}
+}

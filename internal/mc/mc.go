@@ -1,0 +1,188 @@
+// Package mc is an explicit-state model checker for ccsim systems.
+//
+// It exhaustively explores every interleaving of a bounded
+// configuration (n processes, k attempts each) by breadth-first search
+// over canonical state encodings, checking at every reachable state:
+//
+//   - mutual exclusion (property P1 of the paper),
+//   - the algorithm's proof invariants (the paper's Appendix A.1 and
+//     Figure 5, supplied as a predicate), and
+//   - absence of stuck states: configurations in which every
+//     non-halted process only self-loops (a lost-wakeup deadlock —
+//     busy-wait loops whose conditions can never again change).
+//
+// Exhaustiveness over bounded configurations is exactly how the
+// paper's subtle-feature arguments (Sections 3.3 and 4.3) are
+// reproduced: the deliberately broken variants must — and do — yield a
+// mutual-exclusion violation, with a full counterexample schedule.
+package mc
+
+import (
+	"fmt"
+
+	"rwsync/internal/ccsim"
+)
+
+// Options configures an exploration.
+type Options struct {
+	// Attempts bounds the attempts per process.
+	Attempts int
+	// MaxStates aborts the search (with Result.Truncated=true) once
+	// this many distinct states have been discovered.  Zero means the
+	// default of 4,000,000.
+	MaxStates int
+	// Invariant, if non-nil, is evaluated at every reachable state.
+	Invariant func(*ccsim.Runner) error
+	// DetectStuck enables stuck-state detection.
+	DetectStuck bool
+	// KeepWitness records parent links so a violation comes with a
+	// counterexample schedule.  Costs extra memory.
+	KeepWitness bool
+}
+
+// Step is one transition of a counterexample: process Proc took a step.
+type Step struct {
+	Proc int
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	States    int  // distinct states discovered
+	Truncated bool // MaxStates reached before exhaustion
+	// Violation is nil when all checks passed everywhere.
+	Violation error
+	// Witness is the schedule (sequence of process ids) leading from
+	// the initial state to the violating state, when KeepWitness was
+	// set and a violation was found.
+	Witness []Step
+	// MaxFrontier is the peak BFS frontier size (diagnostics).
+	MaxFrontier int
+}
+
+// csOccupancy returns (writersInCS, readersInCS) of the runner's
+// current configuration.
+func csOccupancy(r *ccsim.Runner) (writers, readers int) {
+	for i := range r.Procs {
+		if r.PhaseOf(i) == ccsim.PhaseCS {
+			if r.Progs[i].Reader {
+				readers++
+			} else {
+				writers++
+			}
+		}
+	}
+	return writers, readers
+}
+
+// checkState evaluates the per-state predicates.
+func checkState(r *ccsim.Runner, opts *Options) error {
+	w, rd := csOccupancy(r)
+	if w > 1 || (w == 1 && rd > 0) {
+		return fmt.Errorf("mutual exclusion violated: %d writers and %d readers in the CS", w, rd)
+	}
+	if opts.Invariant != nil {
+		if err := opts.Invariant(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Explore runs the search from the initial configuration of base.
+// base is not modified.
+func Explore(base *ccsim.Runner, opts Options) *Result {
+	if opts.MaxStates == 0 {
+		opts.MaxStates = 4_000_000
+	}
+	res := &Result{}
+
+	scratch := base.Clone()
+	scratch.AttemptsPerProc = opts.Attempts
+	scratch.Sink = nil
+	scratch.CollectStats = false
+
+	init := string(scratch.EncodeState(nil))
+	if err := checkState(scratch, &opts); err != nil {
+		res.Violation = err
+		res.States = 1
+		return res
+	}
+
+	type nodeID = int32
+	states := []string{init}
+	index := map[string]nodeID{init: 0}
+	var parent []nodeID
+	var via []int32
+	if opts.KeepWitness {
+		parent = []nodeID{-1}
+		via = []int32{-1}
+	}
+
+	queue := []nodeID{0}
+	buf := make([]byte, 0, len(init))
+
+	fail := func(id nodeID, err error) {
+		res.Violation = err
+		if opts.KeepWitness {
+			var rev []Step
+			for cur := id; cur > 0; cur = parent[cur] {
+				rev = append(rev, Step{Proc: int(via[cur])})
+			}
+			for i := len(rev) - 1; i >= 0; i-- {
+				res.Witness = append(res.Witness, rev[i])
+			}
+		}
+	}
+
+	for len(queue) > 0 {
+		if len(queue) > res.MaxFrontier {
+			res.MaxFrontier = len(queue)
+		}
+		cur := queue[0]
+		queue = queue[1:]
+		curEnc := states[cur]
+
+		scratch.RestoreState([]byte(curEnc))
+		active := append([]int(nil), scratch.Active()...)
+		allSelfLoop := len(active) > 0
+
+		for _, pid := range active {
+			scratch.RestoreState([]byte(curEnc))
+			scratch.StepProc(pid)
+			buf = scratch.EncodeState(buf[:0])
+			if string(buf) != curEnc {
+				allSelfLoop = false
+			}
+			key := string(buf)
+			if _, seen := index[key]; seen {
+				continue
+			}
+			id := nodeID(len(states))
+			states = append(states, key)
+			index[key] = id
+			if opts.KeepWitness {
+				parent = append(parent, cur)
+				via = append(via, int32(pid))
+			}
+			if err := checkState(scratch, &opts); err != nil {
+				fail(id, err)
+				res.States = len(states)
+				return res
+			}
+			if len(states) >= opts.MaxStates {
+				res.Truncated = true
+				res.States = len(states)
+				return res
+			}
+			queue = append(queue, id)
+		}
+
+		if opts.DetectStuck && allSelfLoop {
+			fail(cur, fmt.Errorf("stuck state: all %d active processes self-loop forever", len(active)))
+			res.States = len(states)
+			return res
+		}
+	}
+	res.States = len(states)
+	return res
+}

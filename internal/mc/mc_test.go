@@ -1,0 +1,192 @@
+package mc
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rwsync/internal/ccsim"
+)
+
+// buildMutex returns a 2-process system using a (correct) test-and-set
+// style lock via CAS, or — with broken=true — a naive check-then-set
+// lock with a race the checker must find.
+func buildMutex(broken bool) *ccsim.Runner {
+	m := ccsim.NewMemory(2)
+	lock := m.NewVar("lock", ccsim.KindCAS, 0)
+	var prog *ccsim.Program
+	if broken {
+		prog = &ccsim.Program{
+			Name: "check-then-set",
+			Instrs: []ccsim.Instr{
+				func(c *ccsim.Ctx) int { return 1 },
+				func(c *ccsim.Ctx) int { // doorway: no-op
+					return 2
+				},
+				func(c *ccsim.Ctx) int { // wait until lock looks free
+					if c.Read(lock) == 0 {
+						return 3
+					}
+					return 2
+				},
+				func(c *ccsim.Ctx) int { // then set it (RACE)
+					c.Write(lock, 1)
+					return 4
+				},
+				func(c *ccsim.Ctx) int { return 5 }, // CS
+				func(c *ccsim.Ctx) int { // exit
+					c.Write(lock, 0)
+					return 0
+				},
+			},
+			Phases: []ccsim.Phase{
+				ccsim.PhaseRemainder, ccsim.PhaseDoorway, ccsim.PhaseWaiting,
+				ccsim.PhaseWaiting, ccsim.PhaseCS, ccsim.PhaseExit,
+			},
+		}
+	} else {
+		prog = &ccsim.Program{
+			Name: "cas-lock",
+			Instrs: []ccsim.Instr{
+				func(c *ccsim.Ctx) int { return 1 },
+				func(c *ccsim.Ctx) int { return 2 },
+				func(c *ccsim.Ctx) int {
+					if c.CAS(lock, 0, 1) {
+						return 3
+					}
+					return 2
+				},
+				func(c *ccsim.Ctx) int { return 4 }, // CS
+				func(c *ccsim.Ctx) int {
+					c.Write(lock, 0)
+					return 0
+				},
+			},
+			Phases: []ccsim.Phase{
+				ccsim.PhaseRemainder, ccsim.PhaseDoorway, ccsim.PhaseWaiting,
+				ccsim.PhaseCS, ccsim.PhaseExit,
+			},
+		}
+	}
+	r, err := ccsim.NewRunner(m, []*ccsim.Program{prog, prog}, 2)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func TestExploreFindsRace(t *testing.T) {
+	res := Explore(buildMutex(true), Options{Attempts: 2, KeepWitness: true})
+	if res.Violation == nil {
+		t.Fatalf("expected a mutual-exclusion violation; explored %d states", res.States)
+	}
+	if !strings.Contains(res.Violation.Error(), "mutual exclusion") {
+		t.Fatalf("wrong violation: %v", res.Violation)
+	}
+	if len(res.Witness) == 0 {
+		t.Fatal("expected a witness schedule")
+	}
+}
+
+func TestWitnessReplaysToViolation(t *testing.T) {
+	base := buildMutex(true)
+	res := Explore(base, Options{Attempts: 2, KeepWitness: true})
+	if res.Violation == nil {
+		t.Fatal("no violation found")
+	}
+	// Replay the witness on a fresh clone: it must end with 2 procs in CS.
+	r := base.Clone()
+	r.AttemptsPerProc = 2
+	for _, s := range res.Witness {
+		r.StepProc(s.Proc)
+	}
+	inCS := 0
+	for i := range r.Procs {
+		if r.PhaseOf(i) == ccsim.PhaseCS {
+			inCS++
+		}
+	}
+	if inCS < 2 {
+		t.Fatalf("witness replay ended with %d processes in the CS, want 2", inCS)
+	}
+}
+
+func TestExplorePassesCorrectLock(t *testing.T) {
+	res := Explore(buildMutex(false), Options{Attempts: 2, DetectStuck: true})
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation: %v", res.Violation)
+	}
+	if res.States < 10 {
+		t.Fatalf("implausibly few states: %d", res.States)
+	}
+}
+
+func TestExploreRespectsMaxStates(t *testing.T) {
+	res := Explore(buildMutex(false), Options{Attempts: 2, MaxStates: 5})
+	if !res.Truncated {
+		t.Fatal("expected truncation at MaxStates=5")
+	}
+	if res.States > 5 {
+		t.Fatalf("explored %d states past the cap", res.States)
+	}
+}
+
+func TestExploreInvariantCallback(t *testing.T) {
+	calls := 0
+	bad := errors.New("synthetic invariant failure")
+	res := Explore(buildMutex(false), Options{
+		Attempts: 1,
+		Invariant: func(r *ccsim.Runner) error {
+			calls++
+			if calls == 10 {
+				return bad
+			}
+			return nil
+		},
+	})
+	if !errors.Is(res.Violation, bad) {
+		t.Fatalf("invariant error not propagated: %v", res.Violation)
+	}
+}
+
+func TestDetectStuck(t *testing.T) {
+	// One process spinning forever on a gate nobody opens.
+	m := ccsim.NewMemory(1)
+	gate := m.NewVar("gate", ccsim.KindRW, 0)
+	prog := &ccsim.Program{
+		Name: "deadlock",
+		Instrs: []ccsim.Instr{
+			func(c *ccsim.Ctx) int { return 1 },
+			func(c *ccsim.Ctx) int { c.Read(gate); return 2 },
+			func(c *ccsim.Ctx) int {
+				if c.Read(gate) != 0 {
+					return 3
+				}
+				return 2
+			},
+			func(c *ccsim.Ctx) int { return 4 },
+			func(c *ccsim.Ctx) int { return 0 },
+		},
+		Phases: []ccsim.Phase{
+			ccsim.PhaseRemainder, ccsim.PhaseDoorway, ccsim.PhaseWaiting,
+			ccsim.PhaseCS, ccsim.PhaseExit,
+		},
+	}
+	r, err := ccsim.NewRunner(m, []*ccsim.Program{prog}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Explore(r, Options{Attempts: 1, DetectStuck: true})
+	if res.Violation == nil || !strings.Contains(res.Violation.Error(), "stuck") {
+		t.Fatalf("expected a stuck-state violation, got %v", res.Violation)
+	}
+}
+
+func TestExploreDoesNotDisturbBase(t *testing.T) {
+	base := buildMutex(false)
+	enc := base.EncodeState(nil)
+	Explore(base, Options{Attempts: 1})
+	if string(base.EncodeState(nil)) != string(enc) {
+		t.Fatal("Explore mutated the base runner")
+	}
+}

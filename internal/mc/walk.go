@@ -1,0 +1,99 @@
+package mc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"rwsync/internal/ccsim"
+)
+
+// WalkOptions configures RandomWalks.
+type WalkOptions struct {
+	// Attempts bounds attempts per process per walk.
+	Attempts int
+	// Walks is the number of independent random schedules to sample.
+	Walks int
+	// MaxSteps bounds each walk's length.
+	MaxSteps int64
+	// Seed makes the sampling reproducible.
+	Seed int64
+	// Invariant, if non-nil, is evaluated after every step.
+	Invariant func(*ccsim.Runner) error
+}
+
+// WalkResult summarizes a RandomWalks run.
+type WalkResult struct {
+	Walks     int
+	Steps     int64 // total steps across all walks
+	Violation error
+	// Schedule reproduces the violating walk when Violation != nil:
+	// the exact sequence of process ids stepped from the initial
+	// configuration.
+	Schedule []int
+}
+
+// RandomWalks complements Explore for configurations whose state
+// graphs are too large to exhaust: it samples many independent
+// uniformly-random schedules from the initial configuration of base,
+// checking mutual exclusion and the invariant at every step.  A
+// violation comes with the exact schedule that produced it.
+func RandomWalks(base *ccsim.Runner, opts WalkOptions) *WalkResult {
+	if opts.Walks <= 0 {
+		opts.Walks = 64
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 1 << 16
+	}
+	res := &WalkResult{}
+	eOpts := Options{Invariant: opts.Invariant}
+
+	for w := 0; w < opts.Walks; w++ {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(w)*1_000_003))
+		r := base.Clone()
+		r.AttemptsPerProc = opts.Attempts
+		var schedule []int
+		for s := int64(0); s < opts.MaxSteps && !r.AllDone(); s++ {
+			active := r.Active()
+			id := active[rng.Intn(len(active))]
+			schedule = append(schedule, id)
+			r.StepProc(id)
+			res.Steps++
+			if err := checkState(r, &eOpts); err != nil {
+				res.Walks = w + 1
+				res.Violation = fmt.Errorf("walk %d, step %d: %w", w, s, err)
+				res.Schedule = schedule
+				return res
+			}
+		}
+	}
+	res.Walks = opts.Walks
+	return res
+}
+
+// FormatWitness renders a counterexample schedule with per-step
+// program names and section transitions by replaying it on a clone of
+// base.  Output is meant for humans debugging a violation.
+func FormatWitness(base *ccsim.Runner, witness []Step, attempts int) string {
+	r := base.Clone()
+	r.AttemptsPerProc = attempts
+	var b strings.Builder
+	for i, s := range witness {
+		before := r.PhaseOf(s.Proc)
+		beforePC := r.Procs[s.Proc].PC
+		r.StepProc(s.Proc)
+		after := r.PhaseOf(s.Proc)
+		afterPC := r.Procs[s.Proc].PC
+		name := r.Progs[s.Proc].Name
+		if before != after {
+			fmt.Fprintf(&b, "%3d: proc %d (%s) PC %d->%d  %s -> %s\n",
+				i, s.Proc, name, beforePC, afterPC, before, after)
+		} else {
+			fmt.Fprintf(&b, "%3d: proc %d (%s) PC %d->%d\n",
+				i, s.Proc, name, beforePC, afterPC)
+		}
+	}
+	w, rd := csOccupancy(r)
+	fmt.Fprintf(&b, "final CS occupancy: %d writers, %d readers\n", w, rd)
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+
+	"rwsync/internal/ccsim"
+)
+
+func TestRandomWalksPassOnCorrectLock(t *testing.T) {
+	res := RandomWalks(buildMutex(false), WalkOptions{
+		Attempts: 3, Walks: 50, Seed: 1,
+	})
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation: %v", res.Violation)
+	}
+	if res.Walks != 50 || res.Steps == 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+}
+
+func TestRandomWalksFindRace(t *testing.T) {
+	// The broken check-then-set lock races under most interleavings;
+	// 200 random walks must stumble on one.
+	res := RandomWalks(buildMutex(true), WalkOptions{
+		Attempts: 3, Walks: 200, Seed: 7,
+	})
+	if res.Violation == nil {
+		t.Fatalf("expected random walks to find the race (%d steps sampled)", res.Steps)
+	}
+	if len(res.Schedule) == 0 {
+		t.Fatal("violating walk must come with its schedule")
+	}
+	// The schedule replays to the violation.
+	r := buildMutex(true).Clone()
+	r.AttemptsPerProc = 3
+	for _, id := range res.Schedule {
+		r.StepProc(id)
+	}
+	w, rd := csOccupancy(r)
+	if w+rd < 2 {
+		t.Fatalf("schedule replay ended with %d+%d in CS, want >= 2", w, rd)
+	}
+}
+
+func TestRandomWalksInvariantHook(t *testing.T) {
+	calls := 0
+	res := RandomWalks(buildMutex(false), WalkOptions{
+		Attempts: 1, Walks: 2, Seed: 1,
+		Invariant: func(r *ccsim.Runner) error { calls++; return nil },
+	})
+	if res.Violation != nil {
+		t.Fatal(res.Violation)
+	}
+	if calls == 0 {
+		t.Fatal("invariant hook never called")
+	}
+}
+
+func TestFormatWitness(t *testing.T) {
+	base := buildMutex(true)
+	res := Explore(base, Options{Attempts: 2, KeepWitness: true})
+	if res.Violation == nil {
+		t.Fatal("no violation")
+	}
+	out := FormatWitness(base, res.Witness, 2)
+	if !strings.Contains(out, "final CS occupancy") {
+		t.Fatalf("witness format missing summary:\n%s", out)
+	}
+	if !strings.Contains(out, "-> CS") {
+		t.Fatalf("witness format missing CS transitions:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != len(res.Witness)+1 {
+		t.Fatalf("got %d lines for %d steps", lines, len(res.Witness))
+	}
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]int64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bad order stats: %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Fatalf("mean = %f, want 3", s.Mean)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("p50 = %d, want 3", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]int64{7})
+	if s.Min != 7 || s.Max != 7 || s.P50 != 7 || s.P99 != 7 || s.Mean != 7 || s.StdDev != 0 {
+		t.Fatalf("single-element summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []int64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("input reordered")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		p    float64
+		want int64
+	}{
+		{0.50, 50}, {0.90, 90}, {0.99, 100}, {0.01, 10},
+	}
+	for _, c := range cases {
+		if got := percentile(sorted, c.p); got != c.want {
+			t.Fatalf("p%.0f = %d, want %d", c.p*100, got, c.want)
+		}
+	}
+}
+
+func TestSummarizeQuickInvariants(t *testing.T) {
+	f := func(xs []int64) bool {
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.N == 0
+		}
+		sorted := append([]int64(nil), xs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		ok := s.N == len(xs) &&
+			s.Min == sorted[0] &&
+			s.Max == sorted[len(sorted)-1] &&
+			s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max &&
+			s.StdDev >= 0 &&
+			!math.IsNaN(s.Mean)
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "a", "bb")
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	out := tb.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "333") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// All data lines equally wide (alignment).
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("misaligned header/separator:\n%s", out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("t", "x", "y")
+	tb.AddRow("1", "2")
+	md := tb.Markdown()
+	for _, want := range []string{"| x | y |", "| --- | --- |", "| 1 | 2 |", "**t**"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestTableRowClamping(t *testing.T) {
+	tb := NewTable("", "only")
+	tb.AddRow("a", "b", "c")
+	if len(tb.Rows[0]) != 1 {
+		t.Fatalf("row not clamped: %v", tb.Rows[0])
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]int64{1, 2, 3})
+	str := s.String()
+	if !strings.Contains(str, "n=3") || !strings.Contains(str, "mean=2.00") {
+		t.Fatalf("String() = %q", str)
+	}
+}

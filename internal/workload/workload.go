@@ -1,0 +1,150 @@
+// Package workload generates reproducible reader/writer workloads
+// against the native rwlock implementations and measures throughput
+// and per-operation latency.  It backs the native-performance
+// experiments (E7, E8 in DESIGN.md).
+package workload
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rwsync/internal/stats"
+	"rwsync/rwlock"
+)
+
+// Config describes one workload run.
+type Config struct {
+	// Workers is the number of goroutines issuing operations.
+	Workers int
+	// ReadFraction is the probability that a worker's next operation
+	// is a read (1.0 = read-only, 0.0 = write-only).
+	ReadFraction float64
+	// DedicatedWriters, if > 0, overrides the mixed model: that many
+	// workers write exclusively and the rest read exclusively.
+	DedicatedWriters int
+	// OpsPerWorker is how many operations each worker performs.
+	OpsPerWorker int
+	// CSWork is the amount of busy work (loop iterations) inside the
+	// critical section, modeling the protected operation's cost.
+	CSWork int
+	// ThinkWork is busy work between operations (remainder section).
+	ThinkWork int
+	// Seed makes the per-worker operation mix reproducible.
+	Seed int64
+	// SampleEvery records the latency of every k-th operation
+	// (default 8; 1 records all).
+	SampleEvery int
+}
+
+// Result aggregates a run.
+type Result struct {
+	Elapsed    time.Duration
+	ReadOps    int64
+	WriteOps   int64
+	ReadLatNs  stats.Summary
+	WriteLatNs stats.Summary
+}
+
+// Throughput returns total operations per second.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.ReadOps+r.WriteOps) / r.Elapsed.Seconds()
+}
+
+// spin performs n iterations of un-optimizable busy work.
+func spin(n int, sink *int64) {
+	s := *sink
+	for i := 0; i < n; i++ {
+		s += int64(i) ^ s<<1
+	}
+	*sink = s
+}
+
+// Run executes the workload against l and returns aggregate results.
+// The protected data is a plain counter mutated by writers and read by
+// readers, so running tests under -race doubles as an exclusion check.
+func Run(l rwlock.RWLock, cfg Config) *Result {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.OpsPerWorker <= 0 {
+		cfg.OpsPerWorker = 1000
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 8
+	}
+
+	var (
+		shared   int64 // guarded by l
+		readOps  atomic.Int64
+		writeOps atomic.Int64
+		mu       sync.Mutex
+		readLat  []int64
+		writeLat []int64
+	)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
+			var sink int64
+			var myReadLat, myWriteLat []int64
+			isDedicatedWriter := cfg.DedicatedWriters > 0 && id < cfg.DedicatedWriters
+			dedicated := cfg.DedicatedWriters > 0
+
+			for i := 0; i < cfg.OpsPerWorker; i++ {
+				var write bool
+				if dedicated {
+					write = isDedicatedWriter
+				} else {
+					write = rng.Float64() >= cfg.ReadFraction
+				}
+				sample := i%cfg.SampleEvery == 0
+				var t0 time.Time
+				if sample {
+					t0 = time.Now()
+				}
+				if write {
+					tok := l.Lock()
+					shared++
+					spin(cfg.CSWork, &sink)
+					l.Unlock(tok)
+					writeOps.Add(1)
+					if sample {
+						myWriteLat = append(myWriteLat, time.Since(t0).Nanoseconds())
+					}
+				} else {
+					tok := l.RLock()
+					_ = shared
+					spin(cfg.CSWork, &sink)
+					l.RUnlock(tok)
+					readOps.Add(1)
+					if sample {
+						myReadLat = append(myReadLat, time.Since(t0).Nanoseconds())
+					}
+				}
+				spin(cfg.ThinkWork, &sink)
+			}
+			mu.Lock()
+			readLat = append(readLat, myReadLat...)
+			writeLat = append(writeLat, myWriteLat...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	return &Result{
+		Elapsed:    time.Since(start),
+		ReadOps:    readOps.Load(),
+		WriteOps:   writeOps.Load(),
+		ReadLatNs:  stats.Summarize(readLat),
+		WriteLatNs: stats.Summarize(writeLat),
+	}
+}

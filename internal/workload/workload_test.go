@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"testing"
+
+	"rwsync/rwlock"
+)
+
+func TestRunMixedCounts(t *testing.T) {
+	res := Run(rwlock.NewMWSF(8), Config{
+		Workers:      4,
+		ReadFraction: 0.5,
+		OpsPerWorker: 1000,
+		Seed:         1,
+	})
+	total := res.ReadOps + res.WriteOps
+	if total != 4000 {
+		t.Fatalf("total ops = %d, want 4000", total)
+	}
+	// With fraction 0.5 and 4000 ops, both classes must be amply
+	// represented (binomial tail bounds make <1200 astronomically
+	// unlikely with a fixed seed this is deterministic anyway).
+	if res.ReadOps < 1200 || res.WriteOps < 1200 {
+		t.Fatalf("implausible split: %d reads / %d writes", res.ReadOps, res.WriteOps)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("elapsed not measured")
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput not computed")
+	}
+}
+
+func TestRunDedicated(t *testing.T) {
+	res := Run(rwlock.NewMWWP(2), Config{
+		Workers:          5,
+		DedicatedWriters: 2,
+		OpsPerWorker:     500,
+		Seed:             3,
+	})
+	if res.WriteOps != 2*500 {
+		t.Fatalf("write ops = %d, want 1000", res.WriteOps)
+	}
+	if res.ReadOps != 3*500 {
+		t.Fatalf("read ops = %d, want 1500", res.ReadOps)
+	}
+}
+
+func TestRunReadOnlyAndWriteOnly(t *testing.T) {
+	ro := Run(rwlock.NewMWRP(2), Config{Workers: 2, ReadFraction: 1.0, OpsPerWorker: 200, Seed: 1})
+	if ro.WriteOps != 0 || ro.ReadOps != 400 {
+		t.Fatalf("read-only run: %d reads / %d writes", ro.ReadOps, ro.WriteOps)
+	}
+	wo := Run(rwlock.NewMWSF(4), Config{Workers: 2, ReadFraction: 0.0, OpsPerWorker: 200, Seed: 1})
+	if wo.ReadOps != 0 || wo.WriteOps != 400 {
+		t.Fatalf("write-only run: %d reads / %d writes", wo.ReadOps, wo.WriteOps)
+	}
+}
+
+func TestLatencySampling(t *testing.T) {
+	res := Run(rwlock.NewCentralizedRW(), Config{
+		Workers:      2,
+		ReadFraction: 0.5,
+		OpsPerWorker: 1000,
+		SampleEvery:  1,
+		Seed:         9,
+	})
+	if res.ReadLatNs.N == 0 || res.WriteLatNs.N == 0 {
+		t.Fatalf("no latency samples: read n=%d write n=%d", res.ReadLatNs.N, res.WriteLatNs.N)
+	}
+	if res.ReadLatNs.N+res.WriteLatNs.N != 2000 {
+		t.Fatalf("SampleEvery=1 must sample every op; got %d", res.ReadLatNs.N+res.WriteLatNs.N)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	res := Run(rwlock.NewRWMutexLock(), Config{Seed: 1, ReadFraction: 1.0})
+	if res.ReadOps+res.WriteOps != 1000 { // 1 worker x 1000 default ops
+		t.Fatalf("defaults not applied: %d ops", res.ReadOps+res.WriteOps)
+	}
+}
+
+func TestDeterministicMixWithSeed(t *testing.T) {
+	cfg := Config{Workers: 3, ReadFraction: 0.7, OpsPerWorker: 500, Seed: 42}
+	a := Run(rwlock.NewMWSF(4), cfg)
+	b := Run(rwlock.NewMWSF(4), cfg)
+	if a.ReadOps != b.ReadOps || a.WriteOps != b.WriteOps {
+		t.Fatalf("same seed produced different mixes: (%d,%d) vs (%d,%d)",
+			a.ReadOps, a.WriteOps, b.ReadOps, b.WriteOps)
+	}
+}

@@ -1,0 +1,214 @@
+package rwlock
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file provides the baselines the paper's locks are benchmarked
+// against in EXPERIMENTS.md:
+//
+//   - CentralizedRW: the folklore one-word counter reader-writer spin
+//     lock.  Simple and fast uncontended, but every waiter spins on
+//     the same word, so its RMR traffic grows with the number of
+//     processes — the gap the paper closes.
+//   - PhaseFairRW: a ticket-based phase-fair reader-writer lock in
+//     the style of Brandenburg & Anderson (ECRTS 2009, the paper's
+//     [26]): writers are FIFO, and readers that arrive while a writer
+//     waits are admitted after exactly one writer phase.
+//   - RWMutexLock: the Go standard library's sync.RWMutex behind the
+//     package's token interface (tokens are ignored).
+type noCopy struct{}
+
+// Lock and Unlock make noCopy trip `go vet -copylocks`.
+func (*noCopy) Lock()   {}
+func (*noCopy) Unlock() {}
+
+// CentralizedRW is the classical counter-based reader-writer spin
+// lock: readers fetch&add a reader unit and back off if a writer is
+// present; writers fetch&add a writer unit, then drain readers.
+// Mutual exclusion holds, but there is no FCFS/FIFE and no RMR bound:
+// all waiting is on one global word.
+type CentralizedRW struct {
+	_   noCopy
+	cnt atomic.Int64 // writer count at bit 32+, reader count below
+}
+
+// NewCentralizedRW returns a ready centralized lock.
+func NewCentralizedRW() *CentralizedRW { return &CentralizedRW{} }
+
+// Lock acquires write mode.
+func (l *CentralizedRW) Lock() WToken {
+	for {
+		old := l.cnt.Add(wwBit) - wwBit
+		if old == 0 {
+			return WToken{}
+		}
+		if old>>32 == 0 {
+			// Only readers ahead: drain them.
+			spinWhile(func() bool { return l.cnt.Load()&(wwBit-1) != 0 })
+			return WToken{}
+		}
+		// Another writer: back off and retry when it leaves.
+		l.cnt.Add(-wwBit)
+		spinWhile(func() bool { return l.cnt.Load()>>32 != 0 })
+	}
+}
+
+// Unlock releases write mode.
+func (l *CentralizedRW) Unlock(WToken) { l.cnt.Add(-wwBit) }
+
+// RLock acquires read mode.
+func (l *CentralizedRW) RLock() RToken {
+	for {
+		old := l.cnt.Add(1) - 1
+		if old>>32 == 0 {
+			return RToken{}
+		}
+		l.cnt.Add(-1)
+		spinWhile(func() bool { return l.cnt.Load()>>32 != 0 })
+	}
+}
+
+// RUnlock releases read mode.
+func (l *CentralizedRW) RUnlock(RToken) { l.cnt.Add(-1) }
+
+var _ RWLock = (*CentralizedRW)(nil)
+
+// PhaseFairRW is a phase-fair ticket reader-writer lock: writers take
+// FIFO tickets; a writer publishes its presence (and phase parity) in
+// the low bits of rin and waits for the readers that arrived before
+// it; readers that see a writer present wait only until the writer
+// bits CHANGE — i.e. they are admitted at the next phase boundary,
+// after at most one writer, regardless of how many writers are queued.
+type PhaseFairRW struct {
+	_    noCopy
+	rin  atomic.Int64 // readers-in << 8 | writer presence/phase bits
+	_    [56]byte
+	rout atomic.Int64 // readers-out << 8
+	_    [56]byte
+	win  atomic.Int64 // writer ticket dispenser
+	_    [56]byte
+	wout atomic.Int64 // writer tickets served
+}
+
+const (
+	pfReader = int64(0x100) // one reader unit in rin/rout
+	pfPres   = int64(0x2)   // writer-present bit
+	pfPhase  = int64(0x1)   // writer phase parity bit
+	pfWBits  = pfPres | pfPhase
+)
+
+// NewPhaseFairRW returns a ready phase-fair lock.
+func NewPhaseFairRW() *PhaseFairRW { return &PhaseFairRW{} }
+
+// Lock acquires write mode.
+func (l *PhaseFairRW) Lock() WToken {
+	t := l.win.Add(1) - 1
+	spinWhile(func() bool { return l.wout.Load() != t }) // writers FIFO
+	w := pfPres | (t & pfPhase)
+	entered := l.rin.Add(w) - w // readers that arrived before me
+	spinWhile(func() bool { return l.rout.Load() != entered&^pfWBits })
+	return WToken{id: w}
+}
+
+// Unlock releases write mode.
+func (l *PhaseFairRW) Unlock(t WToken) {
+	// Clear the writer bits first so spinning readers see the phase
+	// change, then admit the next writer.
+	l.rin.Add(-t.id)
+	l.wout.Add(1)
+}
+
+// RLock acquires read mode.
+func (l *PhaseFairRW) RLock() RToken {
+	w := (l.rin.Add(pfReader) - pfReader) & pfWBits
+	if w != 0 {
+		// A writer holds or awaits the lock: wait for the next phase
+		// boundary (the writer bits changing), after which we hold a
+		// counted reservation the next writer will wait for.
+		spinWhile(func() bool { return l.rin.Load()&pfWBits == w })
+	}
+	return RToken{}
+}
+
+// RUnlock releases read mode.
+func (l *PhaseFairRW) RUnlock(RToken) { l.rout.Add(pfReader) }
+
+var _ RWLock = (*PhaseFairRW)(nil)
+
+// TaskFairRW is a task-fair ticket reader-writer lock in the style of
+// Krieger, Stumm, Unrau & Hanna (ICPP 1993, the paper's [25]):
+// readers and writers are served in strict arrival order and
+// consecutive readers share the CS.  Strong fairness, but it does NOT
+// satisfy concurrent entering: a reader stalled at the queue head
+// blocks every later reader even when no writer exists — the defect
+// the paper's algorithms avoid (see the task-fair tests in
+// internal/core for the directed counterexample).
+type TaskFairRW struct {
+	_       noCopy
+	tail    atomic.Int64
+	_       [56]byte
+	serving atomic.Int64
+	_       [56]byte
+	readers atomic.Int64
+}
+
+// NewTaskFairRW returns a ready task-fair lock.
+func NewTaskFairRW() *TaskFairRW { return &TaskFairRW{} }
+
+// Lock acquires write mode.
+func (l *TaskFairRW) Lock() WToken {
+	t := l.tail.Add(1) - 1
+	spinWhile(func() bool { return l.serving.Load() != t })
+	spinWhile(func() bool { return l.readers.Load() != 0 })
+	return WToken{}
+}
+
+// Unlock releases write mode, handing the queue head onward.
+func (l *TaskFairRW) Unlock(WToken) { l.serving.Add(1) }
+
+// RLock acquires read mode.
+func (l *TaskFairRW) RLock() RToken {
+	t := l.tail.Add(1) - 1
+	spinWhile(func() bool { return l.serving.Load() != t })
+	l.readers.Add(1) // register before releasing the head
+	l.serving.Add(1)
+	return RToken{}
+}
+
+// RUnlock releases read mode.
+func (l *TaskFairRW) RUnlock(RToken) { l.readers.Add(-1) }
+
+var _ RWLock = (*TaskFairRW)(nil)
+
+// RWMutexLock adapts sync.RWMutex to the package interface so the
+// standard library participates in the same benchmarks and tests.
+// Note sync.RWMutex's own discipline: writers block new readers
+// (roughly writer-preference for admission, FIFO via the mutex).
+type RWMutexLock struct {
+	mu sync.RWMutex
+}
+
+// NewRWMutexLock returns a ready adapter.
+func NewRWMutexLock() *RWMutexLock { return &RWMutexLock{} }
+
+// Lock acquires write mode.
+func (l *RWMutexLock) Lock() WToken {
+	l.mu.Lock()
+	return WToken{}
+}
+
+// Unlock releases write mode.
+func (l *RWMutexLock) Unlock(WToken) { l.mu.Unlock() }
+
+// RLock acquires read mode.
+func (l *RWMutexLock) RLock() RToken {
+	l.mu.RLock()
+	return RToken{}
+}
+
+// RUnlock releases read mode.
+func (l *RWMutexLock) RUnlock(RToken) { l.mu.RUnlock() }
+
+var _ RWLock = (*RWMutexLock)(nil)

@@ -1,0 +1,99 @@
+package rwlock
+
+import "sync"
+
+// Guard couples a value with a reader-writer lock and exposes
+// closure-based access, hiding token management entirely.  It is the
+// recommended high-level API:
+//
+//	g := rwlock.NewGuard(rwlock.NewMWWP(8), map[string]int{})
+//	g.Write(func(m *map[string]int) { (*m)["x"] = 1 })
+//	g.Read(func(m map[string]int) { fmt.Println(m["x"]) })
+//
+// The callbacks run inside the critical section; they must not retain
+// references to the guarded value (or its aliased internals) after
+// returning, and must not call back into the same Guard.
+type Guard[T any] struct {
+	l     RWLock
+	value T
+}
+
+// NewGuard wraps value with lock l.  If l is nil, a starvation-free
+// MWSF lock for 16 writers is used.
+func NewGuard[T any](l RWLock, value T) *Guard[T] {
+	if l == nil {
+		l = NewMWSF(16)
+	}
+	return &Guard[T]{l: l, value: value}
+}
+
+// Read runs f with shared (read) access to the value.
+func (g *Guard[T]) Read(f func(T)) {
+	tok := g.l.RLock()
+	defer g.l.RUnlock(tok)
+	f(g.value)
+}
+
+// Write runs f with exclusive (write) access to the value.
+func (g *Guard[T]) Write(f func(*T)) {
+	tok := g.l.Lock()
+	defer g.l.Unlock(tok)
+	f(&g.value)
+}
+
+// Load returns a read-locked shallow copy of the value.  For pointer-
+// or map-typed T the copy aliases the same underlying data; use Read
+// when you need the shared state to stay consistent while you look.
+func (g *Guard[T]) Load() T {
+	tok := g.l.RLock()
+	defer g.l.RUnlock(tok)
+	return g.value
+}
+
+// Store replaces the value under the write lock.
+func (g *Guard[T]) Store(v T) {
+	tok := g.l.Lock()
+	defer g.l.Unlock(tok)
+	g.value = v
+}
+
+// Locker adapts the write side of l to sync.Locker (e.g. for use with
+// sync.Cond).  The adapter serializes its users with an internal
+// mutex so that the token handoff between Lock and Unlock is safe
+// even when multiple goroutines share one Locker.
+func Locker(l RWLock) sync.Locker {
+	return &wLocker{l: l}
+}
+
+type wLocker struct {
+	mu  sync.Mutex
+	l   RWLock
+	tok WToken
+}
+
+func (w *wLocker) Lock() {
+	w.mu.Lock()
+	w.tok = w.l.Lock()
+}
+
+func (w *wLocker) Unlock() {
+	w.l.Unlock(w.tok)
+	w.mu.Unlock()
+}
+
+// RLocker adapts the read side of l to sync.Locker.  Unlike Locker,
+// the returned value must NOT be shared between goroutines that hold
+// it concurrently — readers are admitted simultaneously, and the
+// adapter has room for only one token.  Create one RLocker per
+// goroutine (they are cheap).
+func RLocker(l RWLock) sync.Locker {
+	return &rLocker{l: l}
+}
+
+type rLocker struct {
+	l   RWLock
+	tok RToken
+}
+
+func (r *rLocker) Lock()   { r.tok = r.l.RLock() }
+func (r *rLocker) Unlock() { r.l.RUnlock(r.tok) }

@@ -1,0 +1,133 @@
+package rwlock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGuardBasic(t *testing.T) {
+	g := NewGuard[int](NewMWSF(2), 41)
+	g.Write(func(v *int) { *v++ })
+	var got int
+	g.Read(func(v int) { got = v })
+	if got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+	if g.Load() != 42 {
+		t.Fatalf("Load = %d, want 42", g.Load())
+	}
+	g.Store(7)
+	if g.Load() != 7 {
+		t.Fatalf("after Store, Load = %d, want 7", g.Load())
+	}
+}
+
+func TestGuardNilLockDefaults(t *testing.T) {
+	g := NewGuard[string](nil, "hello")
+	if g.Load() != "hello" {
+		t.Fatal("default-lock guard broken")
+	}
+}
+
+func TestGuardConcurrentMap(t *testing.T) {
+	g := NewGuard(NewMWWP(4), map[string]int{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				g.Write(func(m *map[string]int) { (*m)["k"]++ })
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				g.Read(func(m map[string]int) { _ = m["k"] })
+			}
+		}()
+	}
+	wg.Wait()
+	var final int
+	g.Read(func(m map[string]int) { final = m["k"] })
+	if final != 2000 {
+		t.Fatalf("counter = %d, want 2000", final)
+	}
+}
+
+func TestLockerAdapter(t *testing.T) {
+	l := NewMWSF(4)
+	lk := Locker(l)
+	var counter int
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				lk.Lock()
+				counter++
+				lk.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 2000 {
+		t.Fatalf("counter = %d, want 2000", counter)
+	}
+}
+
+func TestLockerWithCond(t *testing.T) {
+	// The write Locker must be usable with sync.Cond.
+	l := NewMWSF(2)
+	lk := Locker(l)
+	cond := sync.NewCond(lk)
+	ready := false
+
+	done := make(chan struct{})
+	go func() {
+		lk.Lock()
+		for !ready {
+			cond.Wait()
+		}
+		lk.Unlock()
+		close(done)
+	}()
+
+	lk.Lock()
+	ready = true
+	cond.Signal()
+	lk.Unlock()
+	<-done
+}
+
+func TestRLockerPerGoroutine(t *testing.T) {
+	l := NewMWRP(2)
+	var data int
+	wt := Locker(l)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rl := RLocker(l) // one per goroutine, per the contract
+			for j := 0; j < 500; j++ {
+				rl.Lock()
+				_ = data
+				rl.Unlock()
+			}
+		}()
+	}
+	for j := 0; j < 200; j++ {
+		wt.Lock()
+		data++
+		wt.Unlock()
+	}
+	wg.Wait()
+	if data != 200 {
+		t.Fatalf("data = %d, want 200", data)
+	}
+}

@@ -1,0 +1,165 @@
+package rwlock
+
+import "sync/atomic"
+
+// This file implements the paper's Section 5: the single-writer cores
+// lifted to multi-writer locks.
+//
+// MWSF and MWRP use the Figure 3 transformation T verbatim: writers
+// are serialized through Anderson's lock M around the single-writer
+// protocol; readers run the single-writer protocol unchanged.
+//
+// MWWP implements Figure 4: T alone does not preserve writer priority
+// (Section 5.1), so exiting writers hand the SWWP core directly to
+// arriving writers through the W-token, and only the last writer to
+// leave (with no writer waiting) exits the SWWP core and reopens the
+// gate for readers.
+
+// MWSF is the multi-writer multi-reader STARVATION-FREE lock of
+// Theorem 3 (no priority class): mutual exclusion, bounded exit,
+// FCFS among writers, FIFE among readers, concurrent entering,
+// livelock- and starvation-freedom, with O(1) RMR complexity.
+type MWSF struct {
+	core swwpCore
+	m    *AndersonLock
+}
+
+// NewMWSF returns a starvation-free reader-writer lock admitting up
+// to maxWriters concurrent write attempts (additional writers block
+// at admission; readers are unbounded).
+func NewMWSF(maxWriters int) *MWSF {
+	l := &MWSF{m: NewAnderson(maxWriters)}
+	l.core.init()
+	return l
+}
+
+// Lock acquires the lock in write mode.
+func (l *MWSF) Lock() WToken {
+	slot := l.m.Acquire()
+	prev, cur := l.core.writerDoorway()
+	l.core.writerWaitingRoom(prev)
+	return WToken{prev: prev, cur: cur, slot: slot}
+}
+
+// Unlock releases write mode.
+func (l *MWSF) Unlock(t WToken) {
+	l.core.writerExit(t.cur)
+	l.m.Release(t.slot)
+}
+
+// RLock acquires the lock in read mode.
+func (l *MWSF) RLock() RToken { return l.core.readerLock() }
+
+// RUnlock releases read mode.
+func (l *MWSF) RUnlock(t RToken) { l.core.readerUnlock(t) }
+
+var _ RWLock = (*MWSF)(nil)
+
+// MWRP is the multi-writer multi-reader READER-PRIORITY lock of
+// Theorem 4: properties P1-P6 plus RP1/RP2, with O(1) RMR
+// complexity.  Writers may starve while readers keep arriving.
+type MWRP struct {
+	core swrpCore
+	m    *AndersonLock
+}
+
+// NewMWRP returns a reader-priority reader-writer lock admitting up
+// to maxWriters concurrent write attempts.
+func NewMWRP(maxWriters int) *MWRP {
+	l := &MWRP{m: NewAnderson(maxWriters)}
+	l.core.init()
+	return l
+}
+
+// Lock acquires the lock in write mode.
+func (l *MWRP) Lock() WToken {
+	slot := l.m.Acquire()
+	t := l.core.writerLock()
+	t.slot = slot
+	return t
+}
+
+// Unlock releases write mode.
+func (l *MWRP) Unlock(t WToken) {
+	l.core.writerUnlock(t)
+	l.m.Release(t.slot)
+}
+
+// RLock acquires the lock in read mode.
+func (l *MWRP) RLock() RToken { return l.core.readerLock() }
+
+// RUnlock releases read mode.
+func (l *MWRP) RUnlock(t RToken) { l.core.readerUnlock(t) }
+
+var _ RWLock = (*MWRP)(nil)
+
+// MWWP is the multi-writer multi-reader WRITER-PRIORITY lock of
+// Theorem 5 (the paper's Figure 4): properties P1-P6 plus WP1/WP2,
+// with O(1) RMR complexity.  Readers may starve while writers keep
+// arriving.
+type MWWP struct {
+	core   swwpCore
+	wcount atomic.Int64
+	_      [56]byte
+	wtoken atomic.Int64 // PID (>=0) ∪ {tokenFalse} ∪ side tokens
+	_      [56]byte
+	idCtr  atomic.Int64
+	_      [56]byte
+	m      *AndersonLock
+}
+
+// NewMWWP returns a writer-priority reader-writer lock admitting up
+// to maxWriters concurrent write attempts.
+func NewMWWP(maxWriters int) *MWWP {
+	l := &MWWP{m: NewAnderson(maxWriters)}
+	l.core.init()
+	// W-token starts as the side token for side 1 so the first writer
+	// behaves exactly like the first SWWP attempt (D: 0 -> 1).
+	l.wtoken.Store(tokenSide(1))
+	return l
+}
+
+// Lock acquires the lock in write mode (Figure 4 lines 2-13).
+func (l *MWWP) Lock() WToken {
+	id := l.idCtr.Add(1)
+	l.wcount.Add(1)      // line 2
+	t := l.wtoken.Load() // line 3
+	if t >= 0 {          // line 4: t is a pid
+		l.wtoken.CompareAndSwap(t, tokenFalse) // line 5
+	}
+	t = l.wtoken.Load() // line 6
+	if isSideToken(t) { // line 7
+		l.core.d.Store(int32(sideOfToken(t))) // line 8: SWWP doorway
+	}
+	slot := l.m.Acquire()  // line 9
+	cur := l.core.d.Load() // line 10
+	prev := 1 - cur
+	if isSideToken(l.wtoken.Load()) { // line 11
+		// line 12: wait for the previous writer to finish exiting the
+		// SWWP core (it may have won the CAS at line 19 but not yet
+		// reopened the gate at line 20).
+		spinWhile(func() bool { return !l.core.gate[prev].v.Load() })
+		l.core.writerWaitingRoom(prev) // line 13
+	}
+	return WToken{prev: prev, cur: cur, slot: slot, id: id}
+}
+
+// Unlock releases write mode (Figure 4 lines 15-20).
+func (l *MWWP) Unlock(t WToken) {
+	l.wtoken.Store(t.id)      // line 15
+	l.wcount.Add(-1)          // line 16
+	l.m.Release(t.slot)       // line 17
+	if l.wcount.Load() == 0 { // line 18
+		if l.wtoken.CompareAndSwap(t.id, tokenSide(t.prev)) { // line 19
+			l.core.writerExit(t.cur) // line 20
+		}
+	}
+}
+
+// RLock acquires the lock in read mode (the unchanged SWWP reader).
+func (l *MWWP) RLock() RToken { return l.core.readerLock() }
+
+// RUnlock releases read mode.
+func (l *MWWP) RUnlock(t RToken) { l.core.readerUnlock(t) }
+
+var _ RWLock = (*MWWP)(nil)

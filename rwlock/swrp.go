@@ -1,0 +1,142 @@
+package rwlock
+
+import "sync/atomic"
+
+// swrpCore is the shared-variable state and code of the paper's
+// Figure 2 single-writer multi-reader reader-priority algorithm.
+// SWRP uses it directly; MWRP wraps its writer side in Anderson's
+// lock (Figure 3).
+type swrpCore struct {
+	d      atomic.Int32
+	_      [60]byte
+	gate   [2]paddedBool
+	x      atomic.Int64 // X in PID ∪ {true}; xTrue encodes true
+	_      [56]byte
+	permit atomic.Bool
+	_      [63]byte
+	c      atomic.Int64
+	_      [56]byte
+	// idCtr issues fresh attempt pids.  The paper only needs pids to
+	// be unique among concurrent attempts; monotone fresh ids give
+	// that and additionally rule out ABA on X entirely.
+	idCtr atomic.Int64
+}
+
+// init sets the paper's initial values: D=0, Gate[0]=true, X = some
+// pid (0, smaller than every issued id), Permit=true, C=0.
+func (l *swrpCore) init() {
+	l.gate[0].v.Store(true)
+	l.permit.Store(true)
+}
+
+// newID returns a fresh positive attempt pid.
+func (l *swrpCore) newID() int64 { return l.idCtr.Add(1) }
+
+// promote is the paper's Promote() (Figure 2 lines 10-16): enable the
+// writer iff no readers are registered.  The two-step CAS through the
+// caller's own pid is the Section 4.3(B) subtlety: CASing true
+// directly breaks mutual exclusion.
+func (l *swrpCore) promote(id int64) {
+	x := l.x.Load() // line 10
+	if x == xTrue { // line 11
+		return
+	}
+	if !l.x.CompareAndSwap(x, id) { // line 12
+		return
+	}
+	if l.permit.Load() { // line 13
+		return
+	}
+	if l.c.Load() != 0 { // line 14
+		return
+	}
+	if l.x.CompareAndSwap(id, xTrue) { // line 15
+		l.permit.Store(true) // line 16
+	}
+}
+
+// writerLock is Figure 2 lines 2-5.
+func (l *swrpCore) writerLock() WToken {
+	id := l.newID()
+	cur := 1 - l.d.Load() // line 2
+	l.d.Store(cur)
+	l.permit.Store(false)                              // line 3
+	l.promote(id)                                      // line 4
+	spinWhile(func() bool { return !l.permit.Load() }) // line 5
+	return WToken{cur: cur, prev: 1 - cur, id: id}
+}
+
+// writerUnlock is Figure 2 lines 7-9.
+func (l *swrpCore) writerUnlock(t WToken) {
+	l.gate[1-t.cur].v.Store(false) // line 7
+	l.gate[t.cur].v.Store(true)    // line 8
+	l.x.Store(t.id)                // line 9
+}
+
+// readerLock is Figure 2 lines 18-24.
+func (l *swrpCore) readerLock() RToken {
+	id := l.newID()
+	l.c.Add(1)      // line 18
+	d := l.d.Load() // line 19
+	x := l.x.Load() // line 20
+	if x != xTrue { // line 21
+		l.x.CompareAndSwap(x, id) // line 22
+	}
+	if l.x.Load() == xTrue { // line 23
+		spinWhile(func() bool { return !l.gate[d].v.Load() }) // line 24
+	}
+	return RToken{side: d, id: id}
+}
+
+// readerUnlock is Figure 2 lines 26-27.
+func (l *swrpCore) readerUnlock(t RToken) {
+	l.c.Add(-1)     // line 26
+	l.promote(t.id) // line 27
+}
+
+// SWRP is the paper's Figure 2: a single-writer multi-reader lock
+// with READER PRIORITY (RP1, RP2): a reader that is waiting while the
+// CS is read-occupied is always enabled, and a writer never overtakes
+// a reader that has higher >rp priority.  The writer may starve while
+// readers keep arriving — that is the specified behaviour.  RMR
+// complexity is O(1) on cache-coherent machines (Theorem 2).
+//
+// At most one goroutine may be between Lock and Unlock at a time
+// (single-writer contract); a second concurrent Lock panics.  Use
+// NewMWRP when multiple writers are possible.
+type SWRP struct {
+	core       swrpCore
+	writerBusy atomic.Bool
+}
+
+// NewSWRP returns a ready-to-use single-writer reader-priority lock.
+func NewSWRP() *SWRP {
+	l := &SWRP{}
+	l.core.init()
+	return l
+}
+
+// Lock acquires the lock in write mode.  It panics if another write
+// attempt is in progress (single-writer contract).
+func (l *SWRP) Lock() WToken {
+	if !l.writerBusy.CompareAndSwap(false, true) {
+		panic("rwlock: concurrent Lock on single-writer SWRP lock (use NewMWRP)")
+	}
+	return l.core.writerLock()
+}
+
+// Unlock releases write mode.
+func (l *SWRP) Unlock(t WToken) {
+	l.core.writerUnlock(t)
+	if !l.writerBusy.CompareAndSwap(true, false) {
+		panic("rwlock: Unlock of unlocked SWRP lock")
+	}
+}
+
+// RLock acquires the lock in read mode.
+func (l *SWRP) RLock() RToken { return l.core.readerLock() }
+
+// RUnlock releases read mode.
+func (l *SWRP) RUnlock(t RToken) { l.core.readerUnlock(t) }
+
+var _ RWLock = (*SWRP)(nil)

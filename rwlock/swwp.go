@@ -1,0 +1,147 @@
+package rwlock
+
+import "sync/atomic"
+
+// swwpCore is the shared-variable state and code of the paper's
+// Figure 1 single-writer multi-reader algorithm.  SWWP uses it
+// directly; MWSF wraps its writer side in Anderson's lock (Figure 3)
+// and MWWP threads it through the Figure 4 W-token handoff.  Hot
+// variables that distinct processes spin on are padded onto their own
+// cache lines.
+type swwpCore struct {
+	d          atomic.Int32
+	_          [60]byte
+	exitPermit atomic.Bool
+	_          [63]byte
+	permit     [2]paddedBool
+	gate       [2]paddedBool
+	ec         atomic.Int64
+	_          [56]byte
+	c          [2]paddedInt64
+}
+
+// paddedBool is an atomic.Bool alone on its cache line.
+type paddedBool struct {
+	v atomic.Bool
+	_ [63]byte
+}
+
+// paddedInt64 is an atomic.Int64 alone on its cache line.
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// init sets the paper's initial values: D=0, Gate[0]=true,
+// Gate[1]=false, counters zero.
+func (l *swwpCore) init() {
+	l.gate[0].v.Store(true)
+}
+
+// writerDoorway is Figure 1 lines 2-3: toggle the side.
+func (l *swwpCore) writerDoorway() (prev, cur int32) {
+	prev = l.d.Load()
+	cur = 1 - prev
+	l.d.Store(cur)
+	return prev, cur
+}
+
+// writerWaitingRoom is Figure 1 lines 4-12: wait for readers of the
+// previous side to leave the CS, close their gate, then wait for the
+// exit section to clear (the Section 3.3 subtlety — skipping this
+// breaks mutual exclusion, as the repo's model checker demonstrates).
+func (l *swwpCore) writerWaitingRoom(prev int32) {
+	l.permit[prev].v.Store(false)
+	if l.c[prev].v.Add(wwBit) != wwBit { // old value != [0,0]
+		spinWhile(func() bool { return !l.permit[prev].v.Load() })
+	}
+	l.c[prev].v.Add(-wwBit)
+	l.gate[prev].v.Store(false)
+	l.exitPermit.Store(false)
+	if l.ec.Add(wwBit) != wwBit { // old value != [0,0]
+		spinWhile(func() bool { return !l.exitPermit.Load() })
+	}
+	l.ec.Add(-wwBit)
+}
+
+// writerExit is Figure 1 line 14: open the gate of the side the
+// writer used, releasing the readers queued behind it.
+func (l *swwpCore) writerExit(cur int32) {
+	l.gate[cur].v.Store(true)
+}
+
+// readerLock is Figure 1 lines 16-24.
+func (l *swwpCore) readerLock() RToken {
+	d := l.d.Load()
+	l.c[d].v.Add(1) // line 17
+	d2 := l.d.Load()
+	if d != d2 { // line 19: the writer moved; re-register
+		l.c[d2].v.Add(1) // line 20
+		d = l.d.Load()   // line 21
+		other := 1 - d
+		if l.c[other].v.Add(-1) == wwBit { // line 22: old value was [1,1]
+			l.permit[other].v.Store(true) // line 23
+		}
+	}
+	spinWhile(func() bool { return !l.gate[d].v.Load() }) // line 24
+	return RToken{side: d}
+}
+
+// readerUnlock is Figure 1 lines 26-30.
+func (l *swwpCore) readerUnlock(t RToken) {
+	l.ec.Add(1)                         // line 26
+	if l.c[t.side].v.Add(-1) == wwBit { // line 27: old value was [1,1]
+		l.permit[t.side].v.Store(true) // line 28
+	}
+	if l.ec.Add(-1) == wwBit { // line 29: old value was [1,1]
+		l.exitPermit.Store(true) // line 30
+	}
+}
+
+// SWWP is the paper's Figure 1: a single-writer multi-reader lock
+// with WRITER PRIORITY (WP1, WP2) that also satisfies mutual
+// exclusion, bounded exit, FIFE among readers, concurrent entering
+// and starvation freedom (P1-P7).  Its RMR complexity is O(1) on
+// cache-coherent machines (Theorem 1).
+//
+// At most one goroutine may be between Lock and Unlock at a time BY
+// CONTRACT: this is the single-writer algorithm.  A second concurrent
+// Lock panics.  Use NewMWWP when multiple writers are possible.
+type SWWP struct {
+	core       swwpCore
+	writerBusy atomic.Bool
+}
+
+// NewSWWP returns a ready-to-use single-writer writer-priority lock.
+func NewSWWP() *SWWP {
+	l := &SWWP{}
+	l.core.init()
+	return l
+}
+
+// Lock acquires the lock in write mode.  It panics if another write
+// attempt is in progress (single-writer contract).
+func (l *SWWP) Lock() WToken {
+	if !l.writerBusy.CompareAndSwap(false, true) {
+		panic("rwlock: concurrent Lock on single-writer SWWP lock (use NewMWWP)")
+	}
+	prev, cur := l.core.writerDoorway()
+	l.core.writerWaitingRoom(prev)
+	return WToken{prev: prev, cur: cur}
+}
+
+// Unlock releases write mode.
+func (l *SWWP) Unlock(t WToken) {
+	l.core.writerExit(t.cur)
+	if !l.writerBusy.CompareAndSwap(true, false) {
+		panic("rwlock: Unlock of unlocked SWWP lock")
+	}
+}
+
+// RLock acquires the lock in read mode.
+func (l *SWWP) RLock() RToken { return l.core.readerLock() }
+
+// RUnlock releases read mode.
+func (l *SWWP) RUnlock(t RToken) { l.core.readerUnlock(t) }
+
+var _ RWLock = (*SWWP)(nil)
