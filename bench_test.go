@@ -13,6 +13,7 @@ package rwsync
 import (
 	"math/rand"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -231,6 +232,78 @@ func BenchmarkE8_ReaderLatencyUnderWriterStorm(b *testing.B) {
 				<-done
 			}
 		})
+	}
+}
+
+// BenchmarkReadHeavy is the BRAVO comparison grid (experiment E11):
+// read-heavy mixes (90/99/100% reads) at doubling goroutine counts up
+// to max(4, NumCPU), comparing each constant-RMR lock against its
+// BRAVO-wrapped variant and sync.RWMutex.  The headline number is the
+// reads/s metric: the wrapper's sharded fast path must beat the bare
+// lock's single fetch&add word once several goroutines read at once.
+//
+//	go test -bench ReadHeavy -benchtime 100000x
+func BenchmarkReadHeavy(b *testing.B) {
+	maxG := runtime.NumCPU()
+	if maxG < 4 {
+		maxG = 4 // the grid must exercise real reader concurrency even on small CI boxes
+	}
+	var gs []int
+	for g := 1; g <= maxG; g *= 2 {
+		gs = append(gs, g)
+	}
+	if gs[len(gs)-1] != maxG {
+		gs = append(gs, maxG)
+	}
+	names := []string{"MWSF", "Bravo(MWSF)", "MWRP", "Bravo(MWRP)", "MWWP", "Bravo(MWWP)", "sync.RWMutex"}
+	builders := harness.NativeLocks(64)
+	for _, frac := range []int{90, 99, 100} {
+		for _, g := range gs {
+			for _, name := range names {
+				name := name
+				g := g
+				frac := frac
+				b.Run(name+"/read="+itoa(frac)+"/g="+itoa(g), func(b *testing.B) {
+					readHeavy(b, builders[name](), g, frac)
+				})
+			}
+		}
+	}
+}
+
+// readHeavy splits b.N operations across g goroutines, each drawing
+// reads with probability frac/100, and reports reads/s.
+func readHeavy(b *testing.B, l rwlock.RWLock, g, frac int) {
+	var shared atomic.Int64
+	var reads atomic.Int64
+	per := (b.N + g - 1) / g
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			n := int64(0)
+			for op := 0; op < per; op++ {
+				if rng.Intn(100) < frac {
+					tok := l.RLock()
+					_ = shared.Load()
+					l.RUnlock(tok)
+					n++
+				} else {
+					tok := l.Lock()
+					shared.Add(1)
+					l.Unlock(tok)
+				}
+			}
+			reads.Add(n)
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(reads.Load())/s, "reads/s")
 	}
 }
 

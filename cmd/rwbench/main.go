@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	rwbench [-ops N] [-seed S] [-workers list] [-markdown] [-quick]
+//	rwbench [-ops N] [-seed S] [-workers list] [-locks list] [-markdown] [-quick]
+//
+// -locks restricts the sweep to a comma-separated subset of the lock
+// registry, e.g. `-locks "MWSF,Bravo(MWSF),sync.RWMutex"` to isolate
+// the BRAVO fast path's effect against its own inner lock.
 package main
 
 import (
@@ -48,9 +52,21 @@ func run(args []string, out io.Writer) error {
 	ops := fs.Int("ops", 20000, "operations per worker")
 	seed := fs.Int64("seed", 1, "workload seed")
 	workersFlag := fs.String("workers", "", "comma-separated worker counts (default 1,2,4,..,2*NumCPU)")
+	locksFlag := fs.String("locks", "", "comma-separated lock names to sweep (default: all registered locks)")
 	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 	quick := fs.Bool("quick", false, "smaller sweep for smoke runs")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var requested []string
+	for _, part := range strings.Split(*locksFlag, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			requested = append(requested, part)
+		}
+	}
+	lockNames, err := harness.SelectLockNames(requested)
+	if err != nil {
 		return err
 	}
 
@@ -87,11 +103,11 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	pts := harness.ThroughputSweep(workers, fractions, *ops, *seed)
+	pts := harness.ThroughputSweepLocks(lockNames, workers, fractions, *ops, *seed)
 	emit(harness.ThroughputTable(
 		fmt.Sprintf("E7: native throughput, ops/sec (GOMAXPROCS=%d, %d ops/worker)", runtime.GOMAXPROCS(0), *ops), pts))
 
-	prio := harness.PrioritySweep(readers, *ops, *seed)
+	prio := harness.PrioritySweepLocks(lockNames, readers, *ops, *seed)
 	emit(harness.PriorityTable(
 		fmt.Sprintf("E8: 1 dedicated writer vs %d readers — latency by class", readers), prio))
 	return nil

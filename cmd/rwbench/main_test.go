@@ -55,3 +55,28 @@ func TestRunBadWorkers(t *testing.T) {
 		t.Fatal("expected error for bad -workers")
 	}
 }
+
+func TestRunLocksSubset(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-ops", "200", "-workers", "2",
+		"-locks", "MWSF,Bravo(MWSF),sync.RWMutex"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{"MWSF", "Bravo(MWSF)", "sync.RWMutex"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing selected lock %s:\n%s", name, out)
+		}
+	}
+	if strings.Contains(out, "TaskFairRW") {
+		t.Fatalf("unselected lock leaked into the sweep:\n%s", out)
+	}
+}
+
+func TestRunUnknownLock(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-locks", "NoSuchLock"}, &b); err == nil ||
+		!strings.Contains(err.Error(), "NoSuchLock") {
+		t.Fatalf("expected unknown-lock error, got %v", err)
+	}
+}

@@ -7,7 +7,7 @@ import (
 
 func TestRunStressOnly(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-skip-mc", "-seeds", "2"}, &b); err != nil {
+	if err := run([]string{"-skip-mc", "-seeds", "2", "-native=false"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -21,6 +21,28 @@ func TestRunStressOnly(t *testing.T) {
 		if !strings.Contains(out, sys) {
 			t.Fatalf("system %s missing from output:\n%s", sys, out)
 		}
+	}
+	if strings.Contains(out, "native lock exclusion stress") {
+		t.Fatalf("-native=false still ran the native section:\n%s", out)
+	}
+}
+
+func TestRunNativeStress(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-skip-mc", "-seeds", "1", "-native-iters", "300"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "native lock exclusion stress") {
+		t.Fatalf("missing native stress section:\n%s", out)
+	}
+	for _, name := range []string{"Bravo(MWSF)", "Bravo(MWRP)", "Bravo(MWWP)", "sync.RWMutex"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("native stress missing %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "all checks passed") {
+		t.Fatalf("native stress failed:\n%s", out)
 	}
 }
 

@@ -5,7 +5,9 @@
 // The importable artifact is the rwlock subpackage: reader-writer
 // locks with O(1) remote-memory-reference complexity on
 // cache-coherent machines, in writer-priority, reader-priority and
-// no-priority (starvation-free) flavors.
+// no-priority (starvation-free) flavors — plus rwlock.Bravo, a
+// BRAVO-style sharded reader fast path (Dice & Kogan, arXiv:1810.01553)
+// that layers multicore reader scalability over any of them.
 //
 // The internal packages form the research substrate: a
 // cache-coherent-machine simulator with exact RMR accounting
@@ -16,6 +18,6 @@
 // (internal/harness) behind cmd/rmrbench, cmd/rwbench, cmd/rwcheck and
 // the repository-level benchmarks in bench_test.go.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// See README.md for a tour of the layout, the quickstart, and how to
+// run the benchmarks and the model checker.
 package rwsync

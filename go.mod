@@ -1,0 +1,3 @@
+module rwsync
+
+go 1.24

@@ -1,0 +1,35 @@
+// Package ccsim implements a deterministic simulator of an asynchronous
+// cache-coherent (CC) shared-memory multiprocessor — the machine model
+// of Section 2 of Bhatt & Jayanti, "Constant RMR Solutions to Reader
+// Writer Synchronization" (Dartmouth TR2010-662, PODC 2010).  Every
+// RMR-complexity claim in this repository is validated by executing the
+// paper's algorithms on this simulator, not by inspection.
+//
+// Processes execute one atomic shared-memory operation per step.  The
+// simulator charges remote memory references (RMRs) exactly as the CC
+// model prescribes:
+//
+//   - a read of variable v by process p is remote iff v is not in p's
+//     cache; the read then loads v into p's cache;
+//   - any write, fetch&add, or compare&swap by p costs one RMR and
+//     invalidates every other process's cached copy of v (p's own cache
+//     stays valid).
+//
+// Failed CAS operations are conservatively charged one RMR as well: on
+// real hardware they still acquire the cache line exclusively.
+//
+// The simulator is fully deterministic given a Scheduler (adversarial
+// interleavings are just schedulers), supports cloning — used by the
+// internal/mc model checker for state-space search and by the
+// "enabledness probes" that implement the paper's Definition 2 (a
+// process is enabled if some schedule admits it to the CS without any
+// other process taking a step) — and counts RMRs per attempt so that
+// Theorems 1-5 can be checked empirically by internal/harness.
+//
+// A second accounting mode, ModelDSM, charges every access to a
+// remotely-homed variable with no caching, the distributed
+// shared-memory model of the paper's Section 6 discussion: by the
+// Danek-Hadzilacos lower bound no reader-writer algorithm with
+// concurrent entering can be sublinear there, and the harness's E9
+// sweep reproduces exactly that contrast.
+package ccsim

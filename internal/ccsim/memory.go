@@ -1,24 +1,3 @@
-// Package ccsim implements a deterministic simulator of an asynchronous
-// cache-coherent (CC) shared-memory multiprocessor, the machine model of
-// Bhatt & Jayanti (TR2010-662).
-//
-// Processes execute one atomic shared-memory operation per step.  The
-// simulator charges remote memory references (RMRs) exactly as the CC
-// model prescribes:
-//
-//   - a read of variable v by process p is remote iff v is not in p's
-//     cache; the read then loads v into p's cache;
-//   - any write, fetch&add, or compare&swap by p costs one RMR and
-//     invalidates every other process's cached copy of v (p's own cache
-//     stays valid).
-//
-// Failed CAS operations are conservatively charged one RMR as well: on
-// real hardware they still acquire the cache line exclusively.
-//
-// The simulator is fully deterministic given a scheduler, supports
-// cloning (used by the model checker and by "enabledness probes" that
-// implement Definition 2 of the paper), and counts RMRs per attempt so
-// that the paper's O(1)-RMR theorems can be validated empirically.
 package ccsim
 
 import "fmt"

@@ -1,0 +1,23 @@
+// Package check verifies the paper's behavioural properties against
+// simulator runs: the Section 2 specification — mutual exclusion (P1),
+// bounded exit (P2), FCFS among writers (P3), FIFE among readers (P4),
+// concurrent entering (P5), livelock/starvation freedom (P6/P7) — and
+// the priority relations that distinguish the three disciplines
+// (RP1/RP2 for reader priority, Section 4; WP1/WP2 for writer
+// priority, Section 3).
+//
+// Two complementary mechanisms are provided:
+//
+//   - Trace: an offline event log assembled into per-attempt records,
+//     over which the pairwise and interval-based properties are
+//     decided exactly;
+//   - Monitor: an online event sink that, at the moments the
+//     definitions quantify over, issues "enabledness probes"
+//     (Runner.EnabledToEnterCS — the paper's Definition 2 made
+//     operational) for FIFE and the unstoppable-reader/writer
+//     properties.
+//
+// The package is the oracle behind cmd/rwcheck's monitored random
+// stress section and the property assertions in internal/core's tests;
+// the exhaustive counterpart over all interleavings is internal/mc.
+package check

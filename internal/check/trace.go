@@ -1,17 +1,3 @@
-// Package check verifies the paper's properties — mutual exclusion
-// (P1), bounded exit (P2), FCFS among writers (P3), FIFE among readers
-// (P4), concurrent entering (P5), livelock/starvation freedom (P6/P7)
-// and the priority relations (RP1, WP1) — against simulator runs.
-//
-// Two complementary mechanisms are provided:
-//
-//   - Trace: an offline event log assembled into per-attempt records,
-//     over which the pairwise and interval-based properties are
-//     decided exactly;
-//   - Monitor: an online event sink that, at the moments the
-//     definitions quantify over, issues "enabledness probes"
-//     (Runner.EnabledToEnterCS — Definition 2 made operational) for
-//     FIFE and the unstoppable-reader/writer properties.
 package check
 
 import (

@@ -1,0 +1,26 @@
+// Package harness assembles the repository's numbered experiments
+// (E1-E9; the rwcheck native stress E10 and the BenchmarkReadHeavy
+// grid E11 build on its registries) and owns the registries that name
+// every algorithm under test.  The cmd/rmrbench and cmd/rwbench tools
+// and the repository-root bench_test.go entry points are thin
+// wrappers over this package.
+//
+// Simulator side (Builders, RMRSweep, RMRSweepDSM): RMRs-per-passage
+// sweeps on the internal/ccsim cache-coherent machine, validating the
+// paper's Theorems 1-2 (Figures 1-2, experiments E1/E2), Theorems 3-5
+// (the Section 5 multi-writer constructions, E3) against the
+// centralized, phase-fair-ticket, task-fair and tournament baselines
+// whose RMRs grow with the process count (E4), plus the DSM-model
+// contrast where no constant bound can exist (E9).
+//
+// Native side (NativeLocks, ThroughputSweep, PrioritySweep): real
+// goroutines over sync/atomic, measuring mixed-workload throughput
+// (E7) and minority-class latency under a majority-class storm (E8).
+// The native registry carries every rwlock implementation, including
+// the Bravo(...) wrappers — the BRAVO sharded reader fast path
+// (arXiv:1810.01553) layered over the constant-RMR locks — which only
+// exist natively: their whole point is real cache-line traffic, which
+// the CC simulator already charges at one RMR per reader regardless.
+// Use SelectLockNames to validate user-supplied subsets of the
+// registry (the cmd/rwbench -locks flag).
+package harness

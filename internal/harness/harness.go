@@ -1,8 +1,3 @@
-// Package harness assembles the repository's experiments (E1-E8 in
-// DESIGN.md): RMR sweeps on the CC simulator for the paper's Theorems
-// 1-5 and the baseline contrast, plus native throughput and priority
-// latency measurements.  The cmd/rmrbench and cmd/rwbench tools and
-// the bench_test.go entry points are thin wrappers over this package.
 package harness
 
 import (
@@ -161,12 +156,17 @@ func Builders() map[string]func(w, r int) *core.System {
 }
 
 // NativeLocks returns the named native lock constructors used in the
-// throughput and priority experiments.
+// throughput and priority experiments.  The Bravo(...) entries wrap
+// the paper's multi-writer locks in the BRAVO sharded reader fast path
+// (arXiv:1810.01553), the repo's reader-scalability layer.
 func NativeLocks(maxWriters int) map[string]func() rwlock.RWLock {
 	return map[string]func() rwlock.RWLock{
 		"MWSF":          func() rwlock.RWLock { return rwlock.NewMWSF(maxWriters) },
 		"MWRP":          func() rwlock.RWLock { return rwlock.NewMWRP(maxWriters) },
 		"MWWP":          func() rwlock.RWLock { return rwlock.NewMWWP(maxWriters) },
+		"Bravo(MWSF)":   func() rwlock.RWLock { return rwlock.NewBravoMWSF(maxWriters) },
+		"Bravo(MWRP)":   func() rwlock.RWLock { return rwlock.NewBravoMWRP(maxWriters) },
+		"Bravo(MWWP)":   func() rwlock.RWLock { return rwlock.NewBravoMWWP(maxWriters) },
 		"CentralizedRW": func() rwlock.RWLock { return rwlock.NewCentralizedRW() },
 		"PhaseFairRW":   func() rwlock.RWLock { return rwlock.NewPhaseFairRW() },
 		"TaskFairRW":    func() rwlock.RWLock { return rwlock.NewTaskFairRW() },
@@ -176,7 +176,36 @@ func NativeLocks(maxWriters int) map[string]func() rwlock.RWLock {
 
 // LockNames returns the canonical presentation order of NativeLocks.
 func LockNames() []string {
-	return []string{"MWSF", "MWRP", "MWWP", "CentralizedRW", "PhaseFairRW", "TaskFairRW", "sync.RWMutex"}
+	return []string{
+		"MWSF", "Bravo(MWSF)",
+		"MWRP", "Bravo(MWRP)",
+		"MWWP", "Bravo(MWWP)",
+		"CentralizedRW", "PhaseFairRW", "TaskFairRW", "sync.RWMutex",
+	}
+}
+
+// SelectLockNames validates and canonicalizes a lock-name subset: it
+// returns the requested names in LockNames order, or an error naming
+// the unknown entry.  An empty request selects every lock.
+func SelectLockNames(requested []string) ([]string, error) {
+	if len(requested) == 0 {
+		return LockNames(), nil
+	}
+	want := make(map[string]bool, len(requested))
+	for _, name := range requested {
+		want[name] = true
+	}
+	var out []string
+	for _, name := range LockNames() {
+		if want[name] {
+			out = append(out, name)
+			delete(want, name)
+		}
+	}
+	for name := range want {
+		return nil, fmt.Errorf("unknown lock %q (have %v)", name, LockNames())
+	}
+	return out, nil
 }
 
 // ThroughputPoint is one cell of the E7 experiment.
@@ -190,9 +219,15 @@ type ThroughputPoint struct {
 // ThroughputSweep measures ops/sec for every lock at every (workers,
 // readFraction) point.
 func ThroughputSweep(workers []int, fractions []float64, opsPerWorker int, seed int64) []ThroughputPoint {
+	return ThroughputSweepLocks(LockNames(), workers, fractions, opsPerWorker, seed)
+}
+
+// ThroughputSweepLocks is ThroughputSweep restricted to the named
+// locks (names as in LockNames; see SelectLockNames for validation).
+func ThroughputSweepLocks(names []string, workers []int, fractions []float64, opsPerWorker int, seed int64) []ThroughputPoint {
 	var out []ThroughputPoint
 	builders := NativeLocks(64)
-	for _, name := range LockNames() {
+	for _, name := range names {
 		for _, w := range workers {
 			for _, f := range fractions {
 				l := builders[name]()
@@ -214,9 +249,19 @@ func ThroughputSweep(workers []int, fractions []float64, opsPerWorker int, seed 
 }
 
 // ThroughputTable formats E7 results, one row per (workers, fraction),
-// one column per lock.
+// one column per lock that appears in pts (in LockNames order).
 func ThroughputTable(title string, pts []ThroughputPoint) *stats.Table {
-	headers := append([]string{"workers", "read%"}, LockNames()...)
+	present := make(map[string]bool)
+	for _, p := range pts {
+		present[p.Lock] = true
+	}
+	var names []string
+	for _, name := range LockNames() {
+		if present[name] {
+			names = append(names, name)
+		}
+	}
+	headers := append([]string{"workers", "read%"}, names...)
 	t := stats.NewTable(title, headers...)
 	type key struct {
 		w int
@@ -234,7 +279,7 @@ func ThroughputTable(title string, pts []ThroughputPoint) *stats.Table {
 	}
 	for _, k := range order {
 		row := []string{fmt.Sprintf("%d", k.w), fmt.Sprintf("%.0f", k.f*100)}
-		for _, name := range LockNames() {
+		for _, name := range names {
 			row = append(row, fmt.Sprintf("%.0f", cells[k][name]))
 		}
 		t.AddRow(row...)
@@ -258,9 +303,14 @@ type PriorityPoint struct {
 // MWWP the writer's tail latency should stay low even under the
 // storm; under MWRP the readers' should.
 func PrioritySweep(readerCount, opsPerWorker int, seed int64) []PriorityPoint {
+	return PrioritySweepLocks(LockNames(), readerCount, opsPerWorker, seed)
+}
+
+// PrioritySweepLocks is PrioritySweep restricted to the named locks.
+func PrioritySweepLocks(names []string, readerCount, opsPerWorker int, seed int64) []PriorityPoint {
 	var out []PriorityPoint
 	builders := NativeLocks(8)
-	for _, name := range LockNames() {
+	for _, name := range names {
 		l := builders[name]()
 		res := workload.Run(l, workload.Config{
 			Workers:          readerCount + 1,

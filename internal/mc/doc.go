@@ -1,0 +1,27 @@
+// Package mc is an explicit-state model checker for ccsim systems —
+// the tool behind cmd/rwcheck's exhaustive section and the E5/E6
+// experiments.
+//
+// It exhaustively explores every interleaving of a bounded
+// configuration (n processes, k attempts each) by breadth-first search
+// over canonical state encodings, checking at every reachable state:
+//
+//   - mutual exclusion (property P1 of the paper),
+//   - the algorithm's proof invariants (the paper's Appendix A.1 and
+//     Figure 5, supplied as a predicate), and
+//   - absence of stuck states: configurations in which every
+//     non-halted process only self-loops (a lost-wakeup deadlock —
+//     busy-wait loops whose conditions can never again change).
+//
+// Exhaustiveness over bounded configurations is exactly how the
+// paper's subtle-feature arguments are reproduced.  Section 3.3 argues
+// that Figure 1's writer must wait out the exit section, and Section
+// 4.3 that Figure 2's reader must re-register (lines 20-22) and that
+// Promote may not CAS true directly: the deliberately broken variants
+// in internal/core must — and do — yield a mutual-exclusion violation
+// here, with a full counterexample schedule (see FormatWitness and the
+// examples/counterexample program).
+//
+// Random deep walks (walk.go) complement the BFS when the bounded
+// state space is too large to exhaust.
+package mc

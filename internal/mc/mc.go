@@ -1,20 +1,3 @@
-// Package mc is an explicit-state model checker for ccsim systems.
-//
-// It exhaustively explores every interleaving of a bounded
-// configuration (n processes, k attempts each) by breadth-first search
-// over canonical state encodings, checking at every reachable state:
-//
-//   - mutual exclusion (property P1 of the paper),
-//   - the algorithm's proof invariants (the paper's Appendix A.1 and
-//     Figure 5, supplied as a predicate), and
-//   - absence of stuck states: configurations in which every
-//     non-halted process only self-loops (a lost-wakeup deadlock —
-//     busy-wait loops whose conditions can never again change).
-//
-// Exhaustiveness over bounded configurations is exactly how the
-// paper's subtle-feature arguments (Sections 3.3 and 4.3) are
-// reproduced: the deliberately broken variants must — and do — yield a
-// mutual-exclusion violation, with a full counterexample schedule.
 package mc
 
 import (

@@ -1,0 +1,17 @@
+// Package workload generates reproducible reader/writer workloads
+// against the native rwlock implementations and measures throughput
+// and per-operation latency.  It backs the native-performance
+// experiments (E7 mixed-ratio throughput and E8 priority latency),
+// driven through internal/harness and cmd/rwbench.
+//
+// A Config fixes the goroutine count, read fraction (or a dedicated-
+// writer split for the E8 storm shape), per-worker operation count,
+// busy-work inside and outside the critical section, and a seed, so
+// any measurement can be replayed exactly.  The protected datum is a
+// plain (non-atomic) counter mutated by writers and read by readers:
+// running any workload under `go test -race` therefore doubles as a
+// mutual-exclusion check on the lock under test — the native
+// counterpart of the P1 verification that internal/check and
+// internal/mc perform on the simulator, and the reason the BRAVO
+// wrappers (which have no simulator model) are still race-verified.
+package workload

@@ -1,7 +1,3 @@
-// Package workload generates reproducible reader/writer workloads
-// against the native rwlock implementations and measures throughput
-// and per-operation latency.  It backs the native-performance
-// experiments (E7, E8 in DESIGN.md).
 package workload
 
 import (

@@ -1,0 +1,169 @@
+package rwlock
+
+import "sync/atomic"
+
+// Bravo layers the BRAVO reader fast path (Dice & Kogan, USENIX ATC
+// 2019, arXiv:1810.01553) over any lock in this package.  The wrapped
+// lock keeps its RMR bound and its writer-side discipline; the wrapper
+// adds reader-side multicore scalability, which the Bhatt & Jayanti
+// algorithms lack because every reader fetch&adds the same packed
+// [writer-waiting, reader-count] word.
+//
+// While the lock is read-biased (the common state under read-mostly
+// load), a reader publishes itself in a private cache line of the
+// visible-readers table and enters the critical section without
+// touching the inner lock at all — one uncontended CAS in, one store
+// out.  A writer first acquires the inner lock (inheriting its FCFS /
+// priority / starvation-freedom guarantees against other writers and
+// slow-path readers), then revokes the bias: it clears the flag and
+// scans the table until every published reader has left.  Readers that
+// arrive with the bias down take the inner lock's ordinary read path
+// unchanged, and re-arm the bias once the revocation throttle — a
+// countdown of slow read passages sized to the revocation the writer
+// just paid for — is spent.  (The BRAVO paper throttles with a wall
+// clock; counting slow passages measures the same thing, the work done
+// between revocations, without putting a clock read on any path.)
+//
+// # What is preserved, and what is traded
+//
+// Mutual exclusion, deadlock-freedom and both classes' starvation-
+// freedom are preserved for every wrapped discipline: a writer always
+// completes revocation because slots quiesce (see readerSlots.drain),
+// and readers always have either the fast path or the inner lock's own
+// progress guarantee.  Strict arrival-order fairness (FIFE, RP1/WP1)
+// is what BRAVO trades away while the bias is armed: a fast-path
+// reader can overtake a writer that is still revoking, exactly as in
+// the BRAVO paper.  Once the bias is revoked — which every writer does
+// on arrival — the inner discipline's semantics apply verbatim until
+// readers re-arm.  Under write-heavy load the inhibit throttle keeps
+// the bias down, so Bravo(L) degenerates gracefully to L plus one
+// atomic load per operation.
+type Bravo struct {
+	// rbias is the paper's RBias flag: readers may use the fast path
+	// iff it is set.  Set only by slow-path readers that hold the inner
+	// read lock (so never while a writer is in the CS), cleared only by
+	// writers that hold the inner write lock.
+	rbias atomic.Bool
+	_     [63]byte
+	// slowBudget throttles re-arming: the revoking writer sets it to
+	// the number of slow read passages that must complete before the
+	// bias may be re-armed, scaled to the revocation cost it just paid
+	// (table size plus occupied slots waited on), so revocation
+	// overhead stays a bounded fraction of the work done between
+	// revocations — the role of the BRAVO paper's wall-clock inhibit,
+	// without a clock read on any path.
+	slowBudget atomic.Int64
+	_          [56]byte
+	slots      *readerSlots
+	inner      RWLock
+}
+
+// bravoFastSide tags an RToken issued by the fast path: RToken.side is
+// a gate index (0 or 1) for every inner lock, so -1 is unambiguous.
+const bravoFastSide = int32(-1)
+
+// bravoBusyFactor scales the re-arm countdown by the revocation cost
+// actually observed: each occupied slot the revoking writer had to
+// wait on (a live fast-path reader, the expensive part of a scan on a
+// busy machine) buys this many more slow passages before readers may
+// re-arm.  The empty-table part of the scan is charged at one slow
+// passage per 8 slots (see Lock), so a large table on a large machine
+// also keeps the flip-flop frequency bounded.
+const bravoBusyFactor = 2
+
+// NewBravo wraps inner with the BRAVO reader fast path.  If inner is
+// nil, a starvation-free MWSF lock for 16 writers is used (matching
+// NewGuard's default).  Wrapping a *Bravo in another *Bravo panics:
+// the outer wrapper would misroute the inner one's fast-path tokens.
+func NewBravo(inner RWLock) *Bravo {
+	if inner == nil {
+		inner = NewMWSF(16)
+	}
+	if _, ok := inner.(*Bravo); ok {
+		panic("rwlock: NewBravo applied to a *Bravo (nested BRAVO wrappers are not supported)")
+	}
+	b := &Bravo{slots: newReaderSlots(0), inner: inner}
+	// Start read-biased: the wrapper exists for read-mostly workloads,
+	// and the first writer revokes in O(table) time regardless.
+	b.rbias.Store(true)
+	return b
+}
+
+// NewBravoMWSF returns Bravo(MWSF): the starvation-free Theorem 3 lock
+// with the BRAVO reader fast path.
+func NewBravoMWSF(maxWriters int) *Bravo { return NewBravo(NewMWSF(maxWriters)) }
+
+// NewBravoMWRP returns Bravo(MWRP): the reader-priority Theorem 4 lock
+// with the BRAVO reader fast path.
+func NewBravoMWRP(maxWriters int) *Bravo { return NewBravo(NewMWRP(maxWriters)) }
+
+// NewBravoMWWP returns Bravo(MWWP): the writer-priority Theorem 5 lock
+// with the BRAVO reader fast path.  Note the trade documented on
+// Bravo: while the bias is armed, fast-path readers overtake waiting
+// writers; WP1 applies from each revocation until the next re-arm.
+func NewBravoMWWP(maxWriters int) *Bravo { return NewBravo(NewMWWP(maxWriters)) }
+
+// RLock acquires the lock in read mode, through the fast path when the
+// lock is read-biased.
+func (b *Bravo) RLock() RToken {
+	if b.rbias.Load() {
+		if idx, ok := b.slots.tryClaim(); ok {
+			// Recheck AFTER publishing (the BRAVO ordering): with
+			// sequentially consistent atomics, either this load sees the
+			// revoking writer's clear — and we back out — or our slot
+			// claim is visible to that writer's scan, which then waits
+			// for us.  Entering on a stale bias is impossible.
+			if b.rbias.Load() {
+				return RToken{side: bravoFastSide, id: idx}
+			}
+			b.slots.release(idx)
+		}
+	}
+	t := b.inner.RLock()
+	// Count down the revocation throttle and re-arm the bias while
+	// HOLDING the inner read lock, so the store cannot race with a
+	// writer's check-and-revoke (writers hold the inner write lock
+	// there, excluding us).  Exactly one reader sees the countdown hit
+	// zero, so the bias is re-armed once per revocation cycle.
+	if !b.rbias.Load() && b.slowBudget.Add(-1) == 0 {
+		b.rbias.Store(true)
+	}
+	return t
+}
+
+// RUnlock releases read mode; it must receive the token returned by
+// the matching RLock.
+func (b *Bravo) RUnlock(t RToken) {
+	if t.side == bravoFastSide {
+		b.slots.release(t.id)
+		return
+	}
+	b.inner.RUnlock(t)
+}
+
+// Lock acquires the lock in write mode: the inner lock first (keeping
+// its writer-side discipline), then bias revocation if needed.
+func (b *Bravo) Lock() WToken {
+	t := b.inner.Lock()
+	if b.rbias.Load() {
+		b.rbias.Store(false)
+		busy := b.slots.drain()
+		// The budget store cannot race with the countdown in RLock:
+		// slow readers only run outside the write critical section,
+		// and we hold the inner write lock until after the caller's CS.
+		b.slowBudget.Store(int64(1 + len(b.slots.slots)/8 + bravoBusyFactor*busy))
+	}
+	return t
+}
+
+// Unlock releases write mode.
+func (b *Bravo) Unlock(t WToken) { b.inner.Unlock(t) }
+
+// ReadBiased reports whether the reader fast path is currently armed.
+// It is a racy snapshot, useful for tests and metrics.
+func (b *Bravo) ReadBiased() bool { return b.rbias.Load() }
+
+// Inner returns the wrapped lock.
+func (b *Bravo) Inner() RWLock { return b.inner }
+
+var _ RWLock = (*Bravo)(nil)

@@ -1,0 +1,99 @@
+package rwlock
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"runtime"
+	"sync/atomic"
+)
+
+// This file implements the visible-readers table of the BRAVO reader
+// fast path (Dice & Kogan, "BRAVO — Biased Locking for Reader-Writer
+// Locks", USENIX ATC 2019, arXiv:1810.01553), adapted to this
+// package: instead of one global hash table keyed by (thread, lock),
+// each Bravo wrapper owns a private table sized to the machine, and
+// the claimed index travels in the RToken (the package already
+// threads per-attempt state through tokens, so no thread-local
+// storage is needed).
+//
+// Each slot is a one-word reader-presence flag alone on its cache
+// line.  A publishing reader dirties only its own line, so readers
+// scale with cores instead of serializing on the packed
+// [writer-waiting, reader-count] word that every reader of the
+// Bhatt & Jayanti locks must fetch&add.  Writers pay for that reader
+// scalability with a full-table scan during bias revocation — the
+// BRAVO trade-off.
+
+// paddedInt32 is an atomic.Int32 alone on its cache line.
+type paddedInt32 struct {
+	v atomic.Int32
+	_ [60]byte
+}
+
+// slotProbes is how many adjacent table entries a reader tries to
+// claim before giving up and taking the slow path.  A small bound
+// keeps the fast path O(1) and bounds the probability of spurious
+// slow-path trips at reasonable load (the table has at least four
+// slots per P, so three probes fail only under heavy oversubscription).
+const slotProbes = 3
+
+// readerSlots is a fixed-size power-of-two table of reader-presence
+// flags.  0 = free, 1 = a fast-path reader is inside the critical
+// section.
+type readerSlots struct {
+	mask  uint64
+	slots []paddedInt32
+}
+
+// newReaderSlots sizes the table to at least min entries and at least
+// four slots per P, rounded up to a power of two so claim probes can
+// wrap with a mask instead of a modulo.
+func newReaderSlots(min int) *readerSlots {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < min {
+		n = min
+	}
+	if n < 8 {
+		n = 8
+	}
+	n = 1 << bits.Len(uint(n-1))
+	return &readerSlots{mask: uint64(n - 1), slots: make([]paddedInt32, n)}
+}
+
+// tryClaim publishes a reader into a free slot and returns its index.
+// The starting probe point is drawn from the runtime's per-M cheap
+// random source (math/rand/v2's global functions), which costs a few
+// nanoseconds and no shared state — claiming never creates a
+// contended hot spot the way a shared counter would.
+func (t *readerSlots) tryClaim() (int64, bool) {
+	h := rand.Uint64()
+	for i := uint64(0); i < slotProbes; i++ {
+		s := &t.slots[(h+i)&t.mask].v
+		if s.Load() == 0 && s.CompareAndSwap(0, 1) {
+			return int64((h + i) & t.mask), true
+		}
+	}
+	return 0, false
+}
+
+// release frees a slot claimed by tryClaim.
+func (t *readerSlots) release(idx int64) { t.slots[idx].v.Store(0) }
+
+// drain waits until every slot is free and returns how many slots it
+// found occupied — the revocation-cost signal that sizes the re-arm
+// throttle.  Only a revoking writer calls drain, strictly after
+// clearing the bias flag: readers that claimed a slot before the flag
+// fell will be waited for, and readers that claim one afterwards
+// observe the cleared flag, back out, and head for the inner lock, so
+// each slot quiesces and the scan terminates.
+func (t *readerSlots) drain() (busy int) {
+	for i := range t.slots {
+		s := &t.slots[i].v
+		if s.Load() == 0 {
+			continue
+		}
+		busy++
+		spinWhile(func() bool { return s.Load() != 0 })
+	}
+	return busy
+}

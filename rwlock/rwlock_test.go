@@ -17,6 +17,9 @@ func locks(maxWriters int) map[string]RWLock {
 		"PhaseFairRW":   NewPhaseFairRW(),
 		"TaskFairRW":    NewTaskFairRW(),
 		"RWMutexLock":   NewRWMutexLock(),
+		"Bravo(MWSF)":   NewBravoMWSF(maxWriters),
+		"Bravo(MWRP)":   NewBravoMWRP(maxWriters),
+		"Bravo(MWWP)":   NewBravoMWWP(maxWriters),
 	}
 }
 
@@ -105,6 +108,7 @@ func TestReadersRunConcurrently(t *testing.T) {
 		"SWWP": NewSWWP(), "SWRP": NewSWRP(),
 		"MWSF": NewMWSF(2), "MWRP": NewMWRP(2), "MWWP": NewMWWP(2),
 		"PhaseFairRW": NewPhaseFairRW(),
+		"Bravo(MWSF)": NewBravoMWSF(2), "Bravo(MWWP)": NewBravoMWWP(2),
 	} {
 		l := l
 		t.Run(name, func(t *testing.T) {
