@@ -271,8 +271,87 @@ func BenchmarkReadHeavy(b *testing.B) {
 	}
 }
 
+// BenchmarkOversubscribed is the waiting-layer experiment (E12): 64
+// workers on GOMAXPROCS=2 — goroutines 32× the processors, the regime
+// real services run in — comparing each constant-RMR lock's SpinYield
+// build against its SpinThenPark ("/park") build, with sync.RWMutex
+// (whose waiters always park in the runtime) as the reference.  The
+// headline is ops/s: spinning waiters burn whole scheduler quanta the
+// lock holder needs, so /park must win here, and by a wide margin at
+// the 90% read mix where writers constantly close the gates.
+//
+//	GOMAXPROCS is pinned inside each sub-benchmark; run with e.g.
+//	go test -bench Oversubscribed -benchtime 100000x
+func BenchmarkOversubscribed(b *testing.B) {
+	const workers = 64
+	builders := harness.NativeLocks(harness.DefaultMaxWriters)
+	for _, frac := range []int{90, 99} {
+		frac := frac
+		for _, name := range harness.OversubLockNames() {
+			name := name
+			b.Run(name+"/read="+itoa(frac)+"/g="+itoa(workers), func(b *testing.B) {
+				prev := runtime.GOMAXPROCS(2)
+				defer runtime.GOMAXPROCS(prev)
+				oversubBench(b, builders[name](), workers, frac)
+			})
+		}
+	}
+}
+
+// oversubBench is readHeavy with the workload package's critical-
+// section and think-time shape (CSWork/ThinkWork 32, as the E7/E12
+// sweeps use): under oversubscription a pure lock ping-pong measures
+// scheduler luck — whichever waiter happens to hold a P wins the next
+// pass — while real services hold the lock to DO something, which is
+// exactly the time spinning waiters steal from the holder.
+func oversubBench(b *testing.B, l rwlock.RWLock, g, frac int) {
+	const work = 32
+	var shared atomic.Int64
+	per := (b.N + g - 1) / g
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var sink int64
+			for op := 0; op < per; op++ {
+				if rng.Intn(100) < frac {
+					tok := l.RLock()
+					_ = shared.Load()
+					busySpin(work, &sink)
+					l.RUnlock(tok)
+				} else {
+					tok := l.Lock()
+					shared.Add(1)
+					busySpin(work, &sink)
+					l.Unlock(tok)
+				}
+				busySpin(work, &sink)
+			}
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(per*g)/s, "ops/s")
+	}
+}
+
+// busySpin is n iterations of un-optimizable busy work (the workload
+// package's spin, inlined so the benchmark has no cross-package call
+// in the loop).
+func busySpin(n int, sink *int64) {
+	s := *sink
+	for i := 0; i < n; i++ {
+		s += int64(i) ^ s<<1
+	}
+	*sink = s
+}
+
 // readHeavy splits b.N operations across g goroutines, each drawing
-// reads with probability frac/100, and reports reads/s.
+// reads with probability frac/100, and reports reads/s and ops/s.
 func readHeavy(b *testing.B, l rwlock.RWLock, g, frac int) {
 	var shared atomic.Int64
 	var reads atomic.Int64
@@ -304,6 +383,7 @@ func readHeavy(b *testing.B, l rwlock.RWLock, g, frac int) {
 	b.StopTimer()
 	if s := b.Elapsed().Seconds(); s > 0 {
 		b.ReportMetric(float64(reads.Load())/s, "reads/s")
+		b.ReportMetric(float64(per*g)/s, "ops/s")
 	}
 }
 

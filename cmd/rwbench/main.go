@@ -5,14 +5,31 @@
 //
 // Usage:
 //
-//	rwbench [-ops N] [-seed S] [-workers list] [-locks list] [-markdown] [-quick]
+//	rwbench [-ops N] [-seed S] [-workers list] [-locks list]
+//	        [-markdown] [-json] [-quick]
+//	        [-oversub] [-oversub-workers list] [-oversub-duration d]
 //
 // -locks restricts the sweep to a comma-separated subset of the lock
 // registry, e.g. `-locks "MWSF,Bravo(MWSF),sync.RWMutex"` to isolate
-// the BRAVO fast path's effect against its own inner lock.
+// the BRAVO fast path's effect against its own inner lock.  The
+// registry includes "/park" variants of every lock (e.g. "MWSF/park")
+// that wait with rwlock.SpinThenPark instead of the default spinning.
+//
+// -oversub adds the oversubscription experiment: GOMAXPROCS is pinned
+// to -oversub-gomaxprocs (default 2) for the sweep's duration so the
+// workers genuinely oversubscribe even on big machines, the regime
+// where the /park variants earn their keep.  Unless -locks narrows
+// the sweep explicitly, the oversubscription table uses the spin-vs-
+// park comparison set (harness.OversubLockNames) rather than the
+// spin-only E7 default.
+//
+// -json emits one JSON object with every sweep's points instead of
+// tables, so per-PR benchmark grids can be recorded mechanically
+// (BENCH_*.json) rather than hand-copied.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +37,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"rwsync/internal/harness"
 )
@@ -47,14 +65,35 @@ func parseIntList(s string) ([]int, error) {
 	return out, nil
 }
 
+// report is the -json output schema: enough run metadata to rerun the
+// sweep, plus every point of every enabled experiment.
+type report struct {
+	GOMAXPROCS        int                       `json:"gomaxprocs"`
+	NumCPU            int                       `json:"numcpu"`
+	OpsPerWorker      int                       `json:"ops_per_worker"`
+	Seed              int64                     `json:"seed"`
+	Locks             []string                  `json:"locks"`
+	Throughput        []harness.ThroughputPoint `json:"throughput"`
+	Priority          []harness.PriorityPoint   `json:"priority"`
+	Oversubscribed    []harness.ThroughputPoint `json:"oversubscribed,omitempty"`
+	OversubLocks      []string                  `json:"oversub_locks,omitempty"`
+	OversubMs         int64                     `json:"oversub_duration_ms,omitempty"`
+	OversubGOMAXPROCS int                       `json:"oversub_gomaxprocs,omitempty"`
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rwbench", flag.ContinueOnError)
 	ops := fs.Int("ops", 20000, "operations per worker")
 	seed := fs.Int64("seed", 1, "workload seed")
 	workersFlag := fs.String("workers", "", "comma-separated worker counts (default 1,2,4,..,2*NumCPU)")
-	locksFlag := fs.String("locks", "", "comma-separated lock names to sweep (default: all registered locks)")
+	locksFlag := fs.String("locks", "", "comma-separated lock names to sweep (default: all spin locks; /park variants available)")
 	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+	jsonOut := fs.Bool("json", false, "emit one JSON object instead of tables")
 	quick := fs.Bool("quick", false, "smaller sweep for smoke runs")
+	oversub := fs.Bool("oversub", false, "also run the oversubscription sweep (workers >> GOMAXPROCS)")
+	oversubWorkers := fs.String("oversub-workers", "16,64", "worker counts for -oversub")
+	oversubDur := fs.Duration("oversub-duration", 100*time.Millisecond, "measurement window per -oversub point")
+	oversubProcs := fs.Int("oversub-gomaxprocs", 2, "GOMAXPROCS pinned for the -oversub sweep (0 = leave unpinned)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,8 +126,10 @@ func run(args []string, out io.Writer) error {
 	}
 	fractions := []float64{0.5, 0.9, 0.99, 1.0}
 	readers := 8
+	oversubFractions := []float64{0.9, 0.99}
 	if *quick {
 		fractions = []float64{0.9}
+		oversubFractions = []float64{0.9}
 		readers = 4
 	}
 
@@ -104,11 +145,57 @@ func run(args []string, out io.Writer) error {
 	}
 
 	pts := harness.ThroughputSweepLocks(lockNames, workers, fractions, *ops, *seed)
-	emit(harness.ThroughputTable(
-		fmt.Sprintf("E7: native throughput, ops/sec (GOMAXPROCS=%d, %d ops/worker)", runtime.GOMAXPROCS(0), *ops), pts))
-
 	prio := harness.PrioritySweepLocks(lockNames, readers, *ops, *seed)
-	emit(harness.PriorityTable(
-		fmt.Sprintf("E8: 1 dedicated writer vs %d readers — latency by class", readers), prio))
+
+	rep := report{
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		OpsPerWorker: *ops,
+		Seed:         *seed,
+		Locks:        lockNames,
+		Throughput:   pts,
+		Priority:     prio,
+	}
+
+	if !*jsonOut {
+		emit(harness.ThroughputTable(
+			fmt.Sprintf("E7: native throughput, ops/sec (GOMAXPROCS=%d, %d ops/worker)", runtime.GOMAXPROCS(0), *ops), pts))
+		emit(harness.PriorityTable(
+			fmt.Sprintf("E8: 1 dedicated writer vs %d readers — latency by class", readers), prio))
+	}
+
+	if *oversub {
+		ow, err := parseIntList(*oversubWorkers)
+		if err != nil {
+			return err
+		}
+		// The spin-vs-park comparison set by default; an explicit
+		// -locks narrows the oversub sweep like every other sweep.
+		oversubLocks := harness.OversubLockNames()
+		if len(requested) > 0 {
+			oversubLocks = lockNames
+		}
+		// Pin GOMAXPROCS so the workers oversubscribe even on a big
+		// machine (OversubscribedSweepLocks only shapes the workload).
+		if *oversubProcs > 0 {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(*oversubProcs))
+		}
+		opts := harness.OversubscribedSweepLocks(oversubLocks, ow, oversubFractions, *oversubDur, *seed)
+		rep.Oversubscribed = opts
+		rep.OversubLocks = oversubLocks
+		rep.OversubMs = oversubDur.Milliseconds()
+		rep.OversubGOMAXPROCS = runtime.GOMAXPROCS(0)
+		if !*jsonOut {
+			emit(harness.ThroughputTable(
+				fmt.Sprintf("E12: oversubscribed throughput, ops/sec (GOMAXPROCS=%d, %s/point)",
+					runtime.GOMAXPROCS(0), *oversubDur), opts))
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
 	return nil
 }

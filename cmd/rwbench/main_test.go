@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -78,5 +79,86 @@ func TestRunUnknownLock(t *testing.T) {
 	if err := run([]string{"-locks", "NoSuchLock"}, &b); err == nil ||
 		!strings.Contains(err.Error(), "NoSuchLock") {
 		t.Fatalf("expected unknown-lock error, got %v", err)
+	}
+}
+
+func TestRunParkVariantSelectable(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-ops", "200", "-workers", "2",
+		"-locks", "MWSF,MWSF/park"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "MWSF/park") {
+		t.Fatalf("park variant missing from sweep:\n%s", b.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-ops", "200", "-workers", "2", "-json",
+		"-oversub", "-oversub-workers", "8", "-oversub-duration", "20ms",
+		"-locks", "MWSF,MWSF/park,sync.RWMutex"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(b.String()), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if rep.GOMAXPROCS <= 0 || len(rep.Locks) != 3 {
+		t.Fatalf("metadata missing: %+v", rep)
+	}
+	if len(rep.Throughput) == 0 || len(rep.Priority) == 0 || len(rep.Oversubscribed) == 0 {
+		t.Fatalf("sweep points missing: tp=%d prio=%d oversub=%d",
+			len(rep.Throughput), len(rep.Priority), len(rep.Oversubscribed))
+	}
+	for _, p := range rep.Oversubscribed {
+		if p.Workers != 8 || p.OpsPerSec <= 0 {
+			t.Fatalf("bad oversubscribed point %+v", p)
+		}
+	}
+	// Tables must not leak into machine-readable output.
+	if strings.Contains(b.String(), "E7:") {
+		t.Fatalf("table text mixed into -json output:\n%s", b.String())
+	}
+}
+
+func TestRunOversubTable(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-ops", "200", "-workers", "1",
+		"-oversub", "-oversub-workers", "8", "-oversub-duration", "20ms",
+		"-locks", "MWSF,MWSF/park"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "E12: oversubscribed throughput") {
+		t.Fatalf("missing oversubscribed table:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "GOMAXPROCS=2") {
+		t.Fatalf("oversub sweep did not pin GOMAXPROCS:\n%s", b.String())
+	}
+}
+
+func TestRunOversubDefaultsToParkComparison(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-ops", "200", "-workers", "1", "-json",
+		"-oversub", "-oversub-workers", "8", "-oversub-duration", "20ms"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(b.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	// Without -locks, the oversub sweep must use the spin-vs-park set,
+	// not the spin-only E7 default.
+	park := 0
+	for _, p := range rep.Oversubscribed {
+		if strings.HasSuffix(p.Lock, "/park") {
+			park++
+		}
+	}
+	if park == 0 {
+		t.Fatalf("default -oversub sweep has no /park variants: %v", rep.OversubLocks)
+	}
+	if rep.OversubGOMAXPROCS != 2 {
+		t.Fatalf("oversub GOMAXPROCS = %d, want pinned 2", rep.OversubGOMAXPROCS)
 	}
 }

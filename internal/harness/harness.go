@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"rwsync/internal/ccsim"
 	"rwsync/internal/core"
@@ -19,14 +20,19 @@ type RMRRow struct {
 	Writer stats.Summary
 }
 
-// RMRSweep runs the system returned by build for each (writers,
-// readers) point, under a seeded random scheduler, and summarizes the
-// per-attempt RMR counts by role.
-func RMRSweep(build func(writers, readers int) *core.System, points [][2]int, attempts int, seed int64) ([]RMRRow, error) {
+// rmrSweep is the shared sweep core of RMRSweep and RMRSweepDSM: run
+// the system returned by build for each (writers, readers) point,
+// under a seeded random scheduler, and summarize the per-attempt RMR
+// counts by role.  setup, if non-nil, configures each freshly built
+// system's memory model before the run.
+func rmrSweep(build func(writers, readers int) *core.System, points [][2]int, attempts int, seed int64, setup func(sys *core.System, w, r int)) ([]RMRRow, error) {
 	var rows []RMRRow
 	for _, pt := range points {
 		w, r := pt[0], pt[1]
 		sys := build(w, r)
+		if setup != nil {
+			setup(sys, w, r)
+		}
 		run, err := sys.NewRunner(attempts)
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s w=%d r=%d: %w", sys.Name, w, r, err)
@@ -54,6 +60,12 @@ func RMRSweep(build func(writers, readers int) *core.System, points [][2]int, at
 	return rows, nil
 }
 
+// RMRSweep summarizes per-attempt RMR counts under the default
+// cache-coherent memory model.
+func RMRSweep(build func(writers, readers int) *core.System, points [][2]int, attempts int, seed int64) ([]RMRRow, error) {
+	return rmrSweep(build, points, attempts, seed, nil)
+}
+
 // RMRSweepDSM is RMRSweep under the DSM accounting model (experiment
 // E9): variables are homed round-robin across the processes and there
 // are no caches, so every spin iteration on a remote variable is
@@ -62,39 +74,12 @@ func RMRSweep(build func(writers, readers int) *core.System, points [][2]int, at
 // sublinear in this model; this sweep shows our CC-constant algorithms
 // indeed lose their bound, i.e. the CC result is model-specific.
 func RMRSweepDSM(build func(writers, readers int) *core.System, points [][2]int, attempts int, seed int64) ([]RMRRow, error) {
-	var rows []RMRRow
-	for _, pt := range points {
-		w, r := pt[0], pt[1]
-		sys := build(w, r)
+	return rmrSweep(build, points, attempts, seed, func(sys *core.System, w, r int) {
 		sys.Mem.SetModel(ccsim.ModelDSM)
 		for v := 0; v < sys.Mem.NumVars(); v++ {
 			sys.Mem.SetHome(ccsim.Var(v), v%(w+r))
 		}
-		run, err := sys.NewRunner(attempts)
-		if err != nil {
-			return nil, fmt.Errorf("harness: %s w=%d r=%d: %w", sys.Name, w, r, err)
-		}
-		run.CollectStats = true
-		budget := int64(attempts) * int64(w+r) * 1 << 16
-		if err := run.Run(ccsim.NewRandomSched(seed+int64(w*1000+r)), budget); err != nil {
-			return nil, fmt.Errorf("harness: %s w=%d r=%d: %w", sys.Name, w, r, err)
-		}
-		var readerRMR, writerRMR []int64
-		for _, s := range run.Stats {
-			if s.Reader {
-				readerRMR = append(readerRMR, s.RMR)
-			} else {
-				writerRMR = append(writerRMR, s.RMR)
-			}
-		}
-		rows = append(rows, RMRRow{
-			Writers: w,
-			Readers: r,
-			Reader:  stats.Summarize(readerRMR),
-			Writer:  stats.Summarize(writerRMR),
-		})
-	}
-	return rows, nil
+	})
 }
 
 // RMRTable formats sweep rows as a table: RMRs per passage by role.
@@ -155,26 +140,60 @@ func Builders() map[string]func(w, r int) *core.System {
 	}
 }
 
+// DefaultMaxWriters is the writer-admission bound the sweeps size
+// their locks with.  One constant for every sweep: the bound caps the
+// Anderson array the multi-writer locks serialize writers through, so
+// sweeping the same lock with two different bounds silently compares
+// two different memory layouts.  64 comfortably exceeds every worker
+// count the experiments use (the bound blocks, it does not corrupt,
+// so a too-small value would deadlock a wide write-heavy sweep —
+// which is how the old ThroughputSweepLocks=64 / PrioritySweepLocks=8
+// split was noticed).
+const DefaultMaxWriters = 64
+
 // NativeLocks returns the named native lock constructors used in the
 // throughput and priority experiments.  The Bravo(...) entries wrap
 // the paper's multi-writer locks in the BRAVO sharded reader fast path
-// (arXiv:1810.01553), the repo's reader-scalability layer.
+// (arXiv:1810.01553), the repo's reader-scalability layer.  The
+// "/park" entries are the same locks with the SpinThenPark wait
+// strategy — the oversubscription configuration; sync.RWMutex needs
+// no variant because its waiters always park in the runtime.
 func NativeLocks(maxWriters int) map[string]func() rwlock.RWLock {
+	park := rwlock.WithWaitStrategy(rwlock.SpinThenPark)
 	return map[string]func() rwlock.RWLock{
-		"MWSF":          func() rwlock.RWLock { return rwlock.NewMWSF(maxWriters) },
-		"MWRP":          func() rwlock.RWLock { return rwlock.NewMWRP(maxWriters) },
-		"MWWP":          func() rwlock.RWLock { return rwlock.NewMWWP(maxWriters) },
-		"Bravo(MWSF)":   func() rwlock.RWLock { return rwlock.NewBravoMWSF(maxWriters) },
-		"Bravo(MWRP)":   func() rwlock.RWLock { return rwlock.NewBravoMWRP(maxWriters) },
-		"Bravo(MWWP)":   func() rwlock.RWLock { return rwlock.NewBravoMWWP(maxWriters) },
-		"CentralizedRW": func() rwlock.RWLock { return rwlock.NewCentralizedRW() },
-		"PhaseFairRW":   func() rwlock.RWLock { return rwlock.NewPhaseFairRW() },
-		"TaskFairRW":    func() rwlock.RWLock { return rwlock.NewTaskFairRW() },
-		"sync.RWMutex":  func() rwlock.RWLock { return rwlock.NewRWMutexLock() },
+		"MWSF":             func() rwlock.RWLock { return rwlock.NewMWSF(maxWriters) },
+		"MWRP":             func() rwlock.RWLock { return rwlock.NewMWRP(maxWriters) },
+		"MWWP":             func() rwlock.RWLock { return rwlock.NewMWWP(maxWriters) },
+		"MWSF/park":        func() rwlock.RWLock { return rwlock.NewMWSF(maxWriters, park) },
+		"MWRP/park":        func() rwlock.RWLock { return rwlock.NewMWRP(maxWriters, park) },
+		"MWWP/park":        func() rwlock.RWLock { return rwlock.NewMWWP(maxWriters, park) },
+		"Bravo(MWSF)":      func() rwlock.RWLock { return rwlock.NewBravoMWSF(maxWriters) },
+		"Bravo(MWRP)":      func() rwlock.RWLock { return rwlock.NewBravoMWRP(maxWriters) },
+		"Bravo(MWWP)":      func() rwlock.RWLock { return rwlock.NewBravoMWWP(maxWriters) },
+		"Bravo(MWSF)/park": func() rwlock.RWLock { return rwlock.NewBravoMWSF(maxWriters, park) },
+		"Bravo(MWRP)/park": func() rwlock.RWLock { return rwlock.NewBravoMWRP(maxWriters, park) },
+		"Bravo(MWWP)/park": func() rwlock.RWLock { return rwlock.NewBravoMWWP(maxWriters, park) },
+		"CentralizedRW":    func() rwlock.RWLock { return rwlock.NewCentralizedRW() },
+		"CentralizedRW/park": func() rwlock.RWLock {
+			return rwlock.NewCentralizedRW(park)
+		},
+		"PhaseFairRW": func() rwlock.RWLock { return rwlock.NewPhaseFairRW() },
+		"PhaseFairRW/park": func() rwlock.RWLock {
+			return rwlock.NewPhaseFairRW(park)
+		},
+		"TaskFairRW": func() rwlock.RWLock { return rwlock.NewTaskFairRW() },
+		"TaskFairRW/park": func() rwlock.RWLock {
+			return rwlock.NewTaskFairRW(park)
+		},
+		"sync.RWMutex": func() rwlock.RWLock { return rwlock.NewRWMutexLock() },
 	}
 }
 
-// LockNames returns the canonical presentation order of NativeLocks.
+// LockNames returns the canonical presentation order of the DEFAULT
+// sweep: the spin-strategy locks, as before this PR.  The "/park"
+// registry entries are opt-in (AllLockNames, or -locks on rwbench):
+// doubling every default table would bury the spin-vs-spin
+// comparisons the paper's experiments are about.
 func LockNames() []string {
 	return []string{
 		"MWSF", "Bravo(MWSF)",
@@ -184,9 +203,35 @@ func LockNames() []string {
 	}
 }
 
+// AllLockNames returns every registry entry in presentation order:
+// each spin lock followed by its /park variant.
+func AllLockNames() []string {
+	return []string{
+		"MWSF", "MWSF/park", "Bravo(MWSF)", "Bravo(MWSF)/park",
+		"MWRP", "MWRP/park", "Bravo(MWRP)", "Bravo(MWRP)/park",
+		"MWWP", "MWWP/park", "Bravo(MWWP)", "Bravo(MWWP)/park",
+		"CentralizedRW", "CentralizedRW/park",
+		"PhaseFairRW", "PhaseFairRW/park",
+		"TaskFairRW", "TaskFairRW/park",
+		"sync.RWMutex",
+	}
+}
+
+// OversubLockNames is the default lock set of the oversubscription
+// sweep: each constant-RMR discipline spin vs park, with sync.RWMutex
+// as the always-parking baseline.
+func OversubLockNames() []string {
+	return []string{
+		"MWSF", "MWSF/park", "Bravo(MWSF)", "Bravo(MWSF)/park",
+		"MWWP", "MWWP/park",
+		"sync.RWMutex",
+	}
+}
+
 // SelectLockNames validates and canonicalizes a lock-name subset: it
-// returns the requested names in LockNames order, or an error naming
-// the unknown entry.  An empty request selects every lock.
+// returns the requested names in AllLockNames order, or an error
+// naming the unknown entry.  An empty request selects the default
+// (spin) locks.
 func SelectLockNames(requested []string) ([]string, error) {
 	if len(requested) == 0 {
 		return LockNames(), nil
@@ -196,24 +241,25 @@ func SelectLockNames(requested []string) ([]string, error) {
 		want[name] = true
 	}
 	var out []string
-	for _, name := range LockNames() {
+	for _, name := range AllLockNames() {
 		if want[name] {
 			out = append(out, name)
 			delete(want, name)
 		}
 	}
 	for name := range want {
-		return nil, fmt.Errorf("unknown lock %q (have %v)", name, LockNames())
+		return nil, fmt.Errorf("unknown lock %q (have %v)", name, AllLockNames())
 	}
 	return out, nil
 }
 
-// ThroughputPoint is one cell of the E7 experiment.
+// ThroughputPoint is one cell of the E7 (and oversubscription)
+// experiments.  The json tags are the rwbench -json schema.
 type ThroughputPoint struct {
-	Lock         string
-	Workers      int
-	ReadFraction float64
-	OpsPerSec    float64
+	Lock         string  `json:"lock"`
+	Workers      int     `json:"workers"`
+	ReadFraction float64 `json:"read_fraction"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
 }
 
 // ThroughputSweep measures ops/sec for every lock at every (workers,
@@ -223,10 +269,11 @@ func ThroughputSweep(workers []int, fractions []float64, opsPerWorker int, seed 
 }
 
 // ThroughputSweepLocks is ThroughputSweep restricted to the named
-// locks (names as in LockNames; see SelectLockNames for validation).
+// locks (names as in AllLockNames; see SelectLockNames for
+// validation).
 func ThroughputSweepLocks(names []string, workers []int, fractions []float64, opsPerWorker int, seed int64) []ThroughputPoint {
 	var out []ThroughputPoint
-	builders := NativeLocks(64)
+	builders := NativeLocks(DefaultMaxWriters)
 	for _, name := range names {
 		for _, w := range workers {
 			for _, f := range fractions {
@@ -248,6 +295,36 @@ func ThroughputSweepLocks(names []string, workers []int, fractions []float64, op
 	return out
 }
 
+// OversubscribedSweepLocks measures ops/sec for the named locks with
+// workers ≫ GOMAXPROCS, each point running for a fixed duration
+// (duration-based because oversubscribed workers finish fixed op
+// budgets at wildly different times).  The caller is expected to have
+// pinned GOMAXPROCS (rwbench's -oversub does; BenchmarkOversubscribed
+// does) — the sweep itself only shapes the workload.
+func OversubscribedSweepLocks(names []string, workers []int, fractions []float64, d time.Duration, seed int64) []ThroughputPoint {
+	var out []ThroughputPoint
+	builders := NativeLocks(DefaultMaxWriters)
+	for _, name := range names {
+		for _, w := range workers {
+			for _, f := range fractions {
+				l := builders[name]()
+				res := workload.Run(l, workload.Config{
+					Workers:      w,
+					ReadFraction: f,
+					Duration:     d,
+					CSWork:       32,
+					ThinkWork:    32,
+					Seed:         seed,
+				})
+				out = append(out, ThroughputPoint{
+					Lock: name, Workers: w, ReadFraction: f, OpsPerSec: res.Throughput(),
+				})
+			}
+		}
+	}
+	return out
+}
+
 // ThroughputTable formats E7 results, one row per (workers, fraction),
 // one column per lock that appears in pts (in LockNames order).
 func ThroughputTable(title string, pts []ThroughputPoint) *stats.Table {
@@ -256,7 +333,7 @@ func ThroughputTable(title string, pts []ThroughputPoint) *stats.Table {
 		present[p.Lock] = true
 	}
 	var names []string
-	for _, name := range LockNames() {
+	for _, name := range AllLockNames() {
 		if present[name] {
 			names = append(names, name)
 		}
@@ -288,14 +365,15 @@ func ThroughputTable(title string, pts []ThroughputPoint) *stats.Table {
 }
 
 // PriorityPoint is one cell of the E8 experiment: latency of the
-// minority class under a storm of the majority class.
+// minority class under a storm of the majority class.  The json tags
+// are the rwbench -json schema.
 type PriorityPoint struct {
-	Lock        string
-	WriteP50Ns  int64
-	WriteP99Ns  int64
-	ReadP50Ns   int64
-	ReadP99Ns   int64
-	WriterShare float64 // fraction of completed ops that were writes
+	Lock        string  `json:"lock"`
+	WriteP50Ns  int64   `json:"write_p50_ns"`
+	WriteP99Ns  int64   `json:"write_p99_ns"`
+	ReadP50Ns   int64   `json:"read_p50_ns"`
+	ReadP99Ns   int64   `json:"read_p99_ns"`
+	WriterShare float64 `json:"writer_share"` // fraction of completed ops that were writes
 }
 
 // PrioritySweep runs one dedicated writer against readerCount readers
@@ -309,7 +387,7 @@ func PrioritySweep(readerCount, opsPerWorker int, seed int64) []PriorityPoint {
 // PrioritySweepLocks is PrioritySweep restricted to the named locks.
 func PrioritySweepLocks(names []string, readerCount, opsPerWorker int, seed int64) []PriorityPoint {
 	var out []PriorityPoint
-	builders := NativeLocks(8)
+	builders := NativeLocks(DefaultMaxWriters)
 	for _, name := range names {
 		l := builders[name]()
 		res := workload.Run(l, workload.Config{

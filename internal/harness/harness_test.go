@@ -3,6 +3,7 @@ package harness
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRMRSweepFlatForFig1(t *testing.T) {
@@ -116,5 +117,54 @@ func TestNativeLocksConstructAll(t *testing.T) {
 		rt := l.RLock()
 		l.RUnlock(rt)
 		_ = name
+	}
+}
+
+func TestRegistryNameListsConsistent(t *testing.T) {
+	builders := NativeLocks(4)
+	for _, names := range [][]string{LockNames(), AllLockNames(), OversubLockNames()} {
+		for _, name := range names {
+			if builders[name] == nil {
+				t.Fatalf("name list entry %q missing from NativeLocks", name)
+			}
+		}
+	}
+	// Every registry entry must be presentable: AllLockNames is the
+	// complete ordering.
+	if len(AllLockNames()) != len(builders) {
+		t.Fatalf("AllLockNames has %d entries, registry %d", len(AllLockNames()), len(builders))
+	}
+}
+
+func TestSelectLockNamesParkVariants(t *testing.T) {
+	got, err := SelectLockNames([]string{"MWSF/park", "MWSF"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "MWSF" || got[1] != "MWSF/park" {
+		t.Fatalf("SelectLockNames = %v, want canonical [MWSF MWSF/park]", got)
+	}
+	if _, err := SelectLockNames(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOversubscribedSweep(t *testing.T) {
+	pts := OversubscribedSweepLocks([]string{"MWSF/park", "sync.RWMutex"},
+		[]int{16}, []float64{0.9}, 20*time.Millisecond, 1)
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.OpsPerSec <= 0 {
+			t.Fatalf("lock %s reported no throughput", p.Lock)
+		}
+		if p.Workers != 16 {
+			t.Fatalf("point kept workers=%d, want 16", p.Workers)
+		}
+	}
+	out := ThroughputTable("oversub", pts).Render()
+	if !strings.Contains(out, "MWSF/park") {
+		t.Fatalf("table missing park column:\n%s", out)
 	}
 }

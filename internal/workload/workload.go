@@ -22,6 +22,12 @@ type Config struct {
 	DedicatedWriters int
 	// OpsPerWorker is how many operations each worker performs.
 	OpsPerWorker int
+	// Duration, if > 0, overrides OpsPerWorker: every worker issues
+	// operations until the deadline passes.  This is the right mode
+	// for oversubscribed runs (Workers ≫ GOMAXPROCS), where a fixed
+	// per-worker op count would let the measurement tail off as
+	// workers finish at very different times.
+	Duration time.Duration
 	// CSWork is the amount of busy work (loop iterations) inside the
 	// critical section, modeling the protected operation's cost.
 	CSWork int
@@ -81,7 +87,12 @@ func Run(l rwlock.RWLock, cfg Config) *Result {
 		mu       sync.Mutex
 		readLat  []int64
 		writeLat []int64
+		deadline atomic.Bool
 	)
+	if cfg.Duration > 0 {
+		timer := time.AfterFunc(cfg.Duration, func() { deadline.Store(true) })
+		defer timer.Stop()
+	}
 
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -95,7 +106,14 @@ func Run(l rwlock.RWLock, cfg Config) *Result {
 			isDedicatedWriter := cfg.DedicatedWriters > 0 && id < cfg.DedicatedWriters
 			dedicated := cfg.DedicatedWriters > 0
 
-			for i := 0; i < cfg.OpsPerWorker; i++ {
+			for i := 0; ; i++ {
+				if cfg.Duration > 0 {
+					if deadline.Load() {
+						break
+					}
+				} else if i >= cfg.OpsPerWorker {
+					break
+				}
 				var write bool
 				if dedicated {
 					write = isDedicatedWriter

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"testing"
+	"time"
 
 	"rwsync/rwlock"
 )
@@ -77,6 +78,26 @@ func TestDefaultsApplied(t *testing.T) {
 	res := Run(rwlock.NewRWMutexLock(), Config{Seed: 1, ReadFraction: 1.0})
 	if res.ReadOps+res.WriteOps != 1000 { // 1 worker x 1000 default ops
 		t.Fatalf("defaults not applied: %d ops", res.ReadOps+res.WriteOps)
+	}
+}
+
+func TestDurationOverridesOps(t *testing.T) {
+	park := rwlock.WithWaitStrategy(rwlock.SpinThenPark)
+	res := Run(rwlock.NewMWSF(8, park), Config{
+		Workers:      8,
+		ReadFraction: 0.9,
+		Duration:     30 * time.Millisecond,
+		OpsPerWorker: 1, // must be ignored in duration mode
+		Seed:         1,
+	})
+	if total := res.ReadOps + res.WriteOps; total <= 8 {
+		t.Fatalf("duration mode stopped after the op budget: %d ops", total)
+	}
+	if res.Elapsed < 30*time.Millisecond {
+		t.Fatalf("run ended before the deadline: %v", res.Elapsed)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("throughput not computed")
 	}
 }
 

@@ -5,9 +5,10 @@ import "sync/atomic"
 // AndersonLock is T.E. Anderson's array-based queueing mutual
 // exclusion lock (IEEE TPDS 1990): a fetch&increment ticket assigns
 // each acquirer a slot in a circular array of spin flags, and release
-// opens the successor slot.  Each process spins on its own cache line,
-// giving O(1) RMR complexity on cache-coherent machines, plus FCFS
-// and starvation freedom.
+// opens the successor slot.  Each process waits on its own cache line
+// (a waitCell, so the waiting behavior follows the lock's
+// WaitStrategy), giving O(1) RMR complexity on cache-coherent
+// machines, plus FCFS and starvation freedom.
 //
 // The paper's Figure 3 transformation and Figure 4 algorithm use this
 // lock (called M) to serialize writers; it is exported because it is
@@ -19,21 +20,25 @@ import "sync/atomic"
 type AndersonLock struct {
 	ticket atomic.Uint64
 	_      [56]byte
-	slots  []paddedBool
+	slots  []waitCell
 	sem    chan struct{}
 }
 
 // NewAnderson returns an Anderson lock sized for maxConcurrent
 // concurrent acquirers (minimum 1).
-func NewAnderson(maxConcurrent int) *AndersonLock {
+func NewAnderson(maxConcurrent int, opts ...Option) *AndersonLock {
 	if maxConcurrent < 1 {
 		maxConcurrent = 1
 	}
+	o := applyOptions(opts)
 	l := &AndersonLock{
-		slots: make([]paddedBool, maxConcurrent),
+		slots: make([]waitCell, maxConcurrent),
 		sem:   make(chan struct{}, maxConcurrent),
 	}
-	l.slots[0].v.Store(true)
+	for i := range l.slots {
+		l.slots[i].setStrategy(o.strategy)
+	}
+	l.slots[0].store(cellTrue)
 	return l
 }
 
@@ -45,13 +50,14 @@ func (l *AndersonLock) Capacity() int { return len(l.slots) }
 func (l *AndersonLock) Acquire() uint32 {
 	l.sem <- struct{}{}
 	slot := uint32((l.ticket.Add(1) - 1) % uint64(len(l.slots)))
-	spinWhile(func() bool { return !l.slots[slot].v.Load() })
-	l.slots[slot].v.Store(false)
+	l.slots[slot].wait(cellTrue)
+	l.slots[slot].store(cellFalse) // own slot reset: nobody waits for false
 	return slot
 }
 
-// Release hands the lock to the next waiter (or leaves it free).
+// Release hands the lock to the next waiter (or leaves it free),
+// waking the successor if it parked.
 func (l *AndersonLock) Release(slot uint32) {
-	l.slots[(slot+1)%uint32(len(l.slots))].v.Store(true)
+	l.slots[(slot+1)%uint32(len(l.slots))].storeWake(cellTrue)
 	<-l.sem
 }

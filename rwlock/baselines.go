@@ -9,7 +9,7 @@ import (
 // against in EXPERIMENTS.md:
 //
 //   - CentralizedRW: the folklore one-word counter reader-writer spin
-//     lock.  Simple and fast uncontended, but every waiter spins on
+//     lock.  Simple and fast uncontended, but every waiter waits on
 //     the same word, so its RMR traffic grows with the number of
 //     processes — the gap the paper closes.
 //   - PhaseFairRW: a ticket-based phase-fair reader-writer lock in
@@ -18,6 +18,10 @@ import (
 //     waits are admitted after exactly one writer phase.
 //   - RWMutexLock: the Go standard library's sync.RWMutex behind the
 //     package's token interface (tokens are ignored).
+//
+// All waiting goes through waitCells, so the baselines honor the same
+// WaitStrategy options as the paper's locks — the oversubscription
+// experiments compare like with like.
 type noCopy struct{}
 
 // Lock and Unlock make noCopy trip `go vet -copylocks`.
@@ -31,47 +35,60 @@ func (*noCopy) Unlock() {}
 // all waiting is on one global word.
 type CentralizedRW struct {
 	_   noCopy
-	cnt atomic.Int64 // writer count at bit 32+, reader count below
+	cnt waitCell // writer count at bit 32+, reader count below
 }
 
 // NewCentralizedRW returns a ready centralized lock.
-func NewCentralizedRW() *CentralizedRW { return &CentralizedRW{} }
+func NewCentralizedRW(opts ...Option) *CentralizedRW {
+	l := &CentralizedRW{}
+	l.cnt.setStrategy(applyOptions(opts).strategy)
+	return l
+}
+
+// noReaders/noWriters are the wait conditions of the packed word:
+// static predicates, so waitUntil calls allocate nothing.
+func noReaders(v int64) bool { return v&(wwBit-1) == 0 }
+func noWriters(v int64) bool { return v>>32 == 0 }
 
 // Lock acquires write mode.
 func (l *CentralizedRW) Lock() WToken {
 	for {
-		old := l.cnt.Add(wwBit) - wwBit
+		old := l.cnt.add(wwBit) - wwBit
 		if old == 0 {
 			return WToken{}
 		}
 		if old>>32 == 0 {
 			// Only readers ahead: drain them.
-			spinWhile(func() bool { return l.cnt.Load()&(wwBit-1) != 0 })
+			l.cnt.waitUntil(noReaders)
 			return WToken{}
 		}
-		// Another writer: back off and retry when it leaves.
-		l.cnt.Add(-wwBit)
-		spinWhile(func() bool { return l.cnt.Load()>>32 != 0 })
+		// Another writer: back off and retry when it leaves.  The
+		// retreat clears our writer unit, which waiting readers watch
+		// for, so it must wake.
+		l.cnt.addWake(-wwBit)
+		l.cnt.waitUntil(noWriters)
 	}
 }
 
 // Unlock releases write mode.
-func (l *CentralizedRW) Unlock(WToken) { l.cnt.Add(-wwBit) }
+func (l *CentralizedRW) Unlock(WToken) { l.cnt.addWake(-wwBit) }
 
 // RLock acquires read mode.
 func (l *CentralizedRW) RLock() RToken {
 	for {
-		old := l.cnt.Add(1) - 1
+		old := l.cnt.add(1) - 1
 		if old>>32 == 0 {
 			return RToken{}
 		}
-		l.cnt.Add(-1)
-		spinWhile(func() bool { return l.cnt.Load()>>32 != 0 })
+		// A writer is present: retreat (waking the writer draining
+		// readers) and wait for a writer-free word.
+		l.cnt.addWake(-1)
+		l.cnt.waitUntil(noWriters)
 	}
 }
 
 // RUnlock releases read mode.
-func (l *CentralizedRW) RUnlock(RToken) { l.cnt.Add(-1) }
+func (l *CentralizedRW) RUnlock(RToken) { l.cnt.addWake(-1) }
 
 var _ RWLock = (*CentralizedRW)(nil)
 
@@ -83,13 +100,11 @@ var _ RWLock = (*CentralizedRW)(nil)
 // after at most one writer, regardless of how many writers are queued.
 type PhaseFairRW struct {
 	_    noCopy
-	rin  atomic.Int64 // readers-in << 8 | writer presence/phase bits
+	rin  waitCell     // readers-in << 8 | writer presence/phase bits
+	rout waitCell     // readers-out << 8
+	win  atomic.Int64 // writer ticket dispenser (never waited on)
 	_    [56]byte
-	rout atomic.Int64 // readers-out << 8
-	_    [56]byte
-	win  atomic.Int64 // writer ticket dispenser
-	_    [56]byte
-	wout atomic.Int64 // writer tickets served
+	wout waitCell // writer tickets served
 }
 
 const (
@@ -100,40 +115,48 @@ const (
 )
 
 // NewPhaseFairRW returns a ready phase-fair lock.
-func NewPhaseFairRW() *PhaseFairRW { return &PhaseFairRW{} }
+func NewPhaseFairRW(opts ...Option) *PhaseFairRW {
+	l := &PhaseFairRW{}
+	s := applyOptions(opts).strategy
+	l.rin.setStrategy(s)
+	l.rout.setStrategy(s)
+	l.wout.setStrategy(s)
+	return l
+}
 
 // Lock acquires write mode.
 func (l *PhaseFairRW) Lock() WToken {
 	t := l.win.Add(1) - 1
-	spinWhile(func() bool { return l.wout.Load() != t }) // writers FIFO
+	l.wout.wait(t) // writers FIFO
 	w := pfPres | (t & pfPhase)
-	entered := l.rin.Add(w) - w // readers that arrived before me
-	spinWhile(func() bool { return l.rout.Load() != entered&^pfWBits })
+	entered := l.rin.add(w) - w // readers that arrived before me
+	l.rout.wait(entered &^ pfWBits)
 	return WToken{id: w}
 }
 
 // Unlock releases write mode.
 func (l *PhaseFairRW) Unlock(t WToken) {
-	// Clear the writer bits first so spinning readers see the phase
-	// change, then admit the next writer.
-	l.rin.Add(-t.id)
-	l.wout.Add(1)
+	// Clear the writer bits first so waiting readers see the phase
+	// change, then admit the next writer; both are wake sites (a
+	// parked reader watches rin's low bits, the next writer wout).
+	l.rin.addWake(-t.id)
+	l.wout.addWake(1)
 }
 
 // RLock acquires read mode.
 func (l *PhaseFairRW) RLock() RToken {
-	w := (l.rin.Add(pfReader) - pfReader) & pfWBits
+	w := (l.rin.add(pfReader) - pfReader) & pfWBits
 	if w != 0 {
 		// A writer holds or awaits the lock: wait for the next phase
 		// boundary (the writer bits changing), after which we hold a
 		// counted reservation the next writer will wait for.
-		spinWhile(func() bool { return l.rin.Load()&pfWBits == w })
+		l.rin.waitUntil(func(v int64) bool { return v&pfWBits != w })
 	}
 	return RToken{}
 }
 
 // RUnlock releases read mode.
-func (l *PhaseFairRW) RUnlock(RToken) { l.rout.Add(pfReader) }
+func (l *PhaseFairRW) RUnlock(RToken) { l.rout.addWake(pfReader) }
 
 var _ RWLock = (*PhaseFairRW)(nil)
 
@@ -147,45 +170,52 @@ var _ RWLock = (*PhaseFairRW)(nil)
 // internal/core for the directed counterexample).
 type TaskFairRW struct {
 	_       noCopy
-	tail    atomic.Int64
+	tail    atomic.Int64 // ticket dispenser (never waited on)
 	_       [56]byte
-	serving atomic.Int64
-	_       [56]byte
-	readers atomic.Int64
+	serving waitCell
+	readers waitCell
 }
 
 // NewTaskFairRW returns a ready task-fair lock.
-func NewTaskFairRW() *TaskFairRW { return &TaskFairRW{} }
+func NewTaskFairRW(opts ...Option) *TaskFairRW {
+	l := &TaskFairRW{}
+	s := applyOptions(opts).strategy
+	l.serving.setStrategy(s)
+	l.readers.setStrategy(s)
+	return l
+}
 
 // Lock acquires write mode.
 func (l *TaskFairRW) Lock() WToken {
 	t := l.tail.Add(1) - 1
-	spinWhile(func() bool { return l.serving.Load() != t })
-	spinWhile(func() bool { return l.readers.Load() != 0 })
+	l.serving.wait(t)
+	l.readers.wait(0)
 	return WToken{}
 }
 
 // Unlock releases write mode, handing the queue head onward.
-func (l *TaskFairRW) Unlock(WToken) { l.serving.Add(1) }
+func (l *TaskFairRW) Unlock(WToken) { l.serving.addWake(1) }
 
 // RLock acquires read mode.
 func (l *TaskFairRW) RLock() RToken {
 	t := l.tail.Add(1) - 1
-	spinWhile(func() bool { return l.serving.Load() != t })
-	l.readers.Add(1) // register before releasing the head
-	l.serving.Add(1)
+	l.serving.wait(t)
+	l.readers.add(1) // register before releasing the head
+	l.serving.addWake(1)
 	return RToken{}
 }
 
-// RUnlock releases read mode.
-func (l *TaskFairRW) RUnlock(RToken) { l.readers.Add(-1) }
+// RUnlock releases read mode (waking a writer draining readers).
+func (l *TaskFairRW) RUnlock(RToken) { l.readers.addWake(-1) }
 
 var _ RWLock = (*TaskFairRW)(nil)
 
 // RWMutexLock adapts sync.RWMutex to the package interface so the
 // standard library participates in the same benchmarks and tests.
 // Note sync.RWMutex's own discipline: writers block new readers
-// (roughly writer-preference for admission, FIFO via the mutex).
+// (roughly writer-preference for admission, FIFO via the mutex), and
+// waiters always park in the runtime — it is the all-park point of
+// comparison for the WaitStrategy experiments.
 type RWMutexLock struct {
 	mu sync.RWMutex
 }

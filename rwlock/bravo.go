@@ -73,16 +73,21 @@ const bravoBusyFactor = 2
 
 // NewBravo wraps inner with the BRAVO reader fast path.  If inner is
 // nil, a starvation-free MWSF lock for 16 writers is used (matching
-// NewGuard's default).  Wrapping a *Bravo in another *Bravo panics:
-// the outer wrapper would misroute the inner one's fast-path tokens.
-func NewBravo(inner RWLock) *Bravo {
+// NewGuard's default).  Options configure the wrapper's own waiting
+// (the revoking writer's table drain); the inner lock's strategy is
+// whatever it was constructed with — the NewBravoMW* helpers apply
+// one option list to both layers.  Wrapping a *Bravo in another
+// *Bravo panics: the outer wrapper would misroute the inner one's
+// fast-path tokens.
+func NewBravo(inner RWLock, opts ...Option) *Bravo {
+	o := applyOptions(opts)
 	if inner == nil {
-		inner = NewMWSF(16)
+		inner = NewMWSF(16, opts...)
 	}
 	if _, ok := inner.(*Bravo); ok {
 		panic("rwlock: NewBravo applied to a *Bravo (nested BRAVO wrappers are not supported)")
 	}
-	b := &Bravo{slots: newReaderSlots(0), inner: inner}
+	b := &Bravo{slots: newReaderSlots(0, o.strategy), inner: inner}
 	// Start read-biased: the wrapper exists for read-mostly workloads,
 	// and the first writer revokes in O(table) time regardless.
 	b.rbias.Store(true)
@@ -91,17 +96,23 @@ func NewBravo(inner RWLock) *Bravo {
 
 // NewBravoMWSF returns Bravo(MWSF): the starvation-free Theorem 3 lock
 // with the BRAVO reader fast path.
-func NewBravoMWSF(maxWriters int) *Bravo { return NewBravo(NewMWSF(maxWriters)) }
+func NewBravoMWSF(maxWriters int, opts ...Option) *Bravo {
+	return NewBravo(NewMWSF(maxWriters, opts...), opts...)
+}
 
 // NewBravoMWRP returns Bravo(MWRP): the reader-priority Theorem 4 lock
 // with the BRAVO reader fast path.
-func NewBravoMWRP(maxWriters int) *Bravo { return NewBravo(NewMWRP(maxWriters)) }
+func NewBravoMWRP(maxWriters int, opts ...Option) *Bravo {
+	return NewBravo(NewMWRP(maxWriters, opts...), opts...)
+}
 
 // NewBravoMWWP returns Bravo(MWWP): the writer-priority Theorem 5 lock
 // with the BRAVO reader fast path.  Note the trade documented on
 // Bravo: while the bias is armed, fast-path readers overtake waiting
 // writers; WP1 applies from each revocation until the next re-arm.
-func NewBravoMWWP(maxWriters int) *Bravo { return NewBravo(NewMWWP(maxWriters)) }
+func NewBravoMWWP(maxWriters int, opts ...Option) *Bravo {
+	return NewBravo(NewMWWP(maxWriters, opts...), opts...)
+}
 
 // RLock acquires the lock in read mode, through the fast path when the
 // lock is read-biased.

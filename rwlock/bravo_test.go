@@ -254,27 +254,33 @@ func TestBravoNilInnerDefaults(t *testing.T) {
 	b.RUnlock(tok)
 }
 
-// TestReaderSlotsClaimReleaseDrain exercises the table directly.
+// TestReaderSlotsClaimReleaseDrain exercises the table directly,
+// under both wait strategies: a parked drain must be woken by the
+// slot's release.
 func TestReaderSlotsClaimReleaseDrain(t *testing.T) {
-	rs := newReaderSlots(16)
-	if len(rs.slots)&(len(rs.slots)-1) != 0 || len(rs.slots) < 16 {
-		t.Fatalf("table size %d: want power of two >= 16", len(rs.slots))
-	}
-	idx, ok := rs.tryClaim()
-	if !ok {
-		t.Fatal("claim failed on an empty table")
-	}
-	drained := make(chan struct{})
-	go func() { rs.drain(); close(drained) }()
-	select {
-	case <-drained:
-		t.Fatal("drain completed with a slot claimed")
-	case <-time.After(10 * time.Millisecond):
-	}
-	rs.release(idx)
-	select {
-	case <-drained:
-	case <-time.After(2 * time.Second):
-		t.Fatal("drain did not observe the release")
+	for _, strat := range []WaitStrategy{SpinYield, SpinThenPark} {
+		t.Run(strat.String(), func(t *testing.T) {
+			rs := newReaderSlots(16, strat)
+			if len(rs.slots)&(len(rs.slots)-1) != 0 || len(rs.slots) < 16 {
+				t.Fatalf("table size %d: want power of two >= 16", len(rs.slots))
+			}
+			idx, ok := rs.tryClaim()
+			if !ok {
+				t.Fatal("claim failed on an empty table")
+			}
+			drained := make(chan struct{})
+			go func() { rs.drain(); close(drained) }()
+			select {
+			case <-drained:
+				t.Fatal("drain completed with a slot claimed")
+			case <-time.After(10 * time.Millisecond):
+			}
+			rs.release(idx)
+			select {
+			case <-drained:
+			case <-time.After(2 * time.Second):
+				t.Fatal("drain did not observe the release")
+			}
+		})
 	}
 }

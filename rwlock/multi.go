@@ -27,9 +27,9 @@ type MWSF struct {
 // NewMWSF returns a starvation-free reader-writer lock admitting up
 // to maxWriters concurrent write attempts (additional writers block
 // at admission; readers are unbounded).
-func NewMWSF(maxWriters int) *MWSF {
-	l := &MWSF{m: NewAnderson(maxWriters)}
-	l.core.init()
+func NewMWSF(maxWriters int, opts ...Option) *MWSF {
+	l := &MWSF{m: NewAnderson(maxWriters, opts...)}
+	l.core.init(applyOptions(opts).strategy)
 	return l
 }
 
@@ -65,9 +65,9 @@ type MWRP struct {
 
 // NewMWRP returns a reader-priority reader-writer lock admitting up
 // to maxWriters concurrent write attempts.
-func NewMWRP(maxWriters int) *MWRP {
-	l := &MWRP{m: NewAnderson(maxWriters)}
-	l.core.init()
+func NewMWRP(maxWriters int, opts ...Option) *MWRP {
+	l := &MWRP{m: NewAnderson(maxWriters, opts...)}
+	l.core.init(applyOptions(opts).strategy)
 	return l
 }
 
@@ -110,9 +110,9 @@ type MWWP struct {
 
 // NewMWWP returns a writer-priority reader-writer lock admitting up
 // to maxWriters concurrent write attempts.
-func NewMWWP(maxWriters int) *MWWP {
-	l := &MWWP{m: NewAnderson(maxWriters)}
-	l.core.init()
+func NewMWWP(maxWriters int, opts ...Option) *MWWP {
+	l := &MWWP{m: NewAnderson(maxWriters, opts...)}
+	l.core.init(applyOptions(opts).strategy)
 	// W-token starts as the side token for side 1 so the first writer
 	// behaves exactly like the first SWWP attempt (D: 0 -> 1).
 	l.wtoken.Store(tokenSide(1))
@@ -137,8 +137,9 @@ func (l *MWWP) Lock() WToken {
 	if isSideToken(l.wtoken.Load()) { // line 11
 		// line 12: wait for the previous writer to finish exiting the
 		// SWWP core (it may have won the CAS at line 19 but not yet
-		// reopened the gate at line 20).
-		spinWhile(func() bool { return !l.core.gate[prev].v.Load() })
+		// reopened the gate at line 20; writerExit's storeWake is the
+		// matching signal).
+		l.core.gate[prev].wait(cellTrue)
 		l.core.writerWaitingRoom(prev) // line 13
 	}
 	return WToken{prev: prev, cur: cur, slot: slot, id: id}

@@ -4,7 +4,6 @@ import (
 	"math/bits"
 	"math/rand/v2"
 	"runtime"
-	"sync/atomic"
 )
 
 // This file implements the visible-readers table of the BRAVO reader
@@ -24,12 +23,6 @@ import (
 // scalability with a full-table scan during bias revocation — the
 // BRAVO trade-off.
 
-// paddedInt32 is an atomic.Int32 alone on its cache line.
-type paddedInt32 struct {
-	v atomic.Int32
-	_ [60]byte
-}
-
 // slotProbes is how many adjacent table entries a reader tries to
 // claim before giving up and taking the slow path.  A small bound
 // keeps the fast path O(1) and bounds the probability of spurious
@@ -39,16 +32,19 @@ const slotProbes = 3
 
 // readerSlots is a fixed-size power-of-two table of reader-presence
 // flags.  0 = free, 1 = a fast-path reader is inside the critical
-// section.
+// section.  Each slot is a waitCell: the revoking writer's drain is a
+// wait on the slot, and a fast-path reader's release is the matching
+// wake, so drains follow the wrapper's WaitStrategy like every other
+// wait in the package.
 type readerSlots struct {
 	mask  uint64
-	slots []paddedInt32
+	slots []waitCell
 }
 
 // newReaderSlots sizes the table to at least min entries and at least
 // four slots per P, rounded up to a power of two so claim probes can
 // wrap with a mask instead of a modulo.
-func newReaderSlots(min int) *readerSlots {
+func newReaderSlots(min int, s WaitStrategy) *readerSlots {
 	n := 4 * runtime.GOMAXPROCS(0)
 	if n < min {
 		n = min
@@ -57,27 +53,34 @@ func newReaderSlots(min int) *readerSlots {
 		n = 8
 	}
 	n = 1 << bits.Len(uint(n-1))
-	return &readerSlots{mask: uint64(n - 1), slots: make([]paddedInt32, n)}
+	t := &readerSlots{mask: uint64(n - 1), slots: make([]waitCell, n)}
+	for i := range t.slots {
+		t.slots[i].setStrategy(s)
+	}
+	return t
 }
 
 // tryClaim publishes a reader into a free slot and returns its index.
 // The starting probe point is drawn from the runtime's per-M cheap
 // random source (math/rand/v2's global functions), which costs a few
 // nanoseconds and no shared state — claiming never creates a
-// contended hot spot the way a shared counter would.
+// contended hot spot the way a shared counter would.  (The claim CAS
+// needs no wake: setting a slot busy satisfies nobody's wait.)
 func (t *readerSlots) tryClaim() (int64, bool) {
 	h := rand.Uint64()
 	for i := uint64(0); i < slotProbes; i++ {
-		s := &t.slots[(h+i)&t.mask].v
-		if s.Load() == 0 && s.CompareAndSwap(0, 1) {
+		s := &t.slots[(h+i)&t.mask]
+		if s.load() == 0 && s.cas(0, 1) {
 			return int64((h + i) & t.mask), true
 		}
 	}
 	return 0, false
 }
 
-// release frees a slot claimed by tryClaim.
-func (t *readerSlots) release(idx int64) { t.slots[idx].v.Store(0) }
+// release frees a slot claimed by tryClaim, waking a writer whose
+// drain parked on it.  When no drain is in progress (the common case)
+// the wake probe is one load of the slot's cold line.
+func (t *readerSlots) release(idx int64) { t.slots[idx].storeWake(0) }
 
 // drain waits until every slot is free and returns how many slots it
 // found occupied — the revocation-cost signal that sizes the re-arm
@@ -88,12 +91,12 @@ func (t *readerSlots) release(idx int64) { t.slots[idx].v.Store(0) }
 // each slot quiesces and the scan terminates.
 func (t *readerSlots) drain() (busy int) {
 	for i := range t.slots {
-		s := &t.slots[i].v
-		if s.Load() == 0 {
+		s := &t.slots[i]
+		if s.load() == 0 {
 			continue
 		}
 		busy++
-		spinWhile(func() bool { return s.Load() != 0 })
+		s.wait(0)
 	}
 	return busy
 }

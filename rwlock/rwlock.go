@@ -33,18 +33,32 @@
 // from any goroutine — there is no goroutine-local magic and no
 // requirement that the releasing goroutine be the acquiring one.
 //
-// # Spinning
+// # Waiting
 //
-// The paper's processes busy-wait; goroutines that busy-wait without
-// yielding can starve the Go scheduler.  All waiting loops in this
-// package call runtime.Gosched every iteration, preserving the
-// algorithms' structure (each re-check is one read of one cached
-// word) while remaining cooperative.  The constant-RMR property is
-// about cache traffic, not CPU time: every spin rereads a word that
-// only the wake-up write invalidates.
+// The paper's processes busy-wait.  Every wait in this package goes
+// through a wait cell — one padded atomic word with a wait side and a
+// set+wake side — whose behavior is selected per lock with
+// WithWaitStrategy:
+//
+//   - SpinYield (default): re-check the word, runtime.Gosched every
+//     iteration.  This preserves the algorithms' structure and cost
+//     model exactly: each re-check is one read of one cached word
+//     that only the wake-up write invalidates, so passages stay O(1)
+//     RMRs on cache-coherent machines.
+//   - SpinThenPark: bounded local spinning, then park the goroutine
+//     on the cell's semaphore; the signalling side's write doubles as
+//     the wake.  Choose this when goroutines can outnumber
+//     GOMAXPROCS — spinning waiters would burn the scheduler quanta
+//     the lock holder needs — at the price of a slightly longer
+//     wake-to-run latency when the machine is idle.
+//
+// Parking does not change the RMR accounting: the constant-RMR
+// property is a bound on cache traffic per passage, and a parked
+// waiter generates none at all — the pre-park spin performs the same
+// O(1) re-reads the paper charges, the sleep is memory-silent, and
+// the wake adds one semaphore post to the signaller's existing O(1)
+// store.  What parking trades is latency, not traffic.
 package rwlock
-
-import "runtime"
 
 // RWLock is the interface implemented by every lock in this package.
 //
@@ -115,14 +129,4 @@ func sideOfToken(t int64) int32 {
 		return 0
 	}
 	return 1
-}
-
-// spinWhile yields to the scheduler until cond returns false.  Each
-// iteration performs exactly one atomic load inside cond; in steady
-// state that load hits the local cache until the releasing process
-// writes the word, so the loop contributes O(1) RMRs per passage.
-func spinWhile(cond func() bool) {
-	for cond() {
-		runtime.Gosched()
-	}
 }

@@ -7,27 +7,28 @@ import (
 )
 
 // locks returns one instance of every lock in the package, keyed by
-// name, sized for maxWriters writers.
-func locks(maxWriters int) map[string]RWLock {
+// name, sized for maxWriters writers, waiting with the given strategy
+// (RWMutexLock has no strategy; sync.RWMutex always parks).
+func locks(maxWriters int, opts ...Option) map[string]RWLock {
 	return map[string]RWLock{
-		"MWSF":          NewMWSF(maxWriters),
-		"MWRP":          NewMWRP(maxWriters),
-		"MWWP":          NewMWWP(maxWriters),
-		"CentralizedRW": NewCentralizedRW(),
-		"PhaseFairRW":   NewPhaseFairRW(),
-		"TaskFairRW":    NewTaskFairRW(),
+		"MWSF":          NewMWSF(maxWriters, opts...),
+		"MWRP":          NewMWRP(maxWriters, opts...),
+		"MWWP":          NewMWWP(maxWriters, opts...),
+		"CentralizedRW": NewCentralizedRW(opts...),
+		"PhaseFairRW":   NewPhaseFairRW(opts...),
+		"TaskFairRW":    NewTaskFairRW(opts...),
 		"RWMutexLock":   NewRWMutexLock(),
-		"Bravo(MWSF)":   NewBravoMWSF(maxWriters),
-		"Bravo(MWRP)":   NewBravoMWRP(maxWriters),
-		"Bravo(MWWP)":   NewBravoMWWP(maxWriters),
+		"Bravo(MWSF)":   NewBravoMWSF(maxWriters, opts...),
+		"Bravo(MWRP)":   NewBravoMWRP(maxWriters, opts...),
+		"Bravo(MWWP)":   NewBravoMWWP(maxWriters, opts...),
 	}
 }
 
 // singleWriterLocks returns the single-writer cores.
-func singleWriterLocks() map[string]RWLock {
+func singleWriterLocks(opts ...Option) map[string]RWLock {
 	return map[string]RWLock{
-		"SWWP": NewSWWP(),
-		"SWRP": NewSWRP(),
+		"SWWP": NewSWWP(opts...),
+		"SWRP": NewSWRP(opts...),
 	}
 }
 
@@ -83,19 +84,22 @@ func hammer(t *testing.T, l RWLock, writers, readers, iters int) {
 
 func TestMutualExclusionAllLocks(t *testing.T) {
 	const iters = 2000
-	for name, l := range locks(4) {
-		l := l
-		t.Run(name, func(t *testing.T) {
-			t.Parallel()
-			hammer(t, l, 4, 4, iters)
-		})
-	}
-	for name, l := range singleWriterLocks() {
-		l := l
-		t.Run(name, func(t *testing.T) {
-			t.Parallel()
-			hammer(t, l, 1, 6, iters)
-		})
+	for _, strat := range strategies() {
+		opt := WithWaitStrategy(strat)
+		for name, l := range locks(4, opt) {
+			l := l
+			t.Run(name+"/"+strat.String(), func(t *testing.T) {
+				t.Parallel()
+				hammer(t, l, 4, 4, iters)
+			})
+		}
+		for name, l := range singleWriterLocks(opt) {
+			l := l
+			t.Run(name+"/"+strat.String(), func(t *testing.T) {
+				t.Parallel()
+				hammer(t, l, 1, 6, iters)
+			})
+		}
 	}
 }
 

@@ -5,15 +5,16 @@ import "sync/atomic"
 // swrpCore is the shared-variable state and code of the paper's
 // Figure 2 single-writer multi-reader reader-priority algorithm.
 // SWRP uses it directly; MWRP wraps its writer side in Anderson's
-// lock (Figure 3).
+// lock (Figure 3).  Gate and Permit — the variables processes wait on
+// — are waitCells; X and C are only read/CAS'd/fetch&added, never
+// waited on, so they stay plain atomics.
 type swrpCore struct {
 	d      atomic.Int32
 	_      [60]byte
-	gate   [2]paddedBool
+	gate   [2]waitCell
 	x      atomic.Int64 // X in PID ∪ {true}; xTrue encodes true
 	_      [56]byte
-	permit atomic.Bool
-	_      [63]byte
+	permit waitCell
 	c      atomic.Int64
 	_      [56]byte
 	// idCtr issues fresh attempt pids.  The paper only needs pids to
@@ -22,11 +23,16 @@ type swrpCore struct {
 	idCtr atomic.Int64
 }
 
-// init sets the paper's initial values: D=0, Gate[0]=true, X = some
-// pid (0, smaller than every issued id), Permit=true, C=0.
-func (l *swrpCore) init() {
-	l.gate[0].v.Store(true)
-	l.permit.Store(true)
+// init sets the paper's initial values — D=0, Gate[0]=true, X = some
+// pid (0, smaller than every issued id), Permit=true, C=0 — and
+// selects the wait strategy of every cell.
+func (l *swrpCore) init(s WaitStrategy) {
+	for i := range l.gate {
+		l.gate[i].setStrategy(s)
+	}
+	l.permit.setStrategy(s)
+	l.gate[0].store(cellTrue)
+	l.permit.store(cellTrue)
 }
 
 // newID returns a fresh positive attempt pid.
@@ -35,7 +41,9 @@ func (l *swrpCore) newID() int64 { return l.idCtr.Add(1) }
 // promote is the paper's Promote() (Figure 2 lines 10-16): enable the
 // writer iff no readers are registered.  The two-step CAS through the
 // caller's own pid is the Section 4.3(B) subtlety: CASing true
-// directly breaks mutual exclusion.
+// directly breaks mutual exclusion.  The Permit store is the wake
+// side of the writer's wait at line 5, so it must signal: an exiting
+// reader's Promote may be what releases a parked writer.
 func (l *swrpCore) promote(id int64) {
 	x := l.x.Load() // line 10
 	if x == xTrue { // line 11
@@ -44,14 +52,14 @@ func (l *swrpCore) promote(id int64) {
 	if !l.x.CompareAndSwap(x, id) { // line 12
 		return
 	}
-	if l.permit.Load() { // line 13
+	if l.permit.load() != cellFalse { // line 13
 		return
 	}
 	if l.c.Load() != 0 { // line 14
 		return
 	}
 	if l.x.CompareAndSwap(id, xTrue) { // line 15
-		l.permit.Store(true) // line 16
+		l.permit.storeWake(cellTrue) // line 16
 	}
 }
 
@@ -60,17 +68,17 @@ func (l *swrpCore) writerLock() WToken {
 	id := l.newID()
 	cur := 1 - l.d.Load() // line 2
 	l.d.Store(cur)
-	l.permit.Store(false)                              // line 3
-	l.promote(id)                                      // line 4
-	spinWhile(func() bool { return !l.permit.Load() }) // line 5
+	l.permit.store(cellFalse) // line 3: own reset, nobody waits for false
+	l.promote(id)             // line 4
+	l.permit.wait(cellTrue)   // line 5
 	return WToken{cur: cur, prev: 1 - cur, id: id}
 }
 
 // writerUnlock is Figure 2 lines 7-9.
 func (l *swrpCore) writerUnlock(t WToken) {
-	l.gate[1-t.cur].v.Store(false) // line 7
-	l.gate[t.cur].v.Store(true)    // line 8
-	l.x.Store(t.id)                // line 9
+	l.gate[1-t.cur].store(cellFalse)  // line 7: closing, no wake needed
+	l.gate[t.cur].storeWake(cellTrue) // line 8: releases queued readers
+	l.x.Store(t.id)                   // line 9
 }
 
 // readerLock is Figure 2 lines 18-24.
@@ -83,7 +91,7 @@ func (l *swrpCore) readerLock() RToken {
 		l.x.CompareAndSwap(x, id) // line 22
 	}
 	if l.x.Load() == xTrue { // line 23
-		spinWhile(func() bool { return !l.gate[d].v.Load() }) // line 24
+		l.gate[d].wait(cellTrue) // line 24
 	}
 	return RToken{side: d, id: id}
 }
@@ -110,9 +118,10 @@ type SWRP struct {
 }
 
 // NewSWRP returns a ready-to-use single-writer reader-priority lock.
-func NewSWRP() *SWRP {
+func NewSWRP(opts ...Option) *SWRP {
+	o := applyOptions(opts)
 	l := &SWRP{}
-	l.core.init()
+	l.core.init(o.strategy)
 	return l
 }
 

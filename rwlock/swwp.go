@@ -5,25 +5,20 @@ import "sync/atomic"
 // swwpCore is the shared-variable state and code of the paper's
 // Figure 1 single-writer multi-reader algorithm.  SWWP uses it
 // directly; MWSF wraps its writer side in Anderson's lock (Figure 3)
-// and MWWP threads it through the Figure 4 W-token handoff.  Hot
-// variables that distinct processes spin on are padded onto their own
-// cache lines.
+// and MWWP threads it through the Figure 4 W-token handoff.  The
+// variables that distinct processes wait on are waitCells (one padded
+// word plus the wake seam of the chosen WaitStrategy); the counters,
+// which are only fetch&added and never waited on, stay plain padded
+// atomics.
 type swwpCore struct {
 	d          atomic.Int32
 	_          [60]byte
-	exitPermit atomic.Bool
-	_          [63]byte
-	permit     [2]paddedBool
-	gate       [2]paddedBool
+	exitPermit waitCell
+	permit     [2]waitCell
+	gate       [2]waitCell
 	ec         atomic.Int64
 	_          [56]byte
 	c          [2]paddedInt64
-}
-
-// paddedBool is an atomic.Bool alone on its cache line.
-type paddedBool struct {
-	v atomic.Bool
-	_ [63]byte
 }
 
 // paddedInt64 is an atomic.Int64 alone on its cache line.
@@ -32,10 +27,16 @@ type paddedInt64 struct {
 	_ [56]byte
 }
 
-// init sets the paper's initial values: D=0, Gate[0]=true,
-// Gate[1]=false, counters zero.
-func (l *swwpCore) init() {
-	l.gate[0].v.Store(true)
+// init sets the paper's initial values — D=0, Gate[0]=true,
+// Gate[1]=false, counters zero — and selects the wait strategy of
+// every cell.
+func (l *swwpCore) init(s WaitStrategy) {
+	l.exitPermit.setStrategy(s)
+	for i := range l.permit {
+		l.permit[i].setStrategy(s)
+		l.gate[i].setStrategy(s)
+	}
+	l.gate[0].store(cellTrue)
 }
 
 // writerDoorway is Figure 1 lines 2-3: toggle the side.
@@ -50,24 +51,26 @@ func (l *swwpCore) writerDoorway() (prev, cur int32) {
 // previous side to leave the CS, close their gate, then wait for the
 // exit section to clear (the Section 3.3 subtlety — skipping this
 // breaks mutual exclusion, as the repo's model checker demonstrates).
+// The permit/exitPermit resets are plain stores: only this writer
+// waits on them, and it is the one writing.
 func (l *swwpCore) writerWaitingRoom(prev int32) {
-	l.permit[prev].v.Store(false)
+	l.permit[prev].store(cellFalse)
 	if l.c[prev].v.Add(wwBit) != wwBit { // old value != [0,0]
-		spinWhile(func() bool { return !l.permit[prev].v.Load() })
+		l.permit[prev].wait(cellTrue)
 	}
 	l.c[prev].v.Add(-wwBit)
-	l.gate[prev].v.Store(false)
-	l.exitPermit.Store(false)
+	l.gate[prev].store(cellFalse) // closing: nobody waits for false
+	l.exitPermit.store(cellFalse)
 	if l.ec.Add(wwBit) != wwBit { // old value != [0,0]
-		spinWhile(func() bool { return !l.exitPermit.Load() })
+		l.exitPermit.wait(cellTrue)
 	}
 	l.ec.Add(-wwBit)
 }
 
 // writerExit is Figure 1 line 14: open the gate of the side the
-// writer used, releasing the readers queued behind it.
+// writer used, releasing (and waking) the readers queued behind it.
 func (l *swwpCore) writerExit(cur int32) {
-	l.gate[cur].v.Store(true)
+	l.gate[cur].storeWake(cellTrue)
 }
 
 // readerLock is Figure 1 lines 16-24.
@@ -80,10 +83,10 @@ func (l *swwpCore) readerLock() RToken {
 		d = l.d.Load()   // line 21
 		other := 1 - d
 		if l.c[other].v.Add(-1) == wwBit { // line 22: old value was [1,1]
-			l.permit[other].v.Store(true) // line 23
+			l.permit[other].storeWake(cellTrue) // line 23
 		}
 	}
-	spinWhile(func() bool { return !l.gate[d].v.Load() }) // line 24
+	l.gate[d].wait(cellTrue) // line 24
 	return RToken{side: d}
 }
 
@@ -91,10 +94,10 @@ func (l *swwpCore) readerLock() RToken {
 func (l *swwpCore) readerUnlock(t RToken) {
 	l.ec.Add(1)                         // line 26
 	if l.c[t.side].v.Add(-1) == wwBit { // line 27: old value was [1,1]
-		l.permit[t.side].v.Store(true) // line 28
+		l.permit[t.side].storeWake(cellTrue) // line 28
 	}
 	if l.ec.Add(-1) == wwBit { // line 29: old value was [1,1]
-		l.exitPermit.Store(true) // line 30
+		l.exitPermit.storeWake(cellTrue) // line 30
 	}
 }
 
@@ -113,9 +116,10 @@ type SWWP struct {
 }
 
 // NewSWWP returns a ready-to-use single-writer writer-priority lock.
-func NewSWWP() *SWWP {
+func NewSWWP(opts ...Option) *SWWP {
+	o := applyOptions(opts)
 	l := &SWWP{}
-	l.core.init()
+	l.core.init(o.strategy)
 	return l
 }
 

@@ -1,0 +1,246 @@
+package rwlock
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the package's waiting layer.  Every wait in the paper's
+// algorithms is "read one word until it holds the value I need"; every
+// signal is one write of that word.  waitCell packages that pair — one
+// atomic word, a Wait side and a Set+Wake side — behind a pluggable
+// WaitStrategy, so the same algorithm text can either busy-wait (the
+// paper's cost model) or park the goroutine (the production regime
+// where goroutines outnumber cores).
+
+// WaitStrategy selects how goroutines wait on the package's locks.
+type WaitStrategy int32
+
+const (
+	// SpinYield re-reads the wait word in a loop, calling
+	// runtime.Gosched every iteration.  This is the paper's busy-wait
+	// realized cooperatively: each re-check is one read of one locally
+	// cached word, so a passage stays O(1) RMRs, and the goroutine
+	// never blocks.  It is the default, and the right choice when
+	// goroutines do not exceed GOMAXPROCS: the wake-to-run latency is
+	// one cache-line transfer.
+	SpinYield WaitStrategy = iota
+
+	// SpinThenPark spins briefly (bounded local re-checks, then a few
+	// scheduler yields), and then parks the goroutine on a per-cell
+	// semaphore until the signalling side wakes it.  Under
+	// oversubscription (goroutines ≫ GOMAXPROCS) this is dramatically
+	// faster: a spinning waiter burns whole scheduler quanta that the
+	// lock holder needs to make progress, while a parked waiter costs
+	// nothing until the handoff.  Wake-to-run latency is higher than
+	// SpinYield's, so lightly loaded low-latency use favors SpinYield.
+	//
+	// Parking does not change the RMR accounting: the waiter performs
+	// O(1) RMRs before parking, the sleep itself generates no memory
+	// traffic, and the signaller's wake is one store plus (only when a
+	// waiter is actually parked) one semaphore post.
+	SpinThenPark
+)
+
+// String names the strategy the way the lock registry does ("spin",
+// "park").
+func (s WaitStrategy) String() string {
+	switch s {
+	case SpinYield:
+		return "spin"
+	case SpinThenPark:
+		return "park"
+	default:
+		return "unknown"
+	}
+}
+
+// Option configures a lock constructor.
+type Option func(*options)
+
+type options struct {
+	strategy WaitStrategy
+}
+
+// WithWaitStrategy selects the waiting layer's behavior for every wait
+// inside the constructed lock.  The default is SpinYield.
+func WithWaitStrategy(s WaitStrategy) Option {
+	return func(o *options) { o.strategy = s }
+}
+
+func applyOptions(opts []Option) options {
+	var o options
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// Bounds of SpinThenPark's pre-park phase: parkSpin tight re-checks
+// (the word is locally cached, so this costs no memory traffic), then
+// parkYield scheduler yields, then the semaphore.  The numbers are
+// small on purpose: when the machine is NOT oversubscribed the wake
+// usually lands inside the tight phase, and when it IS, yielding more
+// only delays the inevitable park.
+const (
+	parkSpin  = 128
+	parkYield = 4
+)
+
+// cellFalse/cellTrue encode the paper's boolean shared variables in a
+// cell's int64 word.
+const (
+	cellFalse int64 = 0
+	cellTrue  int64 = 1
+)
+
+// waitCell is one shared word that some processes wait on and other
+// processes signal.  The hot word sits alone on its cache line (the
+// layout the RMR argument needs: a waiter's re-read invalidates
+// nothing); the parking state lives on the lines after it and is
+// touched only when a waiter actually parks, or by the signaller's
+// single parked-count probe.
+//
+// The zero value is a ready-to-use SpinYield cell holding 0; call
+// setStrategy before first use to opt into parking.
+type waitCell struct {
+	v atomic.Int64
+	_ [56]byte
+
+	// Cold parking state.  parked counts goroutines that are committed
+	// to sleeping on cond (they increment it under mu before the final
+	// re-check).  A signaller stores the word FIRST and probes parked
+	// SECOND; a waiter increments parked FIRST and re-checks the word
+	// SECOND.  sync/atomic is sequentially consistent, so one of the
+	// two always sees the other — the standard futex handshake — and a
+	// wake cannot be lost.
+	park   bool
+	_      [3]byte
+	parked atomic.Int32
+	mu     sync.Mutex
+	cond   *sync.Cond
+	_      [40]byte
+}
+
+// setStrategy selects the cell's wait behavior.  Not safe to call
+// concurrently with waits; lock constructors call it before the lock
+// escapes.
+func (c *waitCell) setStrategy(s WaitStrategy) { c.park = s == SpinThenPark }
+
+// load returns the cell's current value.
+func (c *waitCell) load() int64 { return c.v.Load() }
+
+// store writes v without waking parked waiters.  Use it only for
+// writes that cannot satisfy any wait (closing a gate, a waiter
+// resetting its own permit); a store that a waiter may be waiting for
+// must go through storeWake.
+func (c *waitCell) store(v int64) { c.v.Store(v) }
+
+// add atomically adds delta without waking parked waiters, returning
+// the new value.  Same caveat as store.
+func (c *waitCell) add(delta int64) int64 { return c.v.Add(delta) }
+
+// cas is a compare-and-swap on the cell's word (no wake: the package's
+// CAS sites only ever make waited-for conditions false).
+func (c *waitCell) cas(old, new int64) bool { return c.v.CompareAndSwap(old, new) }
+
+// storeWake writes v and wakes parked waiters: the signal side of the
+// cell.
+func (c *waitCell) storeWake(v int64) {
+	c.v.Store(v)
+	c.wakeAll()
+}
+
+// addWake atomically adds delta, wakes parked waiters, and returns the
+// new value.
+func (c *waitCell) addWake(delta int64) int64 {
+	nv := c.v.Add(delta)
+	c.wakeAll()
+	return nv
+}
+
+// wakeAll wakes every parked waiter so each re-checks its condition.
+// When nobody is parked (always, under SpinYield) it is one relaxed
+// load of the cold line.
+func (c *waitCell) wakeAll() {
+	if c.parked.Load() == 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.cond != nil {
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// wait blocks until the cell's word equals want.
+func (c *waitCell) wait(want int64) {
+	if c.v.Load() == want {
+		return
+	}
+	if !c.park {
+		for c.v.Load() != want {
+			runtime.Gosched()
+		}
+		return
+	}
+	for i := 0; i < parkSpin; i++ {
+		if c.v.Load() == want {
+			return
+		}
+	}
+	for i := 0; i < parkYield; i++ {
+		runtime.Gosched()
+		if c.v.Load() == want {
+			return
+		}
+	}
+	c.parkUntil(func(v int64) bool { return v == want })
+}
+
+// waitUntil blocks until pred holds for the cell's word.  pred must be
+// monotone in the signals that wake this waiter (once satisfied it may
+// only be falsified by this waiter's own later actions), the property
+// every wait condition in this package has.
+func (c *waitCell) waitUntil(pred func(int64) bool) {
+	if pred(c.v.Load()) {
+		return
+	}
+	if !c.park {
+		for !pred(c.v.Load()) {
+			runtime.Gosched()
+		}
+		return
+	}
+	for i := 0; i < parkSpin; i++ {
+		if pred(c.v.Load()) {
+			return
+		}
+	}
+	for i := 0; i < parkYield; i++ {
+		runtime.Gosched()
+		if pred(c.v.Load()) {
+			return
+		}
+	}
+	c.parkUntil(pred)
+}
+
+// parkUntil is the slow path: commit to sleeping, with the final
+// re-check ordered after the parked-count increment (see the handshake
+// comment on waitCell).  Broadcast rather than Signal on the wake side
+// keeps this correct when several goroutines park on one cell (e.g.
+// readers on a gate): each wakes and re-checks its own predicate.
+func (c *waitCell) parkUntil(pred func(int64) bool) {
+	c.mu.Lock()
+	if c.cond == nil {
+		c.cond = sync.NewCond(&c.mu)
+	}
+	c.parked.Add(1)
+	for !pred(c.v.Load()) {
+		c.cond.Wait()
+	}
+	c.parked.Add(-1)
+	c.mu.Unlock()
+}

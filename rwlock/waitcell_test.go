@@ -1,0 +1,140 @@
+package rwlock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWaitCellStoreWake: a single waiter, both strategies — the
+// wait/Set+Wake handshake in isolation.
+func TestWaitCellStoreWake(t *testing.T) {
+	for _, strat := range strategies() {
+		t.Run(strat.String(), func(t *testing.T) {
+			var c waitCell
+			c.setStrategy(strat)
+			done := make(chan struct{})
+			go func() {
+				c.wait(7)
+				close(done)
+			}()
+			select {
+			case <-done:
+				t.Fatal("wait returned before the store")
+			case <-time.After(10 * time.Millisecond):
+			}
+			c.storeWake(7)
+			select {
+			case <-done:
+			case <-time.After(2 * time.Second):
+				t.Fatal("waiter not woken by storeWake")
+			}
+			if c.parked.Load() != 0 {
+				t.Fatalf("parked count %d after wake, want 0", c.parked.Load())
+			}
+		})
+	}
+}
+
+// TestWaitCellBroadcast: many goroutines parked on one cell (readers
+// on a gate) must ALL be released by one storeWake.
+func TestWaitCellBroadcast(t *testing.T) {
+	for _, strat := range strategies() {
+		t.Run(strat.String(), func(t *testing.T) {
+			var c waitCell
+			c.setStrategy(strat)
+			const n = 16
+			var woken atomic.Int32
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					c.wait(cellTrue)
+					woken.Add(1)
+				}()
+			}
+			time.Sleep(20 * time.Millisecond) // let waiters park
+			c.storeWake(cellTrue)
+			wg.Wait()
+			if woken.Load() != n {
+				t.Fatalf("woke %d of %d waiters", woken.Load(), n)
+			}
+		})
+	}
+}
+
+// TestWaitCellWaitUntil: predicate waits (the baselines' masked
+// conditions) wake on adds.
+func TestWaitCellWaitUntil(t *testing.T) {
+	for _, strat := range strategies() {
+		t.Run(strat.String(), func(t *testing.T) {
+			var c waitCell
+			c.setStrategy(strat)
+			c.store(3)
+			done := make(chan struct{})
+			go func() {
+				c.waitUntil(func(v int64) bool { return v == 0 })
+				close(done)
+			}()
+			c.addWake(-1)
+			c.addWake(-1)
+			select {
+			case <-done:
+				t.Fatal("waitUntil returned with value 1")
+			case <-time.After(10 * time.Millisecond):
+			}
+			c.addWake(-1)
+			select {
+			case <-done:
+			case <-time.After(2 * time.Second):
+				t.Fatal("waitUntil not released at 0")
+			}
+		})
+	}
+}
+
+// TestWaitCellWakeRace hammers the park/wake handshake: a ping-pong
+// pair where each side's storeWake is the other's release.  Any lost
+// wakeup deadlocks (caught by the test timeout); run under -race this
+// also checks the parking path's memory discipline.
+func TestWaitCellWakeRace(t *testing.T) {
+	var ping, pong waitCell
+	ping.setStrategy(SpinThenPark)
+	pong.setStrategy(SpinThenPark)
+	const rounds = 5000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			ping.wait(int64(i + 1))
+			pong.storeWake(int64(i + 1))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			ping.storeWake(int64(i + 1))
+			pong.wait(int64(i + 1))
+		}
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("ping-pong deadlocked: lost wakeup in the parking layer")
+	}
+}
+
+// TestWaitStrategyString pins the names the lock registry builds on.
+func TestWaitStrategyString(t *testing.T) {
+	if SpinYield.String() != "spin" || SpinThenPark.String() != "park" {
+		t.Fatalf("strategy names changed: %q/%q", SpinYield, SpinThenPark)
+	}
+	if WaitStrategy(99).String() != "unknown" {
+		t.Fatalf("out-of-range strategy name %q", WaitStrategy(99))
+	}
+}
