@@ -16,10 +16,13 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"rwsync/internal/ccsim"
 	"rwsync/internal/core"
 	"rwsync/internal/harness"
+	"rwsync/internal/stats"
+	"rwsync/internal/workload"
 	"rwsync/rwlock"
 )
 
@@ -351,24 +354,46 @@ func busySpin(n int, sink *int64) {
 }
 
 // readHeavy splits b.N operations across g goroutines, each drawing
-// reads with probability frac/100, and reports reads/s and ops/s.
+// reads with probability frac/100, and reports reads/s and ops/s —
+// plus the sampled read-latency p99, measured at the workload
+// package's default rate (every 64th op per goroutine into a
+// preallocated per-goroutine histogram).  The sampling must be
+// invisible in ns/op: two clock reads amortized over 64 ops is well
+// under a nanosecond, which is what keeps the acceptance cell
+// (Bravo(MWSF), 90% reads, g=4) inside its historical noise band with
+// sampling permanently on.
 func readHeavy(b *testing.B, l rwlock.RWLock, g, frac int) {
 	var shared atomic.Int64
 	var reads atomic.Int64
 	per := (b.N + g - 1) / g
+	hists := make([]*stats.Histogram, g)
+	for i := range hists {
+		hists[i] = new(stats.Histogram)
+	}
 	var wg sync.WaitGroup
 	b.ResetTimer()
 	for i := 0; i < g; i++ {
 		wg.Add(1)
-		go func(seed int64) {
+		go func(seed int64, h *stats.Histogram) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			n := int64(0)
+			var t0 time.Time // hoisted: zeroing it per op would cost more than the sampling
+			// Phase-offset per goroutine, like workload.Run, so the
+			// cache-cold op 0 is not in every goroutine's sample.
+			phase := int(seed) % workload.DefaultSampleEvery
 			for op := 0; op < per; op++ {
+				sample := (op+phase)%workload.DefaultSampleEvery == 0
 				if rng.Intn(100) < frac {
+					if sample {
+						t0 = time.Now()
+					}
 					tok := l.RLock()
 					_ = shared.Load()
 					l.RUnlock(tok)
+					if sample {
+						h.Record(time.Since(t0).Nanoseconds())
+					}
 					n++
 				} else {
 					tok := l.Lock()
@@ -377,13 +402,20 @@ func readHeavy(b *testing.B, l rwlock.RWLock, g, frac int) {
 				}
 			}
 			reads.Add(n)
-		}(int64(i + 1))
+		}(int64(i+1), hists[i])
 	}
 	wg.Wait()
 	b.StopTimer()
+	merged := new(stats.Histogram)
+	for _, h := range hists {
+		merged.Merge(h)
+	}
 	if s := b.Elapsed().Seconds(); s > 0 {
 		b.ReportMetric(float64(reads.Load())/s, "reads/s")
 		b.ReportMetric(float64(per*g)/s, "ops/s")
+	}
+	if merged.N() > 0 {
+		b.ReportMetric(float64(merged.Quantile(0.99)), "read-p99-ns")
 	}
 }
 

@@ -6,10 +6,20 @@
 // Usage:
 //
 //	rwbench [-ops N] [-seed S] [-workers list] [-locks list]
-//	        [-markdown] [-json] [-quick]
+//	        [-scenario names|all] [-markdown] [-json] [-quick]
 //	        [-oversub] [-oversub-workers list] [-oversub-duration d]
+//	        [-validate file]
 //
-// -locks restricts the sweep to a comma-separated subset of the lock
+// -scenario selects entries of the declarative scenario registry
+// (internal/harness.RunScenario) by name — `-scenario all` runs every
+// registered scenario, `-scenario latency-grid,bursty-writers` a
+// subset.  Scenario tables carry tail-latency (wait p50/p99/p99.9 per
+// class) and, where the writer-visibility probe runs, read-view age
+// columns; the -json report carries the full latency histograms.
+// Without -scenario the tool runs the classic default pair
+// (throughput + priority), which goes through the same engine.
+//
+// -locks restricts any sweep to a comma-separated subset of the lock
 // registry, e.g. `-locks "MWSF,Bravo(MWSF),sync.RWMutex"` to isolate
 // the BRAVO fast path's effect against its own inner lock.  The
 // registry includes "/park" variants of every lock (e.g. "MWSF/park")
@@ -21,11 +31,16 @@
 // where the /park variants earn their keep.  Unless -locks narrows
 // the sweep explicitly, the oversubscription table uses the spin-vs-
 // park comparison set (harness.OversubLockNames) rather than the
-// spin-only E7 default.
+// spin-only E7 default.  (The "oversub" scenario is the same
+// experiment through the registry.)
 //
-// -json emits one JSON object with every sweep's points instead of
-// tables, so per-PR benchmark grids can be recorded mechanically
-// (BENCH_*.json) rather than hand-copied.
+// -json emits one versioned JSON object (schema_version 2) with every
+// sweep's points instead of tables, so per-PR benchmark grids can be
+// recorded mechanically (BENCH_*.json) rather than hand-copied.
+// -validate reads such a report back, rejects unknown schema versions
+// and checks the structural invariants — the CI bench-smoke job runs
+// it against a fresh `-quick -json -scenario all` emission so schema
+// drift fails the build.
 package main
 
 import (
@@ -65,20 +80,30 @@ func parseIntList(s string) ([]int, error) {
 	return out, nil
 }
 
+// schemaVersion identifies the -json report layout.  Version 1 was
+// the unversioned PR 2 shape (throughput/priority/oversubscribed
+// arrays only); version 2 added schema_version itself and the
+// scenarios array with full latency histograms.  Bump on any change
+// that would break a reader of the previous shape, and teach
+// validateReport both the new version and the rejection of the old.
+const schemaVersion = 2
+
 // report is the -json output schema: enough run metadata to rerun the
 // sweep, plus every point of every enabled experiment.
 type report struct {
+	SchemaVersion     int                       `json:"schema_version"`
 	GOMAXPROCS        int                       `json:"gomaxprocs"`
 	NumCPU            int                       `json:"numcpu"`
-	OpsPerWorker      int                       `json:"ops_per_worker"`
+	OpsPerWorker      int                       `json:"ops_per_worker,omitempty"`
 	Seed              int64                     `json:"seed"`
-	Locks             []string                  `json:"locks"`
-	Throughput        []harness.ThroughputPoint `json:"throughput"`
-	Priority          []harness.PriorityPoint   `json:"priority"`
+	Locks             []string                  `json:"locks,omitempty"`
+	Throughput        []harness.ThroughputPoint `json:"throughput,omitempty"`
+	Priority          []harness.PriorityPoint   `json:"priority,omitempty"`
 	Oversubscribed    []harness.ThroughputPoint `json:"oversubscribed,omitempty"`
 	OversubLocks      []string                  `json:"oversub_locks,omitempty"`
 	OversubMs         int64                     `json:"oversub_duration_ms,omitempty"`
 	OversubGOMAXPROCS int                       `json:"oversub_gomaxprocs,omitempty"`
+	Scenarios         []*harness.ScenarioResult `json:"scenarios,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -87,6 +112,7 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	workersFlag := fs.String("workers", "", "comma-separated worker counts (default 1,2,4,..,2*NumCPU)")
 	locksFlag := fs.String("locks", "", "comma-separated lock names to sweep (default: all spin locks; /park variants available)")
+	scenarioFlag := fs.String("scenario", "", "comma-separated scenario names, or \"all\" (default: classic throughput+priority pair)")
 	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 	jsonOut := fs.Bool("json", false, "emit one JSON object instead of tables")
 	quick := fs.Bool("quick", false, "smaller sweep for smoke runs")
@@ -94,8 +120,17 @@ func run(args []string, out io.Writer) error {
 	oversubWorkers := fs.String("oversub-workers", "16,64", "worker counts for -oversub")
 	oversubDur := fs.Duration("oversub-duration", 100*time.Millisecond, "measurement window per -oversub point")
 	oversubProcs := fs.Int("oversub-gomaxprocs", 2, "GOMAXPROCS pinned for the -oversub sweep (0 = leave unpinned)")
+	validate := fs.String("validate", "", "validate a -json report file against the schema and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *validate != "" {
+		if err := validateReportFile(*validate); err != nil {
+			return fmt.Errorf("validate %s: %w", *validate, err)
+		}
+		fmt.Fprintf(out, "%s: valid (schema_version %d)\n", *validate, schemaVersion)
+		return nil
 	}
 
 	var requested []string
@@ -111,26 +146,10 @@ func run(args []string, out io.Writer) error {
 
 	var workers []int
 	if *workersFlag != "" {
-		var err error
 		workers, err = parseIntList(*workersFlag)
 		if err != nil {
 			return err
 		}
-	} else {
-		for w := 1; w <= 2*runtime.NumCPU(); w *= 2 {
-			workers = append(workers, w)
-		}
-		if len(workers) == 0 {
-			workers = []int{1}
-		}
-	}
-	fractions := []float64{0.5, 0.9, 0.99, 1.0}
-	readers := 8
-	oversubFractions := []float64{0.9, 0.99}
-	if *quick {
-		fractions = []float64{0.9}
-		oversubFractions = []float64{0.9}
-		readers = 4
 	}
 
 	emit := func(t interface {
@@ -144,18 +163,100 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	rep := report{
+		SchemaVersion: schemaVersion,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Seed:          *seed,
+	}
+
+	if *scenarioFlag != "" {
+		// Refuse the legacy oversub flags rather than silently
+		// dropping them: the oversubscription experiment is a
+		// scenario, and its knobs live in the registry entry.
+		var conflict error
+		opts := harness.ScenarioOptions{
+			Seed:    *seed,
+			Quick:   *quick,
+			Workers: workers,
+		}
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "oversub", "oversub-workers", "oversub-duration", "oversub-gomaxprocs":
+				conflict = fmt.Errorf("-%s does not combine with -scenario; select the \"oversub\" scenario (its knobs are the registry entry's) instead", f.Name)
+			case "ops":
+				// Only an explicit -ops overrides a scenario's budget.
+				opts.Ops = *ops
+			}
+		})
+		if conflict != nil {
+			return conflict
+		}
+		scs, err := harness.SelectScenarios(*scenarioFlag)
+		if err != nil {
+			return err
+		}
+		if len(requested) > 0 {
+			opts.Locks = lockNames
+		}
+		// Same loud-rejection rule for the generic overrides: an
+		// override that applies to NONE of the selected scenarios
+		// (e.g. -locks on a simulator sweep, -ops on a deadline-based
+		// one) must not be silently dropped.
+		anyNative, anyOpsBased := false, false
+		for _, sc := range scs {
+			if sc.Sim == nil {
+				anyNative = true
+				if sc.Duration == 0 {
+					anyOpsBased = true
+				}
+			}
+		}
+		if len(opts.Locks) > 0 && !anyNative {
+			return fmt.Errorf("-locks applies to no selected scenario (simulator scenarios sweep systems, not locks)")
+		}
+		if opts.Ops > 0 && !anyOpsBased {
+			return fmt.Errorf("-ops applies to no selected scenario (deadline-based scenarios size by duration)")
+		}
+		for _, sc := range scs {
+			res, err := harness.RunScenario(sc, opts)
+			if err != nil {
+				return err
+			}
+			rep.Scenarios = append(rep.Scenarios, res)
+			if !*jsonOut {
+				emit(harness.ScenarioTable(res))
+			}
+		}
+		if *jsonOut {
+			// Compact: BENCH_*.json records carry full histograms, and
+			// indentation roughly doubles them for no machine benefit.
+			return json.NewEncoder(out).Encode(rep)
+		}
+		return nil
+	}
+
+	// Classic path: the default throughput+priority pair (plus
+	// -oversub), through the same RunScenario core via the legacy
+	// sweep adapters, in the legacy report shape.  A nil workers grid
+	// means the engine's default doubling grid (one policy, owned by
+	// the harness).
+	fractions := []float64{0.5, 0.9, 0.99, 1.0}
+	readers := 8
+	oversubFractions := []float64{0.9, 0.99}
+	if *quick {
+		fractions = []float64{0.9}
+		oversubFractions = []float64{0.9}
+		readers = 4
+	}
+
 	pts := harness.ThroughputSweepLocks(lockNames, workers, fractions, *ops, *seed)
 	prio := harness.PrioritySweepLocks(lockNames, readers, *ops, *seed)
 
-	rep := report{
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		NumCPU:       runtime.NumCPU(),
-		OpsPerWorker: *ops,
-		Seed:         *seed,
-		Locks:        lockNames,
-		Throughput:   pts,
-		Priority:     prio,
-	}
+	rep.OpsPerWorker = *ops
+	rep.Locks = lockNames
+	rep.Throughput = pts
+	rep.Priority = prio
 
 	if !*jsonOut {
 		emit(harness.ThroughputTable(
@@ -193,9 +294,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		return enc.Encode(rep)
+		return json.NewEncoder(out).Encode(rep)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -119,6 +120,147 @@ func TestRunJSONOutput(t *testing.T) {
 	// Tables must not leak into machine-readable output.
 	if strings.Contains(b.String(), "E7:") {
 		t.Fatalf("table text mixed into -json output:\n%s", b.String())
+	}
+}
+
+func TestRunScenarioSelection(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-scenario", "latency-grid,starvation",
+		"-locks", "MWSF,MWRP"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"latency grid", "starvation", "rd wait p99.9", "MWRP"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scenario output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "E7: native throughput") {
+		t.Fatalf("-scenario must replace the classic pair:\n%s", out)
+	}
+}
+
+func TestRunScenarioRejectsOversubFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-scenario", "throughput", "-oversub"}, &b); err == nil ||
+		!strings.Contains(err.Error(), "oversub") {
+		t.Fatalf("-oversub with -scenario must be rejected, got %v", err)
+	}
+}
+
+func TestRunScenarioRejectsInapplicableOverrides(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-scenario", "rmr", "-locks", "MWSF"}, &b); err == nil ||
+		!strings.Contains(err.Error(), "-locks") {
+		t.Fatalf("-locks on a sim-only selection must be rejected, got %v", err)
+	}
+	if err := run([]string{"-scenario", "oversub", "-ops", "100"}, &b); err == nil ||
+		!strings.Contains(err.Error(), "-ops") {
+		t.Fatalf("-ops on a deadline-only selection must be rejected, got %v", err)
+	}
+	// But a mixed selection accepts them (they apply somewhere).
+	if err := run([]string{"-quick", "-scenario", "starvation,rmr-dsm",
+		"-locks", "MWSF"}, &b); err != nil {
+		t.Fatalf("override applying to one of two scenarios rejected: %v", err)
+	}
+}
+
+func TestRunScenarioUnknown(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-scenario", "nope"}, &b); err == nil ||
+		!strings.Contains(err.Error(), "nope") {
+		t.Fatalf("unknown scenario not rejected: %v", err)
+	}
+}
+
+func TestRunScenarioAllJSONValidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every scenario")
+	}
+	var b strings.Builder
+	if err := run([]string{"-quick", "-json", "-scenario", "all"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateReport([]byte(b.String())); err != nil {
+		t.Fatalf("fresh -scenario all emission fails validation: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(b.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemaVersion != schemaVersion {
+		t.Fatalf("schema_version = %d, want %d", rep.SchemaVersion, schemaVersion)
+	}
+	names := map[string]bool{}
+	for _, sr := range rep.Scenarios {
+		names[sr.Scenario.Name] = true
+	}
+	for _, want := range []string{"throughput", "priority", "oversub", "rmr",
+		"bursty-writers", "starvation", "latency-grid"} {
+		if !names[want] {
+			t.Fatalf("-scenario all missing %s (got %v)", want, names)
+		}
+	}
+}
+
+func TestRunScenarioMarkdownHasLatencyColumns(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-markdown", "-scenario", "bursty-writers",
+		"-locks", "MWWP"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "| lock |") ||
+		!strings.Contains(out, "wr wait p99.9") || !strings.Contains(out, "age p99") {
+		t.Fatalf("markdown scenario table missing latency/age columns:\n%s", out)
+	}
+}
+
+func TestValidateRejectsBadSchema(t *testing.T) {
+	for name, raw := range map[string]string{
+		"missing version": `{"gomaxprocs":1,"numcpu":1,"seed":1}`,
+		"future version":  `{"schema_version":99,"gomaxprocs":1,"numcpu":1,"seed":1}`,
+		"old version":     `{"schema_version":1,"gomaxprocs":1,"numcpu":1,"seed":1}`,
+		"unknown field":   `{"schema_version":2,"gomaxprocs":1,"numcpu":1,"seed":1,"throughput":[{"lock":"MWSF","workers":1,"read_fraction":0.9,"ops_per_sec":1}],"wat":true}`,
+		"empty report":    `{"schema_version":2,"gomaxprocs":1,"numcpu":1,"seed":1}`,
+		"not json":        `]`,
+	} {
+		if err := validateReport([]byte(raw)); err == nil {
+			t.Errorf("%s: validator accepted %s", name, raw)
+		}
+	}
+}
+
+func TestValidateFlagOnFile(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-json", "-scenario", "starvation",
+		"-locks", "MWSF"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/rep.json"
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-validate", path}, &out); err != nil {
+		t.Fatalf("validating a fresh report failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "valid") {
+		t.Fatalf("no confirmation: %s", out.String())
+	}
+	if err := run([]string{"-validate", t.TempDir() + "/nope.json"}, &out); err == nil {
+		t.Fatal("missing file not rejected")
+	}
+}
+
+func TestLegacyJSONCarriesSchemaVersion(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-ops", "200", "-workers", "2", "-json",
+		"-locks", "MWSF"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateReport([]byte(b.String())); err != nil {
+		t.Fatalf("legacy-path emission fails validation: %v", err)
 	}
 }
 

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rwsync/internal/harness"
+	"rwsync/internal/stats"
+)
+
+// validateReportFile checks a -json report (a BENCH_*.json record or
+// the CI bench-smoke emission) against the versioned schema.  The
+// point is to fail loudly on drift: an unknown schema_version, a
+// field the current schema doesn't know, or an internally
+// inconsistent histogram all mean some producer and consumer of
+// benchmark records disagree, and the disagreement should break the
+// build rather than silently corrupt the perf trajectory.
+func validateReportFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return validateReport(raw)
+}
+
+func validateReport(raw []byte) error {
+	// Version gate first, against a loose decode, so a report from a
+	// future schema is rejected as "unknown version" rather than as a
+	// confusing unknown-field error.
+	var versioned struct {
+		SchemaVersion *int `json:"schema_version"`
+	}
+	if err := json.Unmarshal(raw, &versioned); err != nil {
+		return fmt.Errorf("not a JSON report: %w", err)
+	}
+	if versioned.SchemaVersion == nil {
+		return fmt.Errorf("missing schema_version (pre-versioning report?); current is %d", schemaVersion)
+	}
+	if *versioned.SchemaVersion != schemaVersion {
+		return fmt.Errorf("unknown schema_version %d (this build understands %d)",
+			*versioned.SchemaVersion, schemaVersion)
+	}
+
+	// Strict structural decode: any field the schema doesn't declare
+	// is drift.
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var rep report
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("schema drift: %w", err)
+	}
+
+	if rep.GOMAXPROCS <= 0 || rep.NumCPU <= 0 {
+		return fmt.Errorf("run metadata missing (gomaxprocs=%d numcpu=%d)", rep.GOMAXPROCS, rep.NumCPU)
+	}
+	if len(rep.Throughput) == 0 && len(rep.Priority) == 0 &&
+		len(rep.Oversubscribed) == 0 && len(rep.Scenarios) == 0 {
+		return fmt.Errorf("report carries no measurements")
+	}
+	for _, p := range rep.Throughput {
+		if p.Lock == "" || p.Workers <= 0 || p.OpsPerSec <= 0 {
+			return fmt.Errorf("bad throughput point %+v", p)
+		}
+	}
+	for _, p := range rep.Oversubscribed {
+		if p.Lock == "" || p.Workers <= 0 || p.OpsPerSec <= 0 {
+			return fmt.Errorf("bad oversubscribed point %+v", p)
+		}
+	}
+	for _, p := range rep.Priority {
+		if p.Lock == "" {
+			return fmt.Errorf("bad priority point %+v", p)
+		}
+	}
+	for _, sr := range rep.Scenarios {
+		if err := validateScenarioResult(sr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateScenarioResult(sr *harness.ScenarioResult) error {
+	if sr == nil || sr.Scenario.Name == "" {
+		return fmt.Errorf("scenario result without a name")
+	}
+	if len(sr.Points) == 0 {
+		return fmt.Errorf("scenario %s: no points", sr.Scenario.Name)
+	}
+	if sr.GOMAXPROCS <= 0 {
+		return fmt.Errorf("scenario %s: missing gomaxprocs", sr.Scenario.Name)
+	}
+	sim := sr.Scenario.Sim != nil
+	for i, p := range sr.Points {
+		if sim {
+			if p.System == "" || p.ReaderRMR == nil || p.WriterRMR == nil {
+				return fmt.Errorf("scenario %s point %d: incomplete sim point", sr.Scenario.Name, i)
+			}
+			continue
+		}
+		if p.Lock == "" || p.Workers <= 0 || p.OpsPerSec <= 0 {
+			return fmt.Errorf("scenario %s point %d: incomplete native point (%+v)", sr.Scenario.Name, i, p)
+		}
+		for name, h := range map[string]*stats.HistSnapshot{
+			"read_wait_ns": p.ReadWait, "read_hold_ns": p.ReadHold, "read_total_ns": p.ReadTotal,
+			"write_wait_ns": p.WriteWait, "write_hold_ns": p.WriteHold, "write_total_ns": p.WriteTotal,
+			"age_ns": p.Age,
+		} {
+			if err := h.Validate(); err != nil {
+				return fmt.Errorf("scenario %s point %d %s: %w", sr.Scenario.Name, i, name, err)
+			}
+		}
+		// An absent histogram (nil) is legitimate — a tiny -quick run
+		// can sample zero ops of a class — so only presence is
+		// validated, not existence.
+	}
+	return nil
+}

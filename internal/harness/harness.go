@@ -4,10 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"rwsync/internal/ccsim"
 	"rwsync/internal/core"
 	"rwsync/internal/stats"
-	"rwsync/internal/workload"
 	"rwsync/rwlock"
 )
 
@@ -20,41 +18,23 @@ type RMRRow struct {
 	Writer stats.Summary
 }
 
-// rmrSweep is the shared sweep core of RMRSweep and RMRSweepDSM: run
-// the system returned by build for each (writers, readers) point,
-// under a seeded random scheduler, and summarize the per-attempt RMR
-// counts by role.  setup, if non-nil, configures each freshly built
-// system's memory model before the run.
-func rmrSweep(build func(writers, readers int) *core.System, points [][2]int, attempts int, seed int64, setup func(sys *core.System, w, r int)) ([]RMRRow, error) {
-	var rows []RMRRow
-	for _, pt := range points {
-		w, r := pt[0], pt[1]
-		sys := build(w, r)
-		if setup != nil {
-			setup(sys, w, r)
-		}
-		run, err := sys.NewRunner(attempts)
-		if err != nil {
-			return nil, fmt.Errorf("harness: %s w=%d r=%d: %w", sys.Name, w, r, err)
-		}
-		run.CollectStats = true
-		budget := int64(attempts) * int64(w+r) * 1 << 16
-		if err := run.Run(ccsim.NewRandomSched(seed+int64(w*1000+r)), budget); err != nil {
-			return nil, fmt.Errorf("harness: %s w=%d r=%d: %w", sys.Name, w, r, err)
-		}
-		var readerRMR, writerRMR []int64
-		for _, s := range run.Stats {
-			if s.Reader {
-				readerRMR = append(readerRMR, s.RMR)
-			} else {
-				writerRMR = append(writerRMR, s.RMR)
-			}
-		}
+// rmrScenario routes the legacy build-function interface through the
+// unified RunScenario core via SimShape's private build hook.
+func rmrScenario(build func(writers, readers int) *core.System, points [][2]int, attempts int, seed int64, dsm bool) ([]RMRRow, error) {
+	res, err := RunScenario(Scenario{
+		Name: "rmr-sweep",
+		Sim:  &SimShape{Points: points, Attempts: attempts, DSM: dsm, build: build},
+	}, ScenarioOptions{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]RMRRow, 0, len(res.Points))
+	for _, p := range res.Points {
 		rows = append(rows, RMRRow{
-			Writers: w,
-			Readers: r,
-			Reader:  stats.Summarize(readerRMR),
-			Writer:  stats.Summarize(writerRMR),
+			Writers: p.Writers,
+			Readers: p.Readers,
+			Reader:  *p.ReaderRMR,
+			Writer:  *p.WriterRMR,
 		})
 	}
 	return rows, nil
@@ -63,7 +43,7 @@ func rmrSweep(build func(writers, readers int) *core.System, points [][2]int, at
 // RMRSweep summarizes per-attempt RMR counts under the default
 // cache-coherent memory model.
 func RMRSweep(build func(writers, readers int) *core.System, points [][2]int, attempts int, seed int64) ([]RMRRow, error) {
-	return rmrSweep(build, points, attempts, seed, nil)
+	return rmrScenario(build, points, attempts, seed, false)
 }
 
 // RMRSweepDSM is RMRSweep under the DSM accounting model (experiment
@@ -74,12 +54,7 @@ func RMRSweep(build func(writers, readers int) *core.System, points [][2]int, at
 // sublinear in this model; this sweep shows our CC-constant algorithms
 // indeed lose their bound, i.e. the CC result is model-specific.
 func RMRSweepDSM(build func(writers, readers int) *core.System, points [][2]int, attempts int, seed int64) ([]RMRRow, error) {
-	return rmrSweep(build, points, attempts, seed, func(sys *core.System, w, r int) {
-		sys.Mem.SetModel(ccsim.ModelDSM)
-		for v := 0; v < sys.Mem.NumVars(); v++ {
-			sys.Mem.SetHome(ccsim.Var(v), v%(w+r))
-		}
-	})
+	return rmrScenario(build, points, attempts, seed, true)
 }
 
 // RMRTable formats sweep rows as a table: RMRs per passage by role.
@@ -270,27 +245,45 @@ func ThroughputSweep(workers []int, fractions []float64, opsPerWorker int, seed 
 
 // ThroughputSweepLocks is ThroughputSweep restricted to the named
 // locks (names as in AllLockNames; see SelectLockNames for
-// validation).
+// validation).  It is a thin adapter over the unified RunScenario
+// core: the "throughput" registry entry with the caller's grids.
 func ThroughputSweepLocks(names []string, workers []int, fractions []float64, opsPerWorker int, seed int64) []ThroughputPoint {
-	var out []ThroughputPoint
-	builders := NativeLocks(DefaultMaxWriters)
-	for _, name := range names {
-		for _, w := range workers {
-			for _, f := range fractions {
-				l := builders[name]()
-				res := workload.Run(l, workload.Config{
-					Workers:      w,
-					ReadFraction: f,
-					OpsPerWorker: opsPerWorker,
-					CSWork:       32,
-					ThinkWork:    32,
-					Seed:         seed,
-				})
-				out = append(out, ThroughputPoint{
-					Lock: name, Workers: w, ReadFraction: f, OpsPerSec: res.Throughput(),
-				})
-			}
-		}
+	sc := mustScenario("throughput")
+	sc.Locks = names
+	sc.Workers = workers
+	sc.ReadFractions = fractions
+	sc.OpsPerWorker = opsPerWorker
+	return throughputPoints(mustRun(sc, ScenarioOptions{Seed: seed}))
+}
+
+// mustScenario and mustRun back the legacy sweep adapters, whose
+// signatures predate error returns: a bad lock name or a missing
+// registry entry must stay a loud failure (it used to be a nil-map
+// panic), not a silently empty sweep.
+func mustScenario(name string) Scenario {
+	sc, ok := ScenarioByName(name)
+	if !ok {
+		panic("harness: scenario " + name + " not registered")
+	}
+	return sc
+}
+
+func mustRun(sc Scenario, opts ScenarioOptions) *ScenarioResult {
+	res, err := RunScenario(sc, opts)
+	if err != nil {
+		panic("harness: " + err.Error())
+	}
+	return res
+}
+
+// throughputPoints projects scenario points to the legacy
+// ThroughputPoint shape.
+func throughputPoints(res *ScenarioResult) []ThroughputPoint {
+	out := make([]ThroughputPoint, 0, len(res.Points))
+	for _, p := range res.Points {
+		out = append(out, ThroughputPoint{
+			Lock: p.Lock, Workers: p.Workers, ReadFraction: p.ReadFraction, OpsPerSec: p.OpsPerSec,
+		})
 	}
 	return out
 }
@@ -302,27 +295,13 @@ func ThroughputSweepLocks(names []string, workers []int, fractions []float64, op
 // pinned GOMAXPROCS (rwbench's -oversub does; BenchmarkOversubscribed
 // does) — the sweep itself only shapes the workload.
 func OversubscribedSweepLocks(names []string, workers []int, fractions []float64, d time.Duration, seed int64) []ThroughputPoint {
-	var out []ThroughputPoint
-	builders := NativeLocks(DefaultMaxWriters)
-	for _, name := range names {
-		for _, w := range workers {
-			for _, f := range fractions {
-				l := builders[name]()
-				res := workload.Run(l, workload.Config{
-					Workers:      w,
-					ReadFraction: f,
-					Duration:     d,
-					CSWork:       32,
-					ThinkWork:    32,
-					Seed:         seed,
-				})
-				out = append(out, ThroughputPoint{
-					Lock: name, Workers: w, ReadFraction: f, OpsPerSec: res.Throughput(),
-				})
-			}
-		}
-	}
-	return out
+	sc := mustScenario("oversub")
+	sc.Locks = names
+	sc.Workers = workers
+	sc.ReadFractions = fractions
+	sc.Duration = d
+	sc.GOMAXPROCS = 0 // this legacy entry point leaves pinning to the caller
+	return throughputPoints(mustRun(sc, ScenarioOptions{Seed: seed}))
 }
 
 // ThroughputTable formats E7 results, one row per (workers, fraction),
@@ -385,33 +364,29 @@ func PrioritySweep(readerCount, opsPerWorker int, seed int64) []PriorityPoint {
 }
 
 // PrioritySweepLocks is PrioritySweep restricted to the named locks.
+// Another RunScenario adapter: the "priority" registry entry with the
+// caller's reader count and op budget.
 func PrioritySweepLocks(names []string, readerCount, opsPerWorker int, seed int64) []PriorityPoint {
-	var out []PriorityPoint
-	builders := NativeLocks(DefaultMaxWriters)
-	for _, name := range names {
-		l := builders[name]()
-		res := workload.Run(l, workload.Config{
-			Workers:          readerCount + 1,
-			DedicatedWriters: 1,
-			OpsPerWorker:     opsPerWorker,
-			CSWork:           64,
-			ThinkWork:        16,
-			Seed:             seed,
-			SampleEvery:      4,
-		})
-		total := res.ReadOps + res.WriteOps
+	sc := mustScenario("priority")
+	sc.Locks = names
+	sc.Workers = []int{readerCount + 1}
+	sc.OpsPerWorker = opsPerWorker
+	res := mustRun(sc, ScenarioOptions{Seed: seed})
+	out := make([]PriorityPoint, 0, len(res.Points))
+	for _, p := range res.Points {
+		total := p.ReadOps + p.WriteOps
 		share := 0.0
 		if total > 0 {
-			share = float64(res.WriteOps) / float64(total)
+			share = float64(p.WriteOps) / float64(total)
 		}
-		out = append(out, PriorityPoint{
-			Lock:        name,
-			WriteP50Ns:  res.WriteLatNs.P50,
-			WriteP99Ns:  res.WriteLatNs.P99,
-			ReadP50Ns:   res.ReadLatNs.P50,
-			ReadP99Ns:   res.ReadLatNs.P99,
-			WriterShare: share,
-		})
+		pp := PriorityPoint{Lock: p.Lock, WriterShare: share}
+		if p.WriteTotal != nil {
+			pp.WriteP50Ns, pp.WriteP99Ns = p.WriteTotal.P50, p.WriteTotal.P99
+		}
+		if p.ReadTotal != nil {
+			pp.ReadP50Ns, pp.ReadP99Ns = p.ReadTotal.P50, p.ReadTotal.P99
+		}
+		out = append(out, pp)
 	}
 	return out
 }

@@ -1,0 +1,647 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"rwsync/internal/ccsim"
+	"rwsync/internal/core"
+	"rwsync/internal/stats"
+	"rwsync/internal/workload"
+)
+
+// SimShape describes a simulator (RMR-accounting) scenario: named
+// systems from Builders() swept over (writers, readers) points under
+// the seeded random scheduler, in the CC or DSM memory model.
+type SimShape struct {
+	// Systems names entries of Builders().  The single-writer systems
+	// (fig1-swwp, fig2-swrp) only accept points with writers == 1.
+	Systems []string `json:"systems,omitempty"`
+	// Points is the (writers, readers) grid; nil selects
+	// SingleWriterPoints or MultiWriterPoints per system.
+	Points [][2]int `json:"points,omitempty"`
+	// Attempts is the per-process passage count at each point.
+	Attempts int `json:"attempts"`
+	// DSM switches the memory model to distributed-shared-memory
+	// accounting (experiment E9), where no constant RMR bound exists.
+	DSM bool `json:"dsm,omitempty"`
+
+	// build, when set, overrides Systems with one anonymous system
+	// constructor.  Only the legacy RMRSweep/RMRSweepDSM wrappers set
+	// it; named scenarios go through Builders().
+	build func(w, r int) *core.System
+}
+
+// Scenario is one declaratively described measurement: which locks
+// (or simulator systems), what workload shape, how to pin the
+// scheduler, and which probes to enable.  Every sweep the repo runs —
+// the four historical ones and each new experiment — is a Scenario
+// run through the one RunScenario core, so a new experiment is a
+// registry entry, not a new sweep implementation.
+type Scenario struct {
+	// Name is the registry key (rwbench -scenario).
+	Name string `json:"name"`
+	// Title is the one-line table heading.
+	Title string `json:"title"`
+	// Description says what the scenario demonstrates.
+	Description string `json:"-"`
+
+	// Locks names NativeLocks registry entries; nil means the default
+	// spin set (LockNames).  Ignored for simulator scenarios.
+	Locks []string `json:"locks,omitempty"`
+	// Workers is the goroutine-count grid; nil means doubling counts
+	// up to 2*NumCPU.
+	Workers []int `json:"workers,omitempty"`
+	// ReadFractions is the read-ratio grid; nil means a single pass
+	// (the dedicated-writer shapes, where the mix is structural).
+	ReadFractions []float64 `json:"read_fractions,omitempty"`
+	// DedicatedWriters > 0 switches to the storm shape: that many
+	// workers write exclusively, the rest read exclusively.
+	DedicatedWriters int `json:"dedicated_writers,omitempty"`
+	// OpsPerWorker sizes op-budget runs; Duration > 0 switches to
+	// deadline runs (the oversubscription mode).
+	OpsPerWorker int           `json:"ops_per_worker,omitempty"`
+	Duration     time.Duration `json:"-"`
+	DurationMs   int64         `json:"duration_ms,omitempty"` // JSON mirror of Duration
+	// CSWork/ThinkWork shape the critical and remainder sections.
+	CSWork    int `json:"cs_work"`
+	ThinkWork int `json:"think_work"`
+	// SampleEvery is the latency sampling rate (0 = workload
+	// default); MeasureAge enables the writer-visibility probe.
+	SampleEvery int  `json:"sample_every,omitempty"`
+	MeasureAge  bool `json:"measure_age,omitempty"`
+	// WriterBurstLen/WriterBurstPause make dedicated writers bursty
+	// (see workload.Config).
+	WriterBurstLen   int `json:"writer_burst_len,omitempty"`
+	WriterBurstPause int `json:"writer_burst_pause,omitempty"`
+	// Yield makes workers yield after every op; storm scenarios set
+	// it so single-core runs interleave per op instead of degrading
+	// into whole scheduler quanta per worker (see workload.Config).
+	Yield bool `json:"yield,omitempty"`
+	// GOMAXPROCS, if > 0, is pinned for the scenario's duration (and
+	// restored after) so oversubscription scenarios oversubscribe
+	// even on big machines.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+
+	// Sim switches the scenario to the simulator side: RMR accounting
+	// instead of wall-clock workloads.
+	Sim *SimShape `json:"sim,omitempty"`
+}
+
+// ScenarioOptions are per-run overrides: the seed, the -quick trim,
+// and the CLI's -locks/-workers/-ops narrowing.  Zero values mean
+// "use the scenario's own settings".
+type ScenarioOptions struct {
+	Seed    int64
+	Quick   bool
+	Locks   []string
+	Workers []int
+	Ops     int
+}
+
+// ScenarioPoint is one measured cell.  Native points carry the
+// latency histograms (wait = request→acquire, hold = acquire→release,
+// total = the whole passage) and, when the age probe is on, the
+// distribution of how stale sampled readers' views were.  Simulator
+// points carry RMR summaries by role instead.
+type ScenarioPoint struct {
+	Lock         string  `json:"lock,omitempty"`
+	System       string  `json:"system,omitempty"`
+	Workers      int     `json:"workers,omitempty"`
+	Writers      int     `json:"writers,omitempty"`
+	Readers      int     `json:"readers,omitempty"`
+	ReadFraction float64 `json:"read_fraction,omitempty"`
+	OpsPerSec    float64 `json:"ops_per_sec,omitempty"`
+	ReadOps      int64   `json:"read_ops,omitempty"`
+	WriteOps     int64   `json:"write_ops,omitempty"`
+
+	ReadWait   *stats.HistSnapshot `json:"read_wait_ns,omitempty"`
+	ReadHold   *stats.HistSnapshot `json:"read_hold_ns,omitempty"`
+	ReadTotal  *stats.HistSnapshot `json:"read_total_ns,omitempty"`
+	WriteWait  *stats.HistSnapshot `json:"write_wait_ns,omitempty"`
+	WriteHold  *stats.HistSnapshot `json:"write_hold_ns,omitempty"`
+	WriteTotal *stats.HistSnapshot `json:"write_total_ns,omitempty"`
+	Age        *stats.HistSnapshot `json:"age_ns,omitempty"`
+
+	ReaderRMR *stats.Summary `json:"reader_rmr,omitempty"`
+	WriterRMR *stats.Summary `json:"writer_rmr,omitempty"`
+}
+
+// ScenarioResult is one scenario's complete run: the resolved
+// configuration (after overrides and -quick trimming) and every
+// measured point.
+type ScenarioResult struct {
+	Scenario   Scenario        `json:"scenario"`
+	Seed       int64           `json:"seed"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Points     []ScenarioPoint `json:"points"`
+}
+
+// --- registry ---
+
+var (
+	scenarioRegistry = map[string]Scenario{}
+	scenarioOrder    []string
+)
+
+// RegisterScenario adds a scenario to the registry.  Registration
+// panics on a duplicate or unnamed scenario: the registry is
+// assembled at init time, so a collision is a programming error.
+func RegisterScenario(sc Scenario) {
+	if sc.Name == "" {
+		panic("harness: scenario without a name")
+	}
+	if _, dup := scenarioRegistry[sc.Name]; dup {
+		panic("harness: duplicate scenario " + sc.Name)
+	}
+	scenarioRegistry[sc.Name] = sc
+	scenarioOrder = append(scenarioOrder, sc.Name)
+}
+
+// ScenarioNames returns the registered scenario names in registration
+// order.
+func ScenarioNames() []string {
+	return append([]string(nil), scenarioOrder...)
+}
+
+// ScenarioByName looks up a registered scenario.
+func ScenarioByName(name string) (Scenario, bool) {
+	sc, ok := scenarioRegistry[name]
+	return sc, ok
+}
+
+// SelectScenarios resolves a comma-separated request ("all", names,
+// or empty for the default pair) to scenarios in registration order.
+func SelectScenarios(request string) ([]Scenario, error) {
+	request = strings.TrimSpace(request)
+	if request == "" {
+		request = "throughput,priority"
+	}
+	if request == "all" {
+		out := make([]Scenario, 0, len(scenarioOrder))
+		for _, name := range scenarioOrder {
+			out = append(out, scenarioRegistry[name])
+		}
+		return out, nil
+	}
+	want := map[string]bool{}
+	for _, part := range strings.Split(request, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			if _, ok := scenarioRegistry[part]; !ok {
+				return nil, fmt.Errorf("unknown scenario %q (have %s)",
+					part, strings.Join(ScenarioNames(), ", "))
+			}
+			want[part] = true
+		}
+	}
+	var out []Scenario
+	for _, name := range scenarioOrder {
+		if want[name] {
+			out = append(out, scenarioRegistry[name])
+		}
+	}
+	return out, nil
+}
+
+func init() {
+	// The four historical sweeps, now registry entries over the one
+	// RunScenario core.
+	RegisterScenario(Scenario{
+		Name:          "throughput",
+		Title:         "E7: native throughput by lock, workers and read ratio",
+		Description:   "mixed reader/writer ops/sec across the (workers, read%) grid",
+		ReadFractions: []float64{0.5, 0.9, 0.99, 1.0},
+		OpsPerWorker:  20000,
+		CSWork:        32,
+		ThinkWork:     32,
+	})
+	RegisterScenario(Scenario{
+		Name:             "priority",
+		Title:            "E8: 1 dedicated writer vs 8 readers — latency by class",
+		Description:      "minority-class latency under a majority-class storm",
+		Workers:          []int{9},
+		DedicatedWriters: 1,
+		OpsPerWorker:     20000,
+		CSWork:           64,
+		ThinkWork:        16,
+		SampleEvery:      4,
+	})
+	RegisterScenario(Scenario{
+		Name:          "oversub",
+		Title:         "E12: oversubscribed throughput (workers >> GOMAXPROCS)",
+		Description:   "spin vs park under scheduler pressure, deadline-based",
+		Locks:         OversubLockNames(),
+		Workers:       []int{16, 64},
+		ReadFractions: []float64{0.9, 0.99},
+		Duration:      100 * time.Millisecond,
+		CSWork:        32,
+		ThinkWork:     32,
+		GOMAXPROCS:    2,
+	})
+	RegisterScenario(Scenario{
+		Name:        "rmr",
+		Title:       "E1-E4: RMRs per passage on the CC simulator",
+		Description: "constant-RMR theorems vs growing baselines",
+		Sim: &SimShape{
+			Systems: []string{"fig1-swwp", "fig2-swrp", "mwsf", "mwrp", "mwwp",
+				"centralized", "pfticket", "taskfair", "tournament"},
+			Attempts: 8,
+		},
+	})
+	RegisterScenario(Scenario{
+		Name:        "rmr-dsm",
+		Title:       "E9: RMRs per passage under DSM accounting (no constant bound exists)",
+		Description: "the CC result is model-specific: the same algorithms lose O(1) under DSM",
+		Sim: &SimShape{
+			Systems:  []string{"fig1-swwp", "mwsf", "centralized"},
+			Attempts: 6,
+			DSM:      true,
+		},
+	})
+
+	// The scenarios the engine makes cheap: each of these was a
+	// hand-rolled measurement (or impossible) before.
+	RegisterScenario(Scenario{
+		Name:  "bursty-writers",
+		Title: "bursty writer storms: update wait latency and read-view age",
+		Description: "an administrative writer bursts against a reader storm; " +
+			"the product is how long each update waits to land (write wait) " +
+			"and how stale readers' views get (age)",
+		Locks:            []string{"MWWP", "MWSF", "MWRP", "sync.RWMutex"},
+		Workers:          []int{9},
+		DedicatedWriters: 1,
+		Duration:         150 * time.Millisecond,
+		WriterBurstLen:   8,
+		WriterBurstPause: 1 << 16,
+		CSWork:           8,
+		ThinkWork:        8,
+		SampleEvery:      1,
+		MeasureAge:       true,
+		Yield:            true,
+	})
+	RegisterScenario(Scenario{
+		Name:  "starvation",
+		Title: "reader-starvation probe: 8 writers flood 2 readers",
+		Description: "reader wait-latency tail under a writer flood — the metric " +
+			"that separates reader-priority (RP1 protects readers) from " +
+			"writer-priority (WP2 lets the flood shut readers out)",
+		Workers:          []int{10},
+		DedicatedWriters: 8,
+		OpsPerWorker:     4000,
+		CSWork:           32,
+		ThinkWork:        8,
+		SampleEvery:      1,
+		Yield:            true,
+	})
+	RegisterScenario(Scenario{
+		Name:  "latency-grid",
+		Title: "latency grid: per-op latency distributions across read ratios",
+		Description: "full wait/hold latency histograms per class across the " +
+			"read-ratio axis — the distributional view aggregate throughput hides",
+		Workers:       []int{4},
+		ReadFractions: []float64{0.5, 0.75, 0.9, 0.99, 0.999},
+		OpsPerWorker:  20000,
+		CSWork:        32,
+		ThinkWork:     32,
+		SampleEvery:   2,
+	})
+}
+
+// --- the one core ---
+
+// defaultWorkerGrid is the doubling grid up to 2*NumCPU the
+// throughput sweep has always used.
+func defaultWorkerGrid() []int {
+	var workers []int
+	for w := 1; w <= 2*runtime.NumCPU(); w *= 2 {
+		workers = append(workers, w)
+	}
+	if len(workers) == 0 {
+		workers = []int{1}
+	}
+	return workers
+}
+
+// quickTrim shrinks a resolved scenario to smoke-test size: first
+// worker count, at most two read fractions, a small op budget or
+// deadline, fewer sim points and attempts.
+func quickTrim(sc Scenario) Scenario {
+	if len(sc.Workers) > 1 {
+		sc.Workers = sc.Workers[:1]
+	}
+	if len(sc.ReadFractions) > 2 {
+		sc.ReadFractions = sc.ReadFractions[:2]
+	}
+	if sc.OpsPerWorker > 500 {
+		sc.OpsPerWorker = 500
+	}
+	if sc.Duration > 25*time.Millisecond {
+		sc.Duration = 25 * time.Millisecond
+	}
+	if sc.Sim != nil {
+		sim := *sc.Sim
+		if sim.Attempts > 4 {
+			sim.Attempts = 4
+		}
+		if len(sim.Points) > 2 {
+			sim.Points = sim.Points[:2]
+		}
+		sc.Sim = &sim
+	}
+	return sc
+}
+
+// RunScenario is the single sweep core every scenario — historical
+// and new — runs through.  It resolves the scenario's grids against
+// the options, pins GOMAXPROCS if the scenario asks, and measures
+// every cell: native cells through workload.Run with per-worker
+// latency sampling (and the age probe when enabled), simulator cells
+// through the seeded-scheduler RMR accounting.
+func RunScenario(sc Scenario, opts ScenarioOptions) (*ScenarioResult, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	// Resolve overrides first, then trim, so -quick applies to
+	// whatever grid will actually run.
+	if len(opts.Locks) > 0 {
+		sc.Locks = opts.Locks
+	}
+	if len(opts.Workers) > 0 {
+		sc.Workers = opts.Workers
+	}
+	if opts.Ops > 0 && sc.Duration == 0 && sc.Sim == nil {
+		sc.OpsPerWorker = opts.Ops
+	}
+	if opts.Quick {
+		sc = quickTrim(sc)
+	}
+	if sc.GOMAXPROCS > 0 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(sc.GOMAXPROCS))
+	}
+	res := &ScenarioResult{
+		Seed:       opts.Seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	var err error
+	if sc.Sim != nil {
+		res.Points, err = runSimScenario(sc, opts.Seed)
+	} else {
+		res.Points, err = runNativeScenario(&sc, opts.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sc.DurationMs = sc.Duration.Milliseconds()
+	res.Scenario = sc
+	return res, nil
+}
+
+// runNativeScenario sweeps real locks with real goroutines.  It may
+// fill in sc's defaulted grids (so the result records what ran).
+func runNativeScenario(sc *Scenario, seed int64) ([]ScenarioPoint, error) {
+	if len(sc.Locks) == 0 {
+		sc.Locks = LockNames()
+	}
+	builders := NativeLocks(DefaultMaxWriters)
+	for _, name := range sc.Locks {
+		if builders[name] == nil {
+			return nil, fmt.Errorf("scenario %s: unknown lock %q (have %v)",
+				sc.Name, name, AllLockNames())
+		}
+	}
+	if len(sc.Workers) == 0 {
+		sc.Workers = defaultWorkerGrid()
+	}
+	for _, w := range sc.Workers {
+		if w < 1 {
+			return nil, fmt.Errorf("scenario %s: worker count %d (need >= 1)", sc.Name, w)
+		}
+		if sc.DedicatedWriters > 0 && w < 2 {
+			// A storm shape needs both classes present; silently
+			// running it all-writer would mislabel the measurement.
+			return nil, fmt.Errorf("scenario %s: %d workers cannot host %d dedicated writer(s) plus a reader",
+				sc.Name, w, sc.DedicatedWriters)
+		}
+	}
+	fractions := sc.ReadFractions
+	if len(fractions) == 0 {
+		// Dedicated-writer shapes: the mix is structural, one pass.
+		fractions = []float64{0}
+	}
+	var points []ScenarioPoint
+	for _, name := range sc.Locks {
+		for _, w := range sc.Workers {
+			for _, f := range fractions {
+				dedicated := sc.DedicatedWriters
+				if dedicated >= w {
+					dedicated = w - 1 // keep at least one reader in the probe
+				}
+				r := workload.Run(builders[name](), workload.Config{
+					Workers:          w,
+					ReadFraction:     f,
+					DedicatedWriters: dedicated,
+					OpsPerWorker:     sc.OpsPerWorker,
+					Duration:         sc.Duration,
+					CSWork:           sc.CSWork,
+					ThinkWork:        sc.ThinkWork,
+					Seed:             seed,
+					SampleEvery:      sc.SampleEvery,
+					MeasureAge:       sc.MeasureAge,
+					WriterBurstLen:   sc.WriterBurstLen,
+					WriterBurstPause: sc.WriterBurstPause,
+					Yield:            sc.Yield,
+				})
+				pt := ScenarioPoint{
+					Lock:         name,
+					Workers:      w,
+					ReadFraction: f,
+					OpsPerSec:    r.Throughput(),
+					ReadOps:      r.ReadOps,
+					WriteOps:     r.WriteOps,
+					ReadWait:     r.ReadWaitNs.Snapshot(),
+					ReadHold:     r.ReadHoldNs.Snapshot(),
+					ReadTotal:    r.ReadTotalNs.Snapshot(),
+					WriteWait:    r.WriteWaitNs.Snapshot(),
+					WriteHold:    r.WriteHoldNs.Snapshot(),
+					WriteTotal:   r.WriteTotalNs.Snapshot(),
+					Age:          r.AgeNs.Snapshot(),
+				}
+				if sc.DedicatedWriters > 0 {
+					pt.Writers = dedicated
+					pt.Readers = w - dedicated
+				}
+				points = append(points, pt)
+			}
+		}
+	}
+	return points, nil
+}
+
+// runSimScenario sweeps simulator systems under RMR accounting.  This
+// is the same core the legacy RMRSweep/RMRSweepDSM wrappers run
+// through.
+func runSimScenario(sc Scenario, seed int64) ([]ScenarioPoint, error) {
+	sim := sc.Sim
+	type namedBuild struct {
+		name  string
+		build func(w, r int) *core.System
+	}
+	var systems []namedBuild
+	if sim.build != nil {
+		systems = []namedBuild{{name: sc.Name, build: sim.build}}
+	} else {
+		builders := Builders()
+		for _, name := range sim.Systems {
+			b := builders[name]
+			if b == nil {
+				return nil, fmt.Errorf("scenario %s: unknown system %q", sc.Name, name)
+			}
+			systems = append(systems, namedBuild{name: name, build: b})
+		}
+	}
+	attempts := sim.Attempts
+	if attempts <= 0 {
+		attempts = 8
+	}
+	var points []ScenarioPoint
+	for _, s := range systems {
+		pts := sim.Points
+		if pts == nil {
+			if s.name == "fig1-swwp" || s.name == "fig2-swrp" {
+				pts = SingleWriterPoints()
+			} else {
+				pts = MultiWriterPoints()
+			}
+			if len(pts) > 4 { // named grids are long; the scenario view samples them
+				pts = [][2]int{pts[0], pts[2], pts[len(pts)-1]}
+			}
+		}
+		for _, pt := range pts {
+			row, err := runSimPoint(s.build, pt[0], pt[1], attempts, seed, sim.DSM)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+			}
+			reader, writer := row.Reader, row.Writer
+			points = append(points, ScenarioPoint{
+				System:    s.name,
+				Writers:   pt[0],
+				Readers:   pt[1],
+				ReaderRMR: &reader,
+				WriterRMR: &writer,
+			})
+		}
+	}
+	return points, nil
+}
+
+// runSimPoint measures one (writers, readers) cell on the simulator:
+// build the system, optionally re-home its variables for DSM
+// accounting, run the seeded random scheduler, and summarize RMRs by
+// role.
+func runSimPoint(build func(w, r int) *core.System, w, r, attempts int, seed int64, dsm bool) (RMRRow, error) {
+	sys := build(w, r)
+	if dsm {
+		sys.Mem.SetModel(ccsim.ModelDSM)
+		for v := 0; v < sys.Mem.NumVars(); v++ {
+			sys.Mem.SetHome(ccsim.Var(v), v%(w+r))
+		}
+	}
+	run, err := sys.NewRunner(attempts)
+	if err != nil {
+		return RMRRow{}, fmt.Errorf("harness: %s w=%d r=%d: %w", sys.Name, w, r, err)
+	}
+	run.CollectStats = true
+	budget := int64(attempts) * int64(w+r) * 1 << 16
+	if err := run.Run(ccsim.NewRandomSched(seed+int64(w*1000+r)), budget); err != nil {
+		return RMRRow{}, fmt.Errorf("harness: %s w=%d r=%d: %w", sys.Name, w, r, err)
+	}
+	var readerRMR, writerRMR []int64
+	for _, s := range run.Stats {
+		if s.Reader {
+			readerRMR = append(readerRMR, s.RMR)
+		} else {
+			writerRMR = append(writerRMR, s.RMR)
+		}
+	}
+	return RMRRow{
+		Writers: w,
+		Readers: r,
+		Reader:  stats.Summarize(readerRMR),
+		Writer:  stats.Summarize(writerRMR),
+	}, nil
+}
+
+// --- presentation ---
+
+// ScenarioTable renders a scenario result with the columns its
+// metrics call for: simulator results get RMR columns; native results
+// get throughput plus wait-latency tails, and an age column when the
+// writer-visibility probe ran.  The full histograms ride only in the
+// JSON report — the table is the human summary.
+func ScenarioTable(res *ScenarioResult) *stats.Table {
+	title := fmt.Sprintf("%s [scenario %s, seed %d, GOMAXPROCS=%d]",
+		res.Scenario.Title, res.Scenario.Name, res.Seed, res.GOMAXPROCS)
+	if res.Scenario.Sim != nil {
+		t := stats.NewTable(title,
+			"system", "writers", "readers",
+			"reader RMR mean", "reader RMR max",
+			"writer RMR mean", "writer RMR max")
+		for _, p := range res.Points {
+			t.AddRow(p.System,
+				fmt.Sprintf("%d", p.Writers),
+				fmt.Sprintf("%d", p.Readers),
+				fmt.Sprintf("%.1f", p.ReaderRMR.Mean),
+				fmt.Sprintf("%d", p.ReaderRMR.Max),
+				fmt.Sprintf("%.1f", p.WriterRMR.Mean),
+				fmt.Sprintf("%d", p.WriterRMR.Max))
+		}
+		return t
+	}
+	hasAge := false
+	for _, p := range res.Points {
+		if p.Age != nil {
+			hasAge = true
+			break
+		}
+	}
+	headers := []string{"lock", "workers", "read%", "ops/s",
+		"rd wait p50", "rd wait p99", "rd wait p99.9",
+		"wr wait p50", "wr wait p99", "wr wait p99.9"}
+	if hasAge {
+		headers = append(headers, "age p50", "age p99")
+	}
+	t := stats.NewTable(title, headers...)
+	q := func(h *stats.HistSnapshot, pick func(*stats.HistSnapshot) int64) string {
+		if h == nil {
+			return "-"
+		}
+		return fmt.Sprintf("%d", pick(h))
+	}
+	for _, p := range res.Points {
+		readPct := fmt.Sprintf("%.4g", p.ReadFraction*100)
+		if p.Readers > 0 || p.Writers > 0 {
+			readPct = fmt.Sprintf("%dr/%dw", p.Readers, p.Writers)
+		}
+		row := []string{
+			p.Lock,
+			fmt.Sprintf("%d", p.Workers),
+			readPct,
+			fmt.Sprintf("%.0f", p.OpsPerSec),
+			q(p.ReadWait, func(h *stats.HistSnapshot) int64 { return h.P50 }),
+			q(p.ReadWait, func(h *stats.HistSnapshot) int64 { return h.P99 }),
+			q(p.ReadWait, func(h *stats.HistSnapshot) int64 { return h.P999 }),
+			q(p.WriteWait, func(h *stats.HistSnapshot) int64 { return h.P50 }),
+			q(p.WriteWait, func(h *stats.HistSnapshot) int64 { return h.P99 }),
+			q(p.WriteWait, func(h *stats.HistSnapshot) int64 { return h.P999 }),
+		}
+		if hasAge {
+			row = append(row,
+				q(p.Age, func(h *stats.HistSnapshot) int64 { return h.P50 }),
+				q(p.Age, func(h *stats.HistSnapshot) int64 { return h.P99 }))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

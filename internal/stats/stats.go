@@ -1,6 +1,3 @@
-// Package stats provides small summary-statistics helpers (min, mean,
-// max, percentiles, histograms) used by the experiment harness to
-// report RMR counts, latencies and throughput.
 package stats
 
 import (

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,16 @@ import (
 	"rwsync/internal/stats"
 	"rwsync/rwlock"
 )
+
+// DefaultSampleEvery is the sampling rate applied when Config leaves
+// SampleEvery zero: every 64th operation per worker is timed.  At
+// this rate the sampling cost (three clock reads on the sampled op)
+// amortizes to well under a nanosecond per operation — invisible even
+// in the ~50 ns/op read-heavy grids — while a normal run still
+// collects thousands of samples per class.  Scenarios whose product
+// is the latency distribution itself (priority, latency-grid, bursty
+// storms) set a denser rate explicitly.
+const DefaultSampleEvery = 64
 
 // Config describes one workload run.
 type Config struct {
@@ -35,18 +46,64 @@ type Config struct {
 	ThinkWork int
 	// Seed makes the per-worker operation mix reproducible.
 	Seed int64
-	// SampleEvery records the latency of every k-th operation
-	// (default 8; 1 records all).
+	// SampleEvery records the latency of every k-th operation per
+	// worker (default DefaultSampleEvery; 1 records all).  Sampling
+	// is decided by op index alone, before the op runs, so whether an
+	// op is sampled cannot correlate with how long it takes.
 	SampleEvery int
+	// MeasureAge enables the writer-visibility probe: every write
+	// timestamps the protected value, and every sampled read reports
+	// the age of the value it observed (now − write time) into
+	// Result.AgeNs.  Off by default because it adds a clock read to
+	// EVERY write's critical section — the probe's cost must be
+	// opt-in, not silently folded into unrelated measurements.
+	MeasureAge bool
+	// WriterBurstLen, if > 0, makes dedicated writers bursty: each
+	// writer issues WriterBurstLen back-to-back writes (no think
+	// time inside the burst), then pauses for WriterBurstPause
+	// iterations of busy work before the next burst.  Requires
+	// DedicatedWriters > 0; readers are unaffected.  This is the
+	// "administrative update storm" shape: long read-mostly quiet,
+	// then a clump of writes whose wait latency and visibility age
+	// are the product.
+	WriterBurstLen int
+	// WriterBurstPause is the busy-work pause between bursts
+	// (default 4096 iterations when WriterBurstLen > 0).
+	WriterBurstPause int
+	// Yield makes every worker yield to the scheduler after each
+	// operation (outside the timed window).  Storm-shaped scenarios
+	// need it when goroutines can outnumber GOMAXPROCS: a non-stop
+	// reader loop otherwise runs whole preemption quanta (~10ms)
+	// unbroken, so a short run degenerates into sequential per-worker
+	// phases and the probes measure scheduler quanta, not the lock —
+	// the same reason bench_test.go's E8 storm readers yield.
+	Yield bool
 }
 
-// Result aggregates a run.
+// Result aggregates a run.  The histograms hold the sampled per-op
+// timings, split at the acquire point: Wait is request→acquire (time
+// spent in the lock's entry protocol), Hold is acquire→release (the
+// critical section including the release protocol), Total is
+// request→release (Wait + Hold, the whole passage — what the legacy
+// ReadLatNs/WriteLatNs summaries report).  AgeNs is the
+// writer-visibility probe (see Config.MeasureAge).  Histograms with
+// no samples have N() == 0; AgeNs is nil unless MeasureAge was set.
 type Result struct {
-	Elapsed    time.Duration
-	ReadOps    int64
-	WriteOps   int64
+	Elapsed  time.Duration
+	ReadOps  int64
+	WriteOps int64
+	// ReadLatNs and WriteLatNs summarize the Total histograms
+	// (bucket-resolution percentiles, exact min/max/mean).
 	ReadLatNs  stats.Summary
 	WriteLatNs stats.Summary
+
+	ReadWaitNs   *stats.Histogram
+	ReadHoldNs   *stats.Histogram
+	ReadTotalNs  *stats.Histogram
+	WriteWaitNs  *stats.Histogram
+	WriteHoldNs  *stats.Histogram
+	WriteTotalNs *stats.Histogram
+	AgeNs        *stats.Histogram
 }
 
 // Throughput returns total operations per second.
@@ -66,6 +123,26 @@ func spin(n int, sink *int64) {
 	*sink = s
 }
 
+// workerHists is one worker's preallocated sample buffers.  Each
+// histogram is a fixed array; recording into them is allocation-free
+// (stats.TestHistogramRecordDoesNotAllocate), so the measurement
+// cannot disturb the allocator behavior of the run it measures.
+type workerHists struct {
+	readWait, readHold, readTotal    stats.Histogram
+	writeWait, writeHold, writeTotal stats.Histogram
+	age                              stats.Histogram
+}
+
+// shared is the protected datum: a counter plus, when the age probe
+// is on, the monotonic timestamp of the write that produced the
+// current value.  Both fields are guarded by the lock under test
+// (plain, non-atomic — running under -race doubles as an exclusion
+// check on the lock).
+type sharedCell struct {
+	value int64
+	stamp int64 // ns since run start, written under the write lock
+}
+
 // Run executes the workload against l and returns aggregate results.
 // The protected data is a plain counter mutated by writers and read by
 // readers, so running tests under -race doubles as an exclusion check.
@@ -77,18 +154,26 @@ func Run(l rwlock.RWLock, cfg Config) *Result {
 		cfg.OpsPerWorker = 1000
 	}
 	if cfg.SampleEvery <= 0 {
-		cfg.SampleEvery = 8
+		cfg.SampleEvery = DefaultSampleEvery
+	}
+	if cfg.WriterBurstLen > 0 && cfg.WriterBurstPause <= 0 {
+		cfg.WriterBurstPause = 4096
 	}
 
 	var (
-		shared   int64 // guarded by l
+		shared   sharedCell // guarded by l
 		readOps  atomic.Int64
 		writeOps atomic.Int64
-		mu       sync.Mutex
-		readLat  []int64
-		writeLat []int64
 		deadline atomic.Bool
 	)
+
+	// Preallocate every worker's sample buffers before the clock (and
+	// the deadline timer) starts so no allocation happens on the
+	// measured path.
+	hists := make([]*workerHists, cfg.Workers)
+	for i := range hists {
+		hists[i] = new(workerHists)
+	}
 	if cfg.Duration > 0 {
 		timer := time.AfterFunc(cfg.Duration, func() { deadline.Store(true) })
 		defer timer.Stop()
@@ -102,9 +187,17 @@ func Run(l rwlock.RWLock, cfg Config) *Result {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
 			var sink int64
-			var myReadLat, myWriteLat []int64
+			h := hists[id]
 			isDedicatedWriter := cfg.DedicatedWriters > 0 && id < cfg.DedicatedWriters
 			dedicated := cfg.DedicatedWriters > 0
+			bursty := isDedicatedWriter && cfg.WriterBurstLen > 0
+			// Phase-offset the systematic sample per worker so the
+			// guaranteed-cold op 0 (goroutine start, cache-cold lock)
+			// is not in every worker's sample set.  Derived from the
+			// seed, not drawn from rng, so the op mix for a given seed
+			// is unchanged.
+			phase := int(((cfg.Seed+int64(id)*7919)%int64(cfg.SampleEvery) +
+				int64(cfg.SampleEvery)) % int64(cfg.SampleEvery))
 
 			for i := 0; ; i++ {
 				if cfg.Duration > 0 {
@@ -120,45 +213,98 @@ func Run(l rwlock.RWLock, cfg Config) *Result {
 				} else {
 					write = rng.Float64() >= cfg.ReadFraction
 				}
-				sample := i%cfg.SampleEvery == 0
+				if bursty && i%cfg.WriterBurstLen == 0 {
+					spin(cfg.WriterBurstPause, &sink)
+				}
+				sample := (i+phase)%cfg.SampleEvery == 0
 				var t0 time.Time
 				if sample {
 					t0 = time.Now()
 				}
 				if write {
 					tok := l.Lock()
-					shared++
+					var tAcq time.Time
+					if sample {
+						tAcq = time.Now()
+					}
+					shared.value++
 					spin(cfg.CSWork, &sink)
+					if cfg.MeasureAge {
+						// Stamp last: the value's age starts when the
+						// write is complete and about to become
+						// visible at release.
+						shared.stamp = int64(time.Since(start))
+					}
 					l.Unlock(tok)
 					writeOps.Add(1)
 					if sample {
-						myWriteLat = append(myWriteLat, time.Since(t0).Nanoseconds())
+						tEnd := time.Now()
+						h.writeWait.Record(tAcq.Sub(t0).Nanoseconds())
+						h.writeHold.Record(tEnd.Sub(tAcq).Nanoseconds())
+						h.writeTotal.Record(tEnd.Sub(t0).Nanoseconds())
 					}
 				} else {
 					tok := l.RLock()
-					_ = shared
+					var tAcq time.Time
+					if sample {
+						tAcq = time.Now()
+					}
+					_ = shared.value
+					var age int64 = -1
+					if sample && cfg.MeasureAge && shared.stamp != 0 {
+						age = int64(time.Since(start)) - shared.stamp
+					}
 					spin(cfg.CSWork, &sink)
 					l.RUnlock(tok)
 					readOps.Add(1)
 					if sample {
-						myReadLat = append(myReadLat, time.Since(t0).Nanoseconds())
+						tEnd := time.Now()
+						h.readWait.Record(tAcq.Sub(t0).Nanoseconds())
+						h.readHold.Record(tEnd.Sub(tAcq).Nanoseconds())
+						h.readTotal.Record(tEnd.Sub(t0).Nanoseconds())
+						if age >= 0 {
+							h.age.Record(age)
+						}
 					}
 				}
-				spin(cfg.ThinkWork, &sink)
+				if !bursty {
+					spin(cfg.ThinkWork, &sink)
+				}
+				if cfg.Yield {
+					runtime.Gosched()
+				}
 			}
-			mu.Lock()
-			readLat = append(readLat, myReadLat...)
-			writeLat = append(writeLat, myWriteLat...)
-			mu.Unlock()
 		}(w)
 	}
 	wg.Wait()
+	elapsed := time.Since(start)
 
-	return &Result{
-		Elapsed:    time.Since(start),
-		ReadOps:    readOps.Load(),
-		WriteOps:   writeOps.Load(),
-		ReadLatNs:  stats.Summarize(readLat),
-		WriteLatNs: stats.Summarize(writeLat),
+	res := &Result{
+		Elapsed:      elapsed,
+		ReadOps:      readOps.Load(),
+		WriteOps:     writeOps.Load(),
+		ReadWaitNs:   new(stats.Histogram),
+		ReadHoldNs:   new(stats.Histogram),
+		ReadTotalNs:  new(stats.Histogram),
+		WriteWaitNs:  new(stats.Histogram),
+		WriteHoldNs:  new(stats.Histogram),
+		WriteTotalNs: new(stats.Histogram),
 	}
+	if cfg.MeasureAge {
+		res.AgeNs = new(stats.Histogram)
+	}
+	for _, h := range hists {
+		res.ReadWaitNs.Merge(&h.readWait)
+		res.ReadHoldNs.Merge(&h.readHold)
+		res.ReadTotalNs.Merge(&h.readTotal)
+		res.WriteWaitNs.Merge(&h.writeWait)
+		res.WriteHoldNs.Merge(&h.writeHold)
+		res.WriteTotalNs.Merge(&h.writeTotal)
+		if res.AgeNs != nil {
+			res.AgeNs.Merge(&h.age)
+		}
+	}
+	res.ReadLatNs = res.ReadTotalNs.Summary()
+	res.WriteLatNs = res.WriteTotalNs.Summary()
+	return res
 }

@@ -101,6 +101,88 @@ func TestDurationOverridesOps(t *testing.T) {
 	}
 }
 
+func TestWaitHoldSplit(t *testing.T) {
+	res := Run(rwlock.NewMWSF(4), Config{
+		Workers:      2,
+		ReadFraction: 0.5,
+		OpsPerWorker: 2000,
+		SampleEvery:  1,
+		CSWork:       256, // make hold time clearly nonzero
+		Seed:         5,
+	})
+	for name, h := range map[string]struct {
+		wait, hold, total interface{ N() int64 }
+	}{
+		"read":  {res.ReadWaitNs, res.ReadHoldNs, res.ReadTotalNs},
+		"write": {res.WriteWaitNs, res.WriteHoldNs, res.WriteTotalNs},
+	} {
+		if h.wait.N() == 0 || h.hold.N() == 0 || h.total.N() == 0 {
+			t.Fatalf("%s histograms empty: wait=%d hold=%d total=%d",
+				name, h.wait.N(), h.hold.N(), h.total.N())
+		}
+		if h.wait.N() != h.total.N() || h.hold.N() != h.total.N() {
+			t.Fatalf("%s sample counts disagree: wait=%d hold=%d total=%d",
+				name, h.wait.N(), h.hold.N(), h.total.N())
+		}
+	}
+	// Total must dominate each component (they are the same op's
+	// split timings), at least in aggregate.
+	if res.ReadTotalNs.Mean() < res.ReadWaitNs.Mean() ||
+		res.ReadTotalNs.Mean() < res.ReadHoldNs.Mean() {
+		t.Fatalf("total mean %.0f below a component (wait %.0f hold %.0f)",
+			res.ReadTotalNs.Mean(), res.ReadWaitNs.Mean(), res.ReadHoldNs.Mean())
+	}
+	// The legacy summaries mirror the Total histograms.
+	if res.ReadLatNs.N != int(res.ReadTotalNs.N()) || res.ReadLatNs.Max != res.ReadTotalNs.Max() {
+		t.Fatalf("legacy summary diverged from histogram: %+v vs n=%d max=%d",
+			res.ReadLatNs, res.ReadTotalNs.N(), res.ReadTotalNs.Max())
+	}
+}
+
+func TestAgeProbe(t *testing.T) {
+	res := Run(rwlock.NewMWWP(2), Config{
+		Workers:          4,
+		DedicatedWriters: 1,
+		OpsPerWorker:     2000,
+		SampleEvery:      1,
+		MeasureAge:       true,
+		Seed:             7,
+	})
+	if res.AgeNs == nil || res.AgeNs.N() == 0 {
+		t.Fatal("age probe recorded nothing")
+	}
+	// Ages are sane: non-negative (clamped) and bounded by the run.
+	if res.AgeNs.Max() > res.Elapsed.Nanoseconds() {
+		t.Fatalf("observed age %d exceeds run duration %d",
+			res.AgeNs.Max(), res.Elapsed.Nanoseconds())
+	}
+	off := Run(rwlock.NewMWWP(2), Config{
+		Workers: 2, ReadFraction: 0.5, OpsPerWorker: 200, Seed: 7,
+	})
+	if off.AgeNs != nil {
+		t.Fatal("age histogram present without MeasureAge")
+	}
+}
+
+func TestBurstyWriters(t *testing.T) {
+	res := Run(rwlock.NewMWSF(4), Config{
+		Workers:          3,
+		DedicatedWriters: 1,
+		OpsPerWorker:     600,
+		WriterBurstLen:   8,
+		WriterBurstPause: 64,
+		SampleEvery:      1,
+		Seed:             2,
+	})
+	if res.WriteOps != 600 || res.ReadOps != 2*600 {
+		t.Fatalf("burst shape changed the op budget: %d writes / %d reads",
+			res.WriteOps, res.ReadOps)
+	}
+	if res.WriteWaitNs.N() != 600 {
+		t.Fatalf("burst writer samples = %d, want 600", res.WriteWaitNs.N())
+	}
+}
+
 func TestDeterministicMixWithSeed(t *testing.T) {
 	cfg := Config{Workers: 3, ReadFraction: 0.7, OpsPerWorker: 500, Seed: 42}
 	a := Run(rwlock.NewMWSF(4), cfg)
