@@ -132,7 +132,7 @@ func BenchmarkE4_RMR_Baselines(b *testing.B) {
 // benchLocks builds the native locks for E7/E8.
 func benchLocks() map[string]rwlock.RWLock {
 	out := make(map[string]rwlock.RWLock)
-	for name, f := range harness.NativeLocks(64) {
+	for name, f := range harness.NativeLocks() {
 		out[name] = f()
 	}
 	return out
@@ -259,7 +259,7 @@ func BenchmarkReadHeavy(b *testing.B) {
 		gs = append(gs, maxG)
 	}
 	names := []string{"MWSF", "Bravo(MWSF)", "MWRP", "Bravo(MWRP)", "MWWP", "Bravo(MWWP)", "sync.RWMutex"}
-	builders := harness.NativeLocks(64)
+	builders := harness.NativeLocks()
 	for _, frac := range []int{90, 99, 100} {
 		for _, g := range gs {
 			for _, name := range names {
@@ -287,7 +287,7 @@ func BenchmarkReadHeavy(b *testing.B) {
 //	go test -bench Oversubscribed -benchtime 100000x
 func BenchmarkOversubscribed(b *testing.B) {
 	const workers = 64
-	builders := harness.NativeLocks(harness.DefaultMaxWriters)
+	builders := harness.NativeLocks()
 	for _, frac := range []int{90, 99} {
 		frac := frac
 		for _, name := range harness.OversubLockNames() {

@@ -23,7 +23,12 @@
 // registry, e.g. `-locks "MWSF,Bravo(MWSF),sync.RWMutex"` to isolate
 // the BRAVO fast path's effect against its own inner lock.  The
 // registry includes "/park" variants of every lock (e.g. "MWSF/park")
-// that wait with rwlock.SpinThenPark instead of the default spinning.
+// that wait with rwlock.SpinThenPark instead of the default spinning,
+// and "/bounded" variants of the multi-writer locks (e.g.
+// "MWSF/bounded", "MWSF/bounded/park") that serialize writers through
+// the bounded Anderson array (rwlock.WithBoundedWriters) instead of
+// the default unbounded MCS queue — the "writer-churn" scenario
+// compares the two arbitrations under thousands of one-shot writers.
 //
 // -oversub adds the oversubscription experiment: GOMAXPROCS is pinned
 // to -oversub-gomaxprocs (default 2) for the sweep's duration so the

@@ -94,6 +94,33 @@ func TestRunParkVariantSelectable(t *testing.T) {
 	}
 }
 
+func TestRunBoundedVariantSelectable(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-ops", "200", "-workers", "2",
+		"-locks", "MWSF,MWSF/bounded,MWSF/bounded/park"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"MWSF/bounded", "MWSF/bounded/park"} {
+		if !strings.Contains(b.String(), name) {
+			t.Fatalf("bounded variant %s missing from sweep:\n%s", name, b.String())
+		}
+	}
+}
+
+func TestRunScenarioWriterChurn(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-scenario", "writer-churn"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"writer churn", "MWSF/park", "MWSF/bounded/park",
+		"sync.RWMutex", "wr wait p99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("writer-churn output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunJSONOutput(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-quick", "-ops", "200", "-workers", "2", "-json",
@@ -196,7 +223,7 @@ func TestRunScenarioAllJSONValidates(t *testing.T) {
 		names[sr.Scenario.Name] = true
 	}
 	for _, want := range []string{"throughput", "priority", "oversub", "rmr",
-		"bursty-writers", "starvation", "latency-grid"} {
+		"bursty-writers", "starvation", "writer-churn", "latency-grid"} {
 		if !names[want] {
 			t.Fatalf("-scenario all missing %s (got %v)", want, names)
 		}

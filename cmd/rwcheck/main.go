@@ -180,7 +180,7 @@ func run(args []string, out io.Writer) error {
 			*nativeIters = 0
 		}
 		fmt.Fprintln(out, "\n== E10: native lock exclusion stress (real goroutines; incl. BRAVO wrappers) ==")
-		builders := harness.NativeLocks(4)
+		builders := harness.NativeLocks()
 		for _, name := range harness.LockNames() {
 			if err := nativeHammer(builders[name](), 4, 4, *nativeIters); err != nil {
 				fmt.Fprintf(out, "  %-22s FAIL: %v\n", name, err)

@@ -7,11 +7,14 @@
 // cache-coherent machines, in writer-priority, reader-priority and
 // no-priority (starvation-free) flavors — plus rwlock.Bravo, a
 // BRAVO-style sharded reader fast path (Dice & Kogan, arXiv:1810.01553)
-// that layers multicore reader scalability over any of them, and a
-// pluggable waiting layer (rwlock.WithWaitStrategy) that realizes
-// every wait either as the paper's cooperative busy-wait (SpinYield)
-// or as bounded spinning followed by parking (SpinThenPark, for the
-// oversubscribed regime where goroutines outnumber GOMAXPROCS).
+// that layers multicore reader scalability over any of them, a
+// pluggable writer-arbitration layer (an unbounded MCS queue by
+// default, the paper's bounded Anderson array via
+// rwlock.WithBoundedWriters), and a pluggable waiting layer
+// (rwlock.WithWaitStrategy) that realizes every wait either as the
+// paper's cooperative busy-wait (SpinYield) or as bounded spinning
+// followed by parking (SpinThenPark, for the oversubscribed regime
+// where goroutines outnumber GOMAXPROCS).
 //
 // The internal packages form the research substrate: a
 // cache-coherent-machine simulator with exact RMR accounting

@@ -60,7 +60,7 @@ func (s *Store) Set(key, value string) {
 func main() {
 	// The store API in one breath (and a sanity check that the lock
 	// actually guards the map).
-	s := NewStore(rwlock.NewMWWP(4))
+	s := NewStore(rwlock.NewMWWP())
 	s.Set("mode", "normal")
 	s.Set("mode", "maintenance")
 	if v, _ := s.Get("mode"); v != "maintenance" {

@@ -35,7 +35,7 @@ type Registry struct {
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{l: rwlock.NewMWRP(2), m: make(map[string]*atomic.Int64)}
+	return &Registry{l: rwlock.NewMWRP(), m: make(map[string]*atomic.Int64)}
 }
 
 // Register adds a metric (writer path; restructures the map).

@@ -56,15 +56,20 @@ func main() {
 	fmt.Println()
 
 	// No priority: neither class can starve (Theorem 3).
-	demo("MWSF", rwlock.NewMWSF(4))
+	demo("MWSF", rwlock.NewMWSF())
 
 	// Reader priority: readers never wait for waiting writers
 	// (Theorem 4) — ideal when reads are latency-critical.
-	demo("MWRP", rwlock.NewMWRP(4))
+	demo("MWRP", rwlock.NewMWRP())
 
 	// Writer priority: writers overtake waiting readers (Theorem 5) —
 	// ideal when updates must become visible quickly.
-	demo("MWWP", rwlock.NewMWWP(4))
+	demo("MWWP", rwlock.NewMWWP())
+
+	// Writer concurrency is unbounded by default (MCS arbitration).
+	// WithBoundedWriters caps concurrent write attempts via the
+	// paper's Anderson array — explicit admission control.
+	demo("MWSF/b", rwlock.NewMWSF(rwlock.WithBoundedWriters(4)))
 
 	// Single-writer cores: when the application has one designated
 	// writer, skip the writer-serialization layer entirely.

@@ -115,16 +115,15 @@ func Builders() map[string]func(w, r int) *core.System {
 	}
 }
 
-// DefaultMaxWriters is the writer-admission bound the sweeps size
-// their locks with.  One constant for every sweep: the bound caps the
-// Anderson array the multi-writer locks serialize writers through, so
-// sweeping the same lock with two different bounds silently compares
-// two different memory layouts.  64 comfortably exceeds every worker
-// count the experiments use (the bound blocks, it does not corrupt,
-// so a too-small value would deadlock a wide write-heavy sweep —
-// which is how the old ThroughputSweepLocks=64 / PrioritySweepLocks=8
-// split was noticed).
-const DefaultMaxWriters = 64
+// boundedWriters is the Anderson-array capacity of the registry's
+// "/bounded" lock variants.  One constant for every sweep: sweeping
+// the same lock with two different bounds silently compares two
+// different memory layouts.  64 comfortably exceeds every worker
+// count the classic experiments use, so in those grids the bounded
+// variants measure the Anderson array itself, not its admission gate;
+// the writer-churn scenario deliberately exceeds it so the gate shows
+// up in the writer-wait tail.
+const boundedWriters = 64
 
 // NativeLocks returns the named native lock constructors used in the
 // throughput and priority experiments.  The Bravo(...) entries wrap
@@ -132,35 +131,40 @@ const DefaultMaxWriters = 64
 // (arXiv:1810.01553), the repo's reader-scalability layer.  The
 // "/park" entries are the same locks with the SpinThenPark wait
 // strategy — the oversubscription configuration; sync.RWMutex needs
-// no variant because its waiters always park in the runtime.
-func NativeLocks(maxWriters int) map[string]func() rwlock.RWLock {
+// no variant because its waiters always park in the runtime.  The
+// multi-writer locks default to the unbounded MCS writer arbitration;
+// the "/bounded" entries select the Anderson array capped at
+// boundedWriters concurrent write attempts (rwlock.WithBoundedWriters),
+// so the registry exposes both sides of the arbitration layer.
+func NativeLocks() map[string]func() rwlock.RWLock {
 	park := rwlock.WithWaitStrategy(rwlock.SpinThenPark)
+	bound := rwlock.WithBoundedWriters(boundedWriters)
 	return map[string]func() rwlock.RWLock{
-		"MWSF":             func() rwlock.RWLock { return rwlock.NewMWSF(maxWriters) },
-		"MWRP":             func() rwlock.RWLock { return rwlock.NewMWRP(maxWriters) },
-		"MWWP":             func() rwlock.RWLock { return rwlock.NewMWWP(maxWriters) },
-		"MWSF/park":        func() rwlock.RWLock { return rwlock.NewMWSF(maxWriters, park) },
-		"MWRP/park":        func() rwlock.RWLock { return rwlock.NewMWRP(maxWriters, park) },
-		"MWWP/park":        func() rwlock.RWLock { return rwlock.NewMWWP(maxWriters, park) },
-		"Bravo(MWSF)":      func() rwlock.RWLock { return rwlock.NewBravoMWSF(maxWriters) },
-		"Bravo(MWRP)":      func() rwlock.RWLock { return rwlock.NewBravoMWRP(maxWriters) },
-		"Bravo(MWWP)":      func() rwlock.RWLock { return rwlock.NewBravoMWWP(maxWriters) },
-		"Bravo(MWSF)/park": func() rwlock.RWLock { return rwlock.NewBravoMWSF(maxWriters, park) },
-		"Bravo(MWRP)/park": func() rwlock.RWLock { return rwlock.NewBravoMWRP(maxWriters, park) },
-		"Bravo(MWWP)/park": func() rwlock.RWLock { return rwlock.NewBravoMWWP(maxWriters, park) },
-		"CentralizedRW":    func() rwlock.RWLock { return rwlock.NewCentralizedRW() },
-		"CentralizedRW/park": func() rwlock.RWLock {
-			return rwlock.NewCentralizedRW(park)
-		},
-		"PhaseFairRW": func() rwlock.RWLock { return rwlock.NewPhaseFairRW() },
-		"PhaseFairRW/park": func() rwlock.RWLock {
-			return rwlock.NewPhaseFairRW(park)
-		},
-		"TaskFairRW": func() rwlock.RWLock { return rwlock.NewTaskFairRW() },
-		"TaskFairRW/park": func() rwlock.RWLock {
-			return rwlock.NewTaskFairRW(park)
-		},
-		"sync.RWMutex": func() rwlock.RWLock { return rwlock.NewRWMutexLock() },
+		"MWSF":               func() rwlock.RWLock { return rwlock.NewMWSF() },
+		"MWRP":               func() rwlock.RWLock { return rwlock.NewMWRP() },
+		"MWWP":               func() rwlock.RWLock { return rwlock.NewMWWP() },
+		"MWSF/park":          func() rwlock.RWLock { return rwlock.NewMWSF(park) },
+		"MWRP/park":          func() rwlock.RWLock { return rwlock.NewMWRP(park) },
+		"MWWP/park":          func() rwlock.RWLock { return rwlock.NewMWWP(park) },
+		"MWSF/bounded":       func() rwlock.RWLock { return rwlock.NewMWSF(bound) },
+		"MWRP/bounded":       func() rwlock.RWLock { return rwlock.NewMWRP(bound) },
+		"MWWP/bounded":       func() rwlock.RWLock { return rwlock.NewMWWP(bound) },
+		"MWSF/bounded/park":  func() rwlock.RWLock { return rwlock.NewMWSF(bound, park) },
+		"MWRP/bounded/park":  func() rwlock.RWLock { return rwlock.NewMWRP(bound, park) },
+		"MWWP/bounded/park":  func() rwlock.RWLock { return rwlock.NewMWWP(bound, park) },
+		"Bravo(MWSF)":        func() rwlock.RWLock { return rwlock.NewBravoMWSF() },
+		"Bravo(MWRP)":        func() rwlock.RWLock { return rwlock.NewBravoMWRP() },
+		"Bravo(MWWP)":        func() rwlock.RWLock { return rwlock.NewBravoMWWP() },
+		"Bravo(MWSF)/park":   func() rwlock.RWLock { return rwlock.NewBravoMWSF(park) },
+		"Bravo(MWRP)/park":   func() rwlock.RWLock { return rwlock.NewBravoMWRP(park) },
+		"Bravo(MWWP)/park":   func() rwlock.RWLock { return rwlock.NewBravoMWWP(park) },
+		"CentralizedRW":      func() rwlock.RWLock { return rwlock.NewCentralizedRW() },
+		"CentralizedRW/park": func() rwlock.RWLock { return rwlock.NewCentralizedRW(park) },
+		"PhaseFairRW":        func() rwlock.RWLock { return rwlock.NewPhaseFairRW() },
+		"PhaseFairRW/park":   func() rwlock.RWLock { return rwlock.NewPhaseFairRW(park) },
+		"TaskFairRW":         func() rwlock.RWLock { return rwlock.NewTaskFairRW() },
+		"TaskFairRW/park":    func() rwlock.RWLock { return rwlock.NewTaskFairRW(park) },
+		"sync.RWMutex":       func() rwlock.RWLock { return rwlock.NewRWMutexLock() },
 	}
 }
 
@@ -179,12 +183,16 @@ func LockNames() []string {
 }
 
 // AllLockNames returns every registry entry in presentation order:
-// each spin lock followed by its /park variant.
+// each spin lock followed by its /park variant, with the multi-writer
+// locks' bounded-arbitration ("/bounded") builds alongside.
 func AllLockNames() []string {
 	return []string{
-		"MWSF", "MWSF/park", "Bravo(MWSF)", "Bravo(MWSF)/park",
-		"MWRP", "MWRP/park", "Bravo(MWRP)", "Bravo(MWRP)/park",
-		"MWWP", "MWWP/park", "Bravo(MWWP)", "Bravo(MWWP)/park",
+		"MWSF", "MWSF/park", "MWSF/bounded", "MWSF/bounded/park",
+		"Bravo(MWSF)", "Bravo(MWSF)/park",
+		"MWRP", "MWRP/park", "MWRP/bounded", "MWRP/bounded/park",
+		"Bravo(MWRP)", "Bravo(MWRP)/park",
+		"MWWP", "MWWP/park", "MWWP/bounded", "MWWP/bounded/park",
+		"Bravo(MWWP)", "Bravo(MWWP)/park",
 		"CentralizedRW", "CentralizedRW/park",
 		"PhaseFairRW", "PhaseFairRW/park",
 		"TaskFairRW", "TaskFairRW/park",
@@ -199,6 +207,17 @@ func OversubLockNames() []string {
 	return []string{
 		"MWSF", "MWSF/park", "Bravo(MWSF)", "Bravo(MWSF)/park",
 		"MWWP", "MWWP/park",
+		"sync.RWMutex",
+	}
+}
+
+// ChurnLockNames is the lock set of the writer-churn scenario: the
+// unbounded MCS arbitration vs the bounded Anderson arbitration (both
+// parking — the churn oversubscribes by construction) vs the runtime
+// baseline.
+func ChurnLockNames() []string {
+	return []string{
+		"MWSF/park", "MWSF/bounded/park",
 		"sync.RWMutex",
 	}
 }

@@ -110,7 +110,7 @@ func TestPrioritySweepAndTable(t *testing.T) {
 }
 
 func TestNativeLocksConstructAll(t *testing.T) {
-	for name, f := range NativeLocks(4) {
+	for name, f := range NativeLocks() {
 		l := f()
 		tok := l.Lock()
 		l.Unlock(tok)
@@ -121,7 +121,7 @@ func TestNativeLocksConstructAll(t *testing.T) {
 }
 
 func TestRegistryNameListsConsistent(t *testing.T) {
-	builders := NativeLocks(4)
+	builders := NativeLocks()
 	for _, names := range [][]string{LockNames(), AllLockNames(), OversubLockNames()} {
 		for _, name := range names {
 			if builders[name] == nil {

@@ -80,6 +80,12 @@ type Scenario struct {
 	// it so single-core runs interleave per op instead of degrading
 	// into whole scheduler quanta per worker (see workload.Config).
 	Yield bool `json:"yield,omitempty"`
+	// Churn runs every operation on a fresh goroutine: each worker
+	// becomes a lane spawning one short-lived goroutine per op (see
+	// workload.Config.Churn).  The writer-churn scenario uses it to
+	// drive thousands of distinct one-passage writers — the shape a
+	// bounded writer-arbitration API cannot host.
+	Churn bool `json:"churn,omitempty"`
 	// GOMAXPROCS, if > 0, is pinned for the scenario's duration (and
 	// restored after) so oversubscription scenarios oversubscribe
 	// even on big machines.
@@ -296,6 +302,25 @@ func init() {
 		Yield:            true,
 	})
 	RegisterScenario(Scenario{
+		Name:  "writer-churn",
+		Title: "writer churn: thousands of short-lived writers, one passage each",
+		Description: "every write passage comes from a brand-new goroutine — the " +
+			"shape the old bounded constructors could not host — comparing the " +
+			"unbounded MCS writer arbitration against the bounded Anderson array " +
+			"(64 slots, so the churn also hits its admission gate) and " +
+			"sync.RWMutex; the product is throughput and the writer-wait tail",
+		Locks:         ChurnLockNames(),
+		Workers:       []int{128}, // concurrent churn lanes, each spawning fresh writers
+		ReadFractions: []float64{0},
+		OpsPerWorker:  32, // 128 lanes x 32 spawns = 4096 distinct writers per point
+		CSWork:        8,
+		ThinkWork:     8,
+		SampleEvery:   1,
+		Churn:         true,
+		Yield:         true,
+		GOMAXPROCS:    2,
+	})
+	RegisterScenario(Scenario{
 		Name:  "latency-grid",
 		Title: "latency grid: per-op latency distributions across read ratios",
 		Description: "full wait/hold latency histograms per class across the " +
@@ -404,7 +429,7 @@ func runNativeScenario(sc *Scenario, seed int64) ([]ScenarioPoint, error) {
 	if len(sc.Locks) == 0 {
 		sc.Locks = LockNames()
 	}
-	builders := NativeLocks(DefaultMaxWriters)
+	builders := NativeLocks()
 	for _, name := range sc.Locks {
 		if builders[name] == nil {
 			return nil, fmt.Errorf("scenario %s: unknown lock %q (have %v)",
@@ -452,6 +477,7 @@ func runNativeScenario(sc *Scenario, seed int64) ([]ScenarioPoint, error) {
 					WriterBurstLen:   sc.WriterBurstLen,
 					WriterBurstPause: sc.WriterBurstPause,
 					Yield:            sc.Yield,
+					Churn:            sc.Churn,
 				})
 				pt := ScenarioPoint{
 					Lock:         name,

@@ -12,7 +12,7 @@ func TestScenarioRegistryHasAllEntries(t *testing.T) {
 	// scenarios (and the DSM contrast) must all be registered.
 	for _, name := range []string{
 		"throughput", "priority", "oversub", "rmr", "rmr-dsm",
-		"bursty-writers", "starvation", "latency-grid",
+		"bursty-writers", "starvation", "writer-churn", "latency-grid",
 	} {
 		if _, ok := ScenarioByName(name); !ok {
 			t.Errorf("scenario %q not registered (have %v)", name, ScenarioNames())
@@ -171,6 +171,70 @@ func TestRunScenarioStarvationProbe(t *testing.T) {
 	}
 	if len(byLock) != 2 {
 		t.Fatalf("points: %+v", res.Points)
+	}
+}
+
+// TestRunScenarioWriterChurn runs the churn scenario at full size:
+// every write passage comes from a distinct short-lived goroutine
+// (128 lanes x 32 spawns = 4096 writers per lock — the ≥1000-writer
+// acceptance shape), and the product — throughput plus the
+// writer-wait tail — must be present for the MCS arbitration, the
+// bounded-Anderson arbitration, and the sync.RWMutex baseline alike.
+// CI runs this under -race, where any CS overlap between two one-shot
+// writers is a detected data race.
+func TestRunScenarioWriterChurn(t *testing.T) {
+	sc, ok := ScenarioByName("writer-churn")
+	if !ok {
+		t.Fatal("writer-churn scenario not registered")
+	}
+	if !sc.Churn {
+		t.Fatal("writer-churn scenario does not set Churn")
+	}
+	if writers := sc.Workers[0] * sc.OpsPerWorker; writers < 1000 {
+		t.Fatalf("scenario spawns %d distinct writers, want >= 1000", writers)
+	}
+	res, err := RunScenario(sc, ScenarioOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, name := range ChurnLockNames() {
+		want[name] = true
+	}
+	if len(res.Points) != len(want) {
+		t.Fatalf("got %d points, want %d", len(res.Points), len(want))
+	}
+	for _, p := range res.Points {
+		if !want[p.Lock] {
+			t.Fatalf("unexpected lock %q in churn sweep", p.Lock)
+		}
+		delete(want, p.Lock)
+		if p.OpsPerSec <= 0 {
+			t.Fatalf("%s: no throughput", p.Lock)
+		}
+		if p.WriteOps != int64(sc.Workers[0]*sc.OpsPerWorker) {
+			t.Fatalf("%s: %d write passages, want %d", p.Lock, p.WriteOps,
+				sc.Workers[0]*sc.OpsPerWorker)
+		}
+		if p.ReadOps != 0 {
+			t.Fatalf("%s: churn sweep performed %d reads", p.Lock, p.ReadOps)
+		}
+		if p.WriteWait == nil || p.WriteWait.Count == 0 {
+			t.Fatalf("%s: writer-wait histogram missing (the scenario's product)", p.Lock)
+		}
+		if p.WriteWait.P99 < 0 {
+			t.Fatalf("%s: writer-wait p99 = %d", p.Lock, p.WriteWait.P99)
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("locks missing from churn sweep: %v", want)
+	}
+	// The MCS vs bounded vs baseline comparison must be one table.
+	out := ScenarioTable(res).Render()
+	for _, name := range ChurnLockNames() {
+		if !strings.Contains(out, name) {
+			t.Fatalf("churn table missing %s:\n%s", name, out)
+		}
 	}
 }
 

@@ -78,6 +78,20 @@ type Config struct {
 	// phases and the probes measure scheduler quanta, not the lock —
 	// the same reason bench_test.go's E8 storm readers yield.
 	Yield bool
+	// Churn runs every operation on a FRESH goroutine: each worker
+	// becomes a lane that spawns one short-lived goroutine per op and
+	// waits for it before the next, so the number of distinct
+	// goroutines that touch the lock equals the total op count while
+	// concurrency stays bounded by Workers.  This is the
+	// "thousands of one-shot writers" service shape (request handlers
+	// that each take the lock once and die); the lock under test must
+	// tolerate every passage coming from a goroutine it has never
+	// seen — which is exactly what a bounded writer-arbitration layer
+	// turns into an admission-gate stress.  Sampled timings include
+	// the spawned goroutine's start-up in the wait component only if
+	// the op is sampled before the spawn; to keep the wait histogram
+	// about the LOCK, the clock starts inside the spawned goroutine.
+	Churn bool
 }
 
 // Result aggregates a run.  The histograms hold the sampled per-op
@@ -199,22 +213,19 @@ func Run(l rwlock.RWLock, cfg Config) *Result {
 			phase := int(((cfg.Seed+int64(id)*7919)%int64(cfg.SampleEvery) +
 				int64(cfg.SampleEvery)) % int64(cfg.SampleEvery))
 
-			for i := 0; ; i++ {
-				if cfg.Duration > 0 {
-					if deadline.Load() {
-						break
-					}
-				} else if i >= cfg.OpsPerWorker {
-					break
-				}
+			// runOp performs operation i: the class draw, the sampled
+			// clock stamps, the locked critical section, and the
+			// histogram recording.  Under Churn it runs on a fresh
+			// goroutine; the lane waits for it before the next op, so
+			// the captured per-worker state (rng, sink, h) is still
+			// touched by one goroutine at a time, with the lane
+			// channel providing the happens-before edge.
+			runOp := func(i int) {
 				var write bool
 				if dedicated {
 					write = isDedicatedWriter
 				} else {
 					write = rng.Float64() >= cfg.ReadFraction
-				}
-				if bursty && i%cfg.WriterBurstLen == 0 {
-					spin(cfg.WriterBurstPause, &sink)
 				}
 				sample := (i+phase)%cfg.SampleEvery == 0
 				var t0 time.Time
@@ -266,6 +277,36 @@ func Run(l rwlock.RWLock, cfg Config) *Result {
 							h.age.Record(age)
 						}
 					}
+				}
+			}
+
+			// lane is the churn handoff: one reusable channel per
+			// worker, so churning allocates a goroutine per op but
+			// nothing else.
+			var lane chan struct{}
+			if cfg.Churn {
+				lane = make(chan struct{}, 1)
+			}
+			for i := 0; ; i++ {
+				if cfg.Duration > 0 {
+					if deadline.Load() {
+						break
+					}
+				} else if i >= cfg.OpsPerWorker {
+					break
+				}
+				if bursty && i%cfg.WriterBurstLen == 0 {
+					spin(cfg.WriterBurstPause, &sink)
+				}
+				if cfg.Churn {
+					op := i
+					go func() {
+						runOp(op)
+						lane <- struct{}{}
+					}()
+					<-lane
+				} else {
+					runOp(i)
 				}
 				if !bursty {
 					spin(cfg.ThinkWork, &sink)

@@ -8,7 +8,7 @@ import (
 )
 
 func TestRunMixedCounts(t *testing.T) {
-	res := Run(rwlock.NewMWSF(8), Config{
+	res := Run(rwlock.NewMWSF(), Config{
 		Workers:      4,
 		ReadFraction: 0.5,
 		OpsPerWorker: 1000,
@@ -33,7 +33,7 @@ func TestRunMixedCounts(t *testing.T) {
 }
 
 func TestRunDedicated(t *testing.T) {
-	res := Run(rwlock.NewMWWP(2), Config{
+	res := Run(rwlock.NewMWWP(), Config{
 		Workers:          5,
 		DedicatedWriters: 2,
 		OpsPerWorker:     500,
@@ -47,12 +47,43 @@ func TestRunDedicated(t *testing.T) {
 	}
 }
 
+func TestRunChurn(t *testing.T) {
+	// Churn mode: every op on a fresh goroutine.  Counts, sampling and
+	// the seeded op mix must be identical to the non-churn run — only
+	// the goroutine identity of each passage changes.  The shared cell
+	// is a plain int mutated by every one-shot writer, so -race checks
+	// that the handoff between short-lived goroutines preserves
+	// exclusion.
+	cfg := Config{
+		Workers:      8,
+		ReadFraction: 0.25,
+		OpsPerWorker: 150, // 1200 distinct goroutines
+		Seed:         5,
+		SampleEvery:  1,
+	}
+	churn := cfg
+	churn.Churn = true
+	a := Run(rwlock.NewMWSF(), cfg)
+	b := Run(rwlock.NewMWSF(), churn)
+	if a.ReadOps != b.ReadOps || a.WriteOps != b.WriteOps {
+		t.Fatalf("churn changed the op mix: %d/%d vs %d/%d",
+			a.ReadOps, a.WriteOps, b.ReadOps, b.WriteOps)
+	}
+	if total := b.ReadOps + b.WriteOps; total != 8*150 {
+		t.Fatalf("churn total ops = %d, want 1200", total)
+	}
+	if b.WriteWaitNs.N() != b.WriteOps || b.ReadWaitNs.N() != b.ReadOps {
+		t.Fatalf("churn lost samples: %d/%d waits for %d/%d ops",
+			b.ReadWaitNs.N(), b.WriteWaitNs.N(), b.ReadOps, b.WriteOps)
+	}
+}
+
 func TestRunReadOnlyAndWriteOnly(t *testing.T) {
-	ro := Run(rwlock.NewMWRP(2), Config{Workers: 2, ReadFraction: 1.0, OpsPerWorker: 200, Seed: 1})
+	ro := Run(rwlock.NewMWRP(), Config{Workers: 2, ReadFraction: 1.0, OpsPerWorker: 200, Seed: 1})
 	if ro.WriteOps != 0 || ro.ReadOps != 400 {
 		t.Fatalf("read-only run: %d reads / %d writes", ro.ReadOps, ro.WriteOps)
 	}
-	wo := Run(rwlock.NewMWSF(4), Config{Workers: 2, ReadFraction: 0.0, OpsPerWorker: 200, Seed: 1})
+	wo := Run(rwlock.NewMWSF(), Config{Workers: 2, ReadFraction: 0.0, OpsPerWorker: 200, Seed: 1})
 	if wo.ReadOps != 0 || wo.WriteOps != 400 {
 		t.Fatalf("write-only run: %d reads / %d writes", wo.ReadOps, wo.WriteOps)
 	}
@@ -83,7 +114,7 @@ func TestDefaultsApplied(t *testing.T) {
 
 func TestDurationOverridesOps(t *testing.T) {
 	park := rwlock.WithWaitStrategy(rwlock.SpinThenPark)
-	res := Run(rwlock.NewMWSF(8, park), Config{
+	res := Run(rwlock.NewMWSF(park), Config{
 		Workers:      8,
 		ReadFraction: 0.9,
 		Duration:     30 * time.Millisecond,
@@ -102,7 +133,7 @@ func TestDurationOverridesOps(t *testing.T) {
 }
 
 func TestWaitHoldSplit(t *testing.T) {
-	res := Run(rwlock.NewMWSF(4), Config{
+	res := Run(rwlock.NewMWSF(), Config{
 		Workers:      2,
 		ReadFraction: 0.5,
 		OpsPerWorker: 2000,
@@ -140,7 +171,7 @@ func TestWaitHoldSplit(t *testing.T) {
 }
 
 func TestAgeProbe(t *testing.T) {
-	res := Run(rwlock.NewMWWP(2), Config{
+	res := Run(rwlock.NewMWWP(), Config{
 		Workers:          4,
 		DedicatedWriters: 1,
 		OpsPerWorker:     2000,
@@ -156,7 +187,7 @@ func TestAgeProbe(t *testing.T) {
 		t.Fatalf("observed age %d exceeds run duration %d",
 			res.AgeNs.Max(), res.Elapsed.Nanoseconds())
 	}
-	off := Run(rwlock.NewMWWP(2), Config{
+	off := Run(rwlock.NewMWWP(), Config{
 		Workers: 2, ReadFraction: 0.5, OpsPerWorker: 200, Seed: 7,
 	})
 	if off.AgeNs != nil {
@@ -165,7 +196,7 @@ func TestAgeProbe(t *testing.T) {
 }
 
 func TestBurstyWriters(t *testing.T) {
-	res := Run(rwlock.NewMWSF(4), Config{
+	res := Run(rwlock.NewMWSF(), Config{
 		Workers:          3,
 		DedicatedWriters: 1,
 		OpsPerWorker:     600,
@@ -185,8 +216,8 @@ func TestBurstyWriters(t *testing.T) {
 
 func TestDeterministicMixWithSeed(t *testing.T) {
 	cfg := Config{Workers: 3, ReadFraction: 0.7, OpsPerWorker: 500, Seed: 42}
-	a := Run(rwlock.NewMWSF(4), cfg)
-	b := Run(rwlock.NewMWSF(4), cfg)
+	a := Run(rwlock.NewMWSF(), cfg)
+	b := Run(rwlock.NewMWSF(), cfg)
 	if a.ReadOps != b.ReadOps || a.WriteOps != b.WriteOps {
 		t.Fatalf("same seed produced different mixes: (%d,%d) vs (%d,%d)",
 			a.ReadOps, a.WriteOps, b.ReadOps, b.WriteOps)

@@ -11,17 +11,39 @@ import "sync/atomic"
 // machines, plus FCFS and starvation freedom.
 //
 // The paper's Figure 3 transformation and Figure 4 algorithm use this
-// lock (called M) to serialize writers; it is exported because it is
-// independently useful and independently tested.
+// lock (called M) to serialize writers; in this package it is the
+// BOUNDED writer-arbitration option, selected by WithBoundedWriters
+// (the default is the unbounded MCS queue in mcs.go).  It remains
+// exported because it is independently useful and independently
+// tested.
 //
-// The array has fixed capacity: at most maxConcurrent goroutines may
-// be inside Acquire/Release at once.  A counting semaphore enforces
-// the bound, so exceeding it blocks rather than corrupts.
+// # The admission gate
+//
+// The array has fixed capacity: the ticket/slot protocol is only
+// correct while at most maxConcurrent goroutines are between Acquire
+// and Release.  This Go port enforces the bound with a counting
+// semaphore (a buffered channel) at the top of Acquire, so exceeding
+// the capacity blocks rather than corrupts.  That gate is ADMISSION
+// CONTROL LAYERED OUTSIDE THE PAPER'S PROTOCOL, not part of it: the
+// paper's model simply has no more than maxConcurrent processes, so
+// its O(1)-RMR accounting covers only the ticket fetch&add and the
+// per-slot wait.  A goroutine blocked at the gate is sleeping on a
+// runtime channel — no spinning, no cache traffic, but also no FCFS
+// ordering relative to other gate-blocked goroutines (channel wakeups
+// are unordered) and no RMR bound, because the paper's cost model
+// never priced this wait.  FCFS and the O(1) bound hold from the
+// ticket fetch&add onward, i.e. among admitted goroutines.  TryAcquire
+// surfaces the gate (and the lock state) as a non-blocking probe.
 type AndersonLock struct {
 	ticket atomic.Uint64
 	_      [56]byte
-	slots  []waitCell
-	sem    chan struct{}
+	// released counts completed Releases.  The lock is unheld with an
+	// empty queue exactly when released == ticket; TryAcquire uses the
+	// pair as its non-blocking availability check.
+	released atomic.Uint64
+	_        [56]byte
+	slots    []waitCell
+	sem      chan struct{}
 }
 
 // NewAnderson returns an Anderson lock sized for maxConcurrent
@@ -48,16 +70,52 @@ func (l *AndersonLock) Capacity() int { return len(l.slots) }
 // Acquire blocks until the caller owns the lock and returns the slot
 // that must be passed to Release.
 func (l *AndersonLock) Acquire() uint32 {
-	l.sem <- struct{}{}
+	l.sem <- struct{}{} // admission gate (see the type doc)
 	slot := uint32((l.ticket.Add(1) - 1) % uint64(len(l.slots)))
 	l.slots[slot].wait(cellTrue)
 	l.slots[slot].store(cellFalse) // own slot reset: nobody waits for false
 	return slot
 }
 
+// TryAcquire attempts to take the lock without blocking.  It fails
+// (returning ok == false) when the admission gate is full — capacity
+// Releases are outstanding — or when the lock is held or queued, i.e.
+// whenever Acquire would have to wait at either layer.  On success
+// the caller owns the lock and must pass the returned slot to
+// Release.  Tests use it to probe the admission gate directly; it is
+// also the building block for caller-side load shedding.
+func (l *AndersonLock) TryAcquire() (slot uint32, ok bool) {
+	select {
+	case l.sem <- struct{}{}:
+	default:
+		return 0, false // admission gate full
+	}
+	t := l.ticket.Load()
+	// released == t means every issued ticket has completed its
+	// Release, so the lock is free and slot t's flag is already open
+	// (the opener's storeWake happens before its released increment).
+	// Winning the CAS claims ticket t before any concurrent acquirer.
+	if l.released.Load() != t || !l.ticket.CompareAndSwap(t, t+1) {
+		<-l.sem
+		return 0, false // held, queued, or lost the claim race
+	}
+	slot = uint32(t % uint64(len(l.slots)))
+	l.slots[slot].wait(cellTrue)   // immediate: see the invariant above
+	l.slots[slot].store(cellFalse) // own slot reset, as in Acquire
+	return slot, true
+}
+
 // Release hands the lock to the next waiter (or leaves it free),
 // waking the successor if it parked.
 func (l *AndersonLock) Release(slot uint32) {
 	l.slots[(slot+1)%uint32(len(l.slots))].storeWake(cellTrue)
+	l.released.Add(1)
 	<-l.sem
 }
+
+// acquire and release adapt the exported API to the writerMutex
+// contract (see mcs.go); the slot travels in the WToken.
+func (l *AndersonLock) acquire() wslot  { return wslot{idx: l.Acquire()} }
+func (l *AndersonLock) release(s wslot) { l.Release(s.idx) }
+
+var _ writerMutex = (*AndersonLock)(nil)

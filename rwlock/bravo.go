@@ -72,17 +72,17 @@ const bravoFastSide = int32(-1)
 const bravoBusyFactor = 2
 
 // NewBravo wraps inner with the BRAVO reader fast path.  If inner is
-// nil, a starvation-free MWSF lock for 16 writers is used (matching
-// NewGuard's default).  Options configure the wrapper's own waiting
-// (the revoking writer's table drain); the inner lock's strategy is
-// whatever it was constructed with — the NewBravoMW* helpers apply
-// one option list to both layers.  Wrapping a *Bravo in another
-// *Bravo panics: the outer wrapper would misroute the inner one's
-// fast-path tokens.
+// nil, a starvation-free MWSF lock (unbounded writers, matching
+// NewGuard's default) is used.  Options configure the wrapper's own
+// waiting (the revoking writer's table drain); the inner lock's
+// strategy is whatever it was constructed with — the NewBravoMW*
+// helpers apply one option list to both layers.  Wrapping a *Bravo in
+// another *Bravo panics: the outer wrapper would misroute the inner
+// one's fast-path tokens.
 func NewBravo(inner RWLock, opts ...Option) *Bravo {
 	o := applyOptions(opts)
 	if inner == nil {
-		inner = NewMWSF(16, opts...)
+		inner = NewMWSF(opts...)
 	}
 	if _, ok := inner.(*Bravo); ok {
 		panic("rwlock: NewBravo applied to a *Bravo (nested BRAVO wrappers are not supported)")
@@ -95,23 +95,25 @@ func NewBravo(inner RWLock, opts ...Option) *Bravo {
 }
 
 // NewBravoMWSF returns Bravo(MWSF): the starvation-free Theorem 3 lock
-// with the BRAVO reader fast path.
-func NewBravoMWSF(maxWriters int, opts ...Option) *Bravo {
-	return NewBravo(NewMWSF(maxWriters, opts...), opts...)
+// with the BRAVO reader fast path.  Options (wait strategy, writer
+// bound) apply to both layers.
+func NewBravoMWSF(opts ...Option) *Bravo {
+	return NewBravo(NewMWSF(opts...), opts...)
 }
 
 // NewBravoMWRP returns Bravo(MWRP): the reader-priority Theorem 4 lock
-// with the BRAVO reader fast path.
-func NewBravoMWRP(maxWriters int, opts ...Option) *Bravo {
-	return NewBravo(NewMWRP(maxWriters, opts...), opts...)
+// with the BRAVO reader fast path.  Options apply to both layers.
+func NewBravoMWRP(opts ...Option) *Bravo {
+	return NewBravo(NewMWRP(opts...), opts...)
 }
 
 // NewBravoMWWP returns Bravo(MWWP): the writer-priority Theorem 5 lock
-// with the BRAVO reader fast path.  Note the trade documented on
-// Bravo: while the bias is armed, fast-path readers overtake waiting
-// writers; WP1 applies from each revocation until the next re-arm.
-func NewBravoMWWP(maxWriters int, opts ...Option) *Bravo {
-	return NewBravo(NewMWWP(maxWriters, opts...), opts...)
+// with the BRAVO reader fast path.  Options apply to both layers.
+// Note the trade documented on Bravo: while the bias is armed,
+// fast-path readers overtake waiting writers; WP1 applies from each
+// revocation until the next re-arm.
+func NewBravoMWWP(opts ...Option) *Bravo {
+	return NewBravo(NewMWWP(opts...), opts...)
 }
 
 // RLock acquires the lock in read mode, through the fast path when the

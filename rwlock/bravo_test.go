@@ -9,11 +9,11 @@ import (
 
 // bravoLocks returns one Bravo wrapper per inner discipline, keyed the
 // way the harness names them.
-func bravoLocks(maxWriters int) map[string]*Bravo {
+func bravoLocks() map[string]*Bravo {
 	return map[string]*Bravo{
-		"Bravo(MWSF)": NewBravoMWSF(maxWriters),
-		"Bravo(MWRP)": NewBravoMWRP(maxWriters),
-		"Bravo(MWWP)": NewBravoMWWP(maxWriters),
+		"Bravo(MWSF)": NewBravoMWSF(),
+		"Bravo(MWRP)": NewBravoMWRP(),
+		"Bravo(MWWP)": NewBravoMWWP(),
 	}
 }
 
@@ -21,7 +21,7 @@ func bravoLocks(maxWriters int) map[string]*Bravo {
 // reader must take the fast path — its token carries the slot tag and
 // the inner lock is never touched — and RUnlock must free the slot.
 func TestBravoFastPathPublishes(t *testing.T) {
-	for name, b := range bravoLocks(2) {
+	for name, b := range bravoLocks() {
 		t.Run(name, func(t *testing.T) {
 			if !b.ReadBiased() {
 				t.Fatal("fresh Bravo lock is not read-biased")
@@ -45,7 +45,7 @@ func TestBravoFastPathPublishes(t *testing.T) {
 // reader is inside must clear RBias and block in the revocation scan
 // until that reader leaves — the wrapper's mutual-exclusion handoff.
 func TestBravoWriterRevokesBias(t *testing.T) {
-	for name, b := range bravoLocks(2) {
+	for name, b := range bravoLocks() {
 		t.Run(name, func(t *testing.T) {
 			rt := b.RLock()
 			if rt.side != bravoFastSide {
@@ -90,7 +90,7 @@ func TestBravoWriterRevokesBias(t *testing.T) {
 // TestBravoBiasRearm: once the revocation-cost throttle expires, a
 // slow-path reader re-arms the bias, and the next reader is fast again.
 func TestBravoBiasRearm(t *testing.T) {
-	b := NewBravoMWSF(2)
+	b := NewBravoMWSF()
 	wt := b.Lock() // revokes the (initial) bias
 	b.Unlock(wt)
 	if b.ReadBiased() {
@@ -122,7 +122,7 @@ func TestBravoRevocationRace(t *testing.T) {
 		readers = 6
 		iters   = 2000
 	)
-	for name, b := range bravoLocks(writers) {
+	for name, b := range bravoLocks() {
 		b := b
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -176,7 +176,7 @@ func TestBravoRevocationRace(t *testing.T) {
 // the writer reaches the wrapper.  Concretely: readers publishing in
 // the table never move the inner lock's reader count.
 func TestBravoFastPathSkipsInnerLock(t *testing.T) {
-	inner := NewMWSF(2)
+	inner := NewMWSF()
 	b := NewBravo(inner)
 	tok := b.RLock()
 	if tok.side != bravoFastSide {
@@ -202,7 +202,7 @@ func TestBravoFastPathSkipsInnerLock(t *testing.T) {
 // the lock, the throttle keeps the bias down and reads flow through
 // the inner discipline (the graceful-degradation property).
 func TestBravoSlowPathUnderWriterLoad(t *testing.T) {
-	b := NewBravoMWSF(2)
+	b := NewBravoMWSF()
 	wt := b.Lock() // bias revoked; inhibitUntil set
 	// A reader queued behind the writer takes the slow path.
 	entered := make(chan RToken)
@@ -223,7 +223,7 @@ func TestBravoSlowPathUnderWriterLoad(t *testing.T) {
 // TestBravoTokensAreTransferable: fast-path tokens, like every token
 // in the package, are plain values releasable from another goroutine.
 func TestBravoTokensAreTransferable(t *testing.T) {
-	b := NewBravoMWWP(2)
+	b := NewBravoMWWP()
 	tokCh := make(chan RToken)
 	go func() { tokCh <- b.RLock() }()
 	tok := <-tokCh
@@ -241,7 +241,7 @@ func TestBravoNestedWrapPanics(t *testing.T) {
 			t.Fatal("expected panic wrapping a *Bravo in NewBravo")
 		}
 	}()
-	NewBravo(NewBravoMWSF(1))
+	NewBravo(NewBravoMWSF())
 }
 
 // TestBravoNilInnerDefaults: NewBravo(nil) matches NewGuard's default.

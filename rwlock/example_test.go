@@ -10,7 +10,7 @@ import (
 // The basic token discipline: keep the value returned by an acquire
 // and hand it to the matching release.
 func ExampleNewMWSF() {
-	l := rwlock.NewMWSF(4) // up to 4 concurrent writers
+	l := rwlock.NewMWSF() // any number of concurrent writers (MCS arbitration)
 
 	wt := l.Lock()
 	// ... exclusive access ...
@@ -27,7 +27,7 @@ func ExampleNewMWSF() {
 // Writer priority: pending writers overtake readers that arrive after
 // them, so updates land promptly even under read storms.
 func ExampleNewMWWP() {
-	l := rwlock.NewMWWP(2)
+	l := rwlock.NewMWWP()
 	config := "v1"
 
 	var wg sync.WaitGroup
@@ -49,7 +49,7 @@ func ExampleNewMWWP() {
 // Guard hides the tokens behind closures — the recommended high-level
 // API for protecting a single value.
 func ExampleGuard() {
-	g := rwlock.NewGuard(rwlock.NewMWRP(2), map[string]int{})
+	g := rwlock.NewGuard(rwlock.NewMWRP(), map[string]int{})
 
 	g.Write(func(m *map[string]int) { (*m)["hits"] = 41 })
 	g.Write(func(m *map[string]int) { (*m)["hits"]++ })
@@ -58,9 +58,23 @@ func ExampleGuard() {
 	// Output: 42
 }
 
+// WithBoundedWriters swaps the default unbounded MCS writer
+// arbitration for the paper's Anderson array: at most n goroutines may
+// be inside a write attempt at once, and excess writers block at an
+// admission gate — an explicit admission-control choice.
+func ExampleWithBoundedWriters() {
+	l := rwlock.NewMWSF(rwlock.WithBoundedWriters(4))
+
+	wt := l.Lock()
+	l.Unlock(wt)
+
+	fmt.Println("bounded")
+	// Output: bounded
+}
+
 // Locker adapts the write side to sync.Locker, e.g. for sync.Cond.
 func ExampleLocker() {
-	l := rwlock.NewMWSF(2)
+	l := rwlock.NewMWSF()
 	mu := rwlock.Locker(l)
 
 	mu.Lock()

@@ -6,7 +6,7 @@ import "sync"
 // closure-based access, hiding token management entirely.  It is the
 // recommended high-level API:
 //
-//	g := rwlock.NewGuard(rwlock.NewMWWP(8), map[string]int{})
+//	g := rwlock.NewGuard(rwlock.NewMWWP(), map[string]int{})
 //	g.Write(func(m *map[string]int) { (*m)["x"] = 1 })
 //	g.Read(func(m map[string]int) { fmt.Println(m["x"]) })
 //
@@ -19,10 +19,10 @@ type Guard[T any] struct {
 }
 
 // NewGuard wraps value with lock l.  If l is nil, a starvation-free
-// MWSF lock for 16 writers is used.
+// MWSF lock (unbounded writers) is used.
 func NewGuard[T any](l RWLock, value T) *Guard[T] {
 	if l == nil {
-		l = NewMWSF(16)
+		l = NewMWSF()
 	}
 	return &Guard[T]{l: l, value: value}
 }

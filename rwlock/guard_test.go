@@ -6,7 +6,7 @@ import (
 )
 
 func TestGuardBasic(t *testing.T) {
-	g := NewGuard[int](NewMWSF(2), 41)
+	g := NewGuard[int](NewMWSF(), 41)
 	g.Write(func(v *int) { *v++ })
 	var got int
 	g.Read(func(v int) { got = v })
@@ -30,7 +30,7 @@ func TestGuardNilLockDefaults(t *testing.T) {
 }
 
 func TestGuardConcurrentMap(t *testing.T) {
-	g := NewGuard(NewMWWP(4), map[string]int{})
+	g := NewGuard(NewMWWP(), map[string]int{})
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
@@ -59,7 +59,7 @@ func TestGuardConcurrentMap(t *testing.T) {
 }
 
 func TestLockerAdapter(t *testing.T) {
-	l := NewMWSF(4)
+	l := NewMWSF()
 	lk := Locker(l)
 	var counter int
 	var wg sync.WaitGroup
@@ -82,7 +82,7 @@ func TestLockerAdapter(t *testing.T) {
 
 func TestLockerWithCond(t *testing.T) {
 	// The write Locker must be usable with sync.Cond.
-	l := NewMWSF(2)
+	l := NewMWSF()
 	lk := Locker(l)
 	cond := sync.NewCond(lk)
 	ready := false
@@ -105,7 +105,7 @@ func TestLockerWithCond(t *testing.T) {
 }
 
 func TestRLockerPerGoroutine(t *testing.T) {
-	l := NewMWRP(2)
+	l := NewMWRP()
 	var data int
 	wt := Locker(l)
 	var wg sync.WaitGroup

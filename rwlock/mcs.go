@@ -1,0 +1,188 @@
+package rwlock
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the package's writer-arbitration layer.
+//
+// The paper's Section 5 transformation T (Figure 3) and the Figure 4
+// writer-priority algorithm serialize writers through a mutual-
+// exclusion lock M.  The proofs of Theorems 3-5 place exactly three
+// obligations on M — it must be mutually exclusive, FCFS (so the
+// multi-writer lock inherits FCFS among writers), and starvation-free
+// with O(1) RMR complexity per passage on cache-coherent machines —
+// and Anderson's array lock is merely the instance the paper picks.
+// Any lock meeting the contract may stand in for M, so this package
+// makes the choice pluggable: writerMutex is the contract, and the
+// constructors select an implementation from the options.
+//
+// Two implementations exist:
+//
+//   - mcsLock (below): an UNBOUNDED MCS queue lock (Mellor-Crummey &
+//     Scott, ACM TOCS 1991).  The default: any number of goroutines
+//     may attempt to write concurrently, so constructors no longer
+//     need a writer bound.
+//   - AndersonLock (anderson.go): the paper's fixed-capacity array
+//     lock, selected by WithBoundedWriters(n) for callers who WANT a
+//     hard cap on concurrent write attempts as admission control.
+
+// writerMutex is the writer-arbitration contract: the obligations the
+// Theorem 3-5 proofs place on the serializing lock M.  acquire blocks
+// until the caller owns the mutex and returns an opaque slot; release
+// must receive that slot and hands the mutex to the next waiter in
+// FCFS order.  Implementations must be mutually exclusive, FCFS from
+// a well-defined linearization point in acquire, starvation-free, and
+// O(1) RMR per acquire/release pair on cache-coherent machines.
+// Slots are plain values and may cross goroutines (they travel inside
+// WTokens).
+type writerMutex interface {
+	acquire() wslot
+	release(wslot)
+}
+
+// wslot is the opaque writer-arbitration slot carried in a WToken: an
+// MCS queue node when the arbitration is the unbounded queue, an
+// array index when it is the bounded Anderson lock.  Treat it as
+// opaque; it is only meaningful to the writerMutex that issued it.
+type wslot struct {
+	n   *mcsNode // MCS queue node (nil under Anderson arbitration)
+	idx uint32   // Anderson array slot (unused under MCS arbitration)
+}
+
+// newWriterMutex builds the writer-arbitration layer an options block
+// selects: the unbounded MCS queue by default, Anderson's array when
+// WithBoundedWriters was given.
+func newWriterMutex(o options) writerMutex {
+	if o.boundedWriters > 0 {
+		return NewAnderson(o.boundedWriters, WithWaitStrategy(o.strategy))
+	}
+	return newMCS(o.strategy)
+}
+
+// WithBoundedWriters selects the bounded Anderson-array arbitration
+// for the multi-writer constructors (NewMWSF, NewMWRP, NewMWWP and
+// their Bravo wrappers): at most n goroutines may be inside a write
+// attempt at once, and additional writers block at an admission gate
+// until one leaves.  Use it when writer concurrency must be capped as
+// a form of admission control; the default (no option) is the
+// unbounded MCS queue, which needs no sizing decision.  n must be at
+// least 1.  See AndersonLock for what the admission gate is — and is
+// not — in RMR terms.
+func WithBoundedWriters(n int) Option {
+	if n < 1 {
+		panic("rwlock: WithBoundedWriters needs n >= 1")
+	}
+	return func(o *options) { o.boundedWriters = n }
+}
+
+// mcsNode is one queue cell of the MCS lock.  The owner spins (or
+// parks) on its OWN node's grant cell — the locally cached word the
+// O(1)-RMR argument needs — and the releasing predecessor performs
+// the single remote write that hands the lock over.  Nodes are
+// recycled through the lock's pool, so steady-state passages allocate
+// nothing.
+type mcsNode struct {
+	// next points to the successor's node once it has linked itself
+	// behind this one.
+	next atomic.Pointer[mcsNode]
+	_    [56]byte
+	// linked is set (with a wake) by the successor right after it
+	// stores next.  It is the successor's LAST write into this node,
+	// so release treats it — not the next pointer — as the node's
+	// recycling barrier: it waits for linked even when next is already
+	// visible (the link store and its announcement are two separate
+	// instructions, and the successor can be descheduled between
+	// them).  The wait goes through the cell so that window also
+	// honors the lock's WaitStrategy.
+	linked waitCell
+	// grant is the handoff: the releaser sets it (with a wake) to pass
+	// ownership to this node's owner.
+	grant waitCell
+}
+
+// mcsLock is an unbounded FCFS queue mutex after Mellor-Crummey &
+// Scott (1991): acquirers swap themselves onto a tail pointer — the
+// FCFS linearization point — link behind their predecessor, and wait
+// on their own node's grant cell; release hands the lock to the
+// linked successor with one store+wake, or resets the tail when the
+// queue is empty.  Every wait goes through a waitCell, so both
+// SpinYield and SpinThenPark work unchanged.
+//
+// RMR accounting (cache-coherent model): acquire is one swap, at most
+// one store+wake into the predecessor's node, and a wait on the
+// acquirer's own node (re-reads of a locally cached word, invalidated
+// only by the single handoff write); release is at most one CAS and
+// one store+wake.  That is O(1) per passage with no dependence on the
+// number of waiters — the same bound Anderson's array gives, without
+// its fixed capacity.
+type mcsLock struct {
+	tail atomic.Pointer[mcsNode]
+	_    [56]byte
+	pool sync.Pool
+}
+
+// newMCS returns an unbounded MCS queue mutex whose waits follow s.
+func newMCS(s WaitStrategy) *mcsLock {
+	l := &mcsLock{}
+	l.pool.New = func() any {
+		n := &mcsNode{}
+		n.linked.setStrategy(s)
+		n.grant.setStrategy(s)
+		return n
+	}
+	return l
+}
+
+// acquire blocks until the caller owns the mutex.  The returned slot
+// carries the caller's queue node; it must reach the matching release
+// (possibly on another goroutine — WTokens are transferable).
+func (l *mcsLock) acquire() wslot {
+	n := l.pool.Get().(*mcsNode)
+	n.next.Store(nil)
+	n.linked.store(cellFalse)
+	n.grant.store(cellFalse)
+	pred := l.tail.Swap(n) // FCFS linearization point
+	if pred != nil {
+		// Link behind pred, then announce the link.  pred cannot be
+		// recycled under us: once our swap moved the tail, pred's
+		// release cannot reset it, and release never recycles a node
+		// with a successor until this announcement lands (the
+		// recycling barrier on mcsNode.linked).
+		pred.next.Store(n)
+		pred.linked.storeWake(cellTrue)
+		n.grant.wait(cellTrue)
+	}
+	return wslot{n: n}
+}
+
+// release hands the mutex to the next queued acquirer (or leaves it
+// free) and recycles the caller's node.
+func (l *mcsLock) release(s wslot) {
+	n := s.n
+	if n.next.Load() == nil && l.tail.CompareAndSwap(n, nil) {
+		// Queue empty: the lock is free and n was never observed by a
+		// successor, so it can be recycled immediately.
+		l.pool.Put(n)
+		return
+	}
+	// A successor exists — possibly still between its tail swap and
+	// its link (under oversubscription those two instructions can be a
+	// descheduled goroutine away, so the wait goes through the cell
+	// rather than burning the quantum).  Wait for the link
+	// announcement even when next is already visible: the announcement
+	// is the successor's last write into n (see mcsNode.linked), so it
+	// — not the next pointer — is what makes n recyclable; keying off
+	// next alone would let a pending announcement land on this node's
+	// NEXT owner and corrupt its linked cell.  In the common case the
+	// announcement is long since set and this is one read of an owned
+	// cached word.
+	n.linked.wait(cellTrue)
+	next := n.next.Load()
+	// The grant writes into next, not n, so n is recyclable now.
+	next.grant.storeWake(cellTrue)
+	l.pool.Put(n)
+}
+
+var _ writerMutex = (*mcsLock)(nil)

@@ -6,8 +6,12 @@ import "sync/atomic"
 // lifted to multi-writer locks.
 //
 // MWSF and MWRP use the Figure 3 transformation T verbatim: writers
-// are serialized through Anderson's lock M around the single-writer
-// protocol; readers run the single-writer protocol unchanged.
+// are serialized through the mutual-exclusion lock M around the
+// single-writer protocol; readers run the single-writer protocol
+// unchanged.  M is the pluggable writer-arbitration layer (mcs.go):
+// the unbounded MCS queue by default, Anderson's array under
+// WithBoundedWriters — either meets the FCFS + starvation-free +
+// O(1)-RMR contract the Theorem 3-5 proofs require of M.
 //
 // MWWP implements Figure 4: T alone does not preserve writer priority
 // (Section 5.1), so exiting writers hand the SWWP core directly to
@@ -21,21 +25,22 @@ import "sync/atomic"
 // livelock- and starvation-freedom, with O(1) RMR complexity.
 type MWSF struct {
 	core swwpCore
-	m    *AndersonLock
+	m    writerMutex
 }
 
-// NewMWSF returns a starvation-free reader-writer lock admitting up
-// to maxWriters concurrent write attempts (additional writers block
-// at admission; readers are unbounded).
-func NewMWSF(maxWriters int, opts ...Option) *MWSF {
-	l := &MWSF{m: NewAnderson(maxWriters, opts...)}
-	l.core.init(applyOptions(opts).strategy)
+// NewMWSF returns a starvation-free reader-writer lock.  Writer
+// concurrency is unbounded by default (MCS arbitration); pass
+// WithBoundedWriters(n) to cap concurrent write attempts at n.
+func NewMWSF(opts ...Option) *MWSF {
+	o := applyOptions(opts)
+	l := &MWSF{m: newWriterMutex(o)}
+	l.core.init(o.strategy)
 	return l
 }
 
 // Lock acquires the lock in write mode.
 func (l *MWSF) Lock() WToken {
-	slot := l.m.Acquire()
+	slot := l.m.acquire()
 	prev, cur := l.core.writerDoorway()
 	l.core.writerWaitingRoom(prev)
 	return WToken{prev: prev, cur: cur, slot: slot}
@@ -44,7 +49,7 @@ func (l *MWSF) Lock() WToken {
 // Unlock releases write mode.
 func (l *MWSF) Unlock(t WToken) {
 	l.core.writerExit(t.cur)
-	l.m.Release(t.slot)
+	l.m.release(t.slot)
 }
 
 // RLock acquires the lock in read mode.
@@ -60,20 +65,22 @@ var _ RWLock = (*MWSF)(nil)
 // complexity.  Writers may starve while readers keep arriving.
 type MWRP struct {
 	core swrpCore
-	m    *AndersonLock
+	m    writerMutex
 }
 
-// NewMWRP returns a reader-priority reader-writer lock admitting up
-// to maxWriters concurrent write attempts.
-func NewMWRP(maxWriters int, opts ...Option) *MWRP {
-	l := &MWRP{m: NewAnderson(maxWriters, opts...)}
-	l.core.init(applyOptions(opts).strategy)
+// NewMWRP returns a reader-priority reader-writer lock.  Writer
+// concurrency is unbounded by default (MCS arbitration); pass
+// WithBoundedWriters(n) to cap concurrent write attempts at n.
+func NewMWRP(opts ...Option) *MWRP {
+	o := applyOptions(opts)
+	l := &MWRP{m: newWriterMutex(o)}
+	l.core.init(o.strategy)
 	return l
 }
 
 // Lock acquires the lock in write mode.
 func (l *MWRP) Lock() WToken {
-	slot := l.m.Acquire()
+	slot := l.m.acquire()
 	t := l.core.writerLock()
 	t.slot = slot
 	return t
@@ -82,7 +89,7 @@ func (l *MWRP) Lock() WToken {
 // Unlock releases write mode.
 func (l *MWRP) Unlock(t WToken) {
 	l.core.writerUnlock(t)
-	l.m.Release(t.slot)
+	l.m.release(t.slot)
 }
 
 // RLock acquires the lock in read mode.
@@ -105,14 +112,16 @@ type MWWP struct {
 	_      [56]byte
 	idCtr  atomic.Int64
 	_      [56]byte
-	m      *AndersonLock
+	m      writerMutex
 }
 
-// NewMWWP returns a writer-priority reader-writer lock admitting up
-// to maxWriters concurrent write attempts.
-func NewMWWP(maxWriters int, opts ...Option) *MWWP {
-	l := &MWWP{m: NewAnderson(maxWriters, opts...)}
-	l.core.init(applyOptions(opts).strategy)
+// NewMWWP returns a writer-priority reader-writer lock.  Writer
+// concurrency is unbounded by default (MCS arbitration); pass
+// WithBoundedWriters(n) to cap concurrent write attempts at n.
+func NewMWWP(opts ...Option) *MWWP {
+	o := applyOptions(opts)
+	l := &MWWP{m: newWriterMutex(o)}
+	l.core.init(o.strategy)
 	// W-token starts as the side token for side 1 so the first writer
 	// behaves exactly like the first SWWP attempt (D: 0 -> 1).
 	l.wtoken.Store(tokenSide(1))
@@ -131,7 +140,7 @@ func (l *MWWP) Lock() WToken {
 	if isSideToken(t) { // line 7
 		l.core.d.Store(int32(sideOfToken(t))) // line 8: SWWP doorway
 	}
-	slot := l.m.Acquire()  // line 9
+	slot := l.m.acquire()  // line 9
 	cur := l.core.d.Load() // line 10
 	prev := 1 - cur
 	if isSideToken(l.wtoken.Load()) { // line 11
@@ -149,7 +158,7 @@ func (l *MWWP) Lock() WToken {
 func (l *MWWP) Unlock(t WToken) {
 	l.wtoken.Store(t.id)      // line 15
 	l.wcount.Add(-1)          // line 16
-	l.m.Release(t.slot)       // line 17
+	l.m.release(t.slot)       // line 17
 	if l.wcount.Load() == 0 { // line 18
 		if l.wtoken.CompareAndSwap(t.id, tokenSide(t.prev)) { // line 19
 			l.core.writerExit(t.cur) // line 20

@@ -79,7 +79,7 @@ func TestOversubscribedStressAllLocks(t *testing.T) {
 	}
 	for _, strat := range strategies() {
 		opt := WithWaitStrategy(strat)
-		for name, l := range locks(8, opt) {
+		for name, l := range locks(opt) {
 			l := l
 			t.Run(name+"/"+strat.String(), func(t *testing.T) {
 				oversubHammer(t, l, 8, 56, iters)
@@ -104,7 +104,7 @@ func TestOversubTokenTransfer(t *testing.T) {
 	for _, strat := range strategies() {
 		strat := strat
 		t.Run(strat.String(), func(t *testing.T) {
-			l := NewMWSF(4, WithWaitStrategy(strat))
+			l := NewMWSF(WithWaitStrategy(strat))
 			// Background readers so the transferred write tokens always
 			// have waiters to wake.  They yield every pass: the point is
 			// waiters on the gate, not CPU pressure (the AllLocks stress
@@ -154,7 +154,7 @@ func TestOversubGuard(t *testing.T) {
 	for _, strat := range strategies() {
 		strat := strat
 		t.Run(strat.String(), func(t *testing.T) {
-			g := NewGuard(NewMWWP(8, WithWaitStrategy(strat)), map[string]int{})
+			g := NewGuard(NewMWWP(WithWaitStrategy(strat)), map[string]int{})
 			const workers, iters = 48, 100
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {

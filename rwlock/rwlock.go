@@ -17,6 +17,19 @@
 // and 2) are exported as well: when the application has one designated
 // writer they avoid the multi-writer serialization layer entirely.
 //
+// # Writer arbitration
+//
+// The multi-writer locks serialize writers through an internal
+// mutual-exclusion lock M, which the paper's proofs only require to
+// be FCFS, starvation-free, and O(1) RMR per passage.  By default
+// that layer is an unbounded MCS queue lock (mcs.go): any number of
+// goroutines may attempt to write concurrently, so the constructors
+// take no sizing parameter.  WithBoundedWriters(n) selects the
+// paper's fixed-capacity Anderson array lock instead, whose admission
+// gate caps concurrent write attempts at n — an explicit
+// admission-control choice, not a correctness requirement (see
+// AndersonLock for the gate's RMR accounting).
+//
 // # Tokens
 //
 // Unlike sync.RWMutex, these algorithms require a few words of
@@ -87,12 +100,14 @@ type RToken struct {
 }
 
 // WToken carries a write attempt's state (the paper's writer-local
-// variables prevD/currD, the attempt pid, and the Anderson-lock slot)
-// from Lock to Unlock.  Treat it as opaque.
+// variables prevD/currD, the attempt pid, and the writer-arbitration
+// slot — an MCS queue node or an Anderson array index, depending on
+// how the lock was constructed) from Lock to Unlock.  Treat it as
+// opaque.
 type WToken struct {
 	prev int32
 	cur  int32
-	slot uint32
+	slot wslot
 	id   int64
 }
 

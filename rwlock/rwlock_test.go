@@ -1,26 +1,39 @@
 package rwlock
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 )
 
 // locks returns one instance of every lock in the package, keyed by
-// name, sized for maxWriters writers, waiting with the given strategy
-// (RWMutexLock has no strategy; sync.RWMutex always parks).
-func locks(maxWriters int, opts ...Option) map[string]RWLock {
+// name, waiting with the given strategy (RWMutexLock has no strategy;
+// sync.RWMutex always parks).  The multi-writer locks appear twice:
+// with the default unbounded MCS writer arbitration and, under a
+// "/bounded" suffix, with the Anderson-array arbitration capped at 4
+// concurrent writers — so every suite that iterates locks() covers
+// both sides of the arbitration layer.
+func locks(opts ...Option) map[string]RWLock {
+	bounded := func(extra Option) []Option {
+		return append(append([]Option{}, opts...), extra)
+	}
+	b := WithBoundedWriters(4)
 	return map[string]RWLock{
-		"MWSF":          NewMWSF(maxWriters, opts...),
-		"MWRP":          NewMWRP(maxWriters, opts...),
-		"MWWP":          NewMWWP(maxWriters, opts...),
-		"CentralizedRW": NewCentralizedRW(opts...),
-		"PhaseFairRW":   NewPhaseFairRW(opts...),
-		"TaskFairRW":    NewTaskFairRW(opts...),
-		"RWMutexLock":   NewRWMutexLock(),
-		"Bravo(MWSF)":   NewBravoMWSF(maxWriters, opts...),
-		"Bravo(MWRP)":   NewBravoMWRP(maxWriters, opts...),
-		"Bravo(MWWP)":   NewBravoMWWP(maxWriters, opts...),
+		"MWSF":                NewMWSF(opts...),
+		"MWRP":                NewMWRP(opts...),
+		"MWWP":                NewMWWP(opts...),
+		"MWSF/bounded":        NewMWSF(bounded(b)...),
+		"MWRP/bounded":        NewMWRP(bounded(b)...),
+		"MWWP/bounded":        NewMWWP(bounded(b)...),
+		"CentralizedRW":       NewCentralizedRW(opts...),
+		"PhaseFairRW":         NewPhaseFairRW(opts...),
+		"TaskFairRW":          NewTaskFairRW(opts...),
+		"RWMutexLock":         NewRWMutexLock(),
+		"Bravo(MWSF)":         NewBravoMWSF(opts...),
+		"Bravo(MWRP)":         NewBravoMWRP(opts...),
+		"Bravo(MWWP)":         NewBravoMWWP(opts...),
+		"Bravo(MWSF)/bounded": NewBravoMWSF(bounded(b)...),
 	}
 }
 
@@ -86,7 +99,7 @@ func TestMutualExclusionAllLocks(t *testing.T) {
 	const iters = 2000
 	for _, strat := range strategies() {
 		opt := WithWaitStrategy(strat)
-		for name, l := range locks(4, opt) {
+		for name, l := range locks(opt) {
 			l := l
 			t.Run(name+"/"+strat.String(), func(t *testing.T) {
 				t.Parallel()
@@ -110,9 +123,10 @@ func TestReadersRunConcurrently(t *testing.T) {
 	// unless all readers are admitted simultaneously.
 	for name, l := range map[string]RWLock{
 		"SWWP": NewSWWP(), "SWRP": NewSWRP(),
-		"MWSF": NewMWSF(2), "MWRP": NewMWRP(2), "MWWP": NewMWWP(2),
-		"PhaseFairRW": NewPhaseFairRW(),
-		"Bravo(MWSF)": NewBravoMWSF(2), "Bravo(MWWP)": NewBravoMWWP(2),
+		"MWSF": NewMWSF(), "MWRP": NewMWRP(), "MWWP": NewMWWP(),
+		"MWSF/bounded": NewMWSF(WithBoundedWriters(2)),
+		"PhaseFairRW":  NewPhaseFairRW(),
+		"Bravo(MWSF)":  NewBravoMWSF(), "Bravo(MWWP)": NewBravoMWWP(),
 	} {
 		l := l
 		t.Run(name, func(t *testing.T) {
@@ -143,7 +157,7 @@ func TestReadersRunConcurrently(t *testing.T) {
 }
 
 func TestWriterExcludesNewReaders(t *testing.T) {
-	for name, l := range locks(2) {
+	for name, l := range locks() {
 		l := l
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -192,7 +206,7 @@ func TestSingleWriterMisusePanics(t *testing.T) {
 }
 
 func TestWriteLockIsExclusiveAmongWriters(t *testing.T) {
-	for name, l := range locks(8) {
+	for name, l := range locks() {
 		l := l
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -260,11 +274,55 @@ func TestAndersonCapacityBlocksExtraWriters(t *testing.T) {
 	l.Release(s2)
 }
 
+func TestAndersonTryAcquire(t *testing.T) {
+	// TryAcquire is the non-blocking probe of both Anderson layers: the
+	// admission gate (the channel semaphore OUTSIDE the O(1)-RMR
+	// protocol) and the lock itself.
+	l := NewAnderson(2)
+
+	s, ok := l.TryAcquire()
+	if !ok {
+		t.Fatal("TryAcquire failed on a free lock")
+	}
+	// Held: a second TryAcquire must fail without blocking (the lock is
+	// owned, though the admission gate still has room).
+	if _, ok := l.TryAcquire(); ok {
+		t.Fatal("TryAcquire succeeded while the lock was held")
+	}
+	// Fill the admission gate: one holder plus one queued acquirer is
+	// capacity 2, so the gate itself now rejects.
+	queued := make(chan uint32)
+	go func() { queued <- l.Acquire() }()
+	for len(l.sem) != cap(l.sem) { // wait for the acquirer to pass the gate
+		runtime.Gosched()
+	}
+	if _, ok := l.TryAcquire(); ok {
+		t.Fatal("TryAcquire succeeded with the admission gate full")
+	}
+	l.Release(s)
+	s2 := <-queued
+	// One admission slot is free again but the lock is held by the
+	// queued acquirer: still a clean non-blocking failure.
+	if _, ok := l.TryAcquire(); ok {
+		t.Fatal("TryAcquire succeeded while the lock was held by a successor")
+	}
+	l.Release(s2)
+	// Free again: TryAcquire must succeed, and FCFS Acquire after it
+	// must still work (the probe uses a real ticket).
+	s3, ok := l.TryAcquire()
+	if !ok {
+		t.Fatal("TryAcquire failed after full release")
+	}
+	l.Release(s3)
+	s4 := l.Acquire()
+	l.Release(s4)
+}
+
 func TestTokensAreTransferable(t *testing.T) {
 	// Tokens are plain values: a lock acquired on one goroutine may be
 	// released on another (unlike sync.RWMutex.Lock documented rules,
 	// this is explicitly supported).
-	l := NewMWSF(2)
+	l := NewMWSF()
 	tokCh := make(chan WToken)
 	go func() { tokCh <- l.Lock() }()
 	tok := <-tokCh
@@ -276,7 +334,7 @@ func TestTokensAreTransferable(t *testing.T) {
 func TestManyReadersOneWriterProgress(t *testing.T) {
 	// Starvation-freedom smoke test for the no-priority lock: a writer
 	// must complete a fixed number of attempts while 8 readers hammer.
-	l := NewMWSF(2)
+	l := NewMWSF()
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {

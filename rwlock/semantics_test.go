@@ -224,7 +224,7 @@ func TestPhaseFairOnePhaseBound(t *testing.T) {
 func TestMWWPTokenHandoff(t *testing.T) {
 	for _, strat := range strategies() {
 		t.Run(strat.String(), func(t *testing.T) {
-			l := NewMWWP(4, WithWaitStrategy(strat))
+			l := NewMWWP(WithWaitStrategy(strat))
 			wt1 := l.Lock()
 
 			wt2Ch := make(chan WToken)

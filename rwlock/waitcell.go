@@ -61,6 +61,10 @@ type Option func(*options)
 
 type options struct {
 	strategy WaitStrategy
+	// boundedWriters > 0 selects the bounded Anderson-array writer
+	// arbitration with that capacity; 0 (the default) selects the
+	// unbounded MCS queue.  See WithBoundedWriters in mcs.go.
+	boundedWriters int
 }
 
 // WithWaitStrategy selects the waiting layer's behavior for every wait
