@@ -24,11 +24,20 @@
 // the BRAVO fast path's effect against its own inner lock.  The
 // registry includes "/park" variants of every lock (e.g. "MWSF/park")
 // that wait with rwlock.SpinThenPark instead of the default spinning,
-// and "/bounded" variants of the multi-writer locks (e.g.
-// "MWSF/bounded", "MWSF/bounded/park") that serialize writers through
-// the bounded Anderson array (rwlock.WithBoundedWriters) instead of
-// the default unbounded MCS queue — the "writer-churn" scenario
-// compares the two arbitrations under thousands of one-shot writers.
+// "/bounded" variants of the multi-writer locks (e.g. "MWSF/bounded",
+// "MWSF/bounded/park") that serialize writers through the bounded
+// Anderson array (rwlock.WithBoundedWriters) instead of the default
+// unbounded MCS queue, and "/combine" variants (e.g. "MWSF/combine",
+// "MWSF/combine/park") that batch closure-path writes through the
+// flat-combining arbiter (rwlock.WithCombiningWriters) — the
+// "writer-churn" and "combine-batch" scenarios compare the three
+// arbitrations under thousands of one-shot writers, the latter also
+// reporting the combiner's batch-size distribution.
+//
+// Unknown -locks or -scenario names are rejected with the list of
+// valid names, and so is a selection that parses to nothing (e.g.
+// `-locks ","`): a sweep that silently ran an empty selection would
+// look like an instant success.
 //
 // -oversub adds the oversubscription experiment: GOMAXPROCS is pinned
 // to -oversub-gomaxprocs (default 2) for the sweep's duration so the
@@ -143,6 +152,12 @@ func run(args []string, out io.Writer) error {
 		if part = strings.TrimSpace(part); part != "" {
 			requested = append(requested, part)
 		}
+	}
+	if *locksFlag != "" && len(requested) == 0 {
+		// "-locks ," parses to zero names; falling back to the default
+		// set would silently sweep something other than what was asked.
+		return fmt.Errorf("-locks %q selects no lock names (have %v)",
+			*locksFlag, harness.AllLockNames())
 	}
 	lockNames, err := harness.SelectLockNames(requested)
 	if err != nil {

@@ -114,10 +114,55 @@ func TestRunScenarioWriterChurn(t *testing.T) {
 	}
 	out := b.String()
 	for _, want := range []string{"writer churn", "MWSF/park", "MWSF/bounded/park",
-		"sync.RWMutex", "wr wait p99"} {
+		"MWSF/combine/park", "sync.RWMutex", "wr wait p99", "batch p99"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("writer-churn output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestRunCombineVariantSelectable(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-ops", "200", "-workers", "2",
+		"-locks", "MWSF,MWSF/combine,MWSF/combine/park"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"MWSF/combine", "MWSF/combine/park"} {
+		if !strings.Contains(b.String(), name) {
+			t.Fatalf("combine variant %s missing from sweep:\n%s", name, b.String())
+		}
+	}
+}
+
+func TestRunScenarioCombineBatch(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-ops", "32", "-scenario", "combine-batch"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"flat-combining batches", "MWSF/park",
+		"MWSF/bounded/park", "MWSF/combine/park", "sync.RWMutex",
+		"batch p50", "batch p99", "batch max", "age p50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("combine-batch output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunRejectsEmptySelections: a -locks or -scenario value that
+// parses to zero names must be rejected with the valid names, not
+// silently swept as something else (the default set, or nothing).
+func TestRunRejectsEmptySelections(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-locks", ","}, &b)
+	if err == nil || !strings.Contains(err.Error(), "selects no lock names") ||
+		!strings.Contains(err.Error(), "MWSF/combine") {
+		t.Fatalf("empty -locks error = %v, want rejection listing the registry", err)
+	}
+	err = run([]string{"-scenario", ","}, &b)
+	if err == nil || !strings.Contains(err.Error(), "selects nothing") ||
+		!strings.Contains(err.Error(), "combine-batch") {
+		t.Fatalf("empty -scenario error = %v, want rejection listing the scenarios", err)
 	}
 }
 

@@ -106,7 +106,7 @@ func validateScenarioResult(sr *harness.ScenarioResult) error {
 		for name, h := range map[string]*stats.HistSnapshot{
 			"read_wait_ns": p.ReadWait, "read_hold_ns": p.ReadHold, "read_total_ns": p.ReadTotal,
 			"write_wait_ns": p.WriteWait, "write_hold_ns": p.WriteHold, "write_total_ns": p.WriteTotal,
-			"age_ns": p.Age,
+			"age_ns": p.Age, "batch_size": p.BatchSize,
 		} {
 			if err := h.Validate(); err != nil {
 				return fmt.Errorf("scenario %s point %d %s: %w", sr.Scenario.Name, i, name, err)

@@ -10,7 +10,9 @@
 // that layers multicore reader scalability over any of them, a
 // pluggable writer-arbitration layer (an unbounded MCS queue by
 // default, the paper's bounded Anderson array via
-// rwlock.WithBoundedWriters), and a pluggable waiting layer
+// rwlock.WithBoundedWriters, and a flat-combining batcher via
+// rwlock.WithCombiningWriters that retires whole batches of
+// closure-path writes per lock handoff), and a pluggable waiting layer
 // (rwlock.WithWaitStrategy) that realizes every wait either as the
 // paper's cooperative busy-wait (SpinYield) or as bounded spinning
 // followed by parking (SpinThenPark, for the oversubscribed regime

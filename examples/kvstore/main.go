@@ -83,6 +83,8 @@ func main() {
 	notes := map[string]string{
 		"MWWP":         "writer priority: updates overtake arriving readers (WP1)",
 		"MWSF":         "no priority, starvation-free for both classes",
+		"MWSF/bounded": "MWSF over the bounded Anderson writer arbitration",
+		"MWSF/combine": "MWSF over the flat-combining writer arbitration",
 		"MWRP":         "reader priority: updates wait for a reader gap (RP1)",
 		"sync.RWMutex": "runtime baseline",
 	}

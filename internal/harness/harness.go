@@ -134,11 +134,14 @@ const boundedWriters = 64
 // no variant because its waiters always park in the runtime.  The
 // multi-writer locks default to the unbounded MCS writer arbitration;
 // the "/bounded" entries select the Anderson array capped at
-// boundedWriters concurrent write attempts (rwlock.WithBoundedWriters),
-// so the registry exposes both sides of the arbitration layer.
+// boundedWriters concurrent write attempts (rwlock.WithBoundedWriters)
+// and the "/combine" entries select flat-combining arbitration
+// (rwlock.WithCombiningWriters, batching over the MCS queue), so the
+// registry exposes every writerMutex implementation.
 func NativeLocks() map[string]func() rwlock.RWLock {
 	park := rwlock.WithWaitStrategy(rwlock.SpinThenPark)
 	bound := rwlock.WithBoundedWriters(boundedWriters)
+	comb := rwlock.WithCombiningWriters()
 	return map[string]func() rwlock.RWLock{
 		"MWSF":               func() rwlock.RWLock { return rwlock.NewMWSF() },
 		"MWRP":               func() rwlock.RWLock { return rwlock.NewMWRP() },
@@ -152,6 +155,12 @@ func NativeLocks() map[string]func() rwlock.RWLock {
 		"MWSF/bounded/park":  func() rwlock.RWLock { return rwlock.NewMWSF(bound, park) },
 		"MWRP/bounded/park":  func() rwlock.RWLock { return rwlock.NewMWRP(bound, park) },
 		"MWWP/bounded/park":  func() rwlock.RWLock { return rwlock.NewMWWP(bound, park) },
+		"MWSF/combine":       func() rwlock.RWLock { return rwlock.NewMWSF(comb) },
+		"MWRP/combine":       func() rwlock.RWLock { return rwlock.NewMWRP(comb) },
+		"MWWP/combine":       func() rwlock.RWLock { return rwlock.NewMWWP(comb) },
+		"MWSF/combine/park":  func() rwlock.RWLock { return rwlock.NewMWSF(comb, park) },
+		"MWRP/combine/park":  func() rwlock.RWLock { return rwlock.NewMWRP(comb, park) },
+		"MWWP/combine/park":  func() rwlock.RWLock { return rwlock.NewMWWP(comb, park) },
 		"Bravo(MWSF)":        func() rwlock.RWLock { return rwlock.NewBravoMWSF() },
 		"Bravo(MWRP)":        func() rwlock.RWLock { return rwlock.NewBravoMWRP() },
 		"Bravo(MWWP)":        func() rwlock.RWLock { return rwlock.NewBravoMWWP() },
@@ -184,14 +193,18 @@ func LockNames() []string {
 
 // AllLockNames returns every registry entry in presentation order:
 // each spin lock followed by its /park variant, with the multi-writer
-// locks' bounded-arbitration ("/bounded") builds alongside.
+// locks' bounded-arbitration ("/bounded") and flat-combining
+// ("/combine") builds alongside.
 func AllLockNames() []string {
 	return []string{
 		"MWSF", "MWSF/park", "MWSF/bounded", "MWSF/bounded/park",
+		"MWSF/combine", "MWSF/combine/park",
 		"Bravo(MWSF)", "Bravo(MWSF)/park",
 		"MWRP", "MWRP/park", "MWRP/bounded", "MWRP/bounded/park",
+		"MWRP/combine", "MWRP/combine/park",
 		"Bravo(MWRP)", "Bravo(MWRP)/park",
 		"MWWP", "MWWP/park", "MWWP/bounded", "MWWP/bounded/park",
+		"MWWP/combine", "MWWP/combine/park",
 		"Bravo(MWWP)", "Bravo(MWWP)/park",
 		"CentralizedRW", "CentralizedRW/park",
 		"PhaseFairRW", "PhaseFairRW/park",
@@ -212,12 +225,14 @@ func OversubLockNames() []string {
 }
 
 // ChurnLockNames is the lock set of the writer-churn scenario: the
-// unbounded MCS arbitration vs the bounded Anderson arbitration (both
-// parking — the churn oversubscribes by construction) vs the runtime
-// baseline.
+// unbounded MCS arbitration vs the bounded Anderson arbitration vs
+// the flat combiner (all parking — the churn oversubscribes by
+// construction) vs the runtime baseline.  All three writerMutex
+// implementations over the same core, so the writer-wait tail
+// isolates the arbitration layer.
 func ChurnLockNames() []string {
 	return []string{
-		"MWSF/park", "MWSF/bounded/park",
+		"MWSF/park", "MWSF/bounded/park", "MWSF/combine/park",
 		"sync.RWMutex",
 	}
 }

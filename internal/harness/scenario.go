@@ -10,6 +10,7 @@ import (
 	"rwsync/internal/core"
 	"rwsync/internal/stats"
 	"rwsync/internal/workload"
+	"rwsync/rwlock"
 )
 
 // SimShape describes a simulator (RMR-accounting) scenario: named
@@ -130,6 +131,11 @@ type ScenarioPoint struct {
 	WriteHold  *stats.HistSnapshot `json:"write_hold_ns,omitempty"`
 	WriteTotal *stats.HistSnapshot `json:"write_total_ns,omitempty"`
 	Age        *stats.HistSnapshot `json:"age_ns,omitempty"`
+	// BatchSize is the combiner batch-size distribution, present only
+	// when the point's lock was built with flat-combining writer
+	// arbitration (a "/combine" registry entry): how many write
+	// critical sections each drain of the publication list retired.
+	BatchSize *stats.HistSnapshot `json:"batch_size,omitempty"`
 
 	ReaderRMR *stats.Summary `json:"reader_rmr,omitempty"`
 	WriterRMR *stats.Summary `json:"writer_rmr,omitempty"`
@@ -201,6 +207,12 @@ func SelectScenarios(request string) ([]Scenario, error) {
 			}
 			want[part] = true
 		}
+	}
+	if len(want) == 0 {
+		// A request like "," parses to zero names; running nothing
+		// silently would look like an instant, empty success.
+		return nil, fmt.Errorf("scenario request %q selects nothing (have %s)",
+			request, strings.Join(ScenarioNames(), ", "))
 	}
 	var out []Scenario
 	for _, name := range scenarioOrder {
@@ -274,8 +286,12 @@ func init() {
 		Title: "bursty writer storms: update wait latency and read-view age",
 		Description: "an administrative writer bursts against a reader storm; " +
 			"the product is how long each update waits to land (write wait) " +
-			"and how stale readers' views get (age)",
-		Locks:            []string{"MWWP", "MWSF", "MWRP", "sync.RWMutex"},
+			"and how stale readers' views get (age) — with the MWSF row " +
+			"repeated under all three writer arbitrations (MCS, bounded " +
+			"Anderson, flat combining) so the layer's solo-writer overhead " +
+			"shows up here and its batching win in combine-batch",
+		Locks: []string{"MWWP", "MWSF", "MWSF/bounded", "MWSF/combine",
+			"MWRP", "sync.RWMutex"},
 		Workers:          []int{9},
 		DedicatedWriters: 1,
 		Duration:         150 * time.Millisecond,
@@ -307,18 +323,55 @@ func init() {
 		Description: "every write passage comes from a brand-new goroutine — the " +
 			"shape the old bounded constructors could not host — comparing the " +
 			"unbounded MCS writer arbitration against the bounded Anderson array " +
-			"(64 slots, so the churn also hits its admission gate) and " +
-			"sync.RWMutex; the product is throughput and the writer-wait tail",
+			"(64 slots, so the churn also hits its admission gate), the flat " +
+			"combiner (which retires whole batches of one-shot writers per " +
+			"handoff), and sync.RWMutex; the product is throughput and the " +
+			"writer-wait tail",
 		Locks:         ChurnLockNames(),
-		Workers:       []int{128}, // concurrent churn lanes, each spawning fresh writers
+		Workers:       []int{256}, // concurrent churn lanes, each spawning fresh writers
 		ReadFractions: []float64{0},
-		OpsPerWorker:  32, // 128 lanes x 32 spawns = 4096 distinct writers per point
-		CSWork:        8,
-		ThinkWork:     8,
-		SampleEvery:   1,
-		Churn:         true,
-		Yield:         true,
-		GOMAXPROCS:    2,
+		// 256 lanes x 128 spawns = 32768 distinct writers per point.
+		// The geometry is sized so the 2-P run spans many scheduler
+		// quanta with a deep runnable set and a non-trivial critical
+		// section: writer pile-ups (holder preempted mid-passage) are
+		// then a per-run certainty rather than a coin flip, which is
+		// what makes the arbitration comparison repeatable — MCS pays a
+		// wake-and-schedule handoff chain per pile-up, the combiner
+		// drains each pile-up as one batch (batch max ≈ lane count),
+		// and a shorter or shallower run measures scheduler luck
+		// instead.
+		OpsPerWorker: 128,
+		CSWork:       64,
+		ThinkWork:    8,
+		SampleEvery:  1,
+		Churn:        true,
+		Yield:        true,
+		GOMAXPROCS:   2,
+	})
+	RegisterScenario(Scenario{
+		Name:  "combine-batch",
+		Title: "flat-combining batches under writer churn: batch size, writer wait, view age",
+		Description: "the writer-churn shape (every op a fresh goroutine, " +
+			"GOMAXPROCS=2) run all-write and half-read over the three writer " +
+			"arbitrations — unbounded MCS, bounded Anderson (gate saturated), " +
+			"flat combining — plus sync.RWMutex; the products are the " +
+			"combiner's batch-size distribution (batch p50/p99/max columns), " +
+			"the writer-wait tail each arbitration pays per passage, and, on " +
+			"the mixed point, how stale the churned readers' views get",
+		Locks:         ChurnLockNames(),
+		Workers:       []int{256}, // churn lanes, each spawning fresh one-shot goroutines
+		ReadFractions: []float64{0, 0.5},
+		// 256 lanes x 128 spawns per point, the writer-churn geometry
+		// (see there): deep enough that writer pile-ups — the
+		// batch-forming mechanism under churn — occur every run.
+		OpsPerWorker: 128,
+		CSWork:       64,
+		ThinkWork:    8,
+		SampleEvery:  1,
+		MeasureAge:   true,
+		Churn:        true,
+		Yield:        true,
+		GOMAXPROCS:   2,
 	})
 	RegisterScenario(Scenario{
 		Name:  "latency-grid",
@@ -463,7 +516,8 @@ func runNativeScenario(sc *Scenario, seed int64) ([]ScenarioPoint, error) {
 				if dedicated >= w {
 					dedicated = w - 1 // keep at least one reader in the probe
 				}
-				r := workload.Run(builders[name](), workload.Config{
+				l := builders[name]()
+				r := workload.Run(l, workload.Config{
 					Workers:          w,
 					ReadFraction:     f,
 					DedicatedWriters: dedicated,
@@ -493,6 +547,7 @@ func runNativeScenario(sc *Scenario, seed int64) ([]ScenarioPoint, error) {
 					WriteHold:    r.WriteHoldNs.Snapshot(),
 					WriteTotal:   r.WriteTotalNs.Snapshot(),
 					Age:          r.AgeNs.Snapshot(),
+					BatchSize:    batchSizeSnapshot(l),
 				}
 				if sc.DedicatedWriters > 0 {
 					pt.Writers = dedicated
@@ -503,6 +558,31 @@ func runNativeScenario(sc *Scenario, seed int64) ([]ScenarioPoint, error) {
 		}
 	}
 	return points, nil
+}
+
+// batchSizeSnapshot folds a combining lock's batch-size counts into a
+// histogram snapshot (nil when l does not combine, or combined
+// nothing — the workers have joined, so the quiescence the stats
+// accessor requires holds).  The last Sizes bucket aggregates batches
+// past the exact range; they are recorded at the observed maximum,
+// which is exact when the overflow batch is unique and conservative
+// otherwise.
+func batchSizeSnapshot(l rwlock.RWLock) *stats.HistSnapshot {
+	cs, ok := rwlock.CombinerStatsOf(l)
+	if !ok || cs.Batches == 0 {
+		return nil
+	}
+	h := new(stats.Histogram)
+	for i, count := range cs.Sizes {
+		size := int64(i + 1)
+		if i == len(cs.Sizes)-1 && cs.MaxBatch > size {
+			size = cs.MaxBatch
+		}
+		for j := int64(0); j < count; j++ {
+			h.Record(size)
+		}
+	}
+	return h.Snapshot()
 }
 
 // runSimScenario sweeps simulator systems under RMR accounting.  This
@@ -625,11 +705,13 @@ func ScenarioTable(res *ScenarioResult) *stats.Table {
 		}
 		return t
 	}
-	hasAge := false
+	hasAge, hasBatch := false, false
 	for _, p := range res.Points {
 		if p.Age != nil {
 			hasAge = true
-			break
+		}
+		if p.BatchSize != nil {
+			hasBatch = true
 		}
 	}
 	headers := []string{"lock", "workers", "read%", "ops/s",
@@ -637,6 +719,9 @@ func ScenarioTable(res *ScenarioResult) *stats.Table {
 		"wr wait p50", "wr wait p99", "wr wait p99.9"}
 	if hasAge {
 		headers = append(headers, "age p50", "age p99")
+	}
+	if hasBatch {
+		headers = append(headers, "batch p50", "batch p99", "batch max")
 	}
 	t := stats.NewTable(title, headers...)
 	q := func(h *stats.HistSnapshot, pick func(*stats.HistSnapshot) int64) string {
@@ -666,6 +751,12 @@ func ScenarioTable(res *ScenarioResult) *stats.Table {
 			row = append(row,
 				q(p.Age, func(h *stats.HistSnapshot) int64 { return h.P50 }),
 				q(p.Age, func(h *stats.HistSnapshot) int64 { return h.P99 }))
+		}
+		if hasBatch {
+			row = append(row,
+				q(p.BatchSize, func(h *stats.HistSnapshot) int64 { return h.P50 }),
+				q(p.BatchSize, func(h *stats.HistSnapshot) int64 { return h.P99 }),
+				q(p.BatchSize, func(h *stats.HistSnapshot) int64 { return h.Max }))
 		}
 		t.AddRow(row...)
 	}

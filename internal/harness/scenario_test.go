@@ -8,11 +8,12 @@ import (
 )
 
 func TestScenarioRegistryHasAllEntries(t *testing.T) {
-	// The four historical sweeps plus the three engine-native
-	// scenarios (and the DSM contrast) must all be registered.
+	// The four historical sweeps plus the engine-native scenarios
+	// (and the DSM contrast) must all be registered.
 	for _, name := range []string{
 		"throughput", "priority", "oversub", "rmr", "rmr-dsm",
-		"bursty-writers", "starvation", "writer-churn", "latency-grid",
+		"bursty-writers", "starvation", "writer-churn", "combine-batch",
+		"latency-grid",
 	} {
 		if _, ok := ScenarioByName(name); !ok {
 			t.Errorf("scenario %q not registered (have %v)", name, ScenarioNames())
@@ -176,12 +177,12 @@ func TestRunScenarioStarvationProbe(t *testing.T) {
 
 // TestRunScenarioWriterChurn runs the churn scenario at full size:
 // every write passage comes from a distinct short-lived goroutine
-// (128 lanes x 32 spawns = 4096 writers per lock — the ≥1000-writer
+// (256 lanes x 128 spawns = 32768 writers per lock — the ≥1000-writer
 // acceptance shape), and the product — throughput plus the
 // writer-wait tail — must be present for the MCS arbitration, the
-// bounded-Anderson arbitration, and the sync.RWMutex baseline alike.
-// CI runs this under -race, where any CS overlap between two one-shot
-// writers is a detected data race.
+// bounded-Anderson arbitration, the flat combiner, and the
+// sync.RWMutex baseline alike.  CI runs this under -race, where any
+// CS overlap between two one-shot writers is a detected data race.
 func TestRunScenarioWriterChurn(t *testing.T) {
 	sc, ok := ScenarioByName("writer-churn")
 	if !ok {
@@ -225,6 +226,21 @@ func TestRunScenarioWriterChurn(t *testing.T) {
 		if p.WriteWait.P99 < 0 {
 			t.Fatalf("%s: writer-wait p99 = %d", p.Lock, p.WriteWait.P99)
 		}
+		// Exactly the combining variant carries a batch-size
+		// distribution, and it must account for every write passage.
+		// (Batch sizes > 1 are schedule-dependent — preemption
+		// pile-ups — so their presence is pinned by the recorded
+		// BENCH_1.json grid, not asserted here.)
+		if isCombine := strings.Contains(p.Lock, "/combine"); isCombine {
+			if p.BatchSize == nil {
+				t.Fatalf("%s: batch-size histogram missing", p.Lock)
+			}
+			if p.BatchSize.Count < 1 || p.BatchSize.Count > p.WriteOps {
+				t.Fatalf("%s: %d batches for %d writes", p.Lock, p.BatchSize.Count, p.WriteOps)
+			}
+		} else if p.BatchSize != nil {
+			t.Fatalf("%s: non-combining lock carries a batch-size histogram", p.Lock)
+		}
 	}
 	if len(want) != 0 {
 		t.Fatalf("locks missing from churn sweep: %v", want)
@@ -234,6 +250,56 @@ func TestRunScenarioWriterChurn(t *testing.T) {
 	for _, name := range ChurnLockNames() {
 		if !strings.Contains(out, name) {
 			t.Fatalf("churn table missing %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestRunScenarioCombineBatch: the combine-batch scenario sweeps the
+// three writer arbitrations over the churn shape at two read
+// fractions, the combiner's points carry the batch-size histogram,
+// and the rendered table carries the batch columns.  A trimmed op
+// budget keeps the -race run cheap; the full grid is the recorded
+// BENCH_1.json.
+func TestRunScenarioCombineBatch(t *testing.T) {
+	sc, ok := ScenarioByName("combine-batch")
+	if !ok {
+		t.Fatal("combine-batch scenario not registered")
+	}
+	if !sc.Churn || sc.GOMAXPROCS != 2 || !sc.MeasureAge {
+		t.Fatalf("combine-batch lost its shape: churn=%v gomaxprocs=%d age=%v",
+			sc.Churn, sc.GOMAXPROCS, sc.MeasureAge)
+	}
+	res, err := RunScenario(sc, ScenarioOptions{Seed: 1, Ops: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPoints := len(ChurnLockNames()) * len(sc.ReadFractions)
+	if len(res.Points) != wantPoints {
+		t.Fatalf("got %d points, want %d", len(res.Points), wantPoints)
+	}
+	sawBatch, sawAge := false, false
+	for _, p := range res.Points {
+		combine := strings.Contains(p.Lock, "/combine")
+		if combine && p.BatchSize != nil {
+			sawBatch = true
+		}
+		if !combine && p.BatchSize != nil {
+			t.Fatalf("%s carries a batch-size histogram", p.Lock)
+		}
+		if p.Age != nil {
+			sawAge = true
+		}
+	}
+	if !sawBatch {
+		t.Fatal("no combiner point carries a batch-size histogram")
+	}
+	if !sawAge {
+		t.Fatal("no point carries the read-view age probe (mixed fraction missing?)")
+	}
+	out := ScenarioTable(res).Render()
+	for _, col := range []string{"batch p50", "batch p99", "batch max", "age p50"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("combine-batch table missing %q column:\n%s", col, out)
 		}
 	}
 }

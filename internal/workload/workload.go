@@ -99,7 +99,11 @@ type Config struct {
 // spent in the lock's entry protocol), Hold is acquire→release (the
 // critical section including the release protocol), Total is
 // request→release (Wait + Hold, the whole passage — what the legacy
-// ReadLatNs/WriteLatNs summaries report).  AgeNs is the
+// ReadLatNs/WriteLatNs summaries report).  Writes go through the
+// lock's closure path (rwlock.Write), so on a combining lock the
+// acquire stamp is taken when the combiner starts the section: Wait
+// then includes the time queued in the publication list, and Hold
+// ends when the completion signal reaches the submitter.  AgeNs is the
 // writer-visibility probe (see Config.MeasureAge).  Histograms with
 // no samples have N() == 0; AgeNs is nil unless MeasureAge was set.
 type Result struct {
@@ -213,6 +217,33 @@ func Run(l rwlock.RWLock, cfg Config) *Result {
 			phase := int(((cfg.Seed+int64(id)*7919)%int64(cfg.SampleEvery) +
 				int64(cfg.SampleEvery)) % int64(cfg.SampleEvery))
 
+			// writeCS is the worker's write critical section, hoisted
+			// out of runOp so the closure is allocated once per worker,
+			// not once per op (the measured path must stay
+			// allocation-free).  It runs through the lock's closure
+			// write path (rwlock.Write), which is where a combining
+			// lock batches — possibly on the combiner's goroutine, so
+			// the acquire stamp is taken inside the section and read
+			// back after the Write returns (the completion signal is
+			// the happens-before edge).  On non-combining locks the
+			// path is a plain Lock/cs/Unlock with identical clock
+			// placement to the pre-combining workload.
+			var wSample bool
+			var wAcq time.Time
+			writeCS := func() {
+				if wSample {
+					wAcq = time.Now()
+				}
+				shared.value++
+				spin(cfg.CSWork, &sink)
+				if cfg.MeasureAge {
+					// Stamp last: the value's age starts when the
+					// write is complete and about to become visible
+					// at release.
+					shared.stamp = int64(time.Since(start))
+				}
+			}
+
 			// runOp performs operation i: the class draw, the sampled
 			// clock stamps, the locked critical section, and the
 			// histogram recording.  Under Churn it runs on a fresh
@@ -233,25 +264,13 @@ func Run(l rwlock.RWLock, cfg Config) *Result {
 					t0 = time.Now()
 				}
 				if write {
-					tok := l.Lock()
-					var tAcq time.Time
-					if sample {
-						tAcq = time.Now()
-					}
-					shared.value++
-					spin(cfg.CSWork, &sink)
-					if cfg.MeasureAge {
-						// Stamp last: the value's age starts when the
-						// write is complete and about to become
-						// visible at release.
-						shared.stamp = int64(time.Since(start))
-					}
-					l.Unlock(tok)
+					wSample = sample
+					rwlock.Write(l, writeCS)
 					writeOps.Add(1)
 					if sample {
 						tEnd := time.Now()
-						h.writeWait.Record(tAcq.Sub(t0).Nanoseconds())
-						h.writeHold.Record(tEnd.Sub(tAcq).Nanoseconds())
+						h.writeWait.Record(wAcq.Sub(t0).Nanoseconds())
+						h.writeHold.Record(tEnd.Sub(wAcq).Nanoseconds())
 						h.writeTotal.Record(tEnd.Sub(t0).Nanoseconds())
 					}
 				} else {

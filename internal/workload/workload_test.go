@@ -223,3 +223,33 @@ func TestDeterministicMixWithSeed(t *testing.T) {
 			a.ReadOps, a.WriteOps, b.ReadOps, b.WriteOps)
 	}
 }
+
+// TestRunWritesUseClosurePath: the workload's writes must go through
+// the lock's closure write path (rwlock.Write) — on a combining lock
+// every write passage then shows up in the combiner's op count.  If a
+// refactor reverted runOp to token-path Lock/Unlock, combining would
+// silently disengage and the combine scenarios would measure nothing;
+// this pins the seam.
+func TestRunWritesUseClosurePath(t *testing.T) {
+	l := rwlock.NewMWSF(rwlock.WithCombiningWriters())
+	res := Run(l, Config{
+		Workers:      4,
+		ReadFraction: 0.5,
+		OpsPerWorker: 400,
+		SampleEvery:  1,
+		Seed:         3,
+		MeasureAge:   true,
+	})
+	st, ok := rwlock.CombinerStatsOf(l)
+	if !ok {
+		t.Fatal("combining lock reports no combiner stats")
+	}
+	if st.Ops != res.WriteOps {
+		t.Fatalf("combiner retired %d ops, workload wrote %d — writes bypassed the closure path",
+			st.Ops, res.WriteOps)
+	}
+	if res.WriteWaitNs.N() != res.WriteOps {
+		t.Fatalf("write samples = %d, want %d (acquire stamp lost on the combined path)",
+			res.WriteWaitNs.N(), res.WriteOps)
+	}
+}

@@ -1,0 +1,137 @@
+package rwlock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Shared conformance suite for the writerMutex contract (mcs.go): any
+// arbitration layer — today the unbounded MCS queue, the bounded
+// Anderson array, and the flat combiner; tomorrow a NUMA cohort lock —
+// must pass mutual exclusion, cross-goroutine slot transfer, and the
+// one-shot-writer churn shape, under both wait strategies.  A new
+// arbiter earns the whole suite by adding one line to
+// conformanceArbiters.  CI runs the package under -race -shuffle=on,
+// so any CS overlap is also a detected data race and any inter-test
+// ordering assumption fails loudly.
+
+// conformanceArbiters names every writerMutex implementation under a
+// constructor taking the wait strategy.  The combiner is conformed
+// over its token path here (acquire/release pass through to the inner
+// mutex); its batched exec path has its own suite in combiner_test.go,
+// including exec-vs-token mutual exclusion.
+func conformanceArbiters(s WaitStrategy) map[string]func() writerMutex {
+	return map[string]func() writerMutex{
+		"mcs":      func() writerMutex { return newMCS(s) },
+		"anderson": func() writerMutex { return NewAnderson(64, WithWaitStrategy(s)) },
+		"combiner": func() writerMutex { return newCombiner(newMCS(s), s) },
+	}
+}
+
+// forEachArbiter runs f once per (arbiter, wait strategy) pair as a
+// parallel subtest.
+func forEachArbiter(t *testing.T, f func(t *testing.T, newM func() writerMutex)) {
+	for _, strat := range strategies() {
+		for name, mk := range conformanceArbiters(strat) {
+			mk := mk
+			t.Run(name+"/"+strat.String(), func(t *testing.T) {
+				t.Parallel()
+				f(t, mk)
+			})
+		}
+	}
+}
+
+// TestArbiterMutualExclusion: exactly one holder at a time under heavy
+// contention, and no passage is lost.
+func TestArbiterMutualExclusion(t *testing.T) {
+	forEachArbiter(t, func(t *testing.T, newM func() writerMutex) {
+		m := newM()
+		const goroutines, laps = 8, 500
+		var inside atomic.Int32
+		var data int64 // plain, guarded only by m: -race checks exclusion
+		var wg sync.WaitGroup
+		for i := 0; i < goroutines; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < laps; k++ {
+					s := m.acquire()
+					if v := inside.Add(1); v != 1 {
+						t.Errorf("%d holders inside the mutex", v)
+					}
+					data++
+					inside.Add(-1)
+					m.release(s)
+				}
+			}()
+		}
+		wg.Wait()
+		if data != goroutines*laps {
+			t.Fatalf("data = %d, want %d (lost passages)", data, goroutines*laps)
+		}
+	})
+}
+
+// TestArbiterSlotTransfer: slots are plain values that ride in WTokens
+// across goroutines, so a release on a different goroutine than the
+// acquire — with a live queue behind it, so the release performs a
+// real handoff — must neither strand the queue nor corrupt the slot.
+func TestArbiterSlotTransfer(t *testing.T) {
+	forEachArbiter(t, func(t *testing.T, newM func() writerMutex) {
+		m := newM()
+		const handoffs = 200
+		slots := make(chan wslot)
+		done := make(chan struct{})
+		// Contender: keeps the queue non-empty so the remote releases
+		// below hand off to a real waiter.
+		go func() {
+			defer close(done)
+			for i := 0; i < handoffs; i++ {
+				m.release(m.acquire())
+			}
+		}()
+		// Acquirer: takes the mutex and ships the slot to the main
+		// goroutine, which releases it.
+		go func() {
+			for i := 0; i < handoffs; i++ {
+				slots <- m.acquire()
+			}
+		}()
+		for i := 0; i < handoffs; i++ {
+			m.release(<-slots)
+		}
+		<-done
+	})
+}
+
+// TestArbiterOneShotWriters: the churn shape — well over 1000 DISTINCT
+// goroutines, each acquiring and releasing exactly once.  This is the
+// shape that distinguishes the contract's obligations from a
+// convenient "same goroutines loop forever" assumption: queue nodes
+// must recycle across owners (MCS), the admission gate must block
+// rather than corrupt (Anderson, capacity 64 ≪ 1200), and the
+// combiner's election must tolerate electors that die right after
+// their only passage.
+func TestArbiterOneShotWriters(t *testing.T) {
+	forEachArbiter(t, func(t *testing.T, newM func() writerMutex) {
+		m := newM()
+		const churners = 1200
+		var data int64 // plain, guarded only by m
+		var wg sync.WaitGroup
+		for i := 0; i < churners; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s := m.acquire()
+				data++
+				m.release(s)
+			}()
+		}
+		wg.Wait()
+		if data != churners {
+			t.Fatalf("data = %d, want %d (lost one-shot passages)", data, churners)
+		}
+	})
+}

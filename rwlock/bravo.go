@@ -56,6 +56,12 @@ type Bravo struct {
 	_          [56]byte
 	slots      *readerSlots
 	inner      RWLock
+	// innerCombines records (once, at construction) whether the inner
+	// lock batches closure-path writes: only then does Write pay for
+	// shipping the revocation inside a wrapper closure — on every
+	// other inner lock the token path is the same semantics with zero
+	// allocations.
+	innerCombines bool
 }
 
 // bravoFastSide tags an RToken issued by the fast path: RToken.side is
@@ -88,6 +94,7 @@ func NewBravo(inner RWLock, opts ...Option) *Bravo {
 		panic("rwlock: NewBravo applied to a *Bravo (nested BRAVO wrappers are not supported)")
 	}
 	b := &Bravo{slots: newReaderSlots(0, o.strategy), inner: inner}
+	_, b.innerCombines = CombinerStatsOf(inner)
 	// Start read-biased: the wrapper exists for read-mostly workloads,
 	// and the first writer revokes in O(table) time regardless.
 	b.rbias.Store(true)
@@ -158,19 +165,51 @@ func (b *Bravo) RUnlock(t RToken) {
 // its writer-side discipline), then bias revocation if needed.
 func (b *Bravo) Lock() WToken {
 	t := b.inner.Lock()
+	b.revoke()
+	return t
+}
+
+// revoke clears the read bias and sets the re-arm budget.  MUST be
+// called while the inner write lock is held (by this goroutine after
+// inner.Lock, or by the combiner inside a combined write section):
+// that is the invariant that keeps the rbias clear and the budget
+// store from racing with the countdown in RLock — slow readers only
+// run outside the write critical section.
+func (b *Bravo) revoke() {
 	if b.rbias.Load() {
 		b.rbias.Store(false)
 		busy := b.slots.drain()
-		// The budget store cannot race with the countdown in RLock:
-		// slow readers only run outside the write critical section,
-		// and we hold the inner write lock until after the caller's CS.
 		b.slowBudget.Store(int64(1 + len(b.slots.slots)/8 + bravoBusyFactor*busy))
 	}
-	return t
 }
 
 // Unlock releases write mode.
 func (b *Bravo) Unlock(t WToken) { b.inner.Unlock(t) }
+
+// Write runs cs in write mode (the closure path; see FuncWriter).
+// When the inner lock combines (WithCombiningWriters), the wrapper
+// ships the bias revocation along with cs so it still happens while
+// the inner write lock is held — by the executing combiner, inside
+// the combined section.  On every other inner lock the token path is
+// used: same semantics, and no wrapper closure on the hot path.
+func (b *Bravo) Write(cs func()) {
+	if !b.innerCombines {
+		t := b.Lock()
+		defer b.Unlock(t)
+		cs()
+		return
+	}
+	b.inner.(FuncWriter).Write(func() {
+		b.revoke()
+		cs()
+	})
+}
+
+// CombinerStats forwards the wrapped lock's batching statistics (see
+// CombinerStatsOf); ok is false when the inner lock does not combine.
+func (b *Bravo) CombinerStats() (CombinerStats, bool) {
+	return CombinerStatsOf(b.inner)
+}
 
 // ReadBiased reports whether the reader fast path is currently armed.
 // It is a racy snapshot, useful for tests and metrics.
@@ -180,3 +219,4 @@ func (b *Bravo) ReadBiased() bool { return b.rbias.Load() }
 func (b *Bravo) Inner() RWLock { return b.inner }
 
 var _ RWLock = (*Bravo)(nil)
+var _ FuncWriter = (*Bravo)(nil)

@@ -14,8 +14,13 @@ import "sync"
 // references to the guarded value (or its aliased internals) after
 // returning, and must not call back into the same Guard.
 type Guard[T any] struct {
-	l     RWLock
-	value T
+	l RWLock
+	// combines records (once) whether l batches closure-path writes;
+	// only then does Write pay for an adapter closure per call — on
+	// every other lock the token path is the same semantics with zero
+	// allocations.
+	combines bool
+	value    T
 }
 
 // NewGuard wraps value with lock l.  If l is nil, a starvation-free
@@ -24,7 +29,8 @@ func NewGuard[T any](l RWLock, value T) *Guard[T] {
 	if l == nil {
 		l = NewMWSF()
 	}
-	return &Guard[T]{l: l, value: value}
+	_, combines := CombinerStatsOf(l)
+	return &Guard[T]{l: l, combines: combines, value: value}
 }
 
 // Read runs f with shared (read) access to the value.
@@ -34,8 +40,16 @@ func (g *Guard[T]) Read(f func(T)) {
 	f(g.value)
 }
 
-// Write runs f with exclusive (write) access to the value.
+// Write runs f with exclusive (write) access to the value.  On a
+// lock built with WithCombiningWriters it goes through the closure
+// write path (see FuncWriter), so the update batches with concurrent
+// writers; f then runs on the combiner's goroutine and must not rely
+// on goroutine identity.
 func (g *Guard[T]) Write(f func(*T)) {
+	if g.combines {
+		Write(g.l, func() { f(&g.value) })
+		return
+	}
 	tok := g.l.Lock()
 	defer g.l.Unlock(tok)
 	f(&g.value)

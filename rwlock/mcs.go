@@ -18,7 +18,7 @@ import (
 // makes the choice pluggable: writerMutex is the contract, and the
 // constructors select an implementation from the options.
 //
-// Two implementations exist:
+// Three implementations exist:
 //
 //   - mcsLock (below): an UNBOUNDED MCS queue lock (Mellor-Crummey &
 //     Scott, ACM TOCS 1991).  The default: any number of goroutines
@@ -27,6 +27,12 @@ import (
 //   - AndersonLock (anderson.go): the paper's fixed-capacity array
 //     lock, selected by WithBoundedWriters(n) for callers who WANT a
 //     hard cap on concurrent write attempts as admission control.
+//   - combiner (combiner.go): a flat-combining layer over either of
+//     the above, selected by WithCombiningWriters().  Closure-path
+//     writes (Write) are batched: one writer executes every pending
+//     critical section inside a single acquisition of the inner
+//     mutex.  Batching keeps starvation-freedom but relaxes strict
+//     FCFS to publication order — see combiner.go for the trade.
 
 // writerMutex is the writer-arbitration contract: the obligations the
 // Theorem 3-5 proofs place on the serializing lock M.  acquire blocks
@@ -37,6 +43,17 @@ import (
 // O(1) RMR per acquire/release pair on cache-coherent machines.
 // Slots are plain values and may cross goroutines (they travel inside
 // WTokens).
+//
+// The contract has one extension, realized today only by the
+// combiner (combiner.go): a batched-execute path, exec(cs func()),
+// which runs cs while holding the mutex — possibly on another
+// goroutine, batched with concurrently submitted critical sections.
+// The locks bind to the CONCRETE *combiner type (their constructors
+// install a per-lock passage hook on it, and Write type-asserts it),
+// so a new batching arbiter plugs in by becoming the combiner's
+// inner mutex, not by re-implementing exec; the token path
+// (acquire/release) must remain available and mutually exclusive
+// with exec'd sections.
 type writerMutex interface {
 	acquire() wslot
 	release(wslot)
@@ -53,12 +70,19 @@ type wslot struct {
 
 // newWriterMutex builds the writer-arbitration layer an options block
 // selects: the unbounded MCS queue by default, Anderson's array when
-// WithBoundedWriters was given.
+// WithBoundedWriters was given, either wrapped in the flat-combining
+// layer (combiner.go) when WithCombiningWriters was given.
 func newWriterMutex(o options) writerMutex {
+	var m writerMutex
 	if o.boundedWriters > 0 {
-		return NewAnderson(o.boundedWriters, WithWaitStrategy(o.strategy))
+		m = NewAnderson(o.boundedWriters, WithWaitStrategy(o.strategy))
+	} else {
+		m = newMCS(o.strategy)
 	}
-	return newMCS(o.strategy)
+	if o.combining {
+		return newCombiner(m, o.strategy)
+	}
+	return m
 }
 
 // WithBoundedWriters selects the bounded Anderson-array arbitration
@@ -69,7 +93,9 @@ func newWriterMutex(o options) writerMutex {
 // a form of admission control; the default (no option) is the
 // unbounded MCS queue, which needs no sizing decision.  n must be at
 // least 1.  See AndersonLock for what the admission gate is — and is
-// not — in RMR terms.
+// not — in RMR terms, and WithCombiningWriters for how combining on
+// top of the bound changes (effectively voids) the admission-control
+// semantics for closure-path writers.
 func WithBoundedWriters(n int) Option {
 	if n < 1 {
 		panic("rwlock: WithBoundedWriters needs n >= 1")

@@ -35,6 +35,11 @@ func NewMWSF(opts ...Option) *MWSF {
 	o := applyOptions(opts)
 	l := &MWSF{m: newWriterMutex(o)}
 	l.core.init(o.strategy)
+	if c, ok := l.m.(*combiner); ok {
+		// Bind the combiner's per-record passage once, so Write can
+		// submit the caller's closure unwrapped (no per-op allocation).
+		c.passage = l.core.writePassage
+	}
 	return l
 }
 
@@ -52,6 +57,31 @@ func (l *MWSF) Unlock(t WToken) {
 	l.m.release(t.slot)
 }
 
+// Write runs cs in write mode (the closure path; see FuncWriter).
+// On a lock built with WithCombiningWriters this is where batching
+// happens: cs is published to the combiner, which runs pending
+// sections back-to-back — each inside the full Figure 1 write passage
+// (the combiner's pre-bound passage hook) — within one acquisition of
+// the arbitration mutex.
+func (l *MWSF) Write(cs func()) {
+	if c, ok := l.m.(*combiner); ok {
+		c.exec(cs)
+		return
+	}
+	t := l.Lock()
+	defer l.Unlock(t)
+	cs()
+}
+
+// CombinerStats reports the batching statistics when the lock was
+// built with WithCombiningWriters (see CombinerStatsOf).
+func (l *MWSF) CombinerStats() (CombinerStats, bool) {
+	if c, ok := l.m.(*combiner); ok {
+		return c.snapshot(), true
+	}
+	return CombinerStats{}, false
+}
+
 // RLock acquires the lock in read mode.
 func (l *MWSF) RLock() RToken { return l.core.readerLock() }
 
@@ -59,6 +89,7 @@ func (l *MWSF) RLock() RToken { return l.core.readerLock() }
 func (l *MWSF) RUnlock(t RToken) { l.core.readerUnlock(t) }
 
 var _ RWLock = (*MWSF)(nil)
+var _ FuncWriter = (*MWSF)(nil)
 
 // MWRP is the multi-writer multi-reader READER-PRIORITY lock of
 // Theorem 4: properties P1-P6 plus RP1/RP2, with O(1) RMR
@@ -75,6 +106,9 @@ func NewMWRP(opts ...Option) *MWRP {
 	o := applyOptions(opts)
 	l := &MWRP{m: newWriterMutex(o)}
 	l.core.init(o.strategy)
+	if c, ok := l.m.(*combiner); ok {
+		c.passage = l.core.writePassage // see NewMWSF
+	}
 	return l
 }
 
@@ -92,6 +126,28 @@ func (l *MWRP) Unlock(t WToken) {
 	l.m.release(t.slot)
 }
 
+// Write runs cs in write mode (the closure path; see FuncWriter).
+// On a combining lock cs is published and batched, each record run
+// inside the full Figure 2 write passage; see MWSF.Write.
+func (l *MWRP) Write(cs func()) {
+	if c, ok := l.m.(*combiner); ok {
+		c.exec(cs)
+		return
+	}
+	t := l.Lock()
+	defer l.Unlock(t)
+	cs()
+}
+
+// CombinerStats reports the batching statistics when the lock was
+// built with WithCombiningWriters (see CombinerStatsOf).
+func (l *MWRP) CombinerStats() (CombinerStats, bool) {
+	if c, ok := l.m.(*combiner); ok {
+		return c.snapshot(), true
+	}
+	return CombinerStats{}, false
+}
+
 // RLock acquires the lock in read mode.
 func (l *MWRP) RLock() RToken { return l.core.readerLock() }
 
@@ -99,6 +155,7 @@ func (l *MWRP) RLock() RToken { return l.core.readerLock() }
 func (l *MWRP) RUnlock(t RToken) { l.core.readerUnlock(t) }
 
 var _ RWLock = (*MWRP)(nil)
+var _ FuncWriter = (*MWRP)(nil)
 
 // MWWP is the multi-writer multi-reader WRITER-PRIORITY lock of
 // Theorem 5 (the paper's Figure 4): properties P1-P6 plus WP1/WP2,
@@ -125,12 +182,16 @@ func NewMWWP(opts ...Option) *MWWP {
 	// W-token starts as the side token for side 1 so the first writer
 	// behaves exactly like the first SWWP attempt (D: 0 -> 1).
 	l.wtoken.Store(tokenSide(1))
+	if c, ok := l.m.(*combiner); ok {
+		c.passage = l.combinedPassage // see NewMWSF
+	}
 	return l
 }
 
-// Lock acquires the lock in write mode (Figure 4 lines 2-13).
-func (l *MWWP) Lock() WToken {
-	id := l.idCtr.Add(1)
+// doorway is Figure 4 lines 2-8: the wait-free announcement every
+// writer — token-path or combining — performs before queueing on (or
+// publishing to) the arbitration mutex M.
+func (l *MWWP) doorway() {
 	l.wcount.Add(1)      // line 2
 	t := l.wtoken.Load() // line 3
 	if t >= 0 {          // line 4: t is a pid
@@ -140,6 +201,12 @@ func (l *MWWP) Lock() WToken {
 	if isSideToken(t) { // line 7
 		l.core.d.Store(int32(sideOfToken(t))) // line 8: SWWP doorway
 	}
+}
+
+// Lock acquires the lock in write mode (Figure 4 lines 2-13).
+func (l *MWWP) Lock() WToken {
+	id := l.idCtr.Add(1)
+	l.doorway()            // lines 2-8
 	slot := l.m.acquire()  // line 9
 	cur := l.core.d.Load() // line 10
 	prev := 1 - cur
@@ -166,6 +233,66 @@ func (l *MWWP) Unlock(t WToken) {
 	}
 }
 
+// Write runs cs in write mode (the closure path; see FuncWriter).
+// On a combining lock the Figure 4 passage is split around the
+// arbitration mutex M exactly where Lock/Unlock are: the doorway
+// (lines 2-8) runs on the calling goroutine before publication, and
+// the combiner — holding M in place of line 9's acquire — runs
+// combinedPassage (lines 10-20) once per record.
+func (l *MWWP) Write(cs func()) {
+	c, ok := l.m.(*combiner)
+	if !ok {
+		t := l.Lock()
+		defer l.Unlock(t)
+		cs()
+		return
+	}
+	l.doorway() // lines 2-8, before publication
+	c.exec(cs)
+}
+
+// combinedPassage is the combiner-side half of a combined Figure 4
+// write: M is held for the whole batch (lines 9/17), the submitter
+// already ran the doorway, and this runs lines 10-13, cs, and lines
+// 15-16 for one record.  The attempt pid is drawn here rather than at
+// the doorway — it is unused before line 15, and drawing it inside
+// the passage keeps the published record closure-free.  The
+// last-writer exit check (lines 18-20) also runs per record, with M
+// still held rather than after line 17's release; that narrows but
+// does not change the race the line-19 CAS already arbitrates — a
+// writer arriving after the check handles both outcomes (pid → fast
+// handoff, side token → doorway + waiting room), exactly as in the
+// unbatched algorithm.  Mid-batch records see wcount > 0 (their
+// publishers counted in at line 2 before publishing, which precedes
+// the combiner's drain), so the gate stays closed across a batch —
+// the writer-priority batching.
+func (l *MWWP) combinedPassage(cs func()) {
+	id := l.idCtr.Add(1)
+	cur := l.core.d.Load() // line 10
+	prev := 1 - cur
+	if isSideToken(l.wtoken.Load()) { // line 11
+		l.core.gate[prev].wait(cellTrue) // line 12
+		l.core.writerWaitingRoom(prev)   // line 13
+	}
+	cs()
+	l.wtoken.Store(id)        // line 15
+	l.wcount.Add(-1)          // line 16
+	if l.wcount.Load() == 0 { // line 18
+		if l.wtoken.CompareAndSwap(id, tokenSide(prev)) { // line 19
+			l.core.writerExit(cur) // line 20
+		}
+	}
+}
+
+// CombinerStats reports the batching statistics when the lock was
+// built with WithCombiningWriters (see CombinerStatsOf).
+func (l *MWWP) CombinerStats() (CombinerStats, bool) {
+	if c, ok := l.m.(*combiner); ok {
+		return c.snapshot(), true
+	}
+	return CombinerStats{}, false
+}
+
 // RLock acquires the lock in read mode (the unchanged SWWP reader).
 func (l *MWWP) RLock() RToken { return l.core.readerLock() }
 
@@ -173,3 +300,4 @@ func (l *MWWP) RLock() RToken { return l.core.readerLock() }
 func (l *MWWP) RUnlock(t RToken) { l.core.readerUnlock(t) }
 
 var _ RWLock = (*MWWP)(nil)
+var _ FuncWriter = (*MWWP)(nil)

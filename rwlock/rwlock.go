@@ -28,7 +28,12 @@
 // paper's fixed-capacity Anderson array lock instead, whose admission
 // gate caps concurrent write attempts at n — an explicit
 // admission-control choice, not a correctness requirement (see
-// AndersonLock for the gate's RMR accounting).
+// AndersonLock for the gate's RMR accounting).  WithCombiningWriters
+// layers a flat-combining batcher over either: writes submitted
+// through the closure path (Write, Guard.Write) are executed in
+// batches by one writer per acquisition of M, trading strict FCFS
+// order (batches run in publication order) for one handoff per batch
+// (see combiner.go).
 //
 // # Tokens
 //

@@ -81,6 +81,15 @@ func (l *swrpCore) writerUnlock(t WToken) {
 	l.x.Store(t.id)                   // line 9
 }
 
+// writePassage runs one complete Figure 2 write passage on the
+// calling goroutine — the closure-path write MWRP's combined batches
+// run once per record while the combiner holds the arbitration mutex.
+func (l *swrpCore) writePassage(cs func()) {
+	t := l.writerLock()
+	cs()
+	l.writerUnlock(t)
+}
+
 // readerLock is Figure 2 lines 18-24.
 func (l *swrpCore) readerLock() RToken {
 	id := l.newID()
@@ -142,6 +151,15 @@ func (l *SWRP) Unlock(t WToken) {
 	}
 }
 
+// Write runs cs in write mode (the closure path; see FuncWriter).
+// The single-writer contract applies: a concurrent write attempt
+// panics.
+func (l *SWRP) Write(cs func()) {
+	t := l.Lock()
+	defer l.Unlock(t)
+	cs()
+}
+
 // RLock acquires the lock in read mode.
 func (l *SWRP) RLock() RToken { return l.core.readerLock() }
 
@@ -149,3 +167,4 @@ func (l *SWRP) RLock() RToken { return l.core.readerLock() }
 func (l *SWRP) RUnlock(t RToken) { l.core.readerUnlock(t) }
 
 var _ RWLock = (*SWRP)(nil)
+var _ FuncWriter = (*SWRP)(nil)

@@ -73,6 +73,18 @@ func (l *swwpCore) writerExit(cur int32) {
 	l.gate[cur].storeWake(cellTrue)
 }
 
+// writePassage runs one complete Figure 1 write passage — doorway,
+// waiting room, cs, exit — on the calling goroutine.  It is the
+// closure-path write: MWSF's combined batches run it once per record
+// while the combiner holds the arbitration mutex, so readers still
+// get their gate window between any two batched writes.
+func (l *swwpCore) writePassage(cs func()) {
+	prev, cur := l.writerDoorway()
+	l.writerWaitingRoom(prev)
+	cs()
+	l.writerExit(cur)
+}
+
 // readerLock is Figure 1 lines 16-24.
 func (l *swwpCore) readerLock() RToken {
 	d := l.d.Load()
@@ -142,6 +154,15 @@ func (l *SWWP) Unlock(t WToken) {
 	}
 }
 
+// Write runs cs in write mode (the closure path; see FuncWriter).
+// The single-writer contract applies: a concurrent write attempt
+// panics.
+func (l *SWWP) Write(cs func()) {
+	t := l.Lock()
+	defer l.Unlock(t)
+	cs()
+}
+
 // RLock acquires the lock in read mode.
 func (l *SWWP) RLock() RToken { return l.core.readerLock() }
 
@@ -149,3 +170,4 @@ func (l *SWWP) RLock() RToken { return l.core.readerLock() }
 func (l *SWWP) RUnlock(t RToken) { l.core.readerUnlock(t) }
 
 var _ RWLock = (*SWWP)(nil)
+var _ FuncWriter = (*SWWP)(nil)

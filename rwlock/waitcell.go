@@ -65,6 +65,9 @@ type options struct {
 	// arbitration with that capacity; 0 (the default) selects the
 	// unbounded MCS queue.  See WithBoundedWriters in mcs.go.
 	boundedWriters int
+	// combining wraps the selected writer arbitration in the
+	// flat-combining layer.  See WithCombiningWriters in combiner.go.
+	combining bool
 }
 
 // WithWaitStrategy selects the waiting layer's behavior for every wait
