@@ -32,7 +32,10 @@
 // flat-combining arbiter (rwlock.WithCombiningWriters) — the
 // "writer-churn" and "combine-batch" scenarios compare the three
 // arbitrations under thousands of one-shot writers, the latter also
-// reporting the combiner's batch-size distribution.
+// reporting the combiner's batch-size distribution, and the
+// "writer-shed" scenario reruns the churn with a per-write deadline
+// through LockCtx, reporting the shed rate (writes abandoned at
+// deadline) against the writer-wait tail the survivors pay.
 //
 // Unknown -locks or -scenario names are rejected with the list of
 // valid names, and so is a selection that parses to nothing (e.g.

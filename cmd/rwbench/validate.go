@@ -103,6 +103,19 @@ func validateScenarioResult(sr *harness.ScenarioResult) error {
 		if p.Lock == "" || p.Workers <= 0 || p.OpsPerSec <= 0 {
 			return fmt.Errorf("scenario %s point %d: incomplete native point (%+v)", sr.Scenario.Name, i, p)
 		}
+		// Deadline bookkeeping: shed counts exist exactly when the
+		// scenario ran with a write deadline, and the rate must agree
+		// with the counts it summarizes.
+		if sr.Scenario.WriteDeadlineUs > 0 {
+			if p.ShedRate < 0 || p.ShedRate > 1 {
+				return fmt.Errorf("scenario %s point %d: shed_rate %v outside [0,1]", sr.Scenario.Name, i, p.ShedRate)
+			}
+			if p.WriteOps+p.ShedOps <= 0 {
+				return fmt.Errorf("scenario %s point %d: deadline run with no write attempts", sr.Scenario.Name, i)
+			}
+		} else if p.ShedOps != 0 || p.ShedRate != 0 {
+			return fmt.Errorf("scenario %s point %d: shed counts without a write deadline", sr.Scenario.Name, i)
+		}
 		for name, h := range map[string]*stats.HistSnapshot{
 			"read_wait_ns": p.ReadWait, "read_hold_ns": p.ReadHold, "read_total_ns": p.ReadTotal,
 			"write_wait_ns": p.WriteWait, "write_hold_ns": p.WriteHold, "write_total_ns": p.WriteTotal,

@@ -87,6 +87,13 @@ type Scenario struct {
 	// drive thousands of distinct one-passage writers — the shape a
 	// bounded writer-arbitration API cannot host.
 	Churn bool `json:"churn,omitempty"`
+	// WriteDeadline gives every write a per-op budget through the
+	// lock's LockCtx; expired writes are SHED and reported per point
+	// (see workload.Config.WriteDeadline).  The writer-shed scenario
+	// uses it to compare how the arbitration layers' commitment
+	// points trade shed rate against writer-wait tail.
+	WriteDeadline   time.Duration `json:"-"`
+	WriteDeadlineUs int64         `json:"write_deadline_us,omitempty"` // JSON mirror of WriteDeadline
 	// GOMAXPROCS, if > 0, is pinned for the scenario's duration (and
 	// restored after) so oversubscription scenarios oversubscribe
 	// even on big machines.
@@ -123,6 +130,10 @@ type ScenarioPoint struct {
 	OpsPerSec    float64 `json:"ops_per_sec,omitempty"`
 	ReadOps      int64   `json:"read_ops,omitempty"`
 	WriteOps     int64   `json:"write_ops,omitempty"`
+	// ShedOps/ShedRate report deadline-shed writes (writer-shed
+	// scenario; present only when the scenario set WriteDeadline).
+	ShedOps  int64   `json:"shed_ops,omitempty"`
+	ShedRate float64 `json:"shed_rate,omitempty"`
 
 	ReadWait   *stats.HistSnapshot `json:"read_wait_ns,omitempty"`
 	ReadHold   *stats.HistSnapshot `json:"read_hold_ns,omitempty"`
@@ -374,6 +385,37 @@ func init() {
 		GOMAXPROCS:   2,
 	})
 	RegisterScenario(Scenario{
+		Name:  "writer-shed",
+		Title: "deadline writers under churn: shed rate vs writer-wait tail",
+		Description: "the writer-churn geometry (every write a fresh goroutine, " +
+			"GOMAXPROCS=2) with a per-write deadline taken through LockCtx: a " +
+			"write that cannot acquire within the budget is shed instead of " +
+			"served.  The products are the shed rate and the writer-wait tail " +
+			"the surviving writes pay, across the arbitration layers' " +
+			"commitment points — the abortable MCS queue sheds from anywhere " +
+			"in the wait, the bounded Anderson array only before its committed " +
+			"ticket (its gate turns deadlines into admission control), the " +
+			"flat combiner sheds through its inner queue on this token path, " +
+			"and sync.RWMutex's polling adapter sheds freely but pays the " +
+			"poll",
+		Locks:         ChurnLockNames(),
+		Workers:       []int{256}, // churn lanes; 256 x 128 = 32768 one-shot writers
+		ReadFractions: []float64{0},
+		OpsPerWorker:  128,
+		CSWork:        64,
+		ThinkWork:     8,
+		SampleEvery:   1,
+		Churn:         true,
+		Yield:         true,
+		GOMAXPROCS:    2,
+		// Sized between the uncontended writer wait (p50 ≈ 1µs at this
+		// geometry) and the pile-up tail (p99 = several ms): shallow
+		// pile-ups squeak under, deep ones blow the budget, so neither
+		// shed-everything nor shed-nothing — the regime where the
+		// arbitration layers' commitment points actually differ.
+		WriteDeadline: 500 * time.Microsecond,
+	})
+	RegisterScenario(Scenario{
 		Name:  "latency-grid",
 		Title: "latency grid: per-op latency distributions across read ratios",
 		Description: "full wait/hold latency histograms per class across the " +
@@ -472,6 +514,7 @@ func RunScenario(sc Scenario, opts ScenarioOptions) (*ScenarioResult, error) {
 		return nil, err
 	}
 	sc.DurationMs = sc.Duration.Milliseconds()
+	sc.WriteDeadlineUs = sc.WriteDeadline.Microseconds()
 	res.Scenario = sc
 	return res, nil
 }
@@ -532,6 +575,7 @@ func runNativeScenario(sc *Scenario, seed int64) ([]ScenarioPoint, error) {
 					WriterBurstPause: sc.WriterBurstPause,
 					Yield:            sc.Yield,
 					Churn:            sc.Churn,
+					WriteDeadline:    sc.WriteDeadline,
 				})
 				pt := ScenarioPoint{
 					Lock:         name,
@@ -540,6 +584,8 @@ func runNativeScenario(sc *Scenario, seed int64) ([]ScenarioPoint, error) {
 					OpsPerSec:    r.Throughput(),
 					ReadOps:      r.ReadOps,
 					WriteOps:     r.WriteOps,
+					ShedOps:      r.ShedOps,
+					ShedRate:     r.ShedRate(),
 					ReadWait:     r.ReadWaitNs.Snapshot(),
 					ReadHold:     r.ReadHoldNs.Snapshot(),
 					ReadTotal:    r.ReadTotalNs.Snapshot(),
@@ -706,6 +752,7 @@ func ScenarioTable(res *ScenarioResult) *stats.Table {
 		return t
 	}
 	hasAge, hasBatch := false, false
+	hasShed := res.Scenario.WriteDeadline > 0 || res.Scenario.WriteDeadlineUs > 0
 	for _, p := range res.Points {
 		if p.Age != nil {
 			hasAge = true
@@ -717,6 +764,9 @@ func ScenarioTable(res *ScenarioResult) *stats.Table {
 	headers := []string{"lock", "workers", "read%", "ops/s",
 		"rd wait p50", "rd wait p99", "rd wait p99.9",
 		"wr wait p50", "wr wait p99", "wr wait p99.9"}
+	if hasShed {
+		headers = append(headers, "shed%")
+	}
 	if hasAge {
 		headers = append(headers, "age p50", "age p99")
 	}
@@ -746,6 +796,9 @@ func ScenarioTable(res *ScenarioResult) *stats.Table {
 			q(p.WriteWait, func(h *stats.HistSnapshot) int64 { return h.P50 }),
 			q(p.WriteWait, func(h *stats.HistSnapshot) int64 { return h.P99 }),
 			q(p.WriteWait, func(h *stats.HistSnapshot) int64 { return h.P999 }),
+		}
+		if hasShed {
+			row = append(row, fmt.Sprintf("%.1f", p.ShedRate*100))
 		}
 		if hasAge {
 			row = append(row,

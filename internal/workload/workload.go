@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -78,6 +79,23 @@ type Config struct {
 	// phases and the probes measure scheduler quanta, not the lock —
 	// the same reason bench_test.go's E8 storm readers yield.
 	Yield bool
+	// WriteDeadline, if > 0, gives every write a per-op budget: the
+	// write acquires through the lock's LockCtx (the deadline-aware
+	// token path) under a context that expires after WriteDeadline,
+	// and a write whose context wins is SHED — it never enters the
+	// critical section, counts into Result.ShedOps instead of
+	// WriteOps, and records no latency sample.  The lock under test
+	// must implement rwlock.CtxRWLock (every lock in the package
+	// does).  Note the contract's commitment points: disciplines
+	// whose queues abort (MCS arbitration) shed from anywhere in the
+	// wait, while committed disciplines (Anderson past its admission
+	// gate, the task-fair ticket queue) can only shed before their
+	// point of no return — the shed-rate difference between the two
+	// under the same deadline is exactly what the writer-shed
+	// scenario measures.  Writes bypass the closure write path in
+	// this mode (a combining lock's batches are not deadline-aware;
+	// its LockCtx token path is).
+	WriteDeadline time.Duration
 	// Churn runs every operation on a FRESH goroutine: each worker
 	// becomes a lane that spawns one short-lived goroutine per op and
 	// waits for it before the next, so the number of distinct
@@ -110,6 +128,11 @@ type Result struct {
 	Elapsed  time.Duration
 	ReadOps  int64
 	WriteOps int64
+	// ShedOps counts writes whose WriteDeadline expired before the
+	// lock was granted (always 0 when Config.WriteDeadline is 0).
+	// A shed op is an op that ran and failed: it is counted in
+	// neither WriteOps nor the latency histograms.
+	ShedOps int64
 	// ReadLatNs and WriteLatNs summarize the Total histograms
 	// (bucket-resolution percentiles, exact min/max/mean).
 	ReadLatNs  stats.Summary
@@ -130,6 +153,16 @@ func (r *Result) Throughput() float64 {
 		return 0
 	}
 	return float64(r.ReadOps+r.WriteOps) / r.Elapsed.Seconds()
+}
+
+// ShedRate returns the fraction of write attempts that were shed at
+// their deadline (0 when no deadline ran or no writes were attempted).
+func (r *Result) ShedRate() float64 {
+	attempts := r.WriteOps + r.ShedOps
+	if attempts == 0 {
+		return 0
+	}
+	return float64(r.ShedOps) / float64(attempts)
 }
 
 // spin performs n iterations of un-optimizable busy work.
@@ -182,8 +215,20 @@ func Run(l rwlock.RWLock, cfg Config) *Result {
 		shared   sharedCell // guarded by l
 		readOps  atomic.Int64
 		writeOps atomic.Int64
+		shedOps  atomic.Int64
 		deadline atomic.Bool
 	)
+
+	// The deadline-aware write path needs the lock's LockCtx; assert
+	// once, up front, so a misconfigured run fails loudly instead of
+	// silently measuring the wrong path.
+	var cl rwlock.CtxRWLock
+	if cfg.WriteDeadline > 0 {
+		var ok bool
+		if cl, ok = l.(rwlock.CtxRWLock); !ok {
+			panic("workload: WriteDeadline set but the lock does not implement rwlock.CtxRWLock")
+		}
+	}
 
 	// Preallocate every worker's sample buffers before the clock (and
 	// the deadline timer) starts so no allocation happens on the
@@ -265,7 +310,22 @@ func Run(l rwlock.RWLock, cfg Config) *Result {
 				}
 				if write {
 					wSample = sample
-					rwlock.Write(l, writeCS)
+					if cl != nil {
+						// Deadline-aware token path: the context's timer
+						// is the per-op budget, stopped as soon as the
+						// grant/shed race resolves.
+						ctx, cancelOp := context.WithTimeout(context.Background(), cfg.WriteDeadline)
+						tok, err := cl.LockCtx(ctx)
+						cancelOp()
+						if err != nil {
+							shedOps.Add(1)
+							return
+						}
+						writeCS()
+						l.Unlock(tok)
+					} else {
+						rwlock.Write(l, writeCS)
+					}
 					writeOps.Add(1)
 					if sample {
 						tEnd := time.Now()
@@ -343,6 +403,7 @@ func Run(l rwlock.RWLock, cfg Config) *Result {
 		Elapsed:      elapsed,
 		ReadOps:      readOps.Load(),
 		WriteOps:     writeOps.Load(),
+		ShedOps:      shedOps.Load(),
 		ReadWaitNs:   new(stats.Histogram),
 		ReadHoldNs:   new(stats.Histogram),
 		ReadTotalNs:  new(stats.Histogram),

@@ -1,6 +1,9 @@
 package rwlock
 
-import "sync/atomic"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // AndersonLock is T.E. Anderson's array-based queueing mutual
 // exclusion lock (IEEE TPDS 1990): a fetch&increment ticket assigns
@@ -105,6 +108,35 @@ func (l *AndersonLock) TryAcquire() (slot uint32, ok bool) {
 	return slot, true
 }
 
+// AcquireCtx is Acquire with an abort seam, which for an array lock
+// is narrow: the ticket fetch&add is the point of no return.  A
+// ticket assigns a fixed array slot that only this acquirer's
+// completed passage can open for its successor — there is no way to
+// give a ticket back without stranding everyone behind it (the
+// classic limitation of array/ticket locks; abortable queue locks
+// need the pointer structure MCS has).  Cancellation therefore wins
+// only at the admission gate: while blocked on the semaphore, or on
+// the recheck between the gate and the ticket.  Past the ticket the
+// method ignores ctx and behaves exactly like Acquire.
+func (l *AndersonLock) AcquireCtx(ctx context.Context) (uint32, error) {
+	select {
+	case l.sem <- struct{}{}:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		// Both select cases were ready and the gate won the draw; honor
+		// the cancellation while backing out is still free.
+		<-l.sem
+		return 0, err
+	}
+	// Point of no return: the ticket commits us to slot t.
+	slot := uint32((l.ticket.Add(1) - 1) % uint64(len(l.slots)))
+	l.slots[slot].wait(cellTrue)
+	l.slots[slot].store(cellFalse)
+	return slot, nil
+}
+
 // Release hands the lock to the next waiter (or leaves it free),
 // waking the successor if it parked.
 func (l *AndersonLock) Release(slot uint32) {
@@ -113,9 +145,21 @@ func (l *AndersonLock) Release(slot uint32) {
 	<-l.sem
 }
 
-// acquire and release adapt the exported API to the writerMutex
-// contract (see mcs.go); the slot travels in the WToken.
-func (l *AndersonLock) acquire() wslot  { return wslot{idx: l.Acquire()} }
+// acquire, tryAcquire, acquireCtx and release adapt the exported API
+// to the writerMutex contract (see mcs.go); the slot travels in the
+// WToken.
+func (l *AndersonLock) acquire() wslot { return wslot{idx: l.Acquire()} }
+
+func (l *AndersonLock) tryAcquire() (wslot, bool) {
+	idx, ok := l.TryAcquire()
+	return wslot{idx: idx}, ok
+}
+
+func (l *AndersonLock) acquireCtx(ctx context.Context) (wslot, error) {
+	idx, err := l.AcquireCtx(ctx)
+	return wslot{idx: idx}, err
+}
+
 func (l *AndersonLock) release(s wslot) { l.Release(s.idx) }
 
 var _ writerMutex = (*AndersonLock)(nil)

@@ -1,9 +1,12 @@
 package rwlock
 
 import (
+	"context"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // Shared conformance suite for the writerMutex contract (mcs.go): any
@@ -104,6 +107,268 @@ func TestArbiterSlotTransfer(t *testing.T) {
 		}
 		<-done
 	})
+}
+
+// TestArbiterTryAcquire: the non-blocking probe of the contract —
+// succeeds on a free mutex, fails without blocking on a held one, and
+// a probe-taken mutex releases like any other.
+func TestArbiterTryAcquire(t *testing.T) {
+	forEachArbiter(t, func(t *testing.T, newM func() writerMutex) {
+		m := newM()
+		s, ok := m.tryAcquire()
+		if !ok {
+			t.Fatal("tryAcquire failed on a free mutex")
+		}
+		if _, ok := m.tryAcquire(); ok {
+			t.Fatal("tryAcquire succeeded while the mutex was held")
+		}
+		m.release(s)
+		// Probe → blocking-path interleaving must stay coherent.
+		s2 := m.acquire()
+		if _, ok := m.tryAcquire(); ok {
+			t.Fatal("tryAcquire succeeded against a blocking-path holder")
+		}
+		m.release(s2)
+		s3, ok := m.tryAcquire()
+		if !ok {
+			t.Fatal("tryAcquire failed after release")
+		}
+		m.release(s3)
+	})
+}
+
+// TestArbiterAcquireCtxGrantVsCancel: the contract's two-valued
+// outcome under a deliberate cancel-while-queued.  A waiter whose
+// context is cancelled behind a holder returns either an error (the
+// cancellation won: it must NOT own the mutex, and the queue must not
+// be stranded) or a valid slot (the grant won past the point of no
+// return: it MUST own the mutex — Anderson's committed ticket takes
+// this branch by design).  Either way the mutex stays fully
+// functional afterwards.
+func TestArbiterAcquireCtxGrantVsCancel(t *testing.T) {
+	forEachArbiter(t, func(t *testing.T, newM func() writerMutex) {
+		m := newM()
+		holder := m.acquire()
+		ctx, cancel := context.WithCancel(context.Background())
+		type res struct {
+			s   wslot
+			err error
+		}
+		done := make(chan res, 1)
+		go func() {
+			s, err := m.acquireCtx(ctx)
+			done <- res{s, err}
+		}()
+		time.Sleep(5 * time.Millisecond) // let the waiter queue
+		cancel()
+		// An abortable arbiter returns the error now, before the
+		// release; a committed one (Anderson past its ticket) returns
+		// only after it.  Release and then collect either outcome.
+		time.Sleep(5 * time.Millisecond)
+		m.release(holder)
+		r := <-done
+		if r.err == nil {
+			m.release(r.s) // grant won: we own it and must release it
+		}
+		// Queue must not be stranded either way.
+		m.release(m.acquire())
+	})
+}
+
+// TestArbiterAcquireCtxAlreadyCancelled: a pre-cancelled context on a
+// FREE mutex may still be granted (the grant can win the race — MCS's
+// empty-queue swap and Anderson's gate-then-ticket both commit before
+// looking at ctx), but an error return must leave the mutex free.
+func TestArbiterAcquireCtxAlreadyCancelled(t *testing.T) {
+	forEachArbiter(t, func(t *testing.T, newM func() writerMutex) {
+		m := newM()
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if s, err := m.acquireCtx(ctx); err == nil {
+			m.release(s)
+		}
+		m.release(m.acquire()) // must not be stranded
+	})
+}
+
+// TestArbiterCtxChurnRandomCancel is the conformance suite's
+// cancellation hammer: many one-shot goroutines acquireCtx under
+// contexts cancelled at random points — before queueing, while
+// queued, during handoff — against a background of blocking
+// acquirers.  Successful grants mutate plain data (-race proves
+// exclusion held throughout); the final count proves no passage was
+// lost and no cancellation leaked a held mutex; the terminal
+// acquire/release proves no cancelled node stranded the queue.
+// Recycled-node integrity is exercised by construction: every MCS
+// adoption recycles nodes into the pool that the churn immediately
+// reuses, so a stale wake or a missed reset shows up as a data race
+// or a lost/duplicated passage.
+func TestArbiterCtxChurnRandomCancel(t *testing.T) {
+	forEachArbiter(t, func(t *testing.T, newM func() writerMutex) {
+		m := newM()
+		const churners = 600
+		var data int64 // plain, guarded only by m
+		var granted atomic.Int64
+		var wg sync.WaitGroup
+		for i := 0; i < churners; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				// A third of the churners get a racing canceller with a
+				// tiny random fuse; a sixth start already cancelled.
+				switch rand.IntN(6) {
+				case 0:
+					cancel()
+				case 1, 2:
+					go func() {
+						time.Sleep(time.Duration(rand.IntN(50)) * time.Microsecond)
+						cancel()
+					}()
+				}
+				s, err := m.acquireCtx(ctx)
+				if err != nil {
+					return
+				}
+				data++
+				granted.Add(1)
+				m.release(s)
+			}()
+		}
+		// Blocking acquirers keep the queue non-empty so cancellations
+		// land mid-queue and during handoffs, not only at the tail.
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < 200; k++ {
+					s := m.acquire()
+					data++
+					granted.Add(1)
+					m.release(s)
+				}
+			}()
+		}
+		wg.Wait()
+		if data != granted.Load() {
+			t.Fatalf("data = %d, granted = %d (lost or phantom passages)", data, granted.Load())
+		}
+		m.release(m.acquire()) // queue must survive the churn
+	})
+}
+
+// The three MCS-specific unlink geometries.  The conformance churn
+// above hits them probabilistically; these pin each one
+// deterministically, under both wait strategies.
+
+// TestMCSCancelMidQueue: holder ← W1(ctx) ← W2.  Cancelling W1 must
+// let the holder's release adopt W1's node and hand the lock to W2.
+func TestMCSCancelMidQueue(t *testing.T) {
+	for _, strat := range strategies() {
+		t.Run(strat.String(), func(t *testing.T) {
+			m := newMCS(strat)
+			holder := m.acquire()
+			ctx, cancel := context.WithCancel(context.Background())
+			w1 := make(chan error, 1)
+			go func() {
+				_, err := m.acquireCtx(ctx)
+				w1 <- err
+			}()
+			time.Sleep(5 * time.Millisecond) // W1 queued behind holder
+			w2 := make(chan wslot, 1)
+			go func() { w2 <- m.acquire() }()
+			time.Sleep(5 * time.Millisecond) // W2 queued behind W1
+			cancel()
+			if err := <-w1; err != context.Canceled {
+				t.Fatalf("mid-queue cancel: W1 err = %v, want context.Canceled", err)
+			}
+			m.release(holder)
+			select {
+			case s := <-w2:
+				m.release(s)
+			case <-time.After(5 * time.Second):
+				t.Fatal("W2 never granted: cancelled mid-queue node stranded the handoff")
+			}
+			m.release(m.acquire())
+		})
+	}
+}
+
+// TestMCSCancelAtTail: holder ← W1(ctx), W1 cancelled while LAST in
+// the queue.  The holder's release must adopt the node and find the
+// queue empty behind it (tail reset), leaving the lock free.
+func TestMCSCancelAtTail(t *testing.T) {
+	for _, strat := range strategies() {
+		t.Run(strat.String(), func(t *testing.T) {
+			m := newMCS(strat)
+			holder := m.acquire()
+			ctx, cancel := context.WithCancel(context.Background())
+			w1 := make(chan error, 1)
+			go func() {
+				_, err := m.acquireCtx(ctx)
+				w1 <- err
+			}()
+			time.Sleep(5 * time.Millisecond)
+			cancel()
+			if err := <-w1; err != context.Canceled {
+				t.Fatalf("at-tail cancel: W1 err = %v, want context.Canceled", err)
+			}
+			m.release(holder)
+			if m.tail.Load() != nil {
+				t.Fatal("tail not reset after adopting a cancelled tail node")
+			}
+			s, ok := m.tryAcquire()
+			if !ok {
+				t.Fatal("lock not free after cancelled-tail adoption")
+			}
+			m.release(s)
+		})
+	}
+}
+
+// TestMCSCancelDuringHandoff races the releaser's grant CAS against
+// the waiter's cancel CAS many times.  Exactly one must win each
+// round: err==nil means we own the lock (release it), err!=nil means
+// we never did (the releaser adopted the node).  Either way the next
+// round's acquire must succeed — a both-won round deadlocks it, a
+// neither-won round leaks the lock.
+func TestMCSCancelDuringHandoff(t *testing.T) {
+	for _, strat := range strategies() {
+		t.Run(strat.String(), func(t *testing.T) {
+			m := newMCS(strat)
+			rounds := 3000
+			if testing.Short() {
+				rounds = 300
+			}
+			for i := 0; i < rounds; i++ {
+				holder := m.acquire()
+				ctx, cancel := context.WithCancel(context.Background())
+				done := make(chan error, 1)
+				go func() {
+					s, err := m.acquireCtx(ctx)
+					if err == nil {
+						m.release(s)
+					}
+					done <- err
+				}()
+				// No sleep: the waiter may be pre-queue, queued, or
+				// parked when the release and the cancel race below.
+				var wg sync.WaitGroup
+				wg.Add(2)
+				go func() { defer wg.Done(); m.release(holder) }()
+				go func() { defer wg.Done(); cancel() }()
+				wg.Wait()
+				select {
+				case <-done:
+				case <-time.After(5 * time.Second):
+					t.Fatalf("round %d: waiter resolved neither to grant nor to cancel", i)
+				}
+				// The lock must be exactly free now.
+				m.release(m.acquire())
+			}
+		})
+	}
 }
 
 // TestArbiterOneShotWriters: the churn shape — well over 1000 DISTINCT

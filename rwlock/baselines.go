@@ -1,6 +1,8 @@
 package rwlock
 
 import (
+	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -90,7 +92,67 @@ func (l *CentralizedRW) RLock() RToken {
 // RUnlock releases read mode.
 func (l *CentralizedRW) RUnlock(RToken) { l.cnt.addWake(-1) }
 
+// TryLock attempts write mode without blocking: one CAS of the free
+// word.  The centralized lock is the one discipline whose whole state
+// is a single word, so its try is exact — no probe window.
+func (l *CentralizedRW) TryLock() (WToken, bool) {
+	if l.cnt.cas(0, wwBit) {
+		return WToken{}, true
+	}
+	return WToken{}, false
+}
+
+// TryRLock attempts read mode without blocking: register, and retreat
+// (waking any draining writer) if a writer was present.
+func (l *CentralizedRW) TryRLock() (RToken, bool) {
+	if (l.cnt.add(1)-1)>>32 == 0 {
+		return RToken{}, true
+	}
+	l.cnt.addWake(-1)
+	return RToken{}, false
+}
+
+// LockCtx acquires write mode; every wait is cancellable because
+// every step of this lock is reversible — a cancelled drain retreats
+// by removing the writer unit (waking the readers watching for it),
+// exactly as the back-off path of Lock does.
+func (l *CentralizedRW) LockCtx(ctx context.Context) (WToken, error) {
+	for {
+		old := l.cnt.add(wwBit) - wwBit
+		if old == 0 {
+			return WToken{}, nil
+		}
+		if old>>32 == 0 {
+			if err := l.cnt.waitUntilCtx(ctx, noReaders); err != nil {
+				l.cnt.addWake(-wwBit) // retreat; readers watch noWriters
+				return WToken{}, err
+			}
+			return WToken{}, nil
+		}
+		l.cnt.addWake(-wwBit)
+		if err := l.cnt.waitUntilCtx(ctx, noWriters); err != nil {
+			return WToken{}, err
+		}
+	}
+}
+
+// RLockCtx acquires read mode; cancellation can only land in the
+// retreated (nothing-held) wait, so the undo is free.
+func (l *CentralizedRW) RLockCtx(ctx context.Context) (RToken, error) {
+	for {
+		if (l.cnt.add(1)-1)>>32 == 0 {
+			return RToken{}, nil
+		}
+		l.cnt.addWake(-1)
+		if err := l.cnt.waitUntilCtx(ctx, noWriters); err != nil {
+			return RToken{}, err
+		}
+	}
+}
+
 var _ RWLock = (*CentralizedRW)(nil)
+var _ TryRWLock = (*CentralizedRW)(nil)
+var _ CtxRWLock = (*CentralizedRW)(nil)
 
 // PhaseFairRW is a phase-fair ticket reader-writer lock: writers take
 // FIFO tickets; a writer publishes its presence (and phase parity) in
@@ -158,7 +220,78 @@ func (l *PhaseFairRW) RLock() RToken {
 // RUnlock releases read mode.
 func (l *PhaseFairRW) RUnlock(RToken) { l.rout.addWake(pfReader) }
 
+// TryLock attempts write mode without blocking.  The head-of-queue
+// probe (wout == win) plus the ticket CAS stands in for the FIFO
+// wait; a reader found inside after the writer bits are up is undone
+// by a zero-length writer passage — clearing the bits and advancing
+// wout exactly as Unlock would, which is consistent because no
+// successor ticket can exist (the CAS admitted only us).
+func (l *PhaseFairRW) TryLock() (WToken, bool) {
+	t := l.win.Load()
+	if l.wout.load() != t || !l.win.CompareAndSwap(t, t+1) {
+		return WToken{}, false // writer held/queued, or lost the claim
+	}
+	w := pfPres | (t & pfPhase)
+	entered := l.rin.add(w) - w
+	if l.rout.load() != entered&^pfWBits {
+		// Readers inside: undo via a zero-length writer passage.
+		l.rin.addWake(-w)
+		l.wout.addWake(1)
+		return WToken{}, false
+	}
+	return WToken{id: w}, true
+}
+
+// TryRLock attempts read mode without blocking; failure retires
+// through a zero-length read passage (count out through rout), which
+// the writer draining rin-before-me readers accounts exactly.
+func (l *PhaseFairRW) TryRLock() (RToken, bool) {
+	if (l.rin.add(pfReader)-pfReader)&pfWBits != 0 {
+		l.rout.addWake(pfReader)
+		return RToken{}, false
+	}
+	return RToken{}, true
+}
+
+// LockCtx acquires write mode.  The ticket fetch&add is the point of
+// no return for the FIFO wait — a ticket cannot be returned without
+// stranding every later ticket, the classic limitation of ticket
+// locks — so cancellation wins before the ticket, or during the
+// reader drain at the queue head (undone by a zero-length writer
+// passage, as in TryLock), but not in the FIFO queue between them.
+func (l *PhaseFairRW) LockCtx(ctx context.Context) (WToken, error) {
+	if err := ctx.Err(); err != nil {
+		return WToken{}, err
+	}
+	t := l.win.Add(1) - 1 // ticket: the queue wait is now committed
+	l.wout.wait(t)
+	w := pfPres | (t & pfPhase)
+	entered := l.rin.add(w) - w
+	if err := l.rout.waitCtx(ctx, entered&^pfWBits); err != nil {
+		l.rin.addWake(-w) // zero-length writer passage, as in TryLock
+		l.wout.addWake(1)
+		return WToken{}, err
+	}
+	return WToken{id: w}, nil
+}
+
+// RLockCtx acquires read mode; a reader cancelled at the phase
+// boundary retires through a zero-length read passage.
+func (l *PhaseFairRW) RLockCtx(ctx context.Context) (RToken, error) {
+	w := (l.rin.add(pfReader) - pfReader) & pfWBits
+	if w != 0 {
+		err := l.rin.waitUntilCtx(ctx, func(v int64) bool { return v&pfWBits != w })
+		if err != nil {
+			l.rout.addWake(pfReader)
+			return RToken{}, err
+		}
+	}
+	return RToken{}, nil
+}
+
 var _ RWLock = (*PhaseFairRW)(nil)
+var _ TryRWLock = (*PhaseFairRW)(nil)
+var _ CtxRWLock = (*PhaseFairRW)(nil)
 
 // TaskFairRW is a task-fair ticket reader-writer lock in the style of
 // Krieger, Stumm, Unrau & Hanna (ICPP 1993, the paper's [25]):
@@ -208,7 +341,60 @@ func (l *TaskFairRW) RLock() RToken {
 // RUnlock releases read mode (waking a writer draining readers).
 func (l *TaskFairRW) RUnlock(RToken) { l.readers.addWake(-1) }
 
+// TryLock attempts write mode without blocking: it claims a ticket
+// only when the queue is empty at the head (serving == tail) AND no
+// reader shares the CS.  Both Lock waits are then already satisfied —
+// serving is ours by the CAS, and no reader can register without a
+// later ticket, which queues behind us.
+func (l *TaskFairRW) TryLock() (WToken, bool) {
+	t := l.tail.Load()
+	if l.serving.load() != t || l.readers.load() != 0 {
+		return WToken{}, false
+	}
+	if !l.tail.CompareAndSwap(t, t+1) {
+		return WToken{}, false
+	}
+	return WToken{}, true
+}
+
+// TryRLock attempts read mode without blocking: the same
+// empty-at-head claim (readers inside are fine — they share), then
+// the ordinary register-and-release-the-head tail of RLock.
+func (l *TaskFairRW) TryRLock() (RToken, bool) {
+	t := l.tail.Load()
+	if l.serving.load() != t || !l.tail.CompareAndSwap(t, t+1) {
+		return RToken{}, false
+	}
+	l.readers.add(1)
+	l.serving.addWake(1)
+	return RToken{}, true
+}
+
+// LockCtx acquires write mode; the ticket fetch&add is the point of
+// no return — strict arrival order means an abandoned ticket would
+// strand every later arrival, reader or writer, so cancellation wins
+// only before the ticket.  (The task-fair queue is the least
+// abortable discipline here; prefer MWSF's MCS arbitration when
+// deadline writers matter.)
+func (l *TaskFairRW) LockCtx(ctx context.Context) (WToken, error) {
+	if err := ctx.Err(); err != nil {
+		return WToken{}, err
+	}
+	return l.Lock(), nil // ticket = point of no return
+}
+
+// RLockCtx acquires read mode; the same ticket commitment as LockCtx
+// applies — strict task-fairness makes a queued reader unabortable.
+func (l *TaskFairRW) RLockCtx(ctx context.Context) (RToken, error) {
+	if err := ctx.Err(); err != nil {
+		return RToken{}, err
+	}
+	return l.RLock(), nil // ticket = point of no return
+}
+
 var _ RWLock = (*TaskFairRW)(nil)
+var _ TryRWLock = (*TaskFairRW)(nil)
+var _ CtxRWLock = (*TaskFairRW)(nil)
 
 // RWMutexLock adapts sync.RWMutex to the package interface so the
 // standard library participates in the same benchmarks and tests.
@@ -241,4 +427,50 @@ func (l *RWMutexLock) RLock() RToken {
 // RUnlock releases read mode.
 func (l *RWMutexLock) RUnlock(RToken) { l.mu.RUnlock() }
 
+// TryLock attempts write mode without blocking (sync.RWMutex.TryLock).
+func (l *RWMutexLock) TryLock() (WToken, bool) {
+	return WToken{}, l.mu.TryLock()
+}
+
+// TryRLock attempts read mode without blocking
+// (sync.RWMutex.TryRLock).
+func (l *RWMutexLock) TryRLock() (RToken, bool) {
+	return RToken{}, l.mu.TryRLock()
+}
+
+// LockCtx acquires write mode by polling TryLock until it succeeds or
+// ctx is cancelled.  sync.RWMutex has no cancellable blocking wait,
+// so this adapter trades the runtime's queue fairness for
+// cancellability: a poller can be overtaken indefinitely by direct
+// Lock callers.  It exists so the standard library participates in
+// the deadline benchmarks; production deadline writers should use the
+// package's own locks, whose queues abort cleanly.
+func (l *RWMutexLock) LockCtx(ctx context.Context) (WToken, error) {
+	for {
+		if l.mu.TryLock() {
+			return WToken{}, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return WToken{}, err
+		}
+		runtime.Gosched()
+	}
+}
+
+// RLockCtx acquires read mode by polling TryRLock; the same fairness
+// caveat as LockCtx applies.
+func (l *RWMutexLock) RLockCtx(ctx context.Context) (RToken, error) {
+	for {
+		if l.mu.TryRLock() {
+			return RToken{}, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return RToken{}, err
+		}
+		runtime.Gosched()
+	}
+}
+
 var _ RWLock = (*RWMutexLock)(nil)
+var _ TryRWLock = (*RWMutexLock)(nil)
+var _ CtxRWLock = (*RWMutexLock)(nil)

@@ -1,6 +1,9 @@
 package rwlock
 
-import "sync/atomic"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // Bravo layers the BRAVO reader fast path (Dice & Kogan, USENIX ATC
 // 2019, arXiv:1810.01553) over any lock in this package.  The wrapped
@@ -205,6 +208,118 @@ func (b *Bravo) Write(cs func()) {
 	})
 }
 
+// TryLock attempts write mode without blocking.  The inner lock's
+// TryLock runs first; if the bias is then armed, the wrapper clears
+// it and SCANS the visible-readers table instead of draining it — on
+// any occupied slot it restores the bias, releases the inner lock,
+// and reports busy, so a published fast-path reader is never waited
+// on.  The restore is safe because no drain began and the wrapper
+// holds the inner write lock, which excludes both the slow readers
+// that normally re-arm the bias and any other writer's revocation.
+// Requires the inner lock to implement TryRWLock (every lock in this
+// package does).
+func (b *Bravo) TryLock() (WToken, bool) {
+	t, ok := b.inner.(TryRWLock).TryLock()
+	if !ok {
+		return WToken{}, false
+	}
+	if b.rbias.Load() {
+		b.rbias.Store(false)
+		if !b.slots.idle() {
+			b.rbias.Store(true)
+			b.inner.Unlock(t)
+			return WToken{}, false
+		}
+		b.slowBudget.Store(int64(1 + len(b.slots.slots)/8))
+	}
+	return t, true
+}
+
+// TryRLock attempts read mode without blocking: the ordinary BRAVO
+// fast path (claim, then recheck the bias — a revoking writer either
+// sees our slot or we see its clear and back out), falling through to
+// the inner lock's TryRLock when the bias is down or the table is
+// contended.  A slow-path success counts down the re-arm throttle
+// exactly as RLock does, since it holds the inner read lock at that
+// point.  Requires the inner lock to implement TryRWLock.
+func (b *Bravo) TryRLock() (RToken, bool) {
+	if b.rbias.Load() {
+		if idx, ok := b.slots.tryClaim(); ok {
+			if b.rbias.Load() {
+				return RToken{side: bravoFastSide, id: idx}, true
+			}
+			b.slots.release(idx)
+		}
+	}
+	t, ok := b.inner.(TryRWLock).TryRLock()
+	if !ok {
+		return RToken{}, false
+	}
+	if !b.rbias.Load() && b.slowBudget.Add(-1) == 0 {
+		b.rbias.Store(true)
+	}
+	return t, true
+}
+
+// LockCtx acquires write mode with the inner lock's cancellation
+// semantics; once the inner lock is granted the wrapper is committed,
+// and the bias revocation (including the table drain) runs to
+// completion regardless of ctx — the drain is bounded by the read
+// passages of the published fast-path readers.  Requires the inner
+// lock to implement CtxRWLock.
+func (b *Bravo) LockCtx(ctx context.Context) (WToken, error) {
+	t, err := b.inner.(CtxRWLock).LockCtx(ctx)
+	if err != nil {
+		return WToken{}, err
+	}
+	b.revoke() // committed: the drain runs to completion
+	return t, nil
+}
+
+// RLockCtx acquires read mode: the non-blocking fast path first (it
+// never waits, so ctx plays no part in it), then the inner lock's
+// RLockCtx, with the re-arm countdown on slow-path success as in
+// RLock.  Requires the inner lock to implement CtxRWLock.
+func (b *Bravo) RLockCtx(ctx context.Context) (RToken, error) {
+	if b.rbias.Load() {
+		if idx, ok := b.slots.tryClaim(); ok {
+			if b.rbias.Load() {
+				return RToken{side: bravoFastSide, id: idx}, nil
+			}
+			b.slots.release(idx)
+		}
+	}
+	t, err := b.inner.(CtxRWLock).RLockCtx(ctx)
+	if err != nil {
+		return RToken{}, err
+	}
+	if !b.rbias.Load() && b.slowBudget.Add(-1) == 0 {
+		b.rbias.Store(true)
+	}
+	return t, nil
+}
+
+// WriteCtx runs cs in write mode unless ctx is cancelled first.  On a
+// combining inner lock the revocation ships inside the combined
+// closure as in Write, and the inner WriteCtx's commitment point (the
+// publication CAS, or MWWP's doorway) applies; otherwise LockCtx's
+// semantics apply.
+func (b *Bravo) WriteCtx(ctx context.Context, cs func()) error {
+	if !b.innerCombines {
+		t, err := b.LockCtx(ctx)
+		if err != nil {
+			return err
+		}
+		defer b.Unlock(t)
+		cs()
+		return nil
+	}
+	return b.inner.(CtxFuncWriter).WriteCtx(ctx, func() {
+		b.revoke()
+		cs()
+	})
+}
+
 // CombinerStats forwards the wrapped lock's batching statistics (see
 // CombinerStatsOf); ok is false when the inner lock does not combine.
 func (b *Bravo) CombinerStats() (CombinerStats, bool) {
@@ -220,3 +335,6 @@ func (b *Bravo) Inner() RWLock { return b.inner }
 
 var _ RWLock = (*Bravo)(nil)
 var _ FuncWriter = (*Bravo)(nil)
+var _ TryRWLock = (*Bravo)(nil)
+var _ CtxRWLock = (*Bravo)(nil)
+var _ CtxFuncWriter = (*Bravo)(nil)

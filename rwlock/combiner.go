@@ -1,6 +1,7 @@
 package rwlock
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -73,6 +74,41 @@ func Write(l RWLock, cs func()) {
 	t := l.Lock()
 	defer l.Unlock(t)
 	cs()
+}
+
+// CtxFuncWriter is the deadline-aware closure write path: WriteCtx
+// runs cs under the lock's write lock unless ctx is cancelled first,
+// in which case it returns ctx.Err() WITHOUT running cs.  A nil
+// return guarantees cs ran to completion under the lock.  On a
+// combining lock the publication CAS is the point of no return: a
+// record already in the publication list belongs to some combiner and
+// WILL execute, so past that instant WriteCtx commits and waits out
+// the batch even on a cancelled context (see combiner.execCtx).
+type CtxFuncWriter interface {
+	WriteCtx(ctx context.Context, cs func()) error
+}
+
+// WriteCtx runs cs under l's write lock with ctx bounding the WAIT
+// for the lock (never the critical section itself): through the
+// lock's own WriteCtx when it has one, otherwise through a
+// LockCtx/Unlock pair, otherwise — when l predates the ctx surface —
+// by delegating to Write, uncancellably.  A non-nil error means cs
+// did not and will not run.
+func WriteCtx(ctx context.Context, l RWLock, cs func()) error {
+	if fw, ok := l.(CtxFuncWriter); ok {
+		return fw.WriteCtx(ctx, cs)
+	}
+	if cl, ok := l.(CtxRWLock); ok {
+		t, err := cl.LockCtx(ctx)
+		if err != nil {
+			return err
+		}
+		defer l.Unlock(t)
+		cs()
+		return nil
+	}
+	Write(l, cs)
+	return nil
 }
 
 // WithCombiningWriters selects flat-combining writer arbitration for
@@ -224,6 +260,50 @@ func (c *combiner) exec(cs func()) {
 			break
 		}
 	}
+	c.finish(r, elected)
+}
+
+// execCtx is exec with an abort seam whose point of no return is the
+// publication CAS.  Before the CAS the record is exclusively ours and
+// cancellation simply recycles it — cs has not run and never will.
+// The instant the CAS lands the record is in the publication list,
+// owned by whichever combiner's swap takes it, and WILL execute;
+// retracting it is impossible (another combiner may already hold it
+// in a swapped-off batch), so from there execCtx commits: it waits
+// out the batch — or runs it, if elected — ignoring ctx, exactly like
+// exec.  A nil return therefore means cs ran; a non-nil return means
+// it did not and will not.
+func (c *combiner) execCtx(ctx context.Context, cs func()) error {
+	if ctx.Done() == nil {
+		c.exec(cs)
+		return nil
+	}
+	r := c.pool.Get().(*combineRecord)
+	r.cs = cs
+	r.done.store(cellFalse)
+	var elected bool
+	for {
+		if err := ctx.Err(); err != nil {
+			// Not yet published: the record is still exclusively ours.
+			r.cs = nil
+			c.pool.Put(r)
+			return err
+		}
+		old := c.head.Load()
+		r.next = old
+		if c.head.CompareAndSwap(old, r) { // point of no return
+			elected = old == nil
+			break
+		}
+	}
+	c.finish(r, elected)
+	return nil
+}
+
+// finish completes a published record r: wait for its execution when
+// another goroutine owns the epoch, or run the drain loop when this
+// publisher was elected (its CAS observed nil).
+func (c *combiner) finish(r *combineRecord, elected bool) {
 	if !elected {
 		// Another goroutine owns this epoch; its drain loop will
 		// execute our record and signal the cell (spin or park per
@@ -286,10 +366,18 @@ func (c *combiner) exec(cs func()) {
 	c.pool.Put(r)
 }
 
-// acquire and release are the token path: a combining lock's
-// Lock/Unlock cannot ship its critical section, so it serializes on
-// the inner mutex directly, mutually exclusive with running batches.
-func (c *combiner) acquire() wslot  { return c.inner.acquire() }
+// acquire, tryAcquire, acquireCtx and release are the token path: a
+// combining lock's Lock/Unlock cannot ship its critical section, so
+// it serializes on the inner mutex directly, mutually exclusive with
+// running batches.  The try/ctx semantics are therefore the inner
+// mutex's own — a busy tryAcquire may be a running batch, and an
+// acquireCtx cancellation unlinks from the inner queue, never from
+// the publication list.
+func (c *combiner) acquire() wslot            { return c.inner.acquire() }
+func (c *combiner) tryAcquire() (wslot, bool) { return c.inner.tryAcquire() }
+func (c *combiner) acquireCtx(ctx context.Context) (wslot, error) {
+	return c.inner.acquireCtx(ctx)
+}
 func (c *combiner) release(s wslot) { c.inner.release(s) }
 
 // snapshot copies the batch counters.  Quiescence is the caller's

@@ -1,6 +1,9 @@
 package rwlock
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Guard couples a value with a reader-writer lock and exposes
 // closure-based access, hiding token management entirely.  It is the
@@ -53,6 +56,65 @@ func (g *Guard[T]) Write(f func(*T)) {
 	tok := g.l.Lock()
 	defer g.l.Unlock(tok)
 	f(&g.value)
+}
+
+// TryRead runs f with read access if the lock can be taken without
+// blocking, reporting whether it ran.  Requires the underlying lock
+// to implement TryRWLock (every lock in this package does).
+func (g *Guard[T]) TryRead(f func(T)) bool {
+	tok, ok := g.l.(TryRWLock).TryRLock()
+	if !ok {
+		return false
+	}
+	defer g.l.RUnlock(tok)
+	f(g.value)
+	return true
+}
+
+// TryWrite runs f with exclusive access if the lock can be taken
+// without blocking, reporting whether it ran.  It always uses the
+// token path — a combining lock's batch publication cannot fail, so
+// it has no non-blocking form.  Requires TryRWLock of the underlying
+// lock.
+func (g *Guard[T]) TryWrite(f func(*T)) bool {
+	tok, ok := g.l.(TryRWLock).TryLock()
+	if !ok {
+		return false
+	}
+	defer g.l.Unlock(tok)
+	f(&g.value)
+	return true
+}
+
+// ReadCtx runs f with read access, aborting with ctx.Err() — without
+// running f — if ctx is cancelled while waiting for the lock.
+// Requires CtxRWLock of the underlying lock.
+func (g *Guard[T]) ReadCtx(ctx context.Context, f func(T)) error {
+	tok, err := g.l.(CtxRWLock).RLockCtx(ctx)
+	if err != nil {
+		return err
+	}
+	defer g.l.RUnlock(tok)
+	f(g.value)
+	return nil
+}
+
+// WriteCtx runs f with exclusive access, aborting with ctx.Err() —
+// without running f — if ctx is cancelled while waiting.  On a
+// combining lock it goes through the closure write path, where the
+// publication CAS is the point of no return (a published update
+// always executes; see CtxFuncWriter).
+func (g *Guard[T]) WriteCtx(ctx context.Context, f func(*T)) error {
+	if g.combines {
+		return WriteCtx(ctx, g.l, func() { f(&g.value) })
+	}
+	tok, err := g.l.(CtxRWLock).LockCtx(ctx)
+	if err != nil {
+		return err
+	}
+	defer g.l.Unlock(tok)
+	f(&g.value)
+	return nil
 }
 
 // Load returns a read-locked shallow copy of the value.  For pointer-

@@ -1,6 +1,7 @@
 package rwlock
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -54,8 +55,20 @@ import (
 // inner mutex, not by re-implementing exec; the token path
 // (acquire/release) must remain available and mutually exclusive
 // with exec'd sections.
+// Beyond the blocking pair, the contract has a deadline-aware side
+// (PR 6): tryAcquire is a genuinely non-blocking probe (no waits, no
+// unbounded loops) that either takes the mutex or reports it busy,
+// and acquireCtx is acquire with an abort seam — it returns ctx.Err()
+// once the context is cancelled, leaving the mutex NOT held and the
+// queue/array state as if the attempt never happened.  Each
+// implementation has a point of no return past which cancellation can
+// no longer win (the MCS grant CAS, the Anderson ticket fetch&add,
+// the combiner's publication CAS); acquireCtx may therefore return
+// nil on an already-cancelled context when the grant got there first.
 type writerMutex interface {
 	acquire() wslot
+	tryAcquire() (wslot, bool)
+	acquireCtx(ctx context.Context) (wslot, error)
 	release(wslot)
 }
 
@@ -109,11 +122,38 @@ func WithBoundedWriters(n int) Option {
 // the single remote write that hands the lock over.  Nodes are
 // recycled through the lock's pool, so steady-state passages allocate
 // nothing.
+// A queued node is in one of three states, resolved by a single CAS
+// race between its releaser and (only for acquireCtx attempts) its
+// own canceller:
+//
+//	mcsWaiting --releaser CAS--> mcsGranted    (handoff: grant follows)
+//	mcsWaiting --waiter  CAS--> mcsCancelled  (abort: waiter walks away)
+//
+// Exactly one CAS wins, so a grant is never sent to a node whose
+// owner has left (no lost handoff) and a waiter never abandons a node
+// that owns the lock (no lost lock).  A cancelled node is NOT
+// physically unlinked by its owner — under SpinThenPark the owner may
+// not even be running — instead the next releaser to reach it ADOPTS
+// it: recycles it and carries the release on to its successor,
+// honoring the same linked-announcement recycling barrier on every
+// hop.  Cancellation therefore costs the canceller O(1) steps and
+// shifts the queue-repair work onto a lock holder that was already
+// performing a handoff.
+const (
+	mcsWaiting int32 = iota
+	mcsGranted
+	mcsCancelled
+)
+
 type mcsNode struct {
 	// next points to the successor's node once it has linked itself
 	// behind this one.
 	next atomic.Pointer[mcsNode]
-	_    [56]byte
+	// state is the grant/cancel race word (see the state diagram
+	// above).  It shares the next pointer's line: the two are touched
+	// by the same releaser in the same handoff.
+	state atomic.Int32
+	_     [52]byte
 	// linked is set (with a wake) by the successor right after it
 	// stores next.  It is the successor's LAST write into this node,
 	// so release treats it — not the next pointer — as the node's
@@ -165,10 +205,7 @@ func newMCS(s WaitStrategy) *mcsLock {
 // carries the caller's queue node; it must reach the matching release
 // (possibly on another goroutine — WTokens are transferable).
 func (l *mcsLock) acquire() wslot {
-	n := l.pool.Get().(*mcsNode)
-	n.next.Store(nil)
-	n.linked.store(cellFalse)
-	n.grant.store(cellFalse)
+	n := l.getNode()
 	pred := l.tail.Swap(n) // FCFS linearization point
 	if pred != nil {
 		// Link behind pred, then announce the link.  pred cannot be
@@ -183,32 +220,107 @@ func (l *mcsLock) acquire() wslot {
 	return wslot{n: n}
 }
 
+// getNode takes a node from the pool and resets its per-attempt state.
+func (l *mcsLock) getNode() *mcsNode {
+	n := l.pool.Get().(*mcsNode)
+	n.next.Store(nil)
+	n.state.Store(mcsWaiting)
+	n.linked.store(cellFalse)
+	n.grant.store(cellFalse)
+	return n
+}
+
+// tryAcquire takes the mutex only when the queue is empty: one CAS of
+// the tail, no waits.  Failure means some writer holds or is queued
+// for the mutex at the instant of the CAS — exactly the condition
+// under which acquire would have waited.
+func (l *mcsLock) tryAcquire() (wslot, bool) {
+	n := l.getNode()
+	if l.tail.CompareAndSwap(nil, n) {
+		return wslot{n: n}, true
+	}
+	// Never published: the node is still exclusively ours.
+	l.pool.Put(n)
+	return wslot{}, false
+}
+
+// acquireCtx is acquire with an abort seam.  The waiter queues
+// normally; on cancellation it CASes its node mcsWaiting →
+// mcsCancelled and walks away in O(1) steps, leaving the node in the
+// queue for the next releaser to adopt (see the state diagram on
+// mcsNode).  If the releaser's grant CAS wins the race instead, the
+// handoff is already in flight and cannot be refused: the waiter
+// absorbs it and returns the slot with a nil error, so a caller that
+// sees an error never owns the mutex, and a caller that sees nil
+// always does — even if its context is by now cancelled.
+func (l *mcsLock) acquireCtx(ctx context.Context) (wslot, error) {
+	n := l.getNode()
+	pred := l.tail.Swap(n) // FCFS linearization point
+	if pred == nil {
+		return wslot{n: n}, nil
+	}
+	pred.next.Store(n)
+	pred.linked.storeWake(cellTrue)
+	if err := n.grant.waitCtx(ctx, cellTrue); err != nil {
+		if n.state.CompareAndSwap(mcsWaiting, mcsCancelled) {
+			// The node now belongs to the queue, not to us: the next
+			// releaser to reach it recycles it.  We must not touch it
+			// again.
+			return wslot{}, err
+		}
+		// A releaser granted us first (its CAS beat ours): the
+		// storeWake is committed or in flight.  Absorb it — the wait
+		// is bounded by that one store.
+		n.grant.wait(cellTrue)
+	}
+	return wslot{n: n}, nil
+}
+
 // release hands the mutex to the next queued acquirer (or leaves it
-// free) and recycles the caller's node.
+// free) and recycles the caller's node — plus any run of CANCELLED
+// successors it finds on the way, which it adopts and recycles while
+// carrying the handoff onward (the loop; see the state diagram on
+// mcsNode).
 func (l *mcsLock) release(s wslot) {
 	n := s.n
-	if n.next.Load() == nil && l.tail.CompareAndSwap(n, nil) {
-		// Queue empty: the lock is free and n was never observed by a
-		// successor, so it can be recycled immediately.
+	for {
+		if n.next.Load() == nil && l.tail.CompareAndSwap(n, nil) {
+			// Queue empty: the lock is free and n was never observed by
+			// a successor, so it can be recycled immediately.
+			l.pool.Put(n)
+			return
+		}
+		// A successor exists — possibly still between its tail swap and
+		// its link (under oversubscription those two instructions can be
+		// a descheduled goroutine away, so the wait goes through the
+		// cell rather than burning the quantum).  Wait for the link
+		// announcement even when next is already visible: the
+		// announcement is the successor's last write into n (see
+		// mcsNode.linked), so it — not the next pointer — is what makes
+		// n recyclable; keying off next alone would let a pending
+		// announcement land on this node's NEXT owner and corrupt its
+		// linked cell.  In the common case the announcement is long
+		// since set and this is one read of an owned cached word.
+		n.linked.wait(cellTrue)
+		next := n.next.Load()
+		if next.state.CompareAndSwap(mcsWaiting, mcsGranted) {
+			// The grant writes into next, not n, so n is recyclable
+			// now.
+			next.grant.storeWake(cellTrue)
+			l.pool.Put(n)
+			return
+		}
+		// next's owner cancelled and walked away; the winning
+		// mcsCancelled CAS was its last touch of the node (its context
+		// machinery may still broadcast into next.grant's cond, which
+		// parked waiters treat as a spurious wake — harmless).  Adopt
+		// the node: recycle ours and continue the release from next,
+		// re-running the full empty-queue / link-barrier protocol
+		// there.  The walk charges O(cancelled run) to this handoff,
+		// keeping the canceller itself O(1).
 		l.pool.Put(n)
-		return
+		n = next
 	}
-	// A successor exists — possibly still between its tail swap and
-	// its link (under oversubscription those two instructions can be a
-	// descheduled goroutine away, so the wait goes through the cell
-	// rather than burning the quantum).  Wait for the link
-	// announcement even when next is already visible: the announcement
-	// is the successor's last write into n (see mcsNode.linked), so it
-	// — not the next pointer — is what makes n recyclable; keying off
-	// next alone would let a pending announcement land on this node's
-	// NEXT owner and corrupt its linked cell.  In the common case the
-	// announcement is long since set and this is one read of an owned
-	// cached word.
-	n.linked.wait(cellTrue)
-	next := n.next.Load()
-	// The grant writes into next, not n, so n is recyclable now.
-	next.grant.storeWake(cellTrue)
-	l.pool.Put(n)
 }
 
 var _ writerMutex = (*mcsLock)(nil)

@@ -1,6 +1,9 @@
 package rwlock
 
-import "sync/atomic"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // This file implements the paper's Section 5: the single-writer cores
 // lifted to multi-writer locks.
@@ -82,6 +85,79 @@ func (l *MWSF) CombinerStats() (CombinerStats, bool) {
 	return CombinerStats{}, false
 }
 
+// TryLock attempts write mode without blocking: a non-blocking probe
+// of the arbitration mutex (tryAcquire — one CAS on the MCS tail, or
+// the Anderson gate + availability check on /bounded locks) followed
+// by the no-readers probe, and only then the irreversible doorway.
+// The probe and the commit are not atomic: a reader registering in
+// that window is drained by the ordinary waiting room, so TryLock
+// never waits on a writer but can briefly wait out such a racer.
+func (l *MWSF) TryLock() (WToken, bool) {
+	slot, ok := l.m.tryAcquire()
+	if !ok {
+		return WToken{}, false
+	}
+	if !l.core.readersIdle() {
+		l.m.release(slot)
+		return WToken{}, false
+	}
+	prev, cur := l.core.writerDoorway()
+	l.core.writerWaitingRoom(prev)
+	return WToken{prev: prev, cur: cur, slot: slot}, true
+}
+
+// TryRLock attempts read mode without blocking; a failed attempt
+// retires through a zero-length read passage (see
+// swwpCore.tryReaderLock).
+func (l *MWSF) TryRLock() (RToken, bool) { return l.core.tryReaderLock() }
+
+// LockCtx acquires write mode with the queue wait cancellable: while
+// the writer waits its turn on the arbitration mutex — where an
+// oversubscribed writer convoy actually waits — cancellation unlinks
+// it (the MCS abort seam; on /bounded locks only the admission gate
+// is abortable, see AndersonLock.AcquireCtx).  Once the mutex is
+// granted the doorway commits the writer and ctx is not consulted
+// again.
+func (l *MWSF) LockCtx(ctx context.Context) (WToken, error) {
+	slot, err := l.m.acquireCtx(ctx)
+	if err != nil {
+		return WToken{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled between grant and doorway: nothing of the core has
+		// been touched, so handing the mutex on is a complete undo.
+		l.m.release(slot)
+		return WToken{}, err
+	}
+	prev, cur := l.core.writerDoorway() // point of no return
+	l.core.writerWaitingRoom(prev)
+	return WToken{prev: prev, cur: cur, slot: slot}, nil
+}
+
+// RLockCtx acquires read mode, aborting the gate wait when ctx is
+// cancelled; the aborted reader retires through a zero-length read
+// passage, keeping counts and permit handoffs exact.
+func (l *MWSF) RLockCtx(ctx context.Context) (RToken, error) {
+	return l.core.readerLockCtx(ctx)
+}
+
+// WriteCtx runs cs in write mode unless ctx is cancelled first.  On a
+// combining lock cancellation wins only before the publication CAS (a
+// published record always executes — see combiner.execCtx); otherwise
+// LockCtx's commitment point applies.
+func (l *MWSF) WriteCtx(ctx context.Context, cs func()) error {
+	if c, ok := l.m.(*combiner); ok {
+		return c.execCtx(ctx, cs)
+	}
+	t, err := l.LockCtx(ctx)
+	if err != nil {
+		return err
+	}
+	defer l.Unlock(t)
+	cs()
+	return nil
+}
+
 // RLock acquires the lock in read mode.
 func (l *MWSF) RLock() RToken { return l.core.readerLock() }
 
@@ -90,6 +166,9 @@ func (l *MWSF) RUnlock(t RToken) { l.core.readerUnlock(t) }
 
 var _ RWLock = (*MWSF)(nil)
 var _ FuncWriter = (*MWSF)(nil)
+var _ TryRWLock = (*MWSF)(nil)
+var _ CtxRWLock = (*MWSF)(nil)
+var _ CtxFuncWriter = (*MWSF)(nil)
 
 // MWRP is the multi-writer multi-reader READER-PRIORITY lock of
 // Theorem 4: properties P1-P6 plus RP1/RP2, with O(1) RMR
@@ -148,6 +227,75 @@ func (l *MWRP) CombinerStats() (CombinerStats, bool) {
 	return CombinerStats{}, false
 }
 
+// TryLock attempts write mode without blocking: the arbitration
+// mutex's non-blocking probe, then the no-readers probe (under reader
+// priority a writer facing registered readers may wait unboundedly),
+// then the commit.  As with every TryLock in the package, a reader
+// registering between probe and commit is waited out through the
+// promotion handoff — the documented race window.
+func (l *MWRP) TryLock() (WToken, bool) {
+	slot, ok := l.m.tryAcquire()
+	if !ok {
+		return WToken{}, false
+	}
+	if l.core.c.Load() != 0 {
+		l.m.release(slot)
+		return WToken{}, false
+	}
+	t := l.core.writerLock()
+	t.slot = slot
+	return t, true
+}
+
+// TryRLock attempts read mode without blocking; under reader priority
+// it fails only while a writer owns (or has just been promoted into)
+// the CS.  See swrpCore.tryReaderLock.
+func (l *MWRP) TryRLock() (RToken, bool) { return l.core.tryReaderLock() }
+
+// LockCtx acquires write mode with the arbitration-queue wait
+// cancellable.  Once the mutex is granted and the core's direction
+// toggle runs, the writer is committed; under reader priority that
+// committed wait is unbounded while readers keep arriving, and ctx
+// cannot recall it — deadline writers on a reader-priority lock
+// should expect cancellation to win only in the queue.
+func (l *MWRP) LockCtx(ctx context.Context) (WToken, error) {
+	slot, err := l.m.acquireCtx(ctx)
+	if err != nil {
+		return WToken{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		l.m.release(slot) // core untouched: a complete undo
+		return WToken{}, err
+	}
+	t := l.core.writerLock() // point of no return
+	t.slot = slot
+	return t, nil
+}
+
+// RLockCtx acquires read mode, aborting the gate wait when ctx is
+// cancelled; the aborted reader retires through a zero-length read
+// passage (C decrement + Promote), keeping the promotion handoff
+// exact.
+func (l *MWRP) RLockCtx(ctx context.Context) (RToken, error) {
+	return l.core.readerLockCtx(ctx)
+}
+
+// WriteCtx runs cs in write mode unless ctx is cancelled first; on a
+// combining lock the publication CAS is the point of no return (see
+// combiner.execCtx), otherwise LockCtx's commitment points apply.
+func (l *MWRP) WriteCtx(ctx context.Context, cs func()) error {
+	if c, ok := l.m.(*combiner); ok {
+		return c.execCtx(ctx, cs)
+	}
+	t, err := l.LockCtx(ctx)
+	if err != nil {
+		return err
+	}
+	defer l.Unlock(t)
+	cs()
+	return nil
+}
+
 // RLock acquires the lock in read mode.
 func (l *MWRP) RLock() RToken { return l.core.readerLock() }
 
@@ -156,6 +304,9 @@ func (l *MWRP) RUnlock(t RToken) { l.core.readerUnlock(t) }
 
 var _ RWLock = (*MWRP)(nil)
 var _ FuncWriter = (*MWRP)(nil)
+var _ TryRWLock = (*MWRP)(nil)
+var _ CtxRWLock = (*MWRP)(nil)
+var _ CtxFuncWriter = (*MWRP)(nil)
 
 // MWWP is the multi-writer multi-reader WRITER-PRIORITY lock of
 // Theorem 5 (the paper's Figure 4): properties P1-P6 plus WP1/WP2,
@@ -203,21 +354,15 @@ func (l *MWWP) doorway() {
 	}
 }
 
-// Lock acquires the lock in write mode (Figure 4 lines 2-13).
+// Lock acquires the lock in write mode (Figure 4 lines 2-13).  The
+// line 12 gate wait inside enterHeld covers the previous writer
+// having won the CAS at line 19 but not yet reopened the gate at line
+// 20; writerExit's storeWake is the matching signal.
 func (l *MWWP) Lock() WToken {
 	id := l.idCtr.Add(1)
-	l.doorway()            // lines 2-8
-	slot := l.m.acquire()  // line 9
-	cur := l.core.d.Load() // line 10
-	prev := 1 - cur
-	if isSideToken(l.wtoken.Load()) { // line 11
-		// line 12: wait for the previous writer to finish exiting the
-		// SWWP core (it may have won the CAS at line 19 but not yet
-		// reopened the gate at line 20; writerExit's storeWake is the
-		// matching signal).
-		l.core.gate[prev].wait(cellTrue)
-		l.core.writerWaitingRoom(prev) // line 13
-	}
+	l.doorway()           // lines 2-8
+	slot := l.m.acquire() // line 9
+	prev, cur := l.enterHeld()
 	return WToken{prev: prev, cur: cur, slot: slot, id: id}
 }
 
@@ -293,6 +438,111 @@ func (l *MWWP) CombinerStats() (CombinerStats, bool) {
 	return CombinerStats{}, false
 }
 
+// enterHeld is Figure 4 lines 10-13, run with the arbitration mutex
+// held and the doorway done: take the fast W-token handoff when a
+// predecessor left the SWWP core held, or run the gate wait + waiting
+// room when the side token says the core must be (re)entered.
+func (l *MWWP) enterHeld() (prev, cur int32) {
+	cur = l.core.d.Load() // line 10
+	prev = 1 - cur
+	if isSideToken(l.wtoken.Load()) { // line 11
+		l.core.gate[prev].wait(cellTrue) // line 12
+		l.core.writerWaitingRoom(prev)   // line 13
+	}
+	return prev, cur
+}
+
+// TryLock attempts write mode without blocking: the arbitration
+// mutex's non-blocking probe first, then — only when the W-token is a
+// side token, i.e. no predecessor left the core held for us — the
+// no-readers probe, and then the commit (doorway + lines 10-13).
+// Unlike the blocking Lock, the doorway runs AFTER the mutex probe;
+// see LockCtx for why that reordering is sound.  The probes and the
+// commit are not atomic: a reader registering (or a predecessor
+// reopening the gate) in that window is drained by the ordinary
+// waiting room — the documented race window.
+func (l *MWWP) TryLock() (WToken, bool) {
+	slot, ok := l.m.tryAcquire()
+	if !ok {
+		return WToken{}, false
+	}
+	if isSideToken(l.wtoken.Load()) && !l.core.readersIdle() {
+		l.m.release(slot)
+		return WToken{}, false
+	}
+	id := l.idCtr.Add(1)
+	l.doorway() // commit
+	prev, cur := l.enterHeld()
+	return WToken{prev: prev, cur: cur, slot: slot, id: id}, true
+}
+
+// TryRLock attempts read mode without blocking; a failed attempt
+// retires through a zero-length read passage (see
+// swwpCore.tryReaderLock).
+func (l *MWWP) TryRLock() (RToken, bool) { return l.core.tryReaderLock() }
+
+// LockCtx acquires write mode with the arbitration-queue wait
+// cancellable.  To stay abortable while queued it DELAYS the Figure 4
+// doorway until after the mutex grant: the blocking Lock announces
+// itself (Wcount, the W-token CAS) before queueing so that even a
+// deeply queued writer convoy keeps the reader gate closed across
+// handoffs, but an announced writer cannot retract (nothing ever
+// decrements Wcount except a completed passage).  Exclusion and
+// starvation-freedom are unaffected — every CS-entry wait (lines
+// 10-13) runs under the mutex either way, and the line 19 CAS
+// arbitrates the exit race identically — but a ctx writer parked in
+// the queue does not hold the gate closed, so WP1's early
+// cross-handoff gate closing narrows to announced (blocking-path)
+// writers.  After the grant, the doorway is the point of no return.
+func (l *MWWP) LockCtx(ctx context.Context) (WToken, error) {
+	slot, err := l.m.acquireCtx(ctx)
+	if err != nil {
+		return WToken{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		// Not yet announced: handing the mutex on is a complete undo.
+		l.m.release(slot)
+		return WToken{}, err
+	}
+	id := l.idCtr.Add(1)
+	l.doorway() // point of no return
+	prev, cur := l.enterHeld()
+	return WToken{prev: prev, cur: cur, slot: slot, id: id}, nil
+}
+
+// RLockCtx acquires read mode, aborting the gate wait when ctx is
+// cancelled; the aborted reader retires through a zero-length read
+// passage, keeping counts and permit handoffs exact.
+func (l *MWWP) RLockCtx(ctx context.Context) (RToken, error) {
+	return l.core.readerLockCtx(ctx)
+}
+
+// WriteCtx runs cs in write mode unless ctx is cancelled first.  On a
+// combining lock the point of no return is the DOORWAY, not the
+// publication CAS: Write must announce Wcount before publishing (the
+// writer-priority batching depends on it), and an announced writer
+// cannot retract, so WriteCtx checks ctx once and then commits
+// through the uncancellable Write path.  On a non-combining lock
+// LockCtx's commitment points apply.
+func (l *MWWP) WriteCtx(ctx context.Context, cs func()) error {
+	c, ok := l.m.(*combiner)
+	if !ok {
+		t, err := l.LockCtx(ctx)
+		if err != nil {
+			return err
+		}
+		defer l.Unlock(t)
+		cs()
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	l.doorway() // point of no return: Wcount is announced
+	c.exec(cs)
+	return nil
+}
+
 // RLock acquires the lock in read mode (the unchanged SWWP reader).
 func (l *MWWP) RLock() RToken { return l.core.readerLock() }
 
@@ -301,3 +551,6 @@ func (l *MWWP) RUnlock(t RToken) { l.core.readerUnlock(t) }
 
 var _ RWLock = (*MWWP)(nil)
 var _ FuncWriter = (*MWWP)(nil)
+var _ TryRWLock = (*MWWP)(nil)
+var _ CtxRWLock = (*MWWP)(nil)
+var _ CtxFuncWriter = (*MWWP)(nil)

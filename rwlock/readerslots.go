@@ -82,6 +82,19 @@ func (t *readerSlots) tryClaim() (int64, bool) {
 // the wake probe is one load of the slot's cold line.
 func (t *readerSlots) release(idx int64) { t.slots[idx].storeWake(0) }
 
+// idle is the non-blocking face of drain: one scan, no waits,
+// reporting whether every slot was free at the instant it was read.
+// A TryLock-path revocation uses it to abort (and restore the bias)
+// instead of waiting for published readers to leave.
+func (t *readerSlots) idle() bool {
+	for i := range t.slots {
+		if t.slots[i].load() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // drain waits until every slot is free and returns how many slots it
 // found occupied — the revocation-cost signal that sizes the re-arm
 // throttle.  Only a revoking writer calls drain, strictly after

@@ -76,7 +76,38 @@
 // O(1) re-reads the paper charges, the sleep is memory-silent, and
 // the wake adds one semaphore post to the signaller's existing O(1)
 // store.  What parking trades is latency, not traffic.
+//
+// # Deadline-aware acquisition
+//
+// Every lock additionally implements TryRWLock (non-blocking TryLock
+// and TryRLock) and CtxRWLock (LockCtx and RLockCtx, which abort
+// their wait when the context is cancelled), and every closure-path
+// lock implements CtxFuncWriter (WriteCtx).  The paper's algorithms
+// were not designed to abort — several of their steps are
+// irreversible — so each path documents its commitment points:
+//
+//   - Readers abort cleanly everywhere.  A cancelled reader has at
+//     most registered in a reader count; it retires through the
+//     ordinary reader-exit protocol (a zero-length read passage), so
+//     last-reader promotion handoffs stay exact.
+//   - A writer's point of no return is the single-writer doorway
+//     (the direction-bit toggle) and, below it, the arbitration
+//     grant: an MCS waiter can abort while queued (its node is
+//     adopted and recycled by the next releaser), an Anderson waiter
+//     only before its ticket, and a combiner publisher only before
+//     the publication CAS — a published closure always executes.
+//   - TryLock probes availability (arbitration free AND no readers
+//     registered) before committing through the doorway, so it is
+//     conservative: it may report busy in schedules where a blocking
+//     Lock would have been granted immediately.
+//
+// See the TryRWLock and CtxRWLock interface docs for the exact
+// contracts, including how grant-vs-cancel races resolve and which
+// ordering details of the paper (MWWP's early doorway, strict FCFS
+// under combining) the abortable paths relax.
 package rwlock
+
+import "context"
 
 // RWLock is the interface implemented by every lock in this package.
 //
@@ -94,6 +125,72 @@ type RWLock interface {
 	// RUnlock releases read mode; it must receive the token returned
 	// by the matching RLock.
 	RUnlock(RToken)
+}
+
+// TryRWLock is implemented by every lock in this package whose
+// acquisitions have genuinely non-blocking variants.  TryLock and
+// TryRLock never wait: they either take the lock — returning the
+// token the matching Unlock/RUnlock needs — or report it busy, in a
+// bounded number of steps with no allocation.
+//
+// "Busy" is evaluated against the lock's internal commitment points,
+// which makes Try* slightly conservative rather than slightly
+// blocking: a writer's TryLock probes that no writer holds or queues
+// for the arbitration mutex AND that no reader is registered, and
+// only then commits through the (irreversible) writer doorway.  A
+// reader that registers between the probe and the commit waits out a
+// bounded zero-length writer passage rather than blocking the caller
+// indefinitely — see each lock's method doc.  On /bounded locks a
+// full Anderson admission gate also counts as busy.
+type TryRWLock interface {
+	RWLock
+	// TryLock attempts write mode without blocking; ok reports
+	// whether the lock was taken.  On success the token must reach
+	// Unlock.
+	TryLock() (WToken, bool)
+	// TryRLock attempts read mode without blocking; ok reports
+	// whether the lock was taken.  On success the token must reach
+	// RUnlock.
+	TryRLock() (RToken, bool)
+}
+
+// CtxRWLock is implemented by every lock in this package whose
+// acquisitions can be bounded by a context.  LockCtx/RLockCtx behave
+// exactly like Lock/RLock until ctx is cancelled; then they abort the
+// wait, undo any partial registration, and return ctx.Err().  The
+// contract is exactly two-valued: a non-nil error means the caller
+// does NOT hold the lock (and owes no release), a nil return means it
+// does.  Cancellation races with the wake that would have granted the
+// lock are resolved in the grant's favor — a LockCtx may return nil
+// on an already-cancelled context when the handoff was in flight —
+// so callers re-check their context after acquisition when that
+// matters.
+//
+// Each discipline has a point of no return past which cancellation
+// no longer wins: the MCS grant CAS and the Anderson ticket on the
+// arbitration layer, the single-writer doorway on the core layer
+// (once the direction bit D toggles, the writer is committed — the
+// remaining waits are bounded by the readers already inside).
+// Readers, by contrast, are abortable everywhere: an aborted reader
+// retires through the ordinary reader-exit protocol (a zero-length
+// read passage), so counts and promotion handoffs stay exact.
+//
+// On MWWP, LockCtx relaxes one ordering detail of the paper's Figure
+// 4: the blocking Lock performs its doorway BEFORE queueing on the
+// arbitration mutex, which lets a whole convoy of queued writers
+// close the reader gates early; LockCtx must remain abortable while
+// queued, so it performs the doorway AFTER the mutex grant.  Mutual
+// exclusion, starvation-freedom, and writer priority while any
+// writer is inside are unaffected; only the early cross-handoff gate
+// closing is narrowed for ctx-path writers.
+type CtxRWLock interface {
+	RWLock
+	// LockCtx acquires write mode, aborting with ctx.Err() if ctx is
+	// cancelled while waiting.
+	LockCtx(ctx context.Context) (WToken, error)
+	// RLockCtx acquires read mode, aborting with ctx.Err() if ctx is
+	// cancelled while waiting.
+	RLockCtx(ctx context.Context) (RToken, error)
 }
 
 // RToken carries a read attempt's state (the paper's reader-local

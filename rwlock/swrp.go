@@ -1,6 +1,9 @@
 package rwlock
 
-import "sync/atomic"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // swrpCore is the shared-variable state and code of the paper's
 // Figure 2 single-writer multi-reader reader-priority algorithm.
@@ -90,19 +93,56 @@ func (l *swrpCore) writePassage(cs func()) {
 	l.writerUnlock(t)
 }
 
-// readerLock is Figure 2 lines 18-24.
-func (l *swrpCore) readerLock() RToken {
-	id := l.newID()
+// registerReader is Figure 2 lines 18-23: register in C, run the X
+// dance, and report whether the writer owns the CS (X == true), i.e.
+// whether line 24 would wait at the gate.
+func (l *swrpCore) registerReader() (d int32, id int64, mustWait bool) {
+	id = l.newID()
 	l.c.Add(1)      // line 18
-	d := l.d.Load() // line 19
+	d = l.d.Load()  // line 19
 	x := l.x.Load() // line 20
 	if x != xTrue { // line 21
 		l.x.CompareAndSwap(x, id) // line 22
 	}
-	if l.x.Load() == xTrue { // line 23
+	mustWait = l.x.Load() == xTrue // line 23
+	return d, id, mustWait
+}
+
+// readerLock is Figure 2 lines 18-24.
+func (l *swrpCore) readerLock() RToken {
+	d, id, mustWait := l.registerReader()
+	if mustWait {
 		l.gate[d].wait(cellTrue) // line 24
 	}
 	return RToken{side: d, id: id}
+}
+
+// tryReaderLock is the non-blocking readerLock: it fails exactly when
+// line 24 would wait (the writer holds or has just been promoted into
+// the CS), retiring through the ordinary reader exit — C decrement
+// plus Promote, a zero-length read passage that keeps the
+// last-reader-promotes-the-writer handoff exact.
+func (l *swrpCore) tryReaderLock() (RToken, bool) {
+	d, id, mustWait := l.registerReader()
+	if mustWait {
+		l.readerUnlock(RToken{side: d, id: id})
+		return RToken{}, false
+	}
+	return RToken{side: d, id: id}, true
+}
+
+// readerLockCtx is readerLock with the gate wait made cancellable; a
+// cancelled reader retires through the same zero-length-passage undo
+// tryReaderLock uses.
+func (l *swrpCore) readerLockCtx(ctx context.Context) (RToken, error) {
+	d, id, mustWait := l.registerReader()
+	if mustWait {
+		if err := l.gate[d].waitCtx(ctx, cellTrue); err != nil {
+			l.readerUnlock(RToken{side: d, id: id})
+			return RToken{}, err
+		}
+	}
+	return RToken{side: d, id: id}, nil
 }
 
 // readerUnlock is Figure 2 lines 26-27.
@@ -160,6 +200,69 @@ func (l *SWRP) Write(cs func()) {
 	cs()
 }
 
+// TryLock attempts write mode without blocking.  It fails when
+// another write attempt is in progress (where Lock would panic —
+// single-writer contract) or when any reader is registered (under
+// reader priority a writer facing readers may wait unboundedly, so
+// "reader present" is the busy condition).  The probe and the commit
+// (the line 2 direction toggle) are not atomic: a reader registering
+// in that window is waited out via the promotion handoff — TryLock
+// never waits on a writer but can briefly wait on such a racer.
+func (l *SWRP) TryLock() (WToken, bool) {
+	if !l.writerBusy.CompareAndSwap(false, true) {
+		return WToken{}, false
+	}
+	if l.core.c.Load() != 0 {
+		l.writerBusy.Store(false)
+		return WToken{}, false
+	}
+	return l.core.writerLock(), true
+}
+
+// TryRLock attempts read mode without blocking; see
+// swrpCore.tryReaderLock for the failure condition and undo.
+func (l *SWRP) TryRLock() (RToken, bool) { return l.core.tryReaderLock() }
+
+// LockCtx acquires write mode; cancellation wins only BEFORE the
+// line 2 direction toggle, Figure 2's point of no return.  Past it
+// the writer is committed and exposed to the discipline's own
+// semantics — under reader priority that wait is unbounded while
+// readers keep arriving, and ctx cannot recall it (aborting after
+// Promote poisons the X/Permit handshake).  Like Lock, it panics on
+// a concurrent write attempt (single-writer contract).
+func (l *SWRP) LockCtx(ctx context.Context) (WToken, error) {
+	if err := ctx.Err(); err != nil {
+		return WToken{}, err
+	}
+	if !l.writerBusy.CompareAndSwap(false, true) {
+		panic("rwlock: concurrent Lock on single-writer SWRP lock (use NewMWRP)")
+	}
+	if err := ctx.Err(); err != nil {
+		l.writerBusy.Store(false)
+		return WToken{}, err
+	}
+	return l.core.writerLock(), nil // line 2 = point of no return
+}
+
+// RLockCtx acquires read mode, aborting the gate wait when ctx is
+// cancelled; the aborted reader retires through a zero-length read
+// passage.
+func (l *SWRP) RLockCtx(ctx context.Context) (RToken, error) {
+	return l.core.readerLockCtx(ctx)
+}
+
+// WriteCtx runs cs in write mode unless ctx is cancelled first (see
+// CtxFuncWriter); LockCtx's commitment point applies.
+func (l *SWRP) WriteCtx(ctx context.Context, cs func()) error {
+	t, err := l.LockCtx(ctx)
+	if err != nil {
+		return err
+	}
+	defer l.Unlock(t)
+	cs()
+	return nil
+}
+
 // RLock acquires the lock in read mode.
 func (l *SWRP) RLock() RToken { return l.core.readerLock() }
 
@@ -168,3 +271,6 @@ func (l *SWRP) RUnlock(t RToken) { l.core.readerUnlock(t) }
 
 var _ RWLock = (*SWRP)(nil)
 var _ FuncWriter = (*SWRP)(nil)
+var _ TryRWLock = (*SWRP)(nil)
+var _ CtxRWLock = (*SWRP)(nil)
+var _ CtxFuncWriter = (*SWRP)(nil)

@@ -1,6 +1,9 @@
 package rwlock
 
-import "sync/atomic"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // swwpCore is the shared-variable state and code of the paper's
 // Figure 1 single-writer multi-reader algorithm.  SWWP uses it
@@ -85,8 +88,11 @@ func (l *swwpCore) writePassage(cs func()) {
 	l.writerExit(cur)
 }
 
-// readerLock is Figure 1 lines 16-24.
-func (l *swwpCore) readerLock() RToken {
+// registerReader is Figure 1 lines 16-23: register in the reader
+// count of the current side, handling the writer-moved re-register
+// dance.  It returns the side whose gate the reader is now entitled
+// to wait on.
+func (l *swwpCore) registerReader() int32 {
 	d := l.d.Load()
 	l.c[d].v.Add(1) // line 17
 	d2 := l.d.Load()
@@ -98,8 +104,59 @@ func (l *swwpCore) readerLock() RToken {
 			l.permit[other].storeWake(cellTrue) // line 23
 		}
 	}
+	return d
+}
+
+// readerLock is Figure 1 lines 16-24.
+func (l *swwpCore) readerLock() RToken {
+	d := l.registerReader()
 	l.gate[d].wait(cellTrue) // line 24
 	return RToken{side: d}
+}
+
+// tryReaderLock is the non-blocking readerLock: it registers exactly
+// as lines 17-23 do, then — where line 24 would wait — either finds
+// the gate open and enters, or retires through the ordinary reader
+// exit (a zero-length read passage) and reports failure.  The undo
+// is clean because a registered reader that never entered is
+// indistinguishable, protocol-wise, from one that entered and left
+// immediately: readerUnlock keeps the counts and the last-reader
+// permit handoffs exact either way.  Entering on an open gate is
+// safe even when a writer is mid-passage on this side: the writer's
+// waiting room drains this side's count BEFORE closing its gate, so
+// an open gate with our registration in the count means any such
+// writer is blocked on us.
+func (l *swwpCore) tryReaderLock() (RToken, bool) {
+	d := l.registerReader()
+	if l.gate[d].load() != cellTrue {
+		l.readerUnlock(RToken{side: d})
+		return RToken{}, false
+	}
+	return RToken{side: d}, true
+}
+
+// readerLockCtx is readerLock with the line 24 gate wait made
+// cancellable; a cancelled reader retires through the same
+// zero-length-passage undo tryReaderLock uses.
+func (l *swwpCore) readerLockCtx(ctx context.Context) (RToken, error) {
+	d := l.registerReader()
+	if err := l.gate[d].waitCtx(ctx, cellTrue); err != nil {
+		l.readerUnlock(RToken{side: d})
+		return RToken{}, err
+	}
+	return RToken{side: d}, nil
+}
+
+// readersIdle reports that no reader is registered on either side and
+// the exit section is clear — the availability probe the writer-side
+// TryLock runs before committing through the irreversible doorway.
+// The three loads are a snapshot, not an atomic predicate: a reader
+// may register the next instant, which is the race window TryLock's
+// documentation qualifies.
+func (l *swwpCore) readersIdle() bool {
+	return l.c[0].v.Load()&(wwBit-1) == 0 &&
+		l.c[1].v.Load()&(wwBit-1) == 0 &&
+		l.ec.Load()&(wwBit-1) == 0
 }
 
 // readerUnlock is Figure 1 lines 26-30.
@@ -163,6 +220,70 @@ func (l *SWWP) Write(cs func()) {
 	cs()
 }
 
+// TryLock attempts write mode without blocking.  It fails when
+// another write attempt is in progress (where Lock would panic —
+// single-writer contract) or when any reader is registered.  The
+// availability probe and the doorway commit are not atomic: a reader
+// whose registration races into that window is drained by the
+// ordinary waiting room, so TryLock never waits on a writer but can
+// briefly wait out such a racing reader's passage.
+func (l *SWWP) TryLock() (WToken, bool) {
+	if !l.writerBusy.CompareAndSwap(false, true) {
+		return WToken{}, false
+	}
+	if !l.core.readersIdle() {
+		l.writerBusy.Store(false)
+		return WToken{}, false
+	}
+	prev, cur := l.core.writerDoorway()
+	l.core.writerWaitingRoom(prev)
+	return WToken{prev: prev, cur: cur}, true
+}
+
+// TryRLock attempts read mode without blocking; see
+// swwpCore.tryReaderLock for why the failure undo is clean.
+func (l *SWWP) TryRLock() (RToken, bool) { return l.core.tryReaderLock() }
+
+// LockCtx acquires write mode; cancellation wins only BEFORE the
+// doorway (the direction-bit toggle), Figure 1's point of no return —
+// past it the waiting room runs to completion regardless of ctx,
+// bounded by the passages of the readers already inside.  Like Lock,
+// it panics on a concurrent write attempt (single-writer contract).
+func (l *SWWP) LockCtx(ctx context.Context) (WToken, error) {
+	if err := ctx.Err(); err != nil {
+		return WToken{}, err
+	}
+	if !l.writerBusy.CompareAndSwap(false, true) {
+		panic("rwlock: concurrent Lock on single-writer SWWP lock (use NewMWWP)")
+	}
+	if err := ctx.Err(); err != nil {
+		l.writerBusy.Store(false)
+		return WToken{}, err
+	}
+	prev, cur := l.core.writerDoorway() // point of no return
+	l.core.writerWaitingRoom(prev)
+	return WToken{prev: prev, cur: cur}, nil
+}
+
+// RLockCtx acquires read mode, aborting the gate wait when ctx is
+// cancelled; an aborted reader retires through a zero-length read
+// passage, keeping the counts exact.
+func (l *SWWP) RLockCtx(ctx context.Context) (RToken, error) {
+	return l.core.readerLockCtx(ctx)
+}
+
+// WriteCtx runs cs in write mode unless ctx is cancelled first (see
+// CtxFuncWriter); LockCtx's commitment point applies.
+func (l *SWWP) WriteCtx(ctx context.Context, cs func()) error {
+	t, err := l.LockCtx(ctx)
+	if err != nil {
+		return err
+	}
+	defer l.Unlock(t)
+	cs()
+	return nil
+}
+
 // RLock acquires the lock in read mode.
 func (l *SWWP) RLock() RToken { return l.core.readerLock() }
 
@@ -171,3 +292,6 @@ func (l *SWWP) RUnlock(t RToken) { l.core.readerUnlock(t) }
 
 var _ RWLock = (*SWWP)(nil)
 var _ FuncWriter = (*SWWP)(nil)
+var _ TryRWLock = (*SWWP)(nil)
+var _ CtxRWLock = (*SWWP)(nil)
+var _ CtxFuncWriter = (*SWWP)(nil)

@@ -1,6 +1,7 @@
 package rwlock
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -250,4 +251,131 @@ func (c *waitCell) parkUntil(pred func(int64) bool) {
 	}
 	c.parked.Add(-1)
 	c.mu.Unlock()
+}
+
+// waitCtx blocks until the cell's word equals want or ctx is
+// cancelled, returning nil in the first case and ctx.Err() in the
+// second.  The value check always wins a race against cancellation: a
+// waiter whose condition became true is reported woken, never
+// cancelled, so a signal is never lost to a simultaneous deadline.
+// Conversely a cancellation is never lost to a missing signal: the
+// cancel side broadcasts into the same cond the wake side does, so a
+// parked waiter re-checks ctx exactly as it re-checks the word.  A nil
+// ctx (or one that can never be cancelled) degenerates to wait.
+func (c *waitCell) waitCtx(ctx context.Context, want int64) error {
+	if c.v.Load() == want {
+		return nil
+	}
+	done := ctx.Done()
+	if done == nil {
+		c.wait(want)
+		return nil
+	}
+	if !c.park {
+		for c.v.Load() != want {
+			select {
+			case <-done:
+				// Final re-check: the wake may have landed in the same
+				// instant; the condition wins.
+				if c.v.Load() == want {
+					return nil
+				}
+				return ctx.Err()
+			default:
+			}
+			runtime.Gosched()
+		}
+		return nil
+	}
+	for i := 0; i < parkSpin; i++ {
+		if c.v.Load() == want {
+			return nil
+		}
+	}
+	for i := 0; i < parkYield; i++ {
+		runtime.Gosched()
+		if c.v.Load() == want {
+			return nil
+		}
+	}
+	return c.parkUntilCtx(ctx, done, func(v int64) bool { return v == want })
+}
+
+// waitUntilCtx is waitUntil with the same cancellation contract as
+// waitCtx: nil when pred held, ctx.Err() on cancellation, with the
+// predicate re-checked last so a simultaneous signal wins.
+func (c *waitCell) waitUntilCtx(ctx context.Context, pred func(int64) bool) error {
+	if pred(c.v.Load()) {
+		return nil
+	}
+	done := ctx.Done()
+	if done == nil {
+		c.waitUntil(pred)
+		return nil
+	}
+	if !c.park {
+		for !pred(c.v.Load()) {
+			select {
+			case <-done:
+				if pred(c.v.Load()) {
+					return nil
+				}
+				return ctx.Err()
+			default:
+			}
+			runtime.Gosched()
+		}
+		return nil
+	}
+	for i := 0; i < parkSpin; i++ {
+		if pred(c.v.Load()) {
+			return nil
+		}
+	}
+	for i := 0; i < parkYield; i++ {
+		runtime.Gosched()
+		if pred(c.v.Load()) {
+			return nil
+		}
+	}
+	return c.parkUntilCtx(ctx, done, pred)
+}
+
+// parkUntilCtx is parkUntil with a second wake source: ctx's
+// cancellation.  The AfterFunc broadcasts under the same mutex the
+// signalling side uses, so the standard no-lost-wakeup argument covers
+// cancellation too — a waiter between its predicate check and
+// cond.Wait holds mu, which the canceller needs before broadcasting.
+// The predicate is re-checked before ctx on every wake, so a
+// simultaneous signal+cancel resolves to "woken".
+func (c *waitCell) parkUntilCtx(ctx context.Context, done <-chan struct{}, pred func(int64) bool) error {
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		if c.cond != nil {
+			c.cond.Broadcast()
+		}
+		c.mu.Unlock()
+	})
+	defer stop()
+	c.mu.Lock()
+	if c.cond == nil {
+		c.cond = sync.NewCond(&c.mu)
+	}
+	c.parked.Add(1)
+	for !pred(c.v.Load()) {
+		select {
+		case <-done:
+			c.parked.Add(-1)
+			c.mu.Unlock()
+			if pred(c.v.Load()) {
+				return nil
+			}
+			return ctx.Err()
+		default:
+		}
+		c.cond.Wait()
+	}
+	c.parked.Add(-1)
+	c.mu.Unlock()
+	return nil
 }

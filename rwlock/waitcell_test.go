@@ -1,6 +1,7 @@
 package rwlock
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -126,6 +127,166 @@ func TestWaitCellWakeRace(t *testing.T) {
 	case <-done:
 	case <-time.After(30 * time.Second):
 		t.Fatal("ping-pong deadlocked: lost wakeup in the parking layer")
+	}
+}
+
+// TestWaitCellWaitCtxWake: an uncancelled waitCtx behaves exactly
+// like wait — released by the signal, returning nil — under both
+// strategies.
+func TestWaitCellWaitCtxWake(t *testing.T) {
+	for _, strat := range strategies() {
+		t.Run(strat.String(), func(t *testing.T) {
+			var c waitCell
+			c.setStrategy(strat)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			done := make(chan error, 1)
+			go func() { done <- c.waitCtx(ctx, 7) }()
+			select {
+			case <-done:
+				t.Fatal("waitCtx returned before the store")
+			case <-time.After(10 * time.Millisecond):
+			}
+			c.storeWake(7)
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("waitCtx = %v after a real wake, want nil", err)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("waitCtx waiter not woken by storeWake")
+			}
+			if c.parked.Load() != 0 {
+				t.Fatalf("parked count %d after wake, want 0", c.parked.Load())
+			}
+		})
+	}
+}
+
+// TestWaitCellWaitCtxCancel: cancellation releases a waiter whose
+// condition never becomes true, with ctx.Err() reported and no
+// parked-count leak — the leak would silently break wakeAll's
+// nobody-parked fast path forever after.
+func TestWaitCellWaitCtxCancel(t *testing.T) {
+	for _, strat := range strategies() {
+		t.Run(strat.String(), func(t *testing.T) {
+			var c waitCell
+			c.setStrategy(strat)
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() { done <- c.waitCtx(ctx, 7) }()
+			time.Sleep(10 * time.Millisecond) // let the waiter park
+			cancel()
+			select {
+			case err := <-done:
+				if err != context.Canceled {
+					t.Fatalf("waitCtx = %v, want context.Canceled", err)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("cancellation did not release the waiter")
+			}
+			if c.parked.Load() != 0 {
+				t.Fatalf("parked count %d after cancel, want 0 (leak)", c.parked.Load())
+			}
+			// The cell must still work for later waiters: the cancelled
+			// attempt may not have consumed or corrupted anything.
+			go func() { done <- c.waitCtx(context.Background(), 7) }()
+			c.storeWake(7)
+			if err := <-done; err != nil {
+				t.Fatalf("post-cancel waitCtx = %v, want nil", err)
+			}
+		})
+	}
+}
+
+// TestWaitCellWaitCtxAlreadySatisfied: the value check always wins —
+// a satisfied condition reports nil even on an already-cancelled ctx,
+// and an already-cancelled ctx on an unsatisfied cell reports the
+// error without waiting.
+func TestWaitCellWaitCtxAlreadySatisfied(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var c waitCell
+	c.store(7)
+	if err := c.waitCtx(ctx, 7); err != nil {
+		t.Fatalf("waitCtx on a satisfied cell = %v, want nil (value wins)", err)
+	}
+	c.store(0)
+	if err := c.waitCtx(ctx, 7); err != context.Canceled {
+		t.Fatalf("waitCtx on an unsatisfied cell = %v, want context.Canceled", err)
+	}
+	if err := c.waitUntilCtx(ctx, func(v int64) bool { return v == 7 }); err != context.Canceled {
+		t.Fatalf("waitUntilCtx = %v, want context.Canceled", err)
+	}
+	c.store(7)
+	if err := c.waitUntilCtx(ctx, func(v int64) bool { return v == 7 }); err != nil {
+		t.Fatalf("waitUntilCtx on a satisfied cell = %v, want nil", err)
+	}
+}
+
+// TestWaitCellWaitUntilCtxCancel: the predicate form's cancellation
+// path, including a waiter that is later re-satisfied.
+func TestWaitCellWaitUntilCtxCancel(t *testing.T) {
+	for _, strat := range strategies() {
+		t.Run(strat.String(), func(t *testing.T) {
+			var c waitCell
+			c.setStrategy(strat)
+			c.store(3)
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, 1)
+			go func() {
+				done <- c.waitUntilCtx(ctx, func(v int64) bool { return v == 0 })
+			}()
+			c.addWake(-1) // 2: not yet satisfied
+			time.Sleep(10 * time.Millisecond)
+			cancel()
+			if err := <-done; err != context.Canceled {
+				t.Fatalf("waitUntilCtx = %v, want context.Canceled", err)
+			}
+			if c.parked.Load() != 0 {
+				t.Fatalf("parked count %d after cancel, want 0", c.parked.Load())
+			}
+		})
+	}
+}
+
+// TestWaitCellCancelVsWakeRace races a storeWake against a cancel for
+// the same parked waiter, many rounds, under both strategies.  Either
+// outcome is legal, but the contract pins one asymmetry: when waitCtx
+// returns nil the value was observed, and when it returns an error a
+// LATER waiter must still be wakeable (no lost wakeup, no leaked
+// parked count).  Run under -race this also exercises the
+// AfterFunc-vs-broadcast path in parkUntilCtx.
+func TestWaitCellCancelVsWakeRace(t *testing.T) {
+	for _, strat := range strategies() {
+		t.Run(strat.String(), func(t *testing.T) {
+			var c waitCell
+			c.setStrategy(strat)
+			const rounds = 2000
+			for i := 0; i < rounds; i++ {
+				c.store(0)
+				ctx, cancel := context.WithCancel(context.Background())
+				done := make(chan error, 1)
+				go func() { done <- c.waitCtx(ctx, 1) }()
+				var wg sync.WaitGroup
+				wg.Add(2)
+				go func() { defer wg.Done(); c.storeWake(1) }()
+				go func() { defer wg.Done(); cancel() }()
+				var err error
+				select {
+				case err = <-done:
+				case <-time.After(5 * time.Second):
+					t.Fatalf("round %d: waiter released by neither wake nor cancel", i)
+				}
+				wg.Wait()
+				if err == nil && c.load() != 1 {
+					t.Fatalf("round %d: waitCtx reported woken with value %d", i, c.load())
+				}
+				if n := c.parked.Load(); n != 0 {
+					t.Fatalf("round %d: parked count %d leaked", i, n)
+				}
+			}
+		})
 	}
 }
 
