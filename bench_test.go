@@ -238,12 +238,15 @@ func BenchmarkE8_ReaderLatencyUnderWriterStorm(b *testing.B) {
 	}
 }
 
-// BenchmarkReadHeavy is the BRAVO comparison grid (experiment E11):
-// read-heavy mixes (90/99/100% reads) at doubling goroutine counts up
-// to max(4, NumCPU), comparing each constant-RMR lock against its
-// BRAVO-wrapped variant and sync.RWMutex.  The headline number is the
-// reads/s metric: the wrapper's sharded fast path must beat the bare
-// lock's single fetch&add word once several goroutines read at once.
+// BenchmarkReadHeavy is the reader-fast-path comparison grid
+// (experiment E11): read-heavy mixes (90/99/100% reads) at doubling
+// goroutine counts up to max(4, NumCPU), comparing each constant-RMR
+// lock against its BRAVO-wrapped and Epoch-wrapped variants and
+// sync.RWMutex.  The headline number is the reads/s metric: BRAVO's
+// sharded fast path must beat the bare lock's single fetch&add word
+// once several goroutines read at once, and the epoch fast path —
+// zero shared-word RMWs per read passage — must beat BRAVO at the
+// 99-100% mixes where the read path is everything.
 //
 //	go test -bench ReadHeavy -benchtime 100000x
 func BenchmarkReadHeavy(b *testing.B) {
@@ -258,7 +261,9 @@ func BenchmarkReadHeavy(b *testing.B) {
 	if gs[len(gs)-1] != maxG {
 		gs = append(gs, maxG)
 	}
-	names := []string{"MWSF", "Bravo(MWSF)", "MWRP", "Bravo(MWRP)", "MWWP", "Bravo(MWWP)", "sync.RWMutex"}
+	names := []string{"MWSF", "Bravo(MWSF)", "MWSF/epoch",
+		"MWRP", "Bravo(MWRP)", "MWRP/epoch",
+		"MWWP", "Bravo(MWWP)", "MWWP/epoch", "sync.RWMutex"}
 	builders := harness.NativeLocks()
 	for _, frac := range []int{90, 99, 100} {
 		for _, g := range gs {

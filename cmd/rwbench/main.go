@@ -160,7 +160,7 @@ func run(args []string, out io.Writer) error {
 		// "-locks ," parses to zero names; falling back to the default
 		// set would silently sweep something other than what was asked.
 		return fmt.Errorf("-locks %q selects no lock names (have %v)",
-			*locksFlag, harness.AllLockNames())
+			*locksFlag, harness.SortedLockNames())
 	}
 	lockNames, err := harness.SelectLockNames(requested)
 	if err != nil {

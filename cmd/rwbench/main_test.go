@@ -3,8 +3,11 @@ package main
 import (
 	"encoding/json"
 	"os"
+	"sort"
 	"strings"
 	"testing"
+
+	"rwsync/internal/harness"
 )
 
 func TestParseIntList(t *testing.T) {
@@ -77,9 +80,17 @@ func TestRunLocksSubset(t *testing.T) {
 
 func TestRunUnknownLock(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-locks", "NoSuchLock"}, &b); err == nil ||
-		!strings.Contains(err.Error(), "NoSuchLock") {
+	err := run([]string{"-locks", "NoSuchLock"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "NoSuchLock") {
 		t.Fatalf("expected unknown-lock error, got %v", err)
+	}
+	// The listing must name the epoch variants and print sorted — the
+	// reader is scanning it for one name, not browsing the families.
+	if !strings.Contains(err.Error(), "MWSF/epoch") {
+		t.Fatalf("unknown-lock listing misses the epoch variants: %v", err)
+	}
+	if !sort.StringsAreSorted(harness.SortedLockNames()) {
+		t.Fatal("SortedLockNames is not sorted")
 	}
 }
 
@@ -300,6 +311,82 @@ func TestValidateRejectsBadSchema(t *testing.T) {
 		if err := validateReport([]byte(raw)); err == nil {
 			t.Errorf("%s: validator accepted %s", name, raw)
 		}
+	}
+}
+
+// scenarioReport wraps one scenario's points in a minimal schema-2
+// report, for validator tests that need full control of the fields.
+func scenarioReport(scenario, points string) string {
+	return `{"schema_version":2,"gomaxprocs":1,"numcpu":1,"seed":1,` +
+		`"scenarios":[{"scenario":` + scenario +
+		`,"seed":1,"gomaxprocs":1,"points":[` + points + `]}]}`
+}
+
+func TestValidateRetainedMemoryFields(t *testing.T) {
+	const epochScenario = `{"name":"age-frontier","title":"t","cs_work":0,"think_work":0,"version_bytes":1024}`
+	const bareScenario = `{"name":"throughput","title":"t","cs_work":0,"think_work":0}`
+	good := `{"lock":"MWSF/epoch","workers":8,"read_fraction":0.95,"ops_per_sec":1,` +
+		`"epoch_advances":10,"grace_waits":5,"retired_versions":40,` +
+		`"reclaimed_versions":30,"retained_versions_max":12,"retained_bytes_max":12288}`
+	if err := validateReport([]byte(scenarioReport(epochScenario, good))); err != nil {
+		t.Fatalf("consistent retained-memory point rejected: %v", err)
+	}
+	for name, point := range map[string]string{
+		"reclaimed exceeds retired": `{"lock":"MWSF/epoch","workers":8,"ops_per_sec":1,` +
+			`"epoch_advances":10,"grace_waits":5,"retired_versions":4,"reclaimed_versions":5,"retained_versions_max":4}`,
+		"high-water below residue": `{"lock":"MWSF/epoch","workers":8,"ops_per_sec":1,` +
+			`"epoch_advances":10,"grace_waits":5,"retired_versions":40,"reclaimed_versions":10,"retained_versions_max":5}`,
+		"retired without grace waits": `{"lock":"MWSF/epoch","workers":8,"ops_per_sec":1,` +
+			`"retired_versions":4,"retained_versions_max":4}`,
+	} {
+		if err := validateReport([]byte(scenarioReport(epochScenario, point))); err == nil {
+			t.Errorf("%s: validator accepted %s", name, point)
+		}
+	}
+	// Retained counters on a scenario that never installed versions
+	// are bookkeeping corruption, not a measurement.
+	stray := `{"lock":"MWSF/epoch","workers":8,"ops_per_sec":1,` +
+		`"epoch_advances":10,"grace_waits":5,"retired_versions":4,"retained_versions_max":4}`
+	if err := validateReport([]byte(scenarioReport(bareScenario, stray))); err == nil {
+		t.Error("validator accepted retained counters without version_bytes")
+	}
+	// Epoch advances alone (an /epoch lock swept without versioned
+	// writes) are legitimate on any scenario.
+	advancesOnly := `{"lock":"MWSF/epoch","workers":8,"ops_per_sec":1,` +
+		`"epoch_advances":10,"grace_waits":5}`
+	if err := validateReport([]byte(scenarioReport(bareScenario, advancesOnly))); err != nil {
+		t.Errorf("epoch counters without retirement rejected: %v", err)
+	}
+}
+
+func TestRunScenarioAgeFrontier(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-ops", "400", "-scenario", "age-frontier"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The frontier's two halves must both be columns: update age and
+	// retained memory.
+	for _, col := range []string{"age p50", "age p99", "grace", "ret vers max", "ret bytes max"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("age-frontier table missing %q column:\n%s", col, out)
+		}
+	}
+	for _, lock := range []string{"MWSF", "Bravo(MWSF)", "MWSF/epoch", "MWSF/epoch/lazy64"} {
+		if !strings.Contains(out, lock) {
+			t.Errorf("age-frontier table missing %q row:\n%s", lock, out)
+		}
+	}
+	// And the JSON emission must validate, retained fields included.
+	var j strings.Builder
+	if err := run([]string{"-quick", "-ops", "400", "-json", "-scenario", "age-frontier"}, &j); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateReport([]byte(j.String())); err != nil {
+		t.Fatalf("age-frontier JSON report invalid: %v", err)
+	}
+	if !strings.Contains(j.String(), "retained_versions_max") {
+		t.Fatalf("age-frontier JSON carries no retained-memory fields:\n%s", j.String())
 	}
 }
 

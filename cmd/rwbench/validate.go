@@ -116,6 +116,32 @@ func validateScenarioResult(sr *harness.ScenarioResult) error {
 		} else if p.ShedOps != 0 || p.ShedRate != 0 {
 			return fmt.Errorf("scenario %s point %d: shed counts without a write deadline", sr.Scenario.Name, i)
 		}
+		// Epoch reclamation bookkeeping: retained-memory counters exist
+		// only on epoch-wrapped points, and only a versioned-datum run
+		// (VersionBytes > 0) retires anything; the counts must be
+		// internally consistent — nothing is reclaimed that was never
+		// retired, the high-water marks cover the unreclaimed residue,
+		// and retiring without ever paying a grace wait would mean
+		// versions were freed with readers possibly still inside them.
+		if p.RetiredVersions < 0 || p.ReclaimedVersions < 0 ||
+			p.ReclaimedVersions > p.RetiredVersions {
+			return fmt.Errorf("scenario %s point %d: reclaimed %d of %d retired versions",
+				sr.Scenario.Name, i, p.ReclaimedVersions, p.RetiredVersions)
+		}
+		if p.RetainedVersionsMax < p.RetiredVersions-p.ReclaimedVersions {
+			return fmt.Errorf("scenario %s point %d: retained_versions_max %d below unreclaimed residue %d",
+				sr.Scenario.Name, i, p.RetainedVersionsMax, p.RetiredVersions-p.ReclaimedVersions)
+		}
+		if p.RetiredVersions > 0 && (p.GraceWaits <= 0 || p.EpochAdvances <= 0) {
+			return fmt.Errorf("scenario %s point %d: %d versions retired without grace waits (grace=%d advances=%d)",
+				sr.Scenario.Name, i, p.RetiredVersions, p.GraceWaits, p.EpochAdvances)
+		}
+		if sr.Scenario.VersionBytes <= 0 &&
+			(p.RetiredVersions != 0 || p.ReclaimedVersions != 0 ||
+				p.RetainedVersionsMax != 0 || p.RetainedBytesMax != 0) {
+			return fmt.Errorf("scenario %s point %d: retained-memory counters without version_bytes",
+				sr.Scenario.Name, i)
+		}
 		for name, h := range map[string]*stats.HistSnapshot{
 			"read_wait_ns": p.ReadWait, "read_hold_ns": p.ReadHold, "read_total_ns": p.ReadTotal,
 			"write_wait_ns": p.WriteWait, "write_hold_ns": p.WriteHold, "write_total_ns": p.WriteTotal,

@@ -57,6 +57,14 @@ type Memory struct {
 	// ops[p] counts all shared-memory operations by process p.
 	ops []int64
 
+	// rmws[p] counts the read-modify-write operations (F&A, CAS) among
+	// ops[p].  Zero over a code path certifies the path touched shared
+	// memory with plain loads and stores only — the property the epoch
+	// lock's reader fast path claims, and a stronger statement than any
+	// RMR bound (an RMW is charged like a write for RMRs, so rmr alone
+	// cannot distinguish a store from a CAS).
+	rmws []int64
+
 	// writePolicy selects whether writes by a process that already
 	// holds the sole valid copy are charged.  The default
 	// (WriteAlwaysRemote) is the conservative model used in the
@@ -141,6 +149,7 @@ func NewMemory(nprocs int) *Memory {
 		nprocs: nprocs,
 		rmr:    make([]int64, nprocs),
 		ops:    make([]int64, nprocs),
+		rmws:   make([]int64, nprocs),
 	}
 }
 
@@ -183,6 +192,10 @@ func (m *Memory) RMR(p int) int64 { return m.rmr[p] }
 
 // Ops returns the total operation count of process p.
 func (m *Memory) Ops(p int) int64 { return m.ops[p] }
+
+// RMWs returns how many of process p's operations were
+// read-modify-writes (F&A or CAS).
+func (m *Memory) RMWs(p int) int64 { return m.rmws[p] }
 
 // ResetRMR zeroes process p's RMR counter (called at attempt
 // boundaries by the runner).
@@ -246,6 +259,7 @@ func (m *Memory) FAA(p int, v Var, delta int64) int64 {
 	if m.kinds[v] == KindRW {
 		panic(fmt.Sprintf("ccsim: F&A on read/write variable %q", m.names[v]))
 	}
+	m.rmws[p]++
 	m.chargeWrite(p, v)
 	old := m.vals[v]
 	m.vals[v] = old + delta
@@ -258,6 +272,7 @@ func (m *Memory) CAS(p int, v Var, old, new int64) bool {
 	if m.kinds[v] != KindCAS {
 		panic(fmt.Sprintf("ccsim: CAS on %s variable %q", m.kinds[v], m.names[v]))
 	}
+	m.rmws[p]++
 	m.chargeWrite(p, v)
 	if m.vals[v] != old {
 		return false
@@ -277,6 +292,7 @@ func (m *Memory) Clone() *Memory {
 		nprocs:      m.nprocs,
 		rmr:         append([]int64(nil), m.rmr...),
 		ops:         append([]int64(nil), m.ops...),
+		rmws:        append([]int64(nil), m.rmws...),
 		writePolicy: m.writePolicy,
 		model:       m.model,
 		homes:       append([]int(nil), m.homes...),

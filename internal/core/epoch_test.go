@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"rwsync/internal/ccsim"
+	"rwsync/internal/check"
+)
+
+// TestEpochSimRandomRunsExclusion: the stamp/recheck handshake must
+// preserve mutual exclusion under adversarial interleavings — the
+// checker flags any reader/writer CS overlap.  No FIFE/FCFS checks:
+// the epoch fast path deliberately trades arrival order away (see the
+// section note in epoch.go).
+func TestEpochSimRandomRunsExclusion(t *testing.T) {
+	for _, readers := range []int{1, 2, 3, 5} {
+		for seed := int64(1); seed <= 8; seed++ {
+			sys := NewEpochSystem(readers)
+			runChecked(t, sys, ccsim.NewRandomSched(seed), 6, check.RunOpts{
+				SectionBound: 64,
+			})
+		}
+	}
+}
+
+// TestEpochSimRoundRobinCompletes: every process finishes its
+// attempts under the fair deterministic schedule — in particular the
+// writer's grace scan terminates (slots quiesce) and readers are not
+// locked out forever by the reopening epoch.
+func TestEpochSimRoundRobinCompletes(t *testing.T) {
+	sys := NewEpochSystem(4)
+	runChecked(t, sys, ccsim.NewRoundRobin(), 10, check.RunOpts{SectionBound: 64})
+}
+
+// TestEpochReaderZeroRMW is the operation-exact form of the epoch
+// lock's central claim: a read passage performs ZERO shared-word
+// read-modify-writes — every reader step is a plain load or store —
+// while the writer's passages do pay RMWs (both epoch F&As).  The RMR
+// counters cannot make this distinction (an RMW charges like a
+// write), which is why the simulator counts RMWs separately.
+func TestEpochReaderZeroRMW(t *testing.T) {
+	sys := NewEpochSystem(3)
+	r, err := sys.NewRunner(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(ccsim.NewRandomSched(7), 1<<20); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !r.AllDone() {
+		t.Fatal("run incomplete")
+	}
+	for p := 1; p <= sys.NumReaders; p++ {
+		if ops := sys.Mem.Ops(p); ops == 0 {
+			t.Fatalf("reader %d performed no shared-memory operations", p)
+		}
+		if rmws := sys.Mem.RMWs(p); rmws != 0 {
+			t.Fatalf("reader %d performed %d RMWs, want 0 (fast passage must be plain loads and stores)", p, rmws)
+		}
+	}
+	if rmws := sys.Mem.RMWs(0); rmws == 0 {
+		t.Fatal("writer performed no RMWs (the epoch advances are F&As; the encoding is wrong)")
+	}
+}
+
+// TestCcsimRMWAccounting pins the counter itself: FAA and CAS are
+// RMWs, Read and Write are not, and Clone carries the counters.
+func TestCcsimRMWAccounting(t *testing.T) {
+	m := ccsim.NewMemory(2)
+	f := m.NewVar("f", ccsim.KindFAA, 0)
+	c := m.NewVar("c", ccsim.KindCAS, 0)
+	m.Read(0, f)
+	m.Write(0, f, 1)
+	if got := m.RMWs(0); got != 0 {
+		t.Fatalf("plain read+write counted %d RMWs", got)
+	}
+	m.FAA(0, f, 1)
+	m.CAS(1, c, 0, 5)
+	if got := m.RMWs(0); got != 1 {
+		t.Fatalf("process 0: %d RMWs, want 1", got)
+	}
+	if got := m.RMWs(1); got != 1 {
+		t.Fatalf("process 1: %d RMWs, want 1", got)
+	}
+	cl := m.Clone()
+	if cl.RMWs(0) != 1 || cl.RMWs(1) != 1 {
+		t.Fatal("Clone dropped the RMW counters")
+	}
+}

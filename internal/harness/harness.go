@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"rwsync/internal/core"
@@ -112,6 +113,12 @@ func Builders() map[string]func(w, r int) *core.System {
 		"tournament": func(w, r int) *core.System {
 			return core.NewTournamentSystem(w + r)
 		},
+		"epoch-read": func(w, r int) *core.System {
+			if w != 1 {
+				panic("epoch-read is single-writer")
+			}
+			return core.NewEpochSystem(r)
+		},
 	}
 }
 
@@ -137,7 +144,12 @@ const boundedWriters = 64
 // boundedWriters concurrent write attempts (rwlock.WithBoundedWriters)
 // and the "/combine" entries select flat-combining arbitration
 // (rwlock.WithCombiningWriters, batching over the MCS queue), so the
-// registry exposes every writerMutex implementation.
+// registry exposes every writerMutex implementation.  The "/epoch"
+// entries wrap the same cores in the epoch-stamped reader fast path
+// (rwlock.NewEpoch* — zero shared-word RMWs per read passage, writers
+// pay a grace wait); "/epoch/lazy8" and "/epoch/lazy64" stretch the
+// version-reclaim cadence (rwlock.WithEpochReclaimEvery), the knob
+// the age-frontier scenario sweeps.
 func NativeLocks() map[string]func() rwlock.RWLock {
 	park := rwlock.WithWaitStrategy(rwlock.SpinThenPark)
 	bound := rwlock.WithBoundedWriters(boundedWriters)
@@ -161,6 +173,14 @@ func NativeLocks() map[string]func() rwlock.RWLock {
 		"MWSF/combine/park":  func() rwlock.RWLock { return rwlock.NewMWSF(comb, park) },
 		"MWRP/combine/park":  func() rwlock.RWLock { return rwlock.NewMWRP(comb, park) },
 		"MWWP/combine/park":  func() rwlock.RWLock { return rwlock.NewMWWP(comb, park) },
+		"MWSF/epoch":         func() rwlock.RWLock { return rwlock.NewEpochMWSF() },
+		"MWRP/epoch":         func() rwlock.RWLock { return rwlock.NewEpochMWRP() },
+		"MWWP/epoch":         func() rwlock.RWLock { return rwlock.NewEpochMWWP() },
+		"MWSF/epoch/park":    func() rwlock.RWLock { return rwlock.NewEpochMWSF(park) },
+		"MWRP/epoch/park":    func() rwlock.RWLock { return rwlock.NewEpochMWRP(park) },
+		"MWWP/epoch/park":    func() rwlock.RWLock { return rwlock.NewEpochMWWP(park) },
+		"MWSF/epoch/lazy8":   func() rwlock.RWLock { return rwlock.NewEpochMWSF(rwlock.WithEpochReclaimEvery(8)) },
+		"MWSF/epoch/lazy64":  func() rwlock.RWLock { return rwlock.NewEpochMWSF(rwlock.WithEpochReclaimEvery(64)) },
 		"Bravo(MWSF)":        func() rwlock.RWLock { return rwlock.NewBravoMWSF() },
 		"Bravo(MWRP)":        func() rwlock.RWLock { return rwlock.NewBravoMWRP() },
 		"Bravo(MWWP)":        func() rwlock.RWLock { return rwlock.NewBravoMWWP() },
@@ -199,18 +219,31 @@ func AllLockNames() []string {
 	return []string{
 		"MWSF", "MWSF/park", "MWSF/bounded", "MWSF/bounded/park",
 		"MWSF/combine", "MWSF/combine/park",
+		"MWSF/epoch", "MWSF/epoch/park", "MWSF/epoch/lazy8", "MWSF/epoch/lazy64",
 		"Bravo(MWSF)", "Bravo(MWSF)/park",
 		"MWRP", "MWRP/park", "MWRP/bounded", "MWRP/bounded/park",
 		"MWRP/combine", "MWRP/combine/park",
+		"MWRP/epoch", "MWRP/epoch/park",
 		"Bravo(MWRP)", "Bravo(MWRP)/park",
 		"MWWP", "MWWP/park", "MWWP/bounded", "MWWP/bounded/park",
 		"MWWP/combine", "MWWP/combine/park",
+		"MWWP/epoch", "MWWP/epoch/park",
 		"Bravo(MWWP)", "Bravo(MWWP)/park",
 		"CentralizedRW", "CentralizedRW/park",
 		"PhaseFairRW", "PhaseFairRW/park",
 		"TaskFairRW", "TaskFairRW/park",
 		"sync.RWMutex",
 	}
+}
+
+// SortedLockNames returns every registry entry sorted lexically — the
+// order for error listings and other lookup aids, where a reader is
+// scanning for one name, not reading the families in presentation
+// order.
+func SortedLockNames() []string {
+	names := AllLockNames()
+	sort.Strings(names)
+	return names
 }
 
 // OversubLockNames is the default lock set of the oversubscription
@@ -257,7 +290,7 @@ func SelectLockNames(requested []string) ([]string, error) {
 		}
 	}
 	for name := range want {
-		return nil, fmt.Errorf("unknown lock %q (have %v)", name, AllLockNames())
+		return nil, fmt.Errorf("unknown lock %q (have %v)", name, SortedLockNames())
 	}
 	return out, nil
 }

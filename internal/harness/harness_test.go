@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -133,6 +134,27 @@ func TestRegistryNameListsConsistent(t *testing.T) {
 	// complete ordering.
 	if len(AllLockNames()) != len(builders) {
 		t.Fatalf("AllLockNames has %d entries, registry %d", len(AllLockNames()), len(builders))
+	}
+}
+
+func TestSortedNameLists(t *testing.T) {
+	// The sorted listings back error messages: they must cover the
+	// same sets as the presentation orders and actually be sorted.
+	sortedLocks := SortedLockNames()
+	if !sort.StringsAreSorted(sortedLocks) {
+		t.Fatalf("SortedLockNames not sorted: %v", sortedLocks)
+	}
+	if len(sortedLocks) != len(AllLockNames()) {
+		t.Fatalf("SortedLockNames has %d entries, AllLockNames %d",
+			len(sortedLocks), len(AllLockNames()))
+	}
+	sortedScenarios := SortedScenarioNames()
+	if !sort.StringsAreSorted(sortedScenarios) {
+		t.Fatalf("SortedScenarioNames not sorted: %v", sortedScenarios)
+	}
+	if len(sortedScenarios) != len(ScenarioNames()) {
+		t.Fatalf("SortedScenarioNames has %d entries, ScenarioNames %d",
+			len(sortedScenarios), len(ScenarioNames()))
 	}
 }
 

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -94,6 +95,13 @@ type Scenario struct {
 	// points trade shed rate against writer-wait tail.
 	WriteDeadline   time.Duration `json:"-"`
 	WriteDeadlineUs int64         `json:"write_deadline_us,omitempty"` // JSON mirror of WriteDeadline
+	// VersionBytes > 0 makes every write install a freshly allocated
+	// versioned datum of that size, retiring the displaced version to
+	// the lock when it implements rwlock.VersionRetirer (the Epoch
+	// layer's deferred-reclamation seam) and to the GC otherwise.  The
+	// age-frontier scenario pairs it with MeasureAge to chart update
+	// age against retained memory.
+	VersionBytes int `json:"version_bytes,omitempty"`
 	// GOMAXPROCS, if > 0, is pinned for the scenario's duration (and
 	// restored after) so oversubscription scenarios oversubscribe
 	// even on big machines.
@@ -147,6 +155,18 @@ type ScenarioPoint struct {
 	// arbitration (a "/combine" registry entry): how many write
 	// critical sections each drain of the publication list retired.
 	BatchSize *stats.HistSnapshot `json:"batch_size,omitempty"`
+	// The epoch counters ride only on points whose lock is an Epoch
+	// wrapper (rwlock.EpochStatsOf), the same additive-schema pattern
+	// as batch_size: advances/grace waits tell how aggressively the
+	// fast path was closed, retired/reclaimed and the retained
+	// high-water marks tell what deferred reclamation cost in held-back
+	// versions and bytes.
+	EpochAdvances       int64 `json:"epoch_advances,omitempty"`
+	GraceWaits          int64 `json:"grace_waits,omitempty"`
+	RetiredVersions     int64 `json:"retired_versions,omitempty"`
+	ReclaimedVersions   int64 `json:"reclaimed_versions,omitempty"`
+	RetainedVersionsMax int64 `json:"retained_versions_max,omitempty"`
+	RetainedBytesMax    int64 `json:"retained_bytes_max,omitempty"`
 
 	ReaderRMR *stats.Summary `json:"reader_rmr,omitempty"`
 	WriterRMR *stats.Summary `json:"writer_rmr,omitempty"`
@@ -189,6 +209,15 @@ func ScenarioNames() []string {
 	return append([]string(nil), scenarioOrder...)
 }
 
+// SortedScenarioNames returns the registered scenario names sorted
+// lexically — the order for error listings, where the reader is
+// scanning for one name.
+func SortedScenarioNames() []string {
+	names := ScenarioNames()
+	sort.Strings(names)
+	return names
+}
+
 // ScenarioByName looks up a registered scenario.
 func ScenarioByName(name string) (Scenario, bool) {
 	sc, ok := scenarioRegistry[name]
@@ -214,7 +243,7 @@ func SelectScenarios(request string) ([]Scenario, error) {
 		if part = strings.TrimSpace(part); part != "" {
 			if _, ok := scenarioRegistry[part]; !ok {
 				return nil, fmt.Errorf("unknown scenario %q (have %s)",
-					part, strings.Join(ScenarioNames(), ", "))
+					part, strings.Join(SortedScenarioNames(), ", "))
 			}
 			want[part] = true
 		}
@@ -223,7 +252,7 @@ func SelectScenarios(request string) ([]Scenario, error) {
 		// A request like "," parses to zero names; running nothing
 		// silently would look like an instant, empty success.
 		return nil, fmt.Errorf("scenario request %q selects nothing (have %s)",
-			request, strings.Join(ScenarioNames(), ", "))
+			request, strings.Join(SortedScenarioNames(), ", "))
 	}
 	var out []Scenario
 	for _, name := range scenarioOrder {
@@ -416,6 +445,28 @@ func init() {
 		WriteDeadline: 500 * time.Microsecond,
 	})
 	RegisterScenario(Scenario{
+		Name:  "age-frontier",
+		Title: "age-memory frontier: update age vs retained versions across grace aggressiveness",
+		Description: "every write installs a fresh 1 KiB version and retires the old " +
+			"one; the Epoch rows defer reclamation to batch boundaries (bare, " +
+			"every-8, every-64 sweeps the grace aggressiveness) while the bare " +
+			"MWSF and Bravo rows free versions immediately through the GC.  The " +
+			"products chart the frontier the epoch layer trades along: how stale " +
+			"readers' views get (age p50/p99) against how many versions and " +
+			"bytes deferred reclamation holds back at its worst (retained " +
+			"high-water columns) and how often writers pay a grace wait",
+		Locks: []string{"MWSF", "Bravo(MWSF)", "MWSF/epoch",
+			"MWSF/epoch/lazy8", "MWSF/epoch/lazy64"},
+		Workers:       []int{8},
+		ReadFractions: []float64{0.95},
+		OpsPerWorker:  20000,
+		CSWork:        16,
+		ThinkWork:     16,
+		SampleEvery:   1,
+		MeasureAge:    true,
+		VersionBytes:  1024,
+	})
+	RegisterScenario(Scenario{
 		Name:  "latency-grid",
 		Title: "latency grid: per-op latency distributions across read ratios",
 		Description: "full wait/hold latency histograms per class across the " +
@@ -529,7 +580,7 @@ func runNativeScenario(sc *Scenario, seed int64) ([]ScenarioPoint, error) {
 	for _, name := range sc.Locks {
 		if builders[name] == nil {
 			return nil, fmt.Errorf("scenario %s: unknown lock %q (have %v)",
-				sc.Name, name, AllLockNames())
+				sc.Name, name, SortedLockNames())
 		}
 	}
 	if len(sc.Workers) == 0 {
@@ -576,6 +627,7 @@ func runNativeScenario(sc *Scenario, seed int64) ([]ScenarioPoint, error) {
 					Yield:            sc.Yield,
 					Churn:            sc.Churn,
 					WriteDeadline:    sc.WriteDeadline,
+					VersionBytes:     sc.VersionBytes,
 				})
 				pt := ScenarioPoint{
 					Lock:         name,
@@ -594,6 +646,14 @@ func runNativeScenario(sc *Scenario, seed int64) ([]ScenarioPoint, error) {
 					WriteTotal:   r.WriteTotalNs.Snapshot(),
 					Age:          r.AgeNs.Snapshot(),
 					BatchSize:    batchSizeSnapshot(l),
+				}
+				if es, ok := rwlock.EpochStatsOf(l); ok {
+					pt.EpochAdvances = es.Advances
+					pt.GraceWaits = es.GraceWaits
+					pt.RetiredVersions = es.Retired
+					pt.ReclaimedVersions = es.Reclaimed
+					pt.RetainedVersionsMax = es.MaxRetainedVersions
+					pt.RetainedBytesMax = es.MaxRetainedBytes
 				}
 				if sc.DedicatedWriters > 0 {
 					pt.Writers = dedicated
@@ -751,7 +811,7 @@ func ScenarioTable(res *ScenarioResult) *stats.Table {
 		}
 		return t
 	}
-	hasAge, hasBatch := false, false
+	hasAge, hasBatch, hasEpoch := false, false, false
 	hasShed := res.Scenario.WriteDeadline > 0 || res.Scenario.WriteDeadlineUs > 0
 	for _, p := range res.Points {
 		if p.Age != nil {
@@ -759,6 +819,9 @@ func ScenarioTable(res *ScenarioResult) *stats.Table {
 		}
 		if p.BatchSize != nil {
 			hasBatch = true
+		}
+		if p.EpochAdvances > 0 {
+			hasEpoch = true
 		}
 	}
 	headers := []string{"lock", "workers", "read%", "ops/s",
@@ -772,6 +835,13 @@ func ScenarioTable(res *ScenarioResult) *stats.Table {
 	}
 	if hasBatch {
 		headers = append(headers, "batch p50", "batch p99", "batch max")
+	}
+	if hasEpoch {
+		// The age-frontier columns: how often the fast path was closed
+		// (grace waits) against what deferred reclamation held back at
+		// its worst (retained versions / bytes).  Non-epoch rows show
+		// "-": they retire nothing and retain nothing.
+		headers = append(headers, "grace", "ret vers max", "ret bytes max")
 	}
 	t := stats.NewTable(title, headers...)
 	q := func(h *stats.HistSnapshot, pick func(*stats.HistSnapshot) int64) string {
@@ -810,6 +880,16 @@ func ScenarioTable(res *ScenarioResult) *stats.Table {
 				q(p.BatchSize, func(h *stats.HistSnapshot) int64 { return h.P50 }),
 				q(p.BatchSize, func(h *stats.HistSnapshot) int64 { return h.P99 }),
 				q(p.BatchSize, func(h *stats.HistSnapshot) int64 { return h.Max }))
+		}
+		if hasEpoch {
+			if p.EpochAdvances > 0 {
+				row = append(row,
+					fmt.Sprintf("%d", p.GraceWaits),
+					fmt.Sprintf("%d", p.RetainedVersionsMax),
+					fmt.Sprintf("%d", p.RetainedBytesMax))
+			} else {
+				row = append(row, "-", "-", "-")
+			}
 		}
 		t.AddRow(row...)
 	}

@@ -13,7 +13,7 @@ func TestScenarioRegistryHasAllEntries(t *testing.T) {
 	for _, name := range []string{
 		"throughput", "priority", "oversub", "rmr", "rmr-dsm",
 		"bursty-writers", "starvation", "writer-churn", "combine-batch",
-		"latency-grid",
+		"writer-shed", "age-frontier", "latency-grid",
 	} {
 		if _, ok := ScenarioByName(name); !ok {
 			t.Errorf("scenario %q not registered (have %v)", name, ScenarioNames())

@@ -96,6 +96,17 @@ type Config struct {
 	// this mode (a combining lock's batches are not deadline-aware;
 	// its LockCtx token path is).
 	WriteDeadline time.Duration
+	// VersionBytes, if > 0, makes the protected datum VERSIONED: each
+	// write prepares a fresh VersionBytes-sized version outside the
+	// lock (the copy-on-write shape), installs it in the critical
+	// section, and hands the displaced version to the lock's deferred
+	// reclamation when the lock implements rwlock.VersionRetirer (the
+	// epoch wrapper); on any other lock the old version is simply
+	// dropped for the garbage collector.  Combined with MeasureAge
+	// this is the age-frontier probe: update age on one axis, the
+	// lock's retained-version backlog (rwlock.EpochStatsOf) on the
+	// other.
+	VersionBytes int
 	// Churn runs every operation on a FRESH goroutine: each worker
 	// becomes a lane that spawns one short-lived goroutine per op and
 	// waits for it before the next, so the number of distinct
@@ -192,6 +203,11 @@ type workerHists struct {
 type sharedCell struct {
 	value int64
 	stamp int64 // ns since run start, written under the write lock
+	// version is the versioned payload (Config.VersionBytes > 0):
+	// writers swap in a freshly built slice and retire the old one,
+	// readers touch the current one.  Guarded by the lock like the
+	// other fields.
+	version []byte
 }
 
 // Run executes the workload against l and returns aggregate results.
@@ -228,6 +244,13 @@ func Run(l rwlock.RWLock, cfg Config) *Result {
 		if cl, ok = l.(rwlock.CtxRWLock); !ok {
 			panic("workload: WriteDeadline set but the lock does not implement rwlock.CtxRWLock")
 		}
+	}
+
+	// Versioned writes retire the displaced version through the lock
+	// when it supports deferred reclamation; resolved once, up front.
+	var retirer rwlock.VersionRetirer
+	if cfg.VersionBytes > 0 {
+		retirer, _ = l.(rwlock.VersionRetirer)
 	}
 
 	// Preallocate every worker's sample buffers before the clock (and
@@ -275,11 +298,24 @@ func Run(l rwlock.RWLock, cfg Config) *Result {
 			// placement to the pre-combining workload.
 			var wSample bool
 			var wAcq time.Time
+			var newVersion []byte // built outside the lock, installed inside
 			writeCS := func() {
 				if wSample {
 					wAcq = time.Now()
 				}
 				shared.value++
+				if newVersion != nil {
+					// Copy-on-write install: the displaced version goes
+					// to the lock's deferred reclamation when it has one
+					// (the retained-memory half of the age-frontier
+					// probe), otherwise straight to the GC.
+					old := shared.version
+					shared.version = newVersion
+					newVersion = nil
+					if retirer != nil && old != nil {
+						retirer.Retire(old, len(old))
+					}
+				}
 				spin(cfg.CSWork, &sink)
 				if cfg.MeasureAge {
 					// Stamp last: the value's age starts when the
@@ -310,6 +346,13 @@ func Run(l rwlock.RWLock, cfg Config) *Result {
 				}
 				if write {
 					wSample = sample
+					if cfg.VersionBytes > 0 {
+						// Prepare the new version OUTSIDE the lock — the
+						// copy-on-write shape — so the allocation cost is
+						// not charged to the critical section.
+						newVersion = make([]byte, cfg.VersionBytes)
+						newVersion[0] = byte(i)
+					}
 					if cl != nil {
 						// Deadline-aware token path: the context's timer
 						// is the per-op budget, stopped as soon as the
@@ -340,6 +383,9 @@ func Run(l rwlock.RWLock, cfg Config) *Result {
 						tAcq = time.Now()
 					}
 					_ = shared.value
+					if shared.version != nil {
+						_ = shared.version[0] // touch the current version
+					}
 					var age int64 = -1
 					if sample && cfg.MeasureAge && shared.stamp != 0 {
 						age = int64(time.Since(start)) - shared.stamp

@@ -177,7 +177,13 @@ func TestAgeProbe(t *testing.T) {
 		OpsPerWorker:     2000,
 		SampleEvery:      1,
 		MeasureAge:       true,
-		Seed:             7,
+		// Yield keeps the probe deterministic on a single P: without
+		// it a reader can drain its whole op budget inside one
+		// scheduler quantum, finishing before the dedicated writer's
+		// first stamp — and an age histogram with zero samples is a
+		// scheduling artifact, not a probe failure.
+		Yield: true,
+		Seed:  7,
 	})
 	if res.AgeNs == nil || res.AgeNs.N() == 0 {
 		t.Fatal("age probe recorded nothing")

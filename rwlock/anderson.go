@@ -47,6 +47,11 @@ type AndersonLock struct {
 	_        [56]byte
 	slots    []waitCell
 	sem      chan struct{}
+	// retire is the batch-boundary hook (see writerMutex.onBatchRetire
+	// in mcs.go): one passage is a batch of one, so Release invokes it
+	// once at entry, before the successor slot opens.  Written once
+	// before the lock escapes, read per release — no atomicity needed.
+	retire func()
 }
 
 // NewAnderson returns an Anderson lock sized for maxConcurrent
@@ -140,6 +145,11 @@ func (l *AndersonLock) AcquireCtx(ctx context.Context) (uint32, error) {
 // Release hands the lock to the next waiter (or leaves it free),
 // waking the successor if it parked.
 func (l *AndersonLock) Release(slot uint32) {
+	if l.retire != nil {
+		// Batch boundary: the successor's slot has not opened yet, so
+		// the hook runs while this passage still owns the lock.
+		l.retire()
+	}
 	l.slots[(slot+1)%uint32(len(l.slots))].storeWake(cellTrue)
 	l.released.Add(1)
 	<-l.sem
@@ -161,5 +171,15 @@ func (l *AndersonLock) acquireCtx(ctx context.Context) (wslot, error) {
 }
 
 func (l *AndersonLock) release(s wslot) { l.Release(s.idx) }
+
+// onBatchRetire registers the batch-boundary hook (see the writerMutex
+// contract in mcs.go).  Must be called before the lock is shared; at
+// most once.
+func (l *AndersonLock) onBatchRetire(fn func()) {
+	if l.retire != nil {
+		panic("rwlock: onBatchRetire registered twice on the same writer mutex")
+	}
+	l.retire = fn
+}
 
 var _ writerMutex = (*AndersonLock)(nil)

@@ -371,6 +371,104 @@ func TestMCSCancelDuringHandoff(t *testing.T) {
 	}
 }
 
+// TestArbiterBatchRetireOncePerBatch: the onBatchRetire hook must fire
+// exactly once per batch, while the mutex is still held.  On the MCS
+// queue and the Anderson array every passage is a batch of one, and on
+// the combiner's token path likewise, so here firings must equal
+// passages exactly.  The hook increments a PLAIN int64 that the
+// critical sections also mutate: under -race, a hook firing outside
+// the mutex's exclusion is a detected data race, which is the
+// "while held" half of the contract.
+func TestArbiterBatchRetireOncePerBatch(t *testing.T) {
+	forEachArbiter(t, func(t *testing.T, newM func() writerMutex) {
+		m := newM()
+		var data int64     // plain, guarded only by m
+		var boundary int64 // plain: hook runs under the same exclusion
+		m.onBatchRetire(func() { boundary++ })
+		const goroutines, laps = 8, 300
+		var wg sync.WaitGroup
+		for i := 0; i < goroutines; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < laps; k++ {
+					s := m.acquire()
+					data++
+					m.release(s)
+				}
+			}()
+		}
+		wg.Wait()
+		if data != goroutines*laps {
+			t.Fatalf("data = %d, want %d (lost passages)", data, goroutines*laps)
+		}
+		if boundary != goroutines*laps {
+			t.Fatalf("hook fired %d times for %d single-passage batches", boundary, goroutines*laps)
+		}
+	})
+}
+
+// TestArbiterBatchRetireDoubleRegisterPanics: the contract allows at
+// most one registration per mutex.
+func TestArbiterBatchRetireDoubleRegisterPanics(t *testing.T) {
+	forEachArbiter(t, func(t *testing.T, newM func() writerMutex) {
+		m := newM()
+		m.onBatchRetire(func() {})
+		defer func() {
+			if recover() == nil {
+				t.Fatal("second onBatchRetire registration did not panic")
+			}
+		}()
+		m.onBatchRetire(func() {})
+	})
+}
+
+// TestCombinerBatchRetireOncePerDrainedBatch pins the combiner's side
+// of the hook contract on its EXEC path: one firing per swapped batch
+// (however many records the batch retired — firings must equal the
+// batch counter, not the op counter), fired after the batch's last
+// critical section and before the inner release, and NOT forwarded to
+// the inner mutex (forwarding would double-fire on every inner
+// handoff).  csRun is plain: the hook reads it under the same
+// exclusion the critical sections write it, so -race checks the
+// ordering claim too.
+func TestCombinerBatchRetireOncePerDrainedBatch(t *testing.T) {
+	for _, strat := range strategies() {
+		t.Run(strat.String(), func(t *testing.T) {
+			c := newCombiner(newMCS(strat), strat)
+			var csRun int64    // plain, written by combined critical sections
+			var boundary int64 // plain, written by the hook under the same mutex
+			var behind int64   // critical sections the hook had not yet seen
+			c.onBatchRetire(func() {
+				boundary++
+				behind = csRun // every published-so-far cs of this batch has run
+			})
+			const publishers, laps = 16, 200
+			var wg sync.WaitGroup
+			for i := 0; i < publishers; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for k := 0; k < laps; k++ {
+						c.exec(func() { csRun++ })
+					}
+				}()
+			}
+			wg.Wait()
+			st := c.snapshot()
+			if csRun != publishers*laps || st.Ops != publishers*laps {
+				t.Fatalf("csRun = %d, stats.Ops = %d, want %d", csRun, st.Ops, publishers*laps)
+			}
+			if boundary != st.Batches {
+				t.Fatalf("hook fired %d times for %d batches", boundary, st.Batches)
+			}
+			if behind != csRun {
+				t.Fatalf("last firing saw %d critical sections, %d ran (hook fired before its batch finished)", behind, csRun)
+			}
+		})
+	}
+}
+
 // TestArbiterOneShotWriters: the churn shape — well over 1000 DISTINCT
 // goroutines, each acquiring and releasing exactly once.  This is the
 // shape that distinguishes the contract's obligations from a

@@ -174,7 +174,7 @@ type CombinerStats struct {
 type combineRecord struct {
 	cs   func()
 	next *combineRecord
-	_    [40]byte
+	_    [48]byte
 	done waitCell
 }
 
@@ -209,7 +209,16 @@ type combiner struct {
 	// nil means records run their cs directly (the raw-mutex use the
 	// conformance suite exercises).
 	passage func(func())
-	pool    sync.Pool
+	// retire is the batch-boundary hook (see writerMutex.onBatchRetire
+	// in mcs.go): the drain loop invokes it once per swapped batch,
+	// after the batch's last critical section has run and before the
+	// next swap (or the inner release); the token path invokes it once
+	// per release.  The registration is NOT forwarded to the inner
+	// mutex — the batch boundary belongs to the outermost arbiter, and
+	// forwarding would double-fire it on every inner handoff.  Written
+	// once before the lock escapes, read under the inner mutex.
+	retire func()
+	pool   sync.Pool
 
 	// Batch statistics, written only while holding inner (batches are
 	// serialized), read at quiescence via snapshot().
@@ -358,6 +367,14 @@ func (c *combiner) finish(r *combineRecord, elected bool) {
 			rec.done.storeWake(cellTrue)
 			rec = next
 		}
+		if c.retire != nil {
+			// Batch boundary: every critical section of this batch has
+			// run, the inner mutex is still held, and the next batch (if
+			// the list refilled) has not started.  One firing here is
+			// what lets one grace period retire the whole batch's
+			// versions (see epoch.go).
+			c.retire()
+		}
 	}
 	c.inner.release(slot)
 	// Our record was in the list we pushed onto and every record a
@@ -378,7 +395,24 @@ func (c *combiner) tryAcquire() (wslot, bool) { return c.inner.tryAcquire() }
 func (c *combiner) acquireCtx(ctx context.Context) (wslot, error) {
 	return c.inner.acquireCtx(ctx)
 }
-func (c *combiner) release(s wslot) { c.inner.release(s) }
+func (c *combiner) release(s wslot) {
+	if c.retire != nil {
+		// A token-path passage is a batch of one; fire before the inner
+		// release so the hook runs while the mutex is still held.
+		c.retire()
+	}
+	c.inner.release(s)
+}
+
+// onBatchRetire registers the batch-boundary hook on the COMBINER (not
+// the inner mutex; see the retire field).  Must be called before the
+// lock is shared; at most once.
+func (c *combiner) onBatchRetire(fn func()) {
+	if c.retire != nil {
+		panic("rwlock: onBatchRetire registered twice on the same writer mutex")
+	}
+	c.retire = fn
+}
 
 // snapshot copies the batch counters.  Quiescence is the caller's
 // obligation (see CombinerStats).

@@ -1,0 +1,371 @@
+package rwlock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// epochLocks names the Epoch configurations the focused tests below
+// drive; the generic exclusion/trylock/ctx suites cover Epoch through
+// the shared locks() registry in rwlock_test.go.
+func epochLocks(opts ...Option) map[string]*Epoch {
+	return map[string]*Epoch{
+		"Epoch(MWSF)": NewEpochMWSF(opts...),
+		"Epoch(MWRP)": NewEpochMWRP(opts...),
+		"Epoch(MWWP)": NewEpochMWWP(opts...),
+	}
+}
+
+// TestEpochFastPathTokenTag: an uncontended read enters through the
+// stamp fast path (the token carries the epoch side tag), and the
+// first read AFTER a write is back on the fast path immediately — the
+// batch-boundary hook reopens it unconditionally, the behavior that
+// separates Epoch from Bravo's re-arm throttle.
+func TestEpochFastPathTokenTag(t *testing.T) {
+	for name, e := range epochLocks() {
+		t.Run(name, func(t *testing.T) {
+			rt := e.RLock()
+			if rt.side != epochFastSide {
+				t.Fatalf("uncontended RLock took the slow path (side %d)", rt.side)
+			}
+			e.RUnlock(rt)
+			e.Unlock(e.Lock())
+			rt = e.RLock()
+			if rt.side != epochFastSide {
+				t.Fatalf("first RLock after a write took the slow path (side %d): boundary did not reopen the epoch", rt.side)
+			}
+			e.RUnlock(rt)
+		})
+	}
+}
+
+// TestEpochFastReadZeroAlloc: the stamp fast path must not allocate —
+// the slot lease is a pool hit in the steady state and the token is a
+// value.  This is the Go-side half of the zero-cost claim; the
+// zero-RMW half is pinned on the simulator in internal/core.
+func TestEpochFastReadZeroAlloc(t *testing.T) {
+	for name, e := range epochLocks() {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 10; i++ { // warm the pool and the registry
+				e.RUnlock(e.RLock())
+			}
+			// Exactly zero in a normal build — the build where the whole
+			// lease path (per-P cache + pool steady state) is active, so
+			// a real per-op allocation is caught there.  Under -race the
+			// per-P cache is off and sync.Pool deliberately drops ~1/4
+			// of Puts, and each dropped slot re-registers at ~3 mallocs
+			// (slot, registry slice, slice header) — ~0.75 mallocs/op on
+			// average.  AllocsPerRun reports truncated integer
+			// mallocs/runs, so the observable values are 0.00 or 1.00
+			// around that mean; allow up to 3 (several sigma of drop
+			// noise) rather than pretending the bound is sub-integer.
+			limit := 0.0
+			if raceEnabled {
+				limit = 3.0
+			}
+			if n := testing.AllocsPerRun(100, func() {
+				e.RUnlock(e.RLock())
+			}); n > limit {
+				t.Fatalf("fast read allocates %.2f objects per op, want 0", n)
+			}
+		})
+	}
+}
+
+// TestEpochWriterWaitsForFastReader: the grace wait is the mutual
+// exclusion seam — a writer must not enter while a fast-path reader
+// is stamped in, and must enter promptly once the reader leaves.
+func TestEpochWriterWaitsForFastReader(t *testing.T) {
+	for _, strat := range strategies() {
+		for name, e := range epochLocks(WithWaitStrategy(strat)) {
+			t.Run(name+"/"+strat.String(), func(t *testing.T) {
+				rt := e.RLock()
+				if rt.side != epochFastSide {
+					t.Fatal("reader did not take the fast path")
+				}
+				var entered atomic.Bool
+				done := make(chan WToken)
+				go func() {
+					wt := e.Lock()
+					entered.Store(true)
+					done <- wt
+				}()
+				time.Sleep(10 * time.Millisecond)
+				if entered.Load() {
+					t.Fatal("writer entered while a fast-path reader was inside")
+				}
+				e.RUnlock(rt)
+				select {
+				case wt := <-done:
+					e.Unlock(wt)
+				case <-time.After(5 * time.Second):
+					t.Fatal("writer never entered after the fast reader left")
+				}
+			})
+		}
+	}
+}
+
+// TestEpochTryLockNeverWaitsOnReaders: TryLock scans the stamp slots
+// instead of draining them — with a fast reader inside it must fail
+// promptly, restore the epoch's parity (the fast path stays open for
+// new readers), and leave the lock fully functional.
+func TestEpochTryLockNeverWaitsOnReaders(t *testing.T) {
+	for name, e := range epochLocks() {
+		t.Run(name, func(t *testing.T) {
+			rt := e.RLock()
+			if rt.side != epochFastSide {
+				t.Fatal("reader did not take the fast path")
+			}
+			start := time.Now()
+			if _, ok := e.TryLock(); ok {
+				t.Fatal("TryLock succeeded against a fast-path reader")
+			}
+			if elapsed := time.Since(start); elapsed > time.Second {
+				t.Fatalf("TryLock blocked %v against a fast-path reader", elapsed)
+			}
+			// Parity must be restored: a NEW reader takes the fast path
+			// while the first is still inside.
+			rt2 := e.RLock()
+			if rt2.side != epochFastSide {
+				t.Fatal("failed TryLock left the fast path closed")
+			}
+			e.RUnlock(rt2)
+			e.RUnlock(rt)
+			wt, ok := e.TryLock()
+			if !ok {
+				t.Fatal("TryLock failed on a quiescent lock")
+			}
+			e.Unlock(wt)
+		})
+	}
+}
+
+// TestEpochTryRLockUnderWriter: while a writer holds the lock the
+// epoch is odd, so TryRLock must fail through the inner probe without
+// blocking on the grace machinery — and succeed again after the
+// writer leaves, through the fast path.
+func TestEpochTryRLockUnderWriter(t *testing.T) {
+	for name, e := range epochLocks() {
+		t.Run(name, func(t *testing.T) {
+			wt := e.Lock()
+			start := time.Now()
+			if _, ok := e.TryRLock(); ok {
+				t.Fatal("TryRLock succeeded under a writer")
+			}
+			if elapsed := time.Since(start); elapsed > time.Second {
+				t.Fatalf("TryRLock blocked %v under a writer", elapsed)
+			}
+			e.Unlock(wt)
+			rt, ok := e.TryRLock()
+			if !ok {
+				t.Fatal("TryRLock failed on a quiescent lock")
+			}
+			if rt.side != epochFastSide {
+				t.Fatal("post-writer TryRLock missed the fast path")
+			}
+			e.RUnlock(rt)
+		})
+	}
+}
+
+// TestEpochRetireReclaim: the grace rule.  A version retired inside
+// write N is still retained at N's boundary (its grace period is the
+// one N's own drain opened — no later drain has certified it dead)
+// and reclaimed at write N+1's boundary.  Counters must balance.
+func TestEpochRetireReclaim(t *testing.T) {
+	e := NewEpochMWSF()
+	v1 := make([]byte, 100)
+	wt := e.Lock()
+	e.Retire(v1, len(v1))
+	e.Unlock(wt)
+	st, ok := e.EpochStats()
+	if !ok {
+		t.Fatal("EpochStats not ok on *Epoch")
+	}
+	if st.Retired != 1 || st.Reclaimed != 0 || st.RetainedVersions != 1 || st.RetainedBytes != 100 {
+		t.Fatalf("after retiring write: %+v", st)
+	}
+	v2 := make([]byte, 40)
+	wt = e.Lock()
+	e.Retire(v2, len(v2))
+	e.Unlock(wt)
+	st, _ = e.EpochStats()
+	if st.Retired != 2 || st.Reclaimed != 1 || st.RetainedVersions != 1 || st.RetainedBytes != 40 {
+		t.Fatalf("after second retiring write: %+v", st)
+	}
+	if st.MaxRetainedVersions != 2 || st.MaxRetainedBytes != 140 {
+		t.Fatalf("high-water marks: %+v", st)
+	}
+	// A write with nothing retired still sweeps the leftover.
+	e.Unlock(e.Lock())
+	st, _ = e.EpochStats()
+	if st.Reclaimed != 2 || st.RetainedVersions != 0 || st.RetainedBytes != 0 {
+		t.Fatalf("after draining write: %+v", st)
+	}
+}
+
+// TestEpochReclaimEveryDefersSweep: WithEpochReclaimEvery(k) must hold
+// retired versions across boundaries that are not multiples of k —
+// the lazy end of the age-memory frontier — and release the backlog
+// when the cadence lands.
+func TestEpochReclaimEveryDefersSweep(t *testing.T) {
+	e := NewEpochMWSF(WithEpochReclaimEvery(4))
+	for i := 0; i < 3; i++ {
+		wt := e.Lock()
+		e.Retire(make([]byte, 10), 10)
+		e.Unlock(wt)
+	}
+	st, _ := e.EpochStats()
+	if st.Boundaries != 3 || st.Reclaimed != 0 || st.RetainedVersions != 3 {
+		t.Fatalf("before the cadence boundary: %+v", st)
+	}
+	e.Unlock(e.Lock()) // boundary 4: the sweep runs
+	st, _ = e.EpochStats()
+	if st.Reclaimed != 3 || st.RetainedVersions != 0 {
+		t.Fatalf("at the cadence boundary: %+v", st)
+	}
+}
+
+// TestEpochCombiningOneGracePerBatch: under flat-combining
+// arbitration the epoch advance and grace wait run once per BATCH
+// (the batch's first section pays; the boundary hook reopens), so at
+// quiescence GraceWaits must equal the combiner's batch count while
+// the op count says how many writes those grace waits covered — the
+// amortization the tentpole exists for.
+func TestEpochCombiningOneGracePerBatch(t *testing.T) {
+	e := NewEpochMWSF(WithCombiningWriters())
+	const writers, laps = 16, 200
+	var data int64 // plain, guarded by the lock: -race checks exclusion
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < laps; k++ {
+				e.Write(func() { data++ })
+			}
+		}()
+	}
+	wg.Wait()
+	if data != writers*laps {
+		t.Fatalf("data = %d, want %d", data, writers*laps)
+	}
+	cs, ok := e.CombinerStats()
+	if !ok {
+		t.Fatal("CombinerStats not forwarded from the combining inner lock")
+	}
+	st, _ := e.EpochStats()
+	if cs.Ops != writers*laps {
+		t.Fatalf("combiner ops = %d, want %d", cs.Ops, writers*laps)
+	}
+	if st.GraceWaits != cs.Batches {
+		t.Fatalf("grace waits = %d, batches = %d: want exactly one grace wait per batch", st.GraceWaits, cs.Batches)
+	}
+	if st.Boundaries != cs.Batches {
+		t.Fatalf("boundaries = %d, batches = %d", st.Boundaries, cs.Batches)
+	}
+}
+
+// TestEpochRetireUnderCombining: versions retired by combined write
+// sections are swept at batch boundaries; at quiescence one final
+// empty write reclaims everything (every retired epoch then precedes
+// the last drain).
+func TestEpochRetireUnderCombining(t *testing.T) {
+	e := NewEpochMWSF(WithCombiningWriters())
+	const writers, laps = 8, 50
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < laps; k++ {
+				e.Write(func() { e.Retire(make([]byte, 8), 8) })
+			}
+		}()
+	}
+	wg.Wait()
+	e.Write(func() {}) // final boundary: drain the backlog
+	st, _ := e.EpochStats()
+	if st.Retired != writers*laps {
+		t.Fatalf("retired = %d, want %d", st.Retired, writers*laps)
+	}
+	if st.Reclaimed != st.Retired || st.RetainedVersions != 0 || st.RetainedBytes != 0 {
+		t.Fatalf("backlog not drained at quiescence: %+v", st)
+	}
+}
+
+// TestEpochStatsOf: the generic accessor resolves epoch locks and
+// rejects everything else.
+func TestEpochStatsOf(t *testing.T) {
+	if _, ok := EpochStatsOf(NewEpochMWSF()); !ok {
+		t.Fatal("EpochStatsOf missed an epoch lock")
+	}
+	if _, ok := EpochStatsOf(NewMWSF()); ok {
+		t.Fatal("EpochStatsOf matched a bare MWSF")
+	}
+	if _, ok := EpochStatsOf(NewBravoMWSF()); ok {
+		t.Fatal("EpochStatsOf matched a Bravo wrapper")
+	}
+}
+
+// TestEpochConstructorContract: nil inner defaults to MWSF; wrapping
+// anything without a writer-arbitration layer to hook — including
+// another wrapper — panics at construction, not at first use.
+func TestEpochConstructorContract(t *testing.T) {
+	e := NewEpoch(nil)
+	e.RUnlock(e.RLock())
+	e.Unlock(e.Lock())
+	if _, ok := e.Inner().(*MWSF); !ok {
+		t.Fatalf("nil inner resolved to %T, want *MWSF", e.Inner())
+	}
+	for name, bad := range map[string]RWLock{
+		"centralized": NewCentralizedRW(),
+		"bravo":       NewBravoMWSF(),
+		"epoch":       NewEpochMWSF(),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEpoch(%s) did not panic", name)
+				}
+			}()
+			NewEpoch(bad)
+		}()
+	}
+}
+
+// TestEpochReaderChurnManyGoroutines: distinct short-lived reader
+// goroutines churn the slot pool and the registry while writers force
+// grace waits — the shape that catches a leaked stamp (a writer would
+// hang) or a registry race (-race).  The registry must stay bounded
+// by the cap however many readers pass through.
+func TestEpochReaderChurnManyGoroutines(t *testing.T) {
+	e := NewEpochMWSF()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			e.Unlock(e.Lock())
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	const readers = 2000
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt := e.RLock()
+			e.RUnlock(rt)
+		}()
+	}
+	stop.Store(true)
+	wg.Wait()
+	if n := len(*e.slots.Load()); n > epochMaxSlots {
+		t.Fatalf("registry grew to %d slots, cap is %d", n, epochMaxSlots)
+	}
+}

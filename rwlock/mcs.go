@@ -65,11 +65,27 @@ import (
 // no longer win (the MCS grant CAS, the Anderson ticket fetch&add,
 // the combiner's publication CAS); acquireCtx may therefore return
 // nil on an already-cancelled context when the grant got there first.
+// The contract's second extension (PR 7) is the batch-boundary hook:
+// onBatchRetire registers a function that every implementation invokes
+// exactly once per retired batch, while the arbitration mutex is still
+// held — i.e. before the handoff that admits the next writer.  For the
+// queue and array mutexes a "batch" is a single passage, so the hook
+// fires at the top of every release; the combiner fires it once per
+// drained publication batch (however many write sections the batch
+// retired) plus once per token-path release, and does NOT forward the
+// registration to its inner mutex (the boundary belongs to the
+// outermost arbiter).  The epoch layer (epoch.go) rides this hook: the
+// mutual exclusion the mutex already provides makes the hook a free
+// serialization point for end-of-passage bookkeeping, and on the
+// combiner one hook firing — one grace period — retires a whole batch
+// of versions.  Register at most one hook, before the lock escapes its
+// constructor; registering twice panics.
 type writerMutex interface {
 	acquire() wslot
 	tryAcquire() (wslot, bool)
 	acquireCtx(ctx context.Context) (wslot, error)
 	release(wslot)
+	onBatchRetire(fn func())
 }
 
 // wslot is the opaque writer-arbitration slot carried in a WToken: an
@@ -187,6 +203,12 @@ type mcsLock struct {
 	tail atomic.Pointer[mcsNode]
 	_    [56]byte
 	pool sync.Pool
+	// retire is the batch-boundary hook (see writerMutex.onBatchRetire):
+	// for a plain queue mutex every passage is a batch of one, so
+	// release invokes it once at entry, before any handoff.  Written
+	// once before the lock escapes its constructor, read on every
+	// release — no atomicity needed.
+	retire func()
 }
 
 // newMCS returns an unbounded MCS queue mutex whose waits follow s.
@@ -282,6 +304,12 @@ func (l *mcsLock) acquireCtx(ctx context.Context) (wslot, error) {
 // carrying the handoff onward (the loop; see the state diagram on
 // mcsNode).
 func (l *mcsLock) release(s wslot) {
+	if l.retire != nil {
+		// Batch boundary: the caller still owns the mutex (nothing has
+		// been handed off yet), so the hook runs fully serialized
+		// against every other passage's hook and critical section.
+		l.retire()
+	}
 	n := s.n
 	for {
 		if n.next.Load() == nil && l.tail.CompareAndSwap(n, nil) {
@@ -321,6 +349,15 @@ func (l *mcsLock) release(s wslot) {
 		l.pool.Put(n)
 		n = next
 	}
+}
+
+// onBatchRetire registers the batch-boundary hook (see the writerMutex
+// contract).  Must be called before the lock is shared; at most once.
+func (l *mcsLock) onBatchRetire(fn func()) {
+	if l.retire != nil {
+		panic("rwlock: onBatchRetire registered twice on the same writer mutex")
+	}
+	l.retire = fn
 }
 
 var _ writerMutex = (*mcsLock)(nil)

@@ -1,0 +1,25 @@
+package rwlock
+
+import (
+	_ "unsafe" // for go:linkname
+)
+
+// procPin / procUnpin expose the runtime's goroutine-to-P pinning
+// primitive, the same one sync.Pool builds its per-P private slots
+// on.  Between a pin and the matching unpin the goroutine cannot be
+// preempted or migrated, so the returned P index is a stable,
+// exclusive identity: no other goroutine can be running on that P at
+// the same time.  That exclusivity is what lets the epoch lock keep a
+// one-item slot cache per P with plain loads and stores — the pin
+// guarantees at most one accessor per cache entry, and cache
+// coherence orders same-location plain accesses, so no RMW or fence
+// is needed to claim the cached slot.
+//
+// These are grandfathered linknames (sync.Pool and several popular
+// modules depend on them), so the runtime keeps them exported.
+//
+//go:linkname procPin runtime.procPin
+func procPin() int
+
+//go:linkname procUnpin runtime.procUnpin
+func procUnpin()

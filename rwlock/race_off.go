@@ -1,0 +1,7 @@
+//go:build !race
+
+package rwlock
+
+// raceEnabled reports whether the race detector instrumented this
+// build; see race_on.go.
+const raceEnabled = false

@@ -1,0 +1,14 @@
+//go:build race
+
+package rwlock
+
+// raceEnabled reports whether the race detector instrumented this
+// build.  Two consumers: the epoch lock's per-P slot cache hands
+// slots between goroutines through plain (unannotated) stores, which
+// is invisible to the detector's happens-before graph, so the cache
+// turns itself off under -race and leans on sync.Pool, whose handoffs
+// are annotated.  And under -race sync.Pool deliberately drops a
+// fraction of Puts to shake out lifetime bugs, so exact
+// zero-allocation pins on pool-backed fast paths must relax to a
+// small average.
+const raceEnabled = true

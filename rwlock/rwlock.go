@@ -35,6 +35,36 @@
 // order (batches run in publication order) for one handoff per batch
 // (see combiner.go).
 //
+// # Reader fast paths
+//
+// Two optional wrappers layer multicore reader scalability over any
+// of the multi-writer locks; both trade strict arrival-order fairness
+// while their fast path is open, and both preserve mutual exclusion
+// and the wrapped lock's progress guarantees:
+//
+//   - NewBravo (bravo.go) keeps a distributed visible-readers table:
+//     while the lock is read-biased a reader publishes itself with
+//     one CAS in a private cache line and skips the inner lock; a
+//     writer revokes the bias and drains the table.  One shared-word
+//     RMW per read passage.
+//   - NewEpoch (epoch.go) removes even that: readers stamp a padded
+//     per-slot epoch word with a plain store and recheck the global
+//     epoch — zero shared-word RMWs per read passage — while writers
+//     advance the epoch and wait out a grace period.  The grace
+//     machinery additionally buys deferred version reclamation
+//     (Retire/VersionRetirer): old versions of the protected data are
+//     freed only after a grace period in which no reader can still
+//     observe them, swept at the writer arbitration layer's batch
+//     boundary — the update-age vs retained-memory trade measured by
+//     the age-frontier scenario.  WithEpochReclaimEvery sets the
+//     sweep cadence.
+//
+// Pick Bravo when writers are frequent enough that grace waits would
+// dominate (its revocation throttle adapts the bias to the write
+// rate); pick Epoch at very high read ratios or when deferred
+// reclamation is wanted (its fast path reopens unconditionally at
+// every batch boundary, so there is no revocation dead zone).
+//
 // # Tokens
 //
 // Unlike sync.RWMutex, these algorithms require a few words of
@@ -194,11 +224,16 @@ type CtxRWLock interface {
 }
 
 // RToken carries a read attempt's state (the paper's reader-local
-// variables d and, for reader-priority locks, the attempt pid) from
-// RLock to RUnlock.  Treat it as opaque.
+// variables d and, for reader-priority locks, the attempt pid; for
+// the epoch fast path, the leased stamp slot) from RLock to RUnlock.
+// Treat it as opaque.
 type RToken struct {
 	side int32
 	id   int64
+	// eslot is the epoch fast path's leased stamp slot, carried in the
+	// token so RUnlock reaches the slot directly instead of re-loading
+	// the registry; nil on every other path.
+	eslot *epochSlot
 }
 
 // WToken carries a write attempt's state (the paper's writer-local

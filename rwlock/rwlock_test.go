@@ -34,6 +34,11 @@ func locks(opts ...Option) map[string]RWLock {
 		"Bravo(MWRP)":         NewBravoMWRP(opts...),
 		"Bravo(MWWP)":         NewBravoMWWP(opts...),
 		"Bravo(MWSF)/bounded": NewBravoMWSF(bounded(b)...),
+		"Epoch(MWSF)":         NewEpochMWSF(opts...),
+		"Epoch(MWRP)":         NewEpochMWRP(opts...),
+		"Epoch(MWWP)":         NewEpochMWWP(opts...),
+		"Epoch(MWSF)/bounded": NewEpochMWSF(bounded(b)...),
+		"Epoch(MWSF)/combine": NewEpochMWSF(bounded(WithCombiningWriters())...),
 	}
 }
 

@@ -162,13 +162,25 @@ func TestTryLockAllocFree(t *testing.T) {
 			}); n != 0 {
 				t.Fatalf("TryLock/Unlock allocates %.1f objects per cycle", n)
 			}
+			// The epoch wrapper's read probe leases a stamp slot, and
+			// under -race that lease rides sync.Pool, whose deliberate
+			// Put drops force slot re-registrations — the same noise
+			// TestEpochFastReadZeroAlloc quantifies; the exact zero is
+			// pinned by the non-race build, where the full lease path
+			// (per-P cache + pool steady state) is active.
+			rlimit := 0.0
+			if raceEnabled {
+				if _, ok := l.(epochStatser); ok {
+					rlimit = 3.0
+				}
+			}
 			if n := testing.AllocsPerRun(100, func() {
 				rt, ok := l.TryRLock()
 				if !ok {
 					t.Fatal("TryRLock failed on a free lock")
 				}
 				l.RUnlock(rt)
-			}); n != 0 {
+			}); n > rlimit {
 				t.Fatalf("TryRLock/RUnlock allocates %.1f objects per cycle", n)
 			}
 			wt, _ := l.TryLock()

@@ -69,6 +69,10 @@ type options struct {
 	// combining wraps the selected writer arbitration in the
 	// flat-combining layer.  See WithCombiningWriters in combiner.go.
 	combining bool
+	// epochReclaimEvery is the epoch wrapper's reclaim cadence: sweep
+	// retired versions every k-th batch boundary (0/1 = every
+	// boundary).  See WithEpochReclaimEvery in epoch.go.
+	epochReclaimEvery int
 }
 
 // WithWaitStrategy selects the waiting layer's behavior for every wait
