@@ -6,7 +6,8 @@
 // Usage:
 //
 //	rwbench [-ops N] [-seed S] [-workers list] [-locks list]
-//	        [-scenario names|all] [-markdown] [-json] [-quick]
+//	        [-scenario names|all] [-stripes list] [-skew list]
+//	        [-markdown] [-json] [-quick]
 //	        [-oversub] [-oversub-workers list] [-oversub-duration d]
 //	        [-validate file]
 //
@@ -37,10 +38,16 @@
 // through LockCtx, reporting the shed rate (writes abandoned at
 // deadline) against the writer-wait tail the survivors pay.
 //
+// -stripes and -skew override the grid-size and Zipf-exponent axes of
+// the sharded (serving tier) scenarios, e.g. `-scenario zipf-grid
+// -stripes 1000,1000000 -skew 1.07`.  They apply only to scenarios
+// that sweep a stripe axis and are rejected — with the sorted list of
+// sharded scenario names — when the selection contains none.
+//
 // Unknown -locks or -scenario names are rejected with the list of
 // valid names, and so is a selection that parses to nothing (e.g.
-// `-locks ","`): a sweep that silently ran an empty selection would
-// look like an instant success.
+// `-locks ","` or `-stripes ","`): a sweep that silently ran an empty
+// selection would look like an instant success.
 //
 // -oversub adds the oversubscription experiment: GOMAXPROCS is pinned
 // to -oversub-gomaxprocs (default 2) for the sweep's duration so the
@@ -97,6 +104,22 @@ func parseIntList(s string) ([]int, error) {
 	return out, nil
 }
 
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad skew %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // schemaVersion identifies the -json report layout.  Version 1 was
 // the unversioned PR 2 shape (throughput/priority/oversubscribed
 // arrays only); version 2 added schema_version itself and the
@@ -137,6 +160,8 @@ func run(args []string, out io.Writer) error {
 	oversubWorkers := fs.String("oversub-workers", "16,64", "worker counts for -oversub")
 	oversubDur := fs.Duration("oversub-duration", 100*time.Millisecond, "measurement window per -oversub point")
 	oversubProcs := fs.Int("oversub-gomaxprocs", 2, "GOMAXPROCS pinned for the -oversub sweep (0 = leave unpinned)")
+	stripesFlag := fs.String("stripes", "", "comma-separated stripe counts for sharded scenarios (e.g. 1000,1000000)")
+	skewFlag := fs.String("skew", "", "comma-separated Zipf exponents for sharded scenarios (e.g. 0,1.07)")
 	validate := fs.String("validate", "", "validate a -json report file against the schema and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -175,6 +200,28 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// The sharded-axis overrides get the same reject-empty rule as
+	// -locks: "-stripes ," must not silently run the scenario's own
+	// grid under the guise of a narrowed one.
+	var stripes []int
+	if *stripesFlag != "" {
+		if stripes, err = parseIntList(*stripesFlag); err != nil {
+			return err
+		}
+		if len(stripes) == 0 {
+			return fmt.Errorf("-stripes %q selects no stripe counts", *stripesFlag)
+		}
+	}
+	var skews []float64
+	if *skewFlag != "" {
+		if skews, err = parseFloatList(*skewFlag); err != nil {
+			return err
+		}
+		if len(skews) == 0 {
+			return fmt.Errorf("-skew %q selects no Zipf exponents", *skewFlag)
+		}
+	}
+
 	emit := func(t interface {
 		Render() string
 		Markdown() string
@@ -202,6 +249,8 @@ func run(args []string, out io.Writer) error {
 			Seed:    *seed,
 			Quick:   *quick,
 			Workers: workers,
+			Stripes: stripes,
+			ZipfS:   skews,
 		}
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -226,7 +275,7 @@ func run(args []string, out io.Writer) error {
 		// override that applies to NONE of the selected scenarios
 		// (e.g. -locks on a simulator sweep, -ops on a deadline-based
 		// one) must not be silently dropped.
-		anyNative, anyOpsBased := false, false
+		anyNative, anyOpsBased, anySharded := false, false, false
 		for _, sc := range scs {
 			if sc.Sim == nil {
 				anyNative = true
@@ -234,12 +283,19 @@ func run(args []string, out io.Writer) error {
 					anyOpsBased = true
 				}
 			}
+			if len(sc.Stripes) > 0 {
+				anySharded = true
+			}
 		}
 		if len(opts.Locks) > 0 && !anyNative {
 			return fmt.Errorf("-locks applies to no selected scenario (simulator scenarios sweep systems, not locks)")
 		}
 		if opts.Ops > 0 && !anyOpsBased {
 			return fmt.Errorf("-ops applies to no selected scenario (deadline-based scenarios size by duration)")
+		}
+		if (len(stripes) > 0 || len(skews) > 0) && !anySharded {
+			return fmt.Errorf("-stripes/-skew apply to no selected scenario (sharded scenarios: %v)",
+				harness.ShardedScenarioNames())
 		}
 		for _, sc := range scs {
 			res, err := harness.RunScenario(sc, opts)
@@ -264,6 +320,10 @@ func run(args []string, out io.Writer) error {
 	// sweep adapters, in the legacy report shape.  A nil workers grid
 	// means the engine's default doubling grid (one policy, owned by
 	// the harness).
+	if len(stripes) > 0 || len(skews) > 0 {
+		return fmt.Errorf("-stripes/-skew require a sharded -scenario selection (sharded scenarios: %v)",
+			harness.ShardedScenarioNames())
+	}
 	fractions := []float64{0.5, 0.9, 0.99, 1.0}
 	readers := 8
 	oversubFractions := []float64{0.9, 0.99}

@@ -438,6 +438,125 @@ func TestRunOversubTable(t *testing.T) {
 	}
 }
 
+func TestParseFloatList(t *testing.T) {
+	got, err := parseFloatList("0, 1.07,1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1.07 || got[2] != 1.5 {
+		t.Fatalf("parseFloatList = %v", got)
+	}
+	if _, err := parseFloatList("1.07,x"); err == nil {
+		t.Fatal("expected error for non-number")
+	}
+}
+
+// TestRunScenarioZipfGrid: the serving-tier scenario renders the
+// sharded columns — stripe count, skew, bytes/lock, hot-key read
+// rate — on every data row, and the -stripes/-skew overrides narrow
+// the axes.
+func TestRunScenarioZipfGrid(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-scenario", "zipf-grid",
+		"-stripes", "4,16", "-skew", "1.07",
+		"-locks", "SlimBravo,sync.RWMutex"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, col := range []string{"stripes", "zipf s", "B/lock", "hot rd/s", "age p50"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("zipf-grid table missing %q column:\n%s", col, out)
+		}
+	}
+	// Shape check: every data row must carry both grid axes — a row
+	// without a stripe count or skew means some cell bypassed the
+	// sharded runner.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "SlimBravo") && !strings.HasPrefix(line, "sync.RWMutex") {
+			continue
+		}
+		rows++
+		if !strings.Contains(line, "1.07") {
+			t.Fatalf("row without skew column: %q", line)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 6 || (fields[3] != "4" && fields[3] != "16") {
+			t.Fatalf("row without overridden stripe count: %q", line)
+		}
+	}
+	if rows != 4 { // 2 locks x 2 stripe counts x 1 skew
+		t.Fatalf("zipf-grid rendered %d data rows, want 4:\n%s", rows, out)
+	}
+}
+
+func TestRunScenarioZipfGridJSONValidates(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-json", "-scenario", "zipf-grid",
+		"-stripes", "8", "-skew", "1.07", "-locks", "SlimEpoch"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateReport([]byte(b.String())); err != nil {
+		t.Fatalf("fresh zipf-grid emission fails validation: %v", err)
+	}
+	for _, field := range []string{`"stripes"`, `"zipf_s"`, `"bytes_per_lock"`, `"hot_read_ops"`} {
+		if !strings.Contains(b.String(), field) {
+			t.Fatalf("zipf-grid JSON missing %s:\n%s", field, b.String())
+		}
+	}
+}
+
+// TestRunRejectsShardedOverridesElsewhere: -stripes/-skew must be
+// rejected — naming the sharded scenarios — when the selection has no
+// stripe axis, when there is no -scenario at all, and when the value
+// parses to nothing.
+func TestRunRejectsShardedOverridesElsewhere(t *testing.T) {
+	var b strings.Builder
+	for name, args := range map[string][]string{
+		"flat scenario": {"-scenario", "latency-grid", "-stripes", "4"},
+		"classic path":  {"-skew", "1.07"},
+	} {
+		err := run(args, &b)
+		if err == nil || !strings.Contains(err.Error(), "zipf-grid") {
+			t.Fatalf("%s: error = %v, want rejection listing sharded scenarios", name, err)
+		}
+	}
+	if err := run([]string{"-scenario", "zipf-grid", "-stripes", ","}, &b); err == nil ||
+		!strings.Contains(err.Error(), "selects no stripe counts") {
+		t.Fatalf("empty -stripes error = %v", err)
+	}
+	if err := run([]string{"-scenario", "zipf-grid", "-skew", ","}, &b); err == nil ||
+		!strings.Contains(err.Error(), "selects no Zipf exponents") {
+		t.Fatalf("empty -skew error = %v", err)
+	}
+}
+
+func TestValidateShardedFields(t *testing.T) {
+	const shardedScenario = `{"name":"zipf-grid","title":"t","cs_work":0,"think_work":0,"stripes":[4],"zipf_s":[1.07]}`
+	const flatScenario = `{"name":"throughput","title":"t","cs_work":0,"think_work":0}`
+	good := `{"lock":"SlimBravo","workers":8,"read_fraction":0.9,"ops_per_sec":1,` +
+		`"read_ops":90,"write_ops":10,"stripes":4,"zipf_s":1.07,"bytes_per_lock":16,"hot_read_ops":40}`
+	if err := validateReport([]byte(scenarioReport(shardedScenario, good))); err != nil {
+		t.Fatalf("consistent sharded point rejected: %v", err)
+	}
+	for name, point := range map[string]string{
+		"missing stripes": `{"lock":"SlimBravo","workers":8,"ops_per_sec":1,` +
+			`"read_ops":90,"zipf_s":1.07,"bytes_per_lock":16}`,
+		"missing bytes_per_lock": `{"lock":"SlimBravo","workers":8,"ops_per_sec":1,` +
+			`"read_ops":90,"stripes":4,"zipf_s":1.07}`,
+		"hot reads exceed reads": `{"lock":"SlimBravo","workers":8,"ops_per_sec":1,` +
+			`"read_ops":90,"stripes":4,"zipf_s":1.07,"bytes_per_lock":16,"hot_read_ops":91}`,
+	} {
+		if err := validateReport([]byte(scenarioReport(shardedScenario, point))); err == nil {
+			t.Errorf("%s: validator accepted %s", name, point)
+		}
+	}
+	stray := `{"lock":"MWSF","workers":8,"ops_per_sec":1,"stripes":4,"bytes_per_lock":16}`
+	if err := validateReport([]byte(scenarioReport(flatScenario, stray))); err == nil {
+		t.Error("validator accepted sharded columns on a flat scenario")
+	}
+}
+
 func TestRunOversubDefaultsToParkComparison(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-quick", "-ops", "200", "-workers", "1", "-json",

@@ -93,6 +93,7 @@ func validateScenarioResult(sr *harness.ScenarioResult) error {
 		return fmt.Errorf("scenario %s: missing gomaxprocs", sr.Scenario.Name)
 	}
 	sim := sr.Scenario.Sim != nil
+	sharded := len(sr.Scenario.Stripes) > 0
 	for i, p := range sr.Points {
 		if sim {
 			if p.System == "" || p.ReaderRMR == nil || p.WriterRMR == nil {
@@ -102,6 +103,25 @@ func validateScenarioResult(sr *harness.ScenarioResult) error {
 		}
 		if p.Lock == "" || p.Workers <= 0 || p.OpsPerSec <= 0 {
 			return fmt.Errorf("scenario %s point %d: incomplete native point (%+v)", sr.Scenario.Name, i, p)
+		}
+		// Sharded bookkeeping (schema_version 2, additive): a scenario
+		// that sweeps a stripe axis must carry the grid size and the
+		// measured footprint on every point; a flat scenario must not
+		// carry either — a stray stripes column would mean some producer
+		// routed a flat sweep through the sharded runner.
+		if sharded {
+			if p.Stripes <= 0 {
+				return fmt.Errorf("scenario %s point %d: sharded point without a stripe count", sr.Scenario.Name, i)
+			}
+			if p.BytesPerLock <= 0 {
+				return fmt.Errorf("scenario %s point %d: sharded point without bytes_per_lock", sr.Scenario.Name, i)
+			}
+			if p.HotReadOps < 0 || p.HotReadOps > p.ReadOps {
+				return fmt.Errorf("scenario %s point %d: hot_read_ops %d outside [0, read_ops=%d]",
+					sr.Scenario.Name, i, p.HotReadOps, p.ReadOps)
+			}
+		} else if p.Stripes != 0 || p.ZipfS != 0 || p.BytesPerLock != 0 || p.HotReadOps != 0 {
+			return fmt.Errorf("scenario %s point %d: sharded columns without a stripe axis", sr.Scenario.Name, i)
 		}
 		// Deadline bookkeeping: shed counts exist exactly when the
 		// scenario ran with a write deadline, and the rate must agree

@@ -150,43 +150,58 @@ const boundedWriters = 64
 // pay a grace wait); "/epoch/lazy8" and "/epoch/lazy64" stretch the
 // version-reclaim cadence (rwlock.WithEpochReclaimEvery), the knob
 // the age-frontier scenario sweeps.
+//
+// The serving-tier entries put the reader fast paths in their grid
+// builds: "Bravo(MWSF)/shared" and "MWSF/epoch/shared" are the full
+// wrappers on the package-default shared reader arena (the private
+// per-lock table/registry is shed; see rwlock.WithSharedReaderTable),
+// and "SlimBravo"/"SlimEpoch" are the 16-byte packed variants the
+// 10^5–10^6-stripe serving maps are built from.
 func NativeLocks() map[string]func() rwlock.RWLock {
 	park := rwlock.WithWaitStrategy(rwlock.SpinThenPark)
 	bound := rwlock.WithBoundedWriters(boundedWriters)
 	comb := rwlock.WithCombiningWriters()
 	return map[string]func() rwlock.RWLock{
-		"MWSF":               func() rwlock.RWLock { return rwlock.NewMWSF() },
-		"MWRP":               func() rwlock.RWLock { return rwlock.NewMWRP() },
-		"MWWP":               func() rwlock.RWLock { return rwlock.NewMWWP() },
-		"MWSF/park":          func() rwlock.RWLock { return rwlock.NewMWSF(park) },
-		"MWRP/park":          func() rwlock.RWLock { return rwlock.NewMWRP(park) },
-		"MWWP/park":          func() rwlock.RWLock { return rwlock.NewMWWP(park) },
-		"MWSF/bounded":       func() rwlock.RWLock { return rwlock.NewMWSF(bound) },
-		"MWRP/bounded":       func() rwlock.RWLock { return rwlock.NewMWRP(bound) },
-		"MWWP/bounded":       func() rwlock.RWLock { return rwlock.NewMWWP(bound) },
-		"MWSF/bounded/park":  func() rwlock.RWLock { return rwlock.NewMWSF(bound, park) },
-		"MWRP/bounded/park":  func() rwlock.RWLock { return rwlock.NewMWRP(bound, park) },
-		"MWWP/bounded/park":  func() rwlock.RWLock { return rwlock.NewMWWP(bound, park) },
-		"MWSF/combine":       func() rwlock.RWLock { return rwlock.NewMWSF(comb) },
-		"MWRP/combine":       func() rwlock.RWLock { return rwlock.NewMWRP(comb) },
-		"MWWP/combine":       func() rwlock.RWLock { return rwlock.NewMWWP(comb) },
-		"MWSF/combine/park":  func() rwlock.RWLock { return rwlock.NewMWSF(comb, park) },
-		"MWRP/combine/park":  func() rwlock.RWLock { return rwlock.NewMWRP(comb, park) },
-		"MWWP/combine/park":  func() rwlock.RWLock { return rwlock.NewMWWP(comb, park) },
-		"MWSF/epoch":         func() rwlock.RWLock { return rwlock.NewEpochMWSF() },
-		"MWRP/epoch":         func() rwlock.RWLock { return rwlock.NewEpochMWRP() },
-		"MWWP/epoch":         func() rwlock.RWLock { return rwlock.NewEpochMWWP() },
-		"MWSF/epoch/park":    func() rwlock.RWLock { return rwlock.NewEpochMWSF(park) },
-		"MWRP/epoch/park":    func() rwlock.RWLock { return rwlock.NewEpochMWRP(park) },
-		"MWWP/epoch/park":    func() rwlock.RWLock { return rwlock.NewEpochMWWP(park) },
-		"MWSF/epoch/lazy8":   func() rwlock.RWLock { return rwlock.NewEpochMWSF(rwlock.WithEpochReclaimEvery(8)) },
-		"MWSF/epoch/lazy64":  func() rwlock.RWLock { return rwlock.NewEpochMWSF(rwlock.WithEpochReclaimEvery(64)) },
-		"Bravo(MWSF)":        func() rwlock.RWLock { return rwlock.NewBravoMWSF() },
-		"Bravo(MWRP)":        func() rwlock.RWLock { return rwlock.NewBravoMWRP() },
-		"Bravo(MWWP)":        func() rwlock.RWLock { return rwlock.NewBravoMWWP() },
-		"Bravo(MWSF)/park":   func() rwlock.RWLock { return rwlock.NewBravoMWSF(park) },
-		"Bravo(MWRP)/park":   func() rwlock.RWLock { return rwlock.NewBravoMWRP(park) },
-		"Bravo(MWWP)/park":   func() rwlock.RWLock { return rwlock.NewBravoMWWP(park) },
+		"MWSF":              func() rwlock.RWLock { return rwlock.NewMWSF() },
+		"MWRP":              func() rwlock.RWLock { return rwlock.NewMWRP() },
+		"MWWP":              func() rwlock.RWLock { return rwlock.NewMWWP() },
+		"MWSF/park":         func() rwlock.RWLock { return rwlock.NewMWSF(park) },
+		"MWRP/park":         func() rwlock.RWLock { return rwlock.NewMWRP(park) },
+		"MWWP/park":         func() rwlock.RWLock { return rwlock.NewMWWP(park) },
+		"MWSF/bounded":      func() rwlock.RWLock { return rwlock.NewMWSF(bound) },
+		"MWRP/bounded":      func() rwlock.RWLock { return rwlock.NewMWRP(bound) },
+		"MWWP/bounded":      func() rwlock.RWLock { return rwlock.NewMWWP(bound) },
+		"MWSF/bounded/park": func() rwlock.RWLock { return rwlock.NewMWSF(bound, park) },
+		"MWRP/bounded/park": func() rwlock.RWLock { return rwlock.NewMWRP(bound, park) },
+		"MWWP/bounded/park": func() rwlock.RWLock { return rwlock.NewMWWP(bound, park) },
+		"MWSF/combine":      func() rwlock.RWLock { return rwlock.NewMWSF(comb) },
+		"MWRP/combine":      func() rwlock.RWLock { return rwlock.NewMWRP(comb) },
+		"MWWP/combine":      func() rwlock.RWLock { return rwlock.NewMWWP(comb) },
+		"MWSF/combine/park": func() rwlock.RWLock { return rwlock.NewMWSF(comb, park) },
+		"MWRP/combine/park": func() rwlock.RWLock { return rwlock.NewMWRP(comb, park) },
+		"MWWP/combine/park": func() rwlock.RWLock { return rwlock.NewMWWP(comb, park) },
+		"MWSF/epoch":        func() rwlock.RWLock { return rwlock.NewEpochMWSF() },
+		"MWRP/epoch":        func() rwlock.RWLock { return rwlock.NewEpochMWRP() },
+		"MWWP/epoch":        func() rwlock.RWLock { return rwlock.NewEpochMWWP() },
+		"MWSF/epoch/park":   func() rwlock.RWLock { return rwlock.NewEpochMWSF(park) },
+		"MWRP/epoch/park":   func() rwlock.RWLock { return rwlock.NewEpochMWRP(park) },
+		"MWWP/epoch/park":   func() rwlock.RWLock { return rwlock.NewEpochMWWP(park) },
+		"MWSF/epoch/lazy8":  func() rwlock.RWLock { return rwlock.NewEpochMWSF(rwlock.WithEpochReclaimEvery(8)) },
+		"MWSF/epoch/lazy64": func() rwlock.RWLock { return rwlock.NewEpochMWSF(rwlock.WithEpochReclaimEvery(64)) },
+		"Bravo(MWSF)":       func() rwlock.RWLock { return rwlock.NewBravoMWSF() },
+		"Bravo(MWRP)":       func() rwlock.RWLock { return rwlock.NewBravoMWRP() },
+		"Bravo(MWWP)":       func() rwlock.RWLock { return rwlock.NewBravoMWWP() },
+		"Bravo(MWSF)/park":  func() rwlock.RWLock { return rwlock.NewBravoMWSF(park) },
+		"Bravo(MWRP)/park":  func() rwlock.RWLock { return rwlock.NewBravoMWRP(park) },
+		"Bravo(MWWP)/park":  func() rwlock.RWLock { return rwlock.NewBravoMWWP(park) },
+		"Bravo(MWSF)/shared": func() rwlock.RWLock {
+			return rwlock.NewBravoMWSF(rwlock.WithSharedReaderTable(rwlock.DefaultReaderTable()))
+		},
+		"MWSF/epoch/shared": func() rwlock.RWLock {
+			return rwlock.NewEpochMWSF(rwlock.WithSharedReaderTable(rwlock.DefaultReaderTable()))
+		},
+		"SlimBravo":          func() rwlock.RWLock { return rwlock.NewSlimBravo() },
+		"SlimEpoch":          func() rwlock.RWLock { return rwlock.NewSlimEpoch() },
 		"CentralizedRW":      func() rwlock.RWLock { return rwlock.NewCentralizedRW() },
 		"CentralizedRW/park": func() rwlock.RWLock { return rwlock.NewCentralizedRW(park) },
 		"PhaseFairRW":        func() rwlock.RWLock { return rwlock.NewPhaseFairRW() },
@@ -220,7 +235,9 @@ func AllLockNames() []string {
 		"MWSF", "MWSF/park", "MWSF/bounded", "MWSF/bounded/park",
 		"MWSF/combine", "MWSF/combine/park",
 		"MWSF/epoch", "MWSF/epoch/park", "MWSF/epoch/lazy8", "MWSF/epoch/lazy64",
-		"Bravo(MWSF)", "Bravo(MWSF)/park",
+		"MWSF/epoch/shared",
+		"Bravo(MWSF)", "Bravo(MWSF)/park", "Bravo(MWSF)/shared",
+		"SlimBravo", "SlimEpoch",
 		"MWRP", "MWRP/park", "MWRP/bounded", "MWRP/bounded/park",
 		"MWRP/combine", "MWRP/combine/park",
 		"MWRP/epoch", "MWRP/epoch/park",

@@ -107,20 +107,42 @@ type Scenario struct {
 	// even on big machines.
 	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 
+	// Stripes, when non-empty, switches the scenario to the SHARDED
+	// shape: each cell runs workload.RunSharded against a fresh
+	// rwmap.Map with that stripe count, every stripe guarded by one
+	// instance of the cell's lock.  Sharded cells additionally measure
+	// the lock's marginal bytes/instance at the cell's grid size (the
+	// BytesPerLock point field).
+	Stripes []int `json:"stripes,omitempty"`
+	// ZipfS is the key-popularity exponent grid of a sharded scenario
+	// (0 = uniform); nil means a single s=0 pass.
+	ZipfS []float64 `json:"zipf_s,omitempty"`
+	// Keys is the sharded key-space size (0 = workload default).
+	Keys int `json:"keys,omitempty"`
+	// MixedOps makes every 16th sharded op heavy (8x CSWork inside
+	// the critical section — see workload.ShardedConfig.MixedOps).
+	MixedOps bool `json:"mixed_ops,omitempty"`
+
 	// Sim switches the scenario to the simulator side: RMR accounting
 	// instead of wall-clock workloads.
 	Sim *SimShape `json:"sim,omitempty"`
 }
 
 // ScenarioOptions are per-run overrides: the seed, the -quick trim,
-// and the CLI's -locks/-workers/-ops narrowing.  Zero values mean
-// "use the scenario's own settings".
+// and the CLI's -locks/-workers/-ops/-stripes/-skew narrowing.  Zero
+// values mean "use the scenario's own settings".
 type ScenarioOptions struct {
 	Seed    int64
 	Quick   bool
 	Locks   []string
 	Workers []int
 	Ops     int
+	// Stripes/ZipfS override a sharded scenario's grid-size and skew
+	// axes.  They apply only to scenarios that already sweep stripes
+	// (the serving-tier family); the CLI rejects them otherwise, the
+	// same loud-rejection rule as -locks on a simulator sweep.
+	Stripes []int
+	ZipfS   []float64
 }
 
 // ScenarioPoint is one measured cell.  Native points carry the
@@ -142,6 +164,14 @@ type ScenarioPoint struct {
 	// scenario; present only when the scenario set WriteDeadline).
 	ShedOps  int64   `json:"shed_ops,omitempty"`
 	ShedRate float64 `json:"shed_rate,omitempty"`
+	// The sharded-cell fields (additive, schema_version 2): the grid
+	// size and skew of the cell, the measured marginal heap bytes per
+	// lock instance at that grid size, and how many reads landed on
+	// the hottest key (rank 0).
+	Stripes      int     `json:"stripes,omitempty"`
+	ZipfS        float64 `json:"zipf_s,omitempty"`
+	BytesPerLock float64 `json:"bytes_per_lock,omitempty"`
+	HotReadOps   int64   `json:"hot_read_ops,omitempty"`
 
 	ReadWait   *stats.HistSnapshot `json:"read_wait_ns,omitempty"`
 	ReadHold   *stats.HistSnapshot `json:"read_hold_ns,omitempty"`
@@ -467,6 +497,32 @@ func init() {
 		VersionBytes:  1024,
 	})
 	RegisterScenario(Scenario{
+		Name:  "zipf-grid",
+		Title: "serving tier: Zipfian traffic over striped lock grids",
+		Description: "a striped map (rwmap) whose every stripe is one lock " +
+			"instance, swept across grid sizes 1 / 2^10 / 2^20 and key skews " +
+			"s=1.07 (classic serving traffic) and s=1.5 (hot-key pathology), " +
+			"with each reader-fast-path protocol in its three footprint " +
+			"builds — private table, shared arena, 16-byte slim.  The " +
+			"products are cross-shard throughput, per-class wait tails, the " +
+			"hot key's read rate and read-view age, and the measured " +
+			"bytes/lock-instance each build pays at that grid size — the " +
+			"axis that decides whether 10^6 stripes are affordable at all",
+		Locks:         ShardedLockNames(),
+		Workers:       []int{8},
+		ReadFractions: []float64{0.9},
+		Stripes:       []int{1, 1 << 10, 1 << 20},
+		ZipfS:         []float64{1.07, 1.5},
+		Keys:          16384,
+		OpsPerWorker:  10000,
+		CSWork:        16,
+		ThinkWork:     16,
+		SampleEvery:   8,
+		MeasureAge:    true,
+		MixedOps:      true,
+		Yield:         true,
+	})
+	RegisterScenario(Scenario{
 		Name:  "latency-grid",
 		Title: "latency grid: per-op latency distributions across read ratios",
 		Description: "full wait/hold latency histograms per class across the " +
@@ -521,6 +577,25 @@ func quickTrim(sc Scenario) Scenario {
 		}
 		sc.Sim = &sim
 	}
+	if len(sc.Stripes) > 0 {
+		// Sharded smoke: keep the stripe AXIS (the shape check needs
+		// more than one grid size) but drop the 10^5-and-up grids —
+		// constructing a million locks is exactly what -quick exists
+		// to avoid — and run one skew.
+		var kept []int
+		for _, s := range sc.Stripes {
+			if s <= 1024 {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			kept = []int{1024}
+		}
+		sc.Stripes = kept
+		if len(sc.ZipfS) > 1 {
+			sc.ZipfS = sc.ZipfS[:1]
+		}
+	}
 	return sc
 }
 
@@ -545,6 +620,18 @@ func RunScenario(sc Scenario, opts ScenarioOptions) (*ScenarioResult, error) {
 	if opts.Ops > 0 && sc.Duration == 0 && sc.Sim == nil {
 		sc.OpsPerWorker = opts.Ops
 	}
+	if len(sc.Stripes) > 0 {
+		// The stripe/skew overrides only retarget scenarios that already
+		// sweep those axes — applying them elsewhere would silently turn
+		// a flat scenario into a sharded one with different semantics;
+		// the CLI rejects that combination before it gets here.
+		if len(opts.Stripes) > 0 {
+			sc.Stripes = opts.Stripes
+		}
+		if len(opts.ZipfS) > 0 {
+			sc.ZipfS = opts.ZipfS
+		}
+	}
 	if opts.Quick {
 		sc = quickTrim(sc)
 	}
@@ -556,9 +643,12 @@ func RunScenario(sc Scenario, opts ScenarioOptions) (*ScenarioResult, error) {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	var err error
-	if sc.Sim != nil {
+	switch {
+	case sc.Sim != nil:
 		res.Points, err = runSimScenario(sc, opts.Seed)
-	} else {
+	case len(sc.Stripes) > 0:
+		res.Points, err = runShardedScenario(&sc, opts.Seed)
+	default:
 		res.Points, err = runNativeScenario(&sc, opts.Seed)
 	}
 	if err != nil {
@@ -824,9 +914,21 @@ func ScenarioTable(res *ScenarioResult) *stats.Table {
 			hasEpoch = true
 		}
 	}
-	headers := []string{"lock", "workers", "read%", "ops/s",
+	sharded := len(res.Scenario.Stripes) > 0
+	headers := []string{"lock", "workers", "read%"}
+	if sharded {
+		// The serving-tier axes ride on every row: the grid size and
+		// skew identify the cell, B/lock is the footprint that cell's
+		// grid pays per stripe, hot rd/s is the skew made visible.
+		headers = append(headers, "stripes", "zipf s", "B/lock")
+	}
+	headers = append(headers, "ops/s")
+	if sharded {
+		headers = append(headers, "hot rd/s")
+	}
+	headers = append(headers,
 		"rd wait p50", "rd wait p99", "rd wait p99.9",
-		"wr wait p50", "wr wait p99", "wr wait p99.9"}
+		"wr wait p50", "wr wait p99", "wr wait p99.9")
 	if hasShed {
 		headers = append(headers, "shed%")
 	}
@@ -859,14 +961,32 @@ func ScenarioTable(res *ScenarioResult) *stats.Table {
 			p.Lock,
 			fmt.Sprintf("%d", p.Workers),
 			readPct,
-			fmt.Sprintf("%.0f", p.OpsPerSec),
+		}
+		if sharded {
+			row = append(row,
+				fmt.Sprintf("%d", p.Stripes),
+				fmt.Sprintf("%.4g", p.ZipfS),
+				fmt.Sprintf("%.0f", p.BytesPerLock))
+		}
+		row = append(row, fmt.Sprintf("%.0f", p.OpsPerSec))
+		if sharded {
+			hot := 0.0
+			if p.HotReadOps > 0 && res.Scenario.OpsPerWorker > 0 && p.OpsPerSec > 0 {
+				// hot rd/s = hot reads × (ops/s ÷ total ops): elapsed
+				// time is not carried per point, so reconstruct it from
+				// the throughput the point already reports.
+				hot = float64(p.HotReadOps) * p.OpsPerSec / float64(p.ReadOps+p.WriteOps)
+			}
+			row = append(row, fmt.Sprintf("%.0f", hot))
+		}
+		row = append(row,
 			q(p.ReadWait, func(h *stats.HistSnapshot) int64 { return h.P50 }),
 			q(p.ReadWait, func(h *stats.HistSnapshot) int64 { return h.P99 }),
 			q(p.ReadWait, func(h *stats.HistSnapshot) int64 { return h.P999 }),
 			q(p.WriteWait, func(h *stats.HistSnapshot) int64 { return h.P50 }),
 			q(p.WriteWait, func(h *stats.HistSnapshot) int64 { return h.P99 }),
 			q(p.WriteWait, func(h *stats.HistSnapshot) int64 { return h.P999 }),
-		}
+		)
 		if hasShed {
 			row = append(row, fmt.Sprintf("%.1f", p.ShedRate*100))
 		}

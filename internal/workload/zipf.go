@@ -1,0 +1,108 @@
+package workload
+
+import "math"
+
+// Zipfian key popularity for the sharded serving-tier scenarios: rank
+// r (0-based) is drawn with probability proportional to 1/(r+1)^s.
+// The standard library's rand.Zipf is not used because the measured
+// path needs (a) an allocation-free, splittable per-worker sampler
+// whose determinism depends only on its seed, and (b) s <= 1 support
+// (rand.Zipf requires s > 1; serving traffic is classically fit at
+// s ≈ 1.07 but sweeps dip below 1).  An inverse-CDF table does both:
+// the CDF is precomputed once per run (O(keys) floats, shared
+// read-only by every worker), and a draw is one splitmix64 step plus
+// a branch-free-ish binary search — no allocation, no locks.
+
+// ZipfTable is the precomputed inverse-CDF of a Zipf(s) distribution
+// over a fixed key space.  It is immutable after construction and
+// safe to share across goroutines.
+type ZipfTable struct {
+	cdf []float64 // cdf[r] = P(rank <= r); cdf[len-1] == 1
+	s   float64
+}
+
+// NewZipfTable builds the CDF for `keys` ranks with exponent s.
+// s = 0 degenerates to the uniform distribution (every rank equally
+// likely), the control row of the skew sweeps.  keys < 1 is clamped
+// to 1.
+func NewZipfTable(keys int, s float64) *ZipfTable {
+	if keys < 1 {
+		keys = 1
+	}
+	t := &ZipfTable{cdf: make([]float64, keys), s: s}
+	sum := 0.0
+	for r := 0; r < keys; r++ {
+		sum += zipfWeight(r, s)
+		t.cdf[r] = sum
+	}
+	inv := 1 / sum
+	for r := range t.cdf {
+		t.cdf[r] *= inv
+	}
+	t.cdf[keys-1] = 1 // exact top: no draw can fall past the last rank
+	return t
+}
+
+// zipfWeight is 1/(r+1)^s; construction is cold, so math.Pow's cost
+// is irrelevant — only the draw path below must stay lean.
+func zipfWeight(r int, s float64) float64 {
+	if s == 0 {
+		return 1
+	}
+	return 1 / math.Pow(float64(r+1), s)
+}
+
+// Keys returns the rank-space size.
+func (t *ZipfTable) Keys() int { return len(t.cdf) }
+
+// S returns the exponent the table was built with.
+func (t *ZipfTable) S() float64 { return t.s }
+
+// rank maps a uniform u ∈ [0,1) to the smallest rank r with
+// cdf[r] > u — a manual binary search (sort.SearchFloat64s would be
+// equivalent; the manual loop keeps the draw path self-evidently
+// allocation- and interface-free for the AllocsPerRun pin).
+func (t *ZipfTable) rank(u float64) uint64 {
+	lo, hi := 0, len(t.cdf)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.cdf[mid] > u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return uint64(lo)
+}
+
+// ZipfSampler draws ranks from a ZipfTable.  Each sampler owns a
+// splitmix64 state, so workers get independent, seed-deterministic
+// streams by constructing one sampler each; Next is allocation-free
+// and must not be called concurrently on one sampler.
+type ZipfSampler struct {
+	t     *ZipfTable
+	state uint64
+}
+
+// NewZipfSampler returns a sampler over t seeded with seed.  Two
+// samplers with the same table and seed produce identical streams.
+func NewZipfSampler(t *ZipfTable, seed int64) *ZipfSampler {
+	return &ZipfSampler{t: t, state: uint64(seed)}
+}
+
+// Next draws one rank (0-based; rank 0 is the hottest key).
+func (z *ZipfSampler) Next() uint64 {
+	// splitmix64 (Steele, Lea & Flood): one add, three xor-multiply
+	// rounds.  The golden-gamma increment makes consecutive states a
+	// low-discrepancy walk; the finalizer decorrelates them.
+	z.state += 0x9e3779b97f4a7c15
+	x := z.state
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	// Top 53 bits -> uniform float64 in [0,1).
+	u := float64(x>>11) * (1.0 / (1 << 53))
+	return z.t.rank(u)
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZipfDeterministic: two samplers with the same seed produce the
+// same stream; a different seed produces a different one.  The grids
+// stand on this — a scenario's key sequence must be a function of the
+// recorded seed alone.
+func TestZipfDeterministic(t *testing.T) {
+	tbl := NewZipfTable(1024, 1.07)
+	a := NewZipfSampler(tbl, 42)
+	b := NewZipfSampler(tbl, 42)
+	c := NewZipfSampler(tbl, 43)
+	same, diff := true, false
+	for i := 0; i < 4096; i++ {
+		av, bv, cv := a.Next(), b.Next(), c.Next()
+		if av != bv {
+			same = false
+		}
+		if av != cv {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same-seed samplers diverged")
+	}
+	if !diff {
+		t.Error("different-seed samplers produced identical streams")
+	}
+}
+
+// TestZipfRankFrequency: observed rank frequencies must track the
+// analytic Zipf mass within tolerance on the head (where counts are
+// large enough for a tight bound), and rank 0 must dominate.
+func TestZipfRankFrequency(t *testing.T) {
+	const keys, draws = 256, 1 << 20
+	const s = 1.07
+	tbl := NewZipfTable(keys, s)
+	z := NewZipfSampler(tbl, 7)
+	counts := make([]int, keys)
+	for i := 0; i < draws; i++ {
+		r := z.Next()
+		if r >= keys {
+			t.Fatalf("rank %d out of range [0,%d)", r, keys)
+		}
+		counts[r]++
+	}
+	// Analytic mass of rank r: (1/(r+1)^s) / H where H = sum.
+	h := 0.0
+	for r := 0; r < keys; r++ {
+		h += 1 / math.Pow(float64(r+1), s)
+	}
+	for r := 0; r < 8; r++ {
+		want := 1 / math.Pow(float64(r+1), s) / h
+		got := float64(counts[r]) / draws
+		if relErr := math.Abs(got-want) / want; relErr > 0.05 {
+			t.Errorf("rank %d: observed mass %.4f, analytic %.4f (rel err %.1f%%)",
+				r, got, want, relErr*100)
+		}
+	}
+	if counts[0] <= counts[1] {
+		t.Errorf("rank 0 (%d draws) not hotter than rank 1 (%d)", counts[0], counts[1])
+	}
+}
+
+// TestZipfUniformDegenerate: s = 0 is the uniform control — every
+// rank within a loose band of draws/keys, and the head must NOT be
+// hot.
+func TestZipfUniformDegenerate(t *testing.T) {
+	const keys, draws = 64, 1 << 18
+	tbl := NewZipfTable(keys, 0)
+	z := NewZipfSampler(tbl, 11)
+	counts := make([]int, keys)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	want := float64(draws) / keys
+	for r, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.10 {
+			t.Errorf("uniform rank %d: %d draws, want ~%.0f", r, c, want)
+		}
+	}
+}
+
+// TestZipfFullRangeCovered: the top CDF entry is pinned to exactly 1,
+// so no draw can fall past the last rank, and with enough draws over
+// a tiny space every rank appears.
+func TestZipfFullRangeCovered(t *testing.T) {
+	tbl := NewZipfTable(8, 1.5)
+	z := NewZipfSampler(tbl, 3)
+	seen := make([]bool, 8)
+	for i := 0; i < 1<<16; i++ {
+		seen[z.Next()] = true
+	}
+	for r, ok := range seen {
+		if !ok {
+			t.Errorf("rank %d never drawn", r)
+		}
+	}
+	if NewZipfTable(0, 1).Keys() != 1 {
+		t.Error("keys < 1 not clamped to 1")
+	}
+}
+
+// TestZipfSamplerDoesNotAllocate pins the draw path at zero
+// allocations — the property that lets every worker sample inside
+// its measured loop without disturbing the allocator behavior of the
+// run it is measuring.
+func TestZipfSamplerDoesNotAllocate(t *testing.T) {
+	tbl := NewZipfTable(1<<16, 1.07)
+	z := NewZipfSampler(tbl, 5)
+	var sink uint64
+	if avg := testing.AllocsPerRun(1000, func() { sink += z.Next() }); avg != 0 {
+		t.Errorf("Next allocates %.1f objects per draw, want 0", avg)
+	}
+	_ = sink
+}

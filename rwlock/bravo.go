@@ -31,7 +31,7 @@ import (
 //
 // Mutual exclusion, deadlock-freedom and both classes' starvation-
 // freedom are preserved for every wrapped discipline: a writer always
-// completes revocation because slots quiesce (see readerSlots.drain),
+// completes revocation because slots quiesce (see ReaderTable.drainFor),
 // and readers always have either the fast path or the inner lock's own
 // progress guarantee.  Strict arrival-order fairness (FIFE, RP1/WP1)
 // is what BRAVO trades away while the bias is armed: a fast-path
@@ -57,8 +57,14 @@ type Bravo struct {
 	// without a clock read on any path.
 	slowBudget atomic.Int64
 	_          [56]byte
-	slots      *readerSlots
-	inner      RWLock
+	// slots is the visible-readers table: private to this lock by
+	// default, or a process-shared arena under WithSharedReaderTable
+	// (same code either way — a private table is an arena with one
+	// owner).  id tags this lock's claims so a shared drain waits only
+	// on its own readers.
+	slots *ReaderTable
+	id    int64
+	inner RWLock
 	// innerCombines records (once, at construction) whether the inner
 	// lock batches closure-path writes: only then does Write pay for
 	// shipping the revocation inside a wrapper closure — on every
@@ -85,9 +91,11 @@ const bravoBusyFactor = 2
 // NewGuard's default) is used.  Options configure the wrapper's own
 // waiting (the revoking writer's table drain); the inner lock's
 // strategy is whatever it was constructed with — the NewBravoMW*
-// helpers apply one option list to both layers.  Wrapping a *Bravo in
-// another *Bravo panics: the outer wrapper would misroute the inner
-// one's fast-path tokens.
+// helpers apply one option list to both layers.
+// WithSharedReaderTable(tbl) publishes fast-path readers in tbl
+// instead of a private table (see the option doc for the trade).
+// Wrapping a *Bravo in another *Bravo panics: the outer wrapper would
+// misroute the inner one's fast-path tokens.
 func NewBravo(inner RWLock, opts ...Option) *Bravo {
 	o := applyOptions(opts)
 	if inner == nil {
@@ -96,7 +104,11 @@ func NewBravo(inner RWLock, opts ...Option) *Bravo {
 	if _, ok := inner.(*Bravo); ok {
 		panic("rwlock: NewBravo applied to a *Bravo (nested BRAVO wrappers are not supported)")
 	}
-	b := &Bravo{slots: newReaderSlots(0, o.strategy), inner: inner}
+	tbl := o.sharedTable
+	if tbl == nil {
+		tbl = newReaderTable(0, o.strategy)
+	}
+	b := &Bravo{slots: tbl, id: tbl.assignID(), inner: inner}
 	_, b.innerCombines = CombinerStatsOf(inner)
 	// Start read-biased: the wrapper exists for read-mostly workloads,
 	// and the first writer revokes in O(table) time regardless.
@@ -130,7 +142,7 @@ func NewBravoMWWP(opts ...Option) *Bravo {
 // lock is read-biased.
 func (b *Bravo) RLock() RToken {
 	if b.rbias.Load() {
-		if idx, ok := b.slots.tryClaim(); ok {
+		if idx, ok := b.slots.tryClaim(b.id); ok {
 			// Recheck AFTER publishing (the BRAVO ordering): with
 			// sequentially consistent atomics, either this load sees the
 			// revoking writer's clear — and we back out — or our slot
@@ -181,7 +193,7 @@ func (b *Bravo) Lock() WToken {
 func (b *Bravo) revoke() {
 	if b.rbias.Load() {
 		b.rbias.Store(false)
-		busy := b.slots.drain()
+		busy := b.slots.drainFor(b.id)
 		b.slowBudget.Store(int64(1 + len(b.slots.slots)/8 + bravoBusyFactor*busy))
 	}
 }
@@ -225,7 +237,7 @@ func (b *Bravo) TryLock() (WToken, bool) {
 	}
 	if b.rbias.Load() {
 		b.rbias.Store(false)
-		if !b.slots.idle() {
+		if !b.slots.idleFor(b.id) {
 			b.rbias.Store(true)
 			b.inner.Unlock(t)
 			return WToken{}, false
@@ -244,7 +256,7 @@ func (b *Bravo) TryLock() (WToken, bool) {
 // point.  Requires the inner lock to implement TryRWLock.
 func (b *Bravo) TryRLock() (RToken, bool) {
 	if b.rbias.Load() {
-		if idx, ok := b.slots.tryClaim(); ok {
+		if idx, ok := b.slots.tryClaim(b.id); ok {
 			if b.rbias.Load() {
 				return RToken{side: bravoFastSide, id: idx}, true
 			}
@@ -282,7 +294,7 @@ func (b *Bravo) LockCtx(ctx context.Context) (WToken, error) {
 // RLock.  Requires the inner lock to implement CtxRWLock.
 func (b *Bravo) RLockCtx(ctx context.Context) (RToken, error) {
 	if b.rbias.Load() {
-		if idx, ok := b.slots.tryClaim(); ok {
+		if idx, ok := b.slots.tryClaim(b.id); ok {
 			if b.rbias.Load() {
 				return RToken{side: bravoFastSide, id: idx}, nil
 			}

@@ -260,16 +260,22 @@ func TestBravoNilInnerDefaults(t *testing.T) {
 func TestReaderSlotsClaimReleaseDrain(t *testing.T) {
 	for _, strat := range []WaitStrategy{SpinYield, SpinThenPark} {
 		t.Run(strat.String(), func(t *testing.T) {
-			rs := newReaderSlots(16, strat)
+			rs := newReaderTable(16, strat)
 			if len(rs.slots)&(len(rs.slots)-1) != 0 || len(rs.slots) < 16 {
 				t.Fatalf("table size %d: want power of two >= 16", len(rs.slots))
 			}
-			idx, ok := rs.tryClaim()
+			id := rs.assignID()
+			idx, ok := rs.tryClaim(id)
 			if !ok {
 				t.Fatal("claim failed on an empty table")
 			}
+			// A drain for a DIFFERENT owner must skip the claimed slot
+			// entirely — the shared-arena isolation property.
+			if other := rs.drainFor(id + 1); other != 0 {
+				t.Fatalf("drainFor(other) waited on %d foreign slots", other)
+			}
 			drained := make(chan struct{})
-			go func() { rs.drain(); close(drained) }()
+			go func() { rs.drainFor(id); close(drained) }()
 			select {
 			case <-drained:
 				t.Fatal("drain completed with a slot claimed")

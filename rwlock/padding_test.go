@@ -37,6 +37,29 @@ func TestWaitCellPadding(t *testing.T) {
 	}
 }
 
+// TestReaderTablePadding: the shared arena is the []waitCell layout
+// again (per-slot isolation comes from waitCell's audited size), but
+// the table HEADER matters once the arena is process-shared: every
+// fast-path claim loads mask and the slice header, so the id counter
+// — RMW'd by every lock construction — must sit on its own line, or
+// a grid build would invalidate every running reader's probe loads.
+func TestReaderTablePadding(t *testing.T) {
+	var rt ReaderTable
+	if off := unsafe.Offsetof(rt.mask); off != 0 {
+		t.Errorf("ReaderTable.mask at offset %d, want 0", off)
+	}
+	if off := unsafe.Offsetof(rt.nextID); off%cacheLine != 0 {
+		t.Errorf("ReaderTable.nextID at offset %d, want a %d-byte boundary (construction traffic must not share the claim path's header line)", off, cacheLine)
+	}
+	if sz := unsafe.Sizeof(rt); sz%cacheLine != 0 {
+		t.Errorf("sizeof(ReaderTable) = %d, not a multiple of %d", sz, cacheLine)
+	}
+	tbl := DefaultReaderTable()
+	if n := tbl.Slots(); n&(n-1) != 0 || n < 8 {
+		t.Errorf("DefaultReaderTable has %d slots, want a power of two >= 8", n)
+	}
+}
+
 // TestEpochSlotPadding: the stamp word (the slot's embedded cell) is
 // the word the zero-RMW read passage exists for — a reader's stamp
 // must dirty only its own line.  idx is read-only after registration

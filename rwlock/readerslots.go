@@ -4,24 +4,37 @@ import (
 	"math/bits"
 	"math/rand/v2"
 	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // This file implements the visible-readers table of the BRAVO reader
 // fast path (Dice & Kogan, "BRAVO — Biased Locking for Reader-Writer
-// Locks", USENIX ATC 2019, arXiv:1810.01553), adapted to this
-// package: instead of one global hash table keyed by (thread, lock),
-// each Bravo wrapper owns a private table sized to the machine, and
-// the claimed index travels in the RToken (the package already
-// threads per-attempt state through tokens, so no thread-local
-// storage is needed).
+// Locks", USENIX ATC 2019, arXiv:1810.01553).  The table exists in two
+// deployments:
 //
-// Each slot is a one-word reader-presence flag alone on its cache
-// line.  A publishing reader dirties only its own line, so readers
-// scale with cores instead of serializing on the packed
-// [writer-waiting, reader-count] word that every reader of the
+//   - PRIVATE (the default): each Bravo wrapper owns a machine-sized
+//     table, which buys the fewest claim collisions per lock but costs
+//     O(GOMAXPROCS) cache lines PER LOCK INSTANCE — the right call for
+//     a handful of hot locks, dead on arrival at 10^5-10^6 lock
+//     instances (a sharded map's stripe grid).
+//   - SHARED (WithSharedReaderTable): one ReaderTable arena is shared
+//     by any number of locks, the BRAVO paper's original global-table
+//     design.  Slots are tagged with the claiming lock's owner id, so
+//     a revoking writer's drain waits only on its own lock's readers;
+//     the per-lock cost drops to one integer id.
+//
+// Both deployments run the same code: a private table is simply an
+// arena with a single owner.  Each slot is a one-word presence flag
+// alone on its cache line (0 = free, otherwise the owner id of the
+// lock whose reader is inside).  A publishing reader dirties only its
+// own line, so readers scale with cores instead of serializing on the
+// packed [writer-waiting, reader-count] word that every reader of the
 // Bhatt & Jayanti locks must fetch&add.  Writers pay for that reader
-// scalability with a full-table scan during bias revocation — the
-// BRAVO trade-off.
+// scalability with a full-arena scan during bias revocation — the
+// BRAVO trade-off, and in the shared deployment the scan cost is paid
+// to the PROCESS-wide arena size, not per lock (the reason the default
+// arena is kept modest; see DefaultReaderTable).
 
 // slotProbes is how many adjacent table entries a reader tries to
 // claim before giving up and taking the slow path.  A small bound
@@ -30,21 +43,49 @@ import (
 // slots per P, so three probes fail only under heavy oversubscription).
 const slotProbes = 3
 
-// readerSlots is a fixed-size power-of-two table of reader-presence
-// flags.  0 = free, 1 = a fast-path reader is inside the critical
-// section.  Each slot is a waitCell: the revoking writer's drain is a
-// wait on the slot, and a fast-path reader's release is the matching
-// wake, so drains follow the wrapper's WaitStrategy like every other
-// wait in the package.
-type readerSlots struct {
+// ReaderTable is a fixed-size power-of-two arena of reader-presence
+// slots, shareable between any number of Bravo/Epoch/Slim locks via
+// WithSharedReaderTable.  Each slot is a waitCell: the revoking
+// writer's drain is a wait on the slot, and a fast-path reader's
+// release is the matching wake, so drains follow the table's
+// WaitStrategy like every other wait in the package.
+//
+// A table is safe for concurrent use by any number of locks and
+// goroutines.  Lock constructors draw a unique owner id from the
+// table, and every claim is tagged with it, so one lock's revocation
+// never waits on another lock's readers — at worst it scans past
+// their slots.
+type ReaderTable struct {
 	mask  uint64
 	slots []waitCell
+	_     [32]byte
+	// nextID hands out per-lock owner ids (contended only at lock
+	// construction; padded off the read-only header above so a
+	// construction burst does not invalidate the fast path's mask and
+	// slice loads).
+	nextID atomic.Int64
+	_      [56]byte
 }
 
-// newReaderSlots sizes the table to at least min entries and at least
+// NewReaderTable returns an arena with at least min slots (rounded up
+// to a power of two, floor 8), for sharing among locks constructed
+// with WithSharedReaderTable.  The only option honored is
+// WithWaitStrategy, which selects how revoking writers wait on the
+// arena's slots.  Sizing guidance: the arena bounds the number of
+// concurrent FAST-PATH readers process-wide (a reader that cannot
+// claim a slot in a bounded number of probes takes its lock's slow
+// path, which is correct but slower), while every revocation scans
+// the whole arena — so size to the expected concurrent reader count,
+// not to the lock count.  A few slots per P is plenty.
+func NewReaderTable(min int, opts ...Option) *ReaderTable {
+	o := applyOptions(opts)
+	return newReaderTable(min, o.strategy)
+}
+
+// newReaderTable sizes the table to at least min entries and at least
 // four slots per P, rounded up to a power of two so claim probes can
 // wrap with a mask instead of a modulo.
-func newReaderSlots(min int, s WaitStrategy) *readerSlots {
+func newReaderTable(min int, s WaitStrategy) *ReaderTable {
 	n := 4 * runtime.GOMAXPROCS(0)
 	if n < min {
 		n = min
@@ -53,24 +94,64 @@ func newReaderSlots(min int, s WaitStrategy) *readerSlots {
 		n = 8
 	}
 	n = 1 << bits.Len(uint(n-1))
-	t := &readerSlots{mask: uint64(n - 1), slots: make([]waitCell, n)}
+	t := &ReaderTable{mask: uint64(n - 1), slots: make([]waitCell, n)}
 	for i := range t.slots {
 		t.slots[i].setStrategy(s)
 	}
 	return t
 }
 
-// tryClaim publishes a reader into a free slot and returns its index.
-// The starting probe point is drawn from the runtime's per-M cheap
-// random source (math/rand/v2's global functions), which costs a few
-// nanoseconds and no shared state — claiming never creates a
-// contended hot spot the way a shared counter would.  (The claim CAS
-// needs no wake: setting a slot busy satisfies nobody's wait.)
-func (t *readerSlots) tryClaim() (int64, bool) {
-	h := rand.Uint64()
+// defaultReaderTable backs DefaultReaderTable: one process-wide arena,
+// sized up from the private default (more locks share it) but capped —
+// every revocation scans the whole arena, so "bigger" is not free.
+var defaultReaderTable = sync.OnceValue(func() *ReaderTable {
+	n := 32 * runtime.GOMAXPROCS(0)
+	if n < 64 {
+		n = 64
+	}
+	if n > 4096 {
+		n = 4096
+	}
+	return newReaderTable(n, SpinYield)
+})
+
+// DefaultReaderTable returns the package's process-wide shared arena,
+// created on first use: the table WithSharedReaderTable callers use
+// unless they construct their own, and the one the Slim locks default
+// to.  Sized to 32 slots per P (floor 64, cap 4096 — the BRAVO
+// paper's global table size), with SpinYield waits.
+func DefaultReaderTable() *ReaderTable { return defaultReaderTable() }
+
+// Slots returns the arena's slot count (a power of two) — the bound
+// on concurrent fast-path readers across every lock sharing the
+// table, and the length of every revocation scan.
+func (t *ReaderTable) Slots() int { return len(t.slots) }
+
+// assignID draws a fresh owner id for a lock built over this table.
+// Ids are nonzero (0 is the free-slot value) and their low 24 bits are
+// nonzero too, so the Slim locks' truncated ids stay valid (slim.go).
+func (t *ReaderTable) assignID() int64 {
+	for {
+		id := t.nextID.Add(1)
+		if id&slimIDMask != 0 {
+			return id
+		}
+	}
+}
+
+// tryClaim publishes a reader of the lock that owns id into a free
+// slot and returns its index.  The starting probe point mixes the
+// runtime's per-M cheap random source (math/rand/v2's global
+// functions, a few nanoseconds and no shared state) with the owner id
+// — the BRAVO paper's hash of (thread, lock) — so different locks'
+// readers spread across a shared arena instead of piling onto one
+// run of slots.  (The claim CAS needs no wake: setting a slot busy
+// satisfies nobody's wait.)
+func (t *ReaderTable) tryClaim(id int64) (int64, bool) {
+	h := rand.Uint64() + uint64(id)*0x9e3779b97f4a7c15
 	for i := uint64(0); i < slotProbes; i++ {
 		s := &t.slots[(h+i)&t.mask]
-		if s.load() == 0 && s.cas(0, 1) {
+		if s.load() == 0 && s.cas(0, id) {
 			return int64((h + i) & t.mask), true
 		}
 	}
@@ -80,36 +161,46 @@ func (t *readerSlots) tryClaim() (int64, bool) {
 // release frees a slot claimed by tryClaim, waking a writer whose
 // drain parked on it.  When no drain is in progress (the common case)
 // the wake probe is one load of the slot's cold line.
-func (t *readerSlots) release(idx int64) { t.slots[idx].storeWake(0) }
+func (t *ReaderTable) release(idx int64) { t.slots[idx].storeWake(0) }
 
-// idle is the non-blocking face of drain: one scan, no waits,
-// reporting whether every slot was free at the instant it was read.
-// A TryLock-path revocation uses it to abort (and restore the bias)
-// instead of waiting for published readers to leave.
-func (t *readerSlots) idle() bool {
+// idleFor is the non-blocking face of drainFor: one scan, no waits,
+// reporting whether no slot was claimed by id's lock at the instant
+// it was read.  A TryLock-path revocation uses it to abort (and
+// restore the bias) instead of waiting for published readers to
+// leave.
+func (t *ReaderTable) idleFor(id int64) bool {
 	for i := range t.slots {
-		if t.slots[i].load() != 0 {
+		if t.slots[i].load() == id {
 			return false
 		}
 	}
 	return true
 }
 
-// drain waits until every slot is free and returns how many slots it
-// found occupied — the revocation-cost signal that sizes the re-arm
-// throttle.  Only a revoking writer calls drain, strictly after
-// clearing the bias flag: readers that claimed a slot before the flag
-// fell will be waited for, and readers that claim one afterwards
-// observe the cleared flag, back out, and head for the inner lock, so
-// each slot quiesces and the scan terminates.
-func (t *readerSlots) drain() (busy int) {
+// drainFor waits until no slot holds id and returns how many it found
+// occupied — the revocation-cost signal that sizes Bravo's re-arm
+// throttle.  Only a revoking writer of the owning lock calls drainFor,
+// strictly after closing its fast path (clearing the bias flag or
+// advancing the epoch): readers that claimed a slot before the close
+// will be waited for, and readers that claim one afterwards observe
+// the closed fast path, back out, and head for the slow path, so each
+// owned slot quiesces and the scan terminates.  Other locks' slots
+// are skipped without waiting — on a shared arena a drain costs one
+// scan plus only its OWN readers' residual passages.
+//
+// (A skipped-then-reclaimed slot is benign: a reader of this lock
+// that claims a slot after the scan passed it rechecks the closed
+// fast path and backs out before entering, the same Dekker argument
+// the per-slot wait relies on.)
+func (t *ReaderTable) drainFor(id int64) (busy int) {
+	notID := func(v int64) bool { return v != id }
 	for i := range t.slots {
 		s := &t.slots[i]
-		if s.load() == 0 {
+		if s.load() != id {
 			continue
 		}
 		busy++
-		s.wait(0)
+		s.waitUntil(notID)
 	}
 	return busy
 }

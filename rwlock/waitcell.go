@@ -73,6 +73,40 @@ type options struct {
 	// retired versions every k-th batch boundary (0/1 = every
 	// boundary).  See WithEpochReclaimEvery in epoch.go.
 	epochReclaimEvery int
+	// sharedTable, when non-nil, puts the constructed lock's reader
+	// fast path on a shared visible-readers arena instead of private
+	// per-lock state.  See WithSharedReaderTable in readerslots.go
+	// and the footprint discussion there.
+	sharedTable *ReaderTable
+}
+
+// WithSharedReaderTable makes the constructed lock publish its
+// fast-path readers in tbl — a ReaderTable arena shared by any number
+// of locks — instead of allocating private per-lock reader state: the
+// BRAVO paper's global-table design.  The per-lock footprint of the
+// reader fast path drops from O(GOMAXPROCS) cache lines to one
+// integer owner id, which is what makes 10^5-10^6 lock instances (a
+// sharded map's stripe grid) affordable.  The trades:
+//
+//   - On Bravo, a revoking writer scans the WHOLE shared arena (it
+//     waits only on its own lock's readers, but it reads every slot),
+//     so the scan cost tracks the arena size, not the lock's own
+//     reader count.
+//   - On Epoch, fast-path readers claim an arena slot with a CAS
+//     instead of stamping a leased private slot with a plain store —
+//     the shared deployment gives up the zero-RMW read passage and
+//     costs exactly what Bravo's fast path does.  Grace waits scan
+//     the arena like Bravo's revocations.
+//
+// Pass DefaultReaderTable() unless you need your own sizing or wait
+// strategy.  The option is ignored by constructors without a reader
+// fast path (the inner-lock constructors), mirroring the other
+// layer-specific options.  tbl must not be nil.
+func WithSharedReaderTable(tbl *ReaderTable) Option {
+	if tbl == nil {
+		panic("rwlock: WithSharedReaderTable needs a non-nil table")
+	}
+	return func(o *options) { o.sharedTable = tbl }
 }
 
 // WithWaitStrategy selects the waiting layer's behavior for every wait
@@ -81,7 +115,20 @@ func WithWaitStrategy(s WaitStrategy) Option {
 	return func(o *options) { o.strategy = s }
 }
 
+// applyOptions keeps the zero-options path escape-free: passing &o to
+// the opaque option funcs forces o to the heap, a 48-byte charge that
+// would quadruple the footprint of every optionless Slim construction
+// (the 10^6-instance grids build their locks exactly that way).  The
+// split keeps the escape confined to callers that actually pass
+// options.
 func applyOptions(opts []Option) options {
+	if len(opts) == 0 {
+		return options{}
+	}
+	return applyOptionsAll(opts)
+}
+
+func applyOptionsAll(opts []Option) options {
 	var o options
 	for _, f := range opts {
 		f(&o)

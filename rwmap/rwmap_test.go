@@ -1,0 +1,255 @@
+package rwmap
+
+import (
+	"sync"
+	"testing"
+
+	"rwsync/rwlock"
+)
+
+// TestStripeRounding: the stripe count is clamped to [1, 1<<20] and
+// rounded UP to a power of two — the mask indexing depends on it.
+func TestStripeRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {-5, 1}, {1, 1}, {2, 2}, {3, 4}, {64, 64}, {1000, 1024},
+		{1 << 20, 1 << 20}, {1<<20 + 1, 1 << 20}, {1 << 25, 1 << 20},
+	} {
+		m := New[int, int](WithStripes(tc.in))
+		if got := m.Stripes(); got != tc.want {
+			t.Errorf("WithStripes(%d): %d stripes, want %d", tc.in, got, tc.want)
+		}
+	}
+	if got := New[int, int]().Stripes(); got != defaultStripes {
+		t.Errorf("default stripes = %d, want %d", got, defaultStripes)
+	}
+}
+
+// TestBasicOps: the sequential contract of the whole surface.
+func TestBasicOps(t *testing.T) {
+	m := New[string, int](WithStripes(8))
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("Get on empty map reported a value")
+	}
+	m.Put("a", 1)
+	m.Put("b", 2)
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d,%v, want 1,true", v, ok)
+	}
+	if n := m.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+	m.Put("a", 10) // overwrite
+	if v, _ := m.Get("a"); v != 10 {
+		t.Fatalf("Get(a) after overwrite = %d, want 10", v)
+	}
+	m.Delete("a")
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("Get(a) after Delete reported a value")
+	}
+	m.Delete("never-there") // deleting a missing key is a no-op
+	if n := m.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+
+	var got int
+	var had bool
+	m.Read("b", func(v int, ok bool) { got, had = v, ok })
+	if !had || got != 2 {
+		t.Fatalf("Read(b) = %d,%v, want 2,true", got, had)
+	}
+}
+
+// TestUpdate: read-modify-write atomicity surface — insert, mutate,
+// and delete through the closure, including the missing-key case.
+func TestUpdate(t *testing.T) {
+	m := New[string, int](WithStripes(4))
+	m.Update("ctr", func(v int, ok bool) (int, bool) {
+		if ok {
+			t.Error("Update saw a value in an empty map")
+		}
+		return 1, true
+	})
+	m.Update("ctr", func(v int, ok bool) (int, bool) {
+		if !ok || v != 1 {
+			t.Errorf("Update saw %d,%v, want 1,true", v, ok)
+		}
+		return v + 1, true
+	})
+	if v, _ := m.Get("ctr"); v != 2 {
+		t.Fatalf("ctr = %d, want 2", v)
+	}
+	m.Update("ctr", func(v int, ok bool) (int, bool) { return 0, false }) // delete
+	if _, ok := m.Get("ctr"); ok {
+		t.Fatal("entry survived an Update that returned keep=false")
+	}
+	// keep=false on a missing key must stay a no-op, not a phantom
+	// delete of something else.
+	m.Update("ghost", func(v int, ok bool) (int, bool) { return 0, false })
+	if n := m.Len(); n != 0 {
+		t.Fatalf("Len = %d, want 0", n)
+	}
+}
+
+// TestRange: full walk, early stop, and the per-stripe lock release
+// on the early-return path (a leaked RLock would deadlock the writer
+// below).
+func TestRange(t *testing.T) {
+	m := New[int, int](WithStripes(8))
+	for i := 0; i < 100; i++ {
+		m.Put(i, i*i)
+	}
+	seen := map[int]int{}
+	m.Range(func(k, v int) bool {
+		seen[k] = v
+		return true
+	})
+	if len(seen) != 100 {
+		t.Fatalf("Range visited %d entries, want 100", len(seen))
+	}
+	for k, v := range seen {
+		if v != k*k {
+			t.Fatalf("Range saw %d -> %d, want %d", k, v, k*k)
+		}
+	}
+	calls := 0
+	m.Range(func(k, v int) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("early-stop Range made %d calls, want 1", calls)
+	}
+	// All stripe locks must be free again.
+	for i := 0; i < 100; i++ {
+		m.Put(i, 0)
+	}
+}
+
+// TestLockOf: the measurement seam — the same key always maps to the
+// same lock, and that lock really guards the key (a held write lock
+// blocks the key's Get path, proven here by TryRLock).
+func TestLockOf(t *testing.T) {
+	m := New[string, int](WithStripes(16))
+	if m.LockOf("k") != m.LockOf("k") {
+		t.Fatal("LockOf not stable for a key")
+	}
+	l := m.LockOf("k")
+	wt := l.Lock()
+	if tl, ok := l.(rwlock.TryRWLock); ok {
+		if _, got := tl.TryRLock(); got {
+			t.Fatal("TryRLock succeeded while the stripe writer held")
+		}
+	}
+	l.Unlock(wt)
+	m.Put("k", 1) // and the stripe still works after direct lock use
+}
+
+// mapFactories is the lock-factory matrix the concurrency tests run
+// over: the slim default, both full fast-path wrappers (one on a
+// shared arena), a flat-combining lock (Update batches through its
+// closure path), and the plain paper lock.
+func mapFactories() map[string]Option {
+	shared := rwlock.NewReaderTable(64)
+	return map[string]Option{
+		"SlimBravo-default": WithLockFactory(func() rwlock.RWLock { return rwlock.NewSlimBravo() }),
+		"SlimEpoch":         WithLockFactory(func() rwlock.RWLock { return rwlock.NewSlimEpoch() }),
+		"Bravo-shared":      WithLockFactory(func() rwlock.RWLock { return rwlock.NewBravoMWSF(rwlock.WithSharedReaderTable(shared)) }),
+		"Epoch":             WithLockFactory(func() rwlock.RWLock { return rwlock.NewEpochMWSF() }),
+		"MWSF-combine":      WithLockFactory(func() rwlock.RWLock { return rwlock.NewMWSF(rwlock.WithCombiningWriters()) }),
+		"MWSF":              WithLockFactory(func() rwlock.RWLock { return rwlock.NewMWSF() }),
+	}
+}
+
+// TestConcurrentUpdates: N goroutines increment M counters through
+// Update; every increment must survive (lost updates = a striping or
+// exclusion bug), under every lock factory.  Run with -race this also
+// proves Get/Update exclusion per stripe.
+func TestConcurrentUpdates(t *testing.T) {
+	for name, opt := range mapFactories() {
+		t.Run(name, func(t *testing.T) {
+			m := New[int, int](WithStripes(8), opt)
+			const goroutines, keys, iters = 8, 5, 200
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						k := (g + i) % keys
+						m.Update(k, func(v int, ok bool) (int, bool) { return v + 1, true })
+						m.Get(k)
+					}
+				}(g)
+			}
+			wg.Wait()
+			total := 0
+			m.Range(func(k, v int) bool { total += v; return true })
+			if total != goroutines*iters {
+				t.Fatalf("counter sum = %d, want %d (lost updates)", total, goroutines*iters)
+			}
+		})
+	}
+}
+
+// TestConcurrentMixed: readers walk and Get while writers Put and
+// Delete disjoint key ranges — the torn-state check is the race
+// detector's.
+func TestConcurrentMixed(t *testing.T) {
+	m := New[int, [2]int](WithStripes(16))
+	const writers, readers, iters = 4, 4, 300
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := w * iters
+			for i := 0; i < iters; i++ {
+				m.Put(base+i, [2]int{i, i})
+				if i%3 == 0 {
+					m.Delete(base + i)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if v, ok := m.Get(i); ok && v[0] != v[1] {
+					t.Errorf("torn value %v", v)
+					return
+				}
+				if i%64 == 0 {
+					m.Range(func(k int, v [2]int) bool { return v[0] == v[1] })
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestMillionStripes: the serving-tier scale point — a 2^20-stripe
+// map on the default slim locks constructs, serves, and stays
+// correct.  This is the configuration the footprint numbers exist
+// for; skipped in -short.
+func TestMillionStripes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-stripe construction in -short")
+	}
+	m := New[uint64, uint64](WithStripes(1 << 20))
+	if m.Stripes() != 1<<20 {
+		t.Fatalf("Stripes = %d, want %d", m.Stripes(), 1<<20)
+	}
+	for i := uint64(0); i < 4096; i++ {
+		m.Put(i, i)
+	}
+	for i := uint64(0); i < 4096; i++ {
+		if v, ok := m.Get(i); !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if n := m.Len(); n != 4096 {
+		t.Fatalf("Len = %d, want 4096", n)
+	}
+}
