@@ -7,7 +7,7 @@
 //
 //	rwbench [-ops N] [-seed S] [-workers list] [-locks list]
 //	        [-scenario names|all] [-stripes list] [-skew list]
-//	        [-markdown] [-json] [-quick]
+//	        [-hotset list] [-markdown] [-json] [-quick]
 //	        [-oversub] [-oversub-workers list] [-oversub-duration d]
 //	        [-validate file]
 //
@@ -43,6 +43,13 @@
 // -stripes 1000,1000000 -skew 1.07`.  They apply only to scenarios
 // that sweep a stripe axis and are rejected — with the sorted list of
 // sharded scenario names — when the selection contains none.
+//
+// -hotset overrides the hot-set-budget axis of the adaptive scenarios
+// the same way, e.g. `-scenario adaptive-grid -hotset 0,512` (0 runs
+// the stripe grid with adaptive promotion off — the all-Slim
+// baseline).  It applies only to scenarios that sweep a hot-set axis
+// and is rejected — with the sorted list of adaptive scenario names —
+// when the selection contains none.
 //
 // Unknown -locks or -scenario names are rejected with the list of
 // valid names, and so is a selection that parses to nothing (e.g.
@@ -162,6 +169,7 @@ func run(args []string, out io.Writer) error {
 	oversubProcs := fs.Int("oversub-gomaxprocs", 2, "GOMAXPROCS pinned for the -oversub sweep (0 = leave unpinned)")
 	stripesFlag := fs.String("stripes", "", "comma-separated stripe counts for sharded scenarios (e.g. 1000,1000000)")
 	skewFlag := fs.String("skew", "", "comma-separated Zipf exponents for sharded scenarios (e.g. 0,1.07)")
+	hotsetFlag := fs.String("hotset", "", "comma-separated hot-set budgets for adaptive scenarios (0 = adaptive off, e.g. 0,64,512)")
 	validate := fs.String("validate", "", "validate a -json report file against the schema and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -221,6 +229,15 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-skew %q selects no Zipf exponents", *skewFlag)
 		}
 	}
+	var hotSets []int
+	if *hotsetFlag != "" {
+		if hotSets, err = parseIntList(*hotsetFlag); err != nil {
+			return err
+		}
+		if len(hotSets) == 0 {
+			return fmt.Errorf("-hotset %q selects no hot-set budgets", *hotsetFlag)
+		}
+	}
 
 	emit := func(t interface {
 		Render() string
@@ -251,6 +268,7 @@ func run(args []string, out io.Writer) error {
 			Workers: workers,
 			Stripes: stripes,
 			ZipfS:   skews,
+			HotSets: hotSets,
 		}
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -275,7 +293,7 @@ func run(args []string, out io.Writer) error {
 		// override that applies to NONE of the selected scenarios
 		// (e.g. -locks on a simulator sweep, -ops on a deadline-based
 		// one) must not be silently dropped.
-		anyNative, anyOpsBased, anySharded := false, false, false
+		anyNative, anyOpsBased, anySharded, anyAdaptive := false, false, false, false
 		for _, sc := range scs {
 			if sc.Sim == nil {
 				anyNative = true
@@ -285,6 +303,9 @@ func run(args []string, out io.Writer) error {
 			}
 			if len(sc.Stripes) > 0 {
 				anySharded = true
+			}
+			if len(sc.HotSets) > 0 {
+				anyAdaptive = true
 			}
 		}
 		if len(opts.Locks) > 0 && !anyNative {
@@ -296,6 +317,10 @@ func run(args []string, out io.Writer) error {
 		if (len(stripes) > 0 || len(skews) > 0) && !anySharded {
 			return fmt.Errorf("-stripes/-skew apply to no selected scenario (sharded scenarios: %v)",
 				harness.ShardedScenarioNames())
+		}
+		if len(hotSets) > 0 && !anyAdaptive {
+			return fmt.Errorf("-hotset applies to no selected scenario (adaptive scenarios: %v)",
+				harness.AdaptiveScenarioNames())
 		}
 		for _, sc := range scs {
 			res, err := harness.RunScenario(sc, opts)
@@ -323,6 +348,10 @@ func run(args []string, out io.Writer) error {
 	if len(stripes) > 0 || len(skews) > 0 {
 		return fmt.Errorf("-stripes/-skew require a sharded -scenario selection (sharded scenarios: %v)",
 			harness.ShardedScenarioNames())
+	}
+	if len(hotSets) > 0 {
+		return fmt.Errorf("-hotset requires an adaptive -scenario selection (adaptive scenarios: %v)",
+			harness.AdaptiveScenarioNames())
 	}
 	fractions := []float64{0.5, 0.9, 0.99, 1.0}
 	readers := 8

@@ -246,6 +246,34 @@ func NewEpoch(inner RWLock, opts ...Option) *Epoch {
 	if inner == nil {
 		inner = NewMWSF(opts...)
 	}
+	reclaimEvery := int64(1)
+	if o.epochReclaimEvery > 1 {
+		reclaimEvery = int64(o.epochReclaimEvery)
+	}
+	return newEpochOn(inner, o.sharedTable, o.strategy, reclaimEvery)
+}
+
+// NewEpochShared is the promotion-path constructor: Epoch(inner) in
+// the shared-arena deployment over tbl (nil selects
+// DefaultReaderTable), equivalent to
+// NewEpoch(inner, WithSharedReaderTable(tbl)) but with no variadic
+// options to resolve — see NewBravoShared for why on-demand wrapper
+// builders care.  A nil inner uses a fresh default MWSF; the inner
+// lock must still be one of the multi-writer builds.
+func NewEpochShared(tbl *ReaderTable, inner RWLock) *Epoch {
+	if tbl == nil {
+		tbl = DefaultReaderTable()
+	}
+	if inner == nil {
+		inner = NewMWSF()
+	}
+	return newEpochOn(inner, tbl, SpinYield, 1)
+}
+
+// newEpochOn is the resolved-form core shared by NewEpoch and
+// NewEpochShared: every input is already a concrete value, so nothing
+// here forces an options struct to escape.
+func newEpochOn(inner RWLock, shared *ReaderTable, strategy WaitStrategy, reclaimEvery int64) *Epoch {
 	var m writerMutex
 	switch l := inner.(type) {
 	case *MWSF:
@@ -257,17 +285,14 @@ func NewEpoch(inner RWLock, opts ...Option) *Epoch {
 	default:
 		panic("rwlock: NewEpoch requires a multi-writer inner lock (*MWSF, *MWRP or *MWWP)")
 	}
-	e := &Epoch{inner: inner, m: m, reclaimEvery: 1}
-	if o.epochReclaimEvery > 1 {
-		e.reclaimEvery = int64(o.epochReclaimEvery)
-	}
-	if o.sharedTable != nil {
+	e := &Epoch{inner: inner, m: m, reclaimEvery: reclaimEvery}
+	if shared != nil {
 		// Shared-arena deployment: no per-P cache, no pool, no private
 		// slot registry — the per-lock reader state is one owner id,
 		// and every path below branches on e.shared before touching
 		// the private-deployment fields.
-		e.shared = o.sharedTable
-		e.sid = o.sharedTable.assignID()
+		e.shared = shared
+		e.sid = shared.assignID()
 	}
 	e.global.v.Store(2)
 	if e.shared == nil {
@@ -286,7 +311,6 @@ func NewEpoch(inner RWLock, opts ...Option) *Epoch {
 		e.priv = make([]epochPrivSlot, n)
 		empty := make([]*epochSlot, 0)
 		e.slots.Store(&empty)
-		strategy := o.strategy
 		e.pool.New = func() any {
 			e.mu.Lock()
 			defer e.mu.Unlock()

@@ -1,0 +1,314 @@
+package rwmap
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"rwsync/rwlock"
+)
+
+// Adaptive per-stripe lock promotion.
+//
+// BRAVO's argument (arXiv:1810.01553) is that read bias should follow
+// observed traffic; this file applies the same argument one level up,
+// to which stripes deserve a full-fat lock at all.  Every stripe
+// starts on a 16-byte Slim lock.  A sampled traffic counter — one
+// packed word per stripe, touched by 1-in-SampleEvery operations so
+// the cold fast path pays ~nothing — finds the stripes whose observed
+// rate crosses the promotion threshold, and just those get a full
+// Bravo/Epoch wrapper over the shared reader arena: near-full-wrapper
+// hot-key throughput at near-Slim memory.  When a promoted stripe
+// cools it demotes back to its original Slim lock, returning its slot
+// in the hot-set budget.
+//
+// Decisions are windowed: the global sampled-op counter is sliced
+// into windows of WindowLen sampled ops, each stripe's counter word
+// packs (window tag | hits in that window), and a stripe promotes the
+// moment its in-window hits reach PromoteAt.  Demotion is the
+// low-duty-cycle maintainer: the sampled op that crosses a window
+// boundary sweeps the promoted list — O(hot-set budget), never
+// O(stripes), and no goroutine per stripe (or at all) — demoting
+// stripes whose previous window stayed under DemoteBelow.
+//
+// The swap protocol lives in stripe.swap / stripe.rlock: publish the
+// new bundle while holding the old lock's write passage, and make
+// every acquirer revalidate the published bundle after acquiring.
+
+// Protocol selects the lock family an adaptive Map builds: the Slim
+// cold build and the matching full wrapper hot stripes promote to.
+type Protocol int
+
+const (
+	// PromoteBravo (the default) runs SlimBravo cold stripes and
+	// promotes to Bravo(MWSF) on the shared arena.
+	PromoteBravo Protocol = iota
+	// PromoteEpoch runs SlimEpoch cold stripes and promotes to
+	// Epoch(MWSF) on the shared arena.
+	PromoteEpoch
+)
+
+// AdaptiveConfig tunes WithAdaptiveLocks.  The zero value of every
+// field but HotSet is replaced by the documented default; HotSet must
+// be positive for the config to mean anything.
+type AdaptiveConfig struct {
+	// HotSet bounds how many stripes may hold a promoted full wrapper
+	// at once — the memory budget.  Each promoted stripe costs a full
+	// wrapper (~2 KB on the shared arena) against the Slim lock's 16
+	// bytes; the budget caps the grid's bytes high-water at
+	// coldBytes + HotSet×wrapperBytes regardless of traffic.
+	HotSet int
+	// Protocol selects the cold/hot lock family (default PromoteBravo).
+	Protocol Protocol
+	// SampleEvery is the sampling rate: each operation consults the
+	// traffic counter with probability 1/SampleEvery (rounded up to a
+	// power of two; default 64).  1 samples every op — exact counts,
+	// and with single-threaded traffic fully deterministic, which is
+	// what the determinism tests pin.
+	SampleEvery int
+	// WindowLen is the decision window in sampled ops (default 1024).
+	WindowLen int
+	// PromoteAt promotes a stripe when its sampled hits within one
+	// window reach this count (default 8).
+	PromoteAt int
+	// DemoteBelow demotes a promoted stripe when a full window passes
+	// with fewer sampled hits than this (default 2).  Must be at most
+	// PromoteAt; the gap is the hysteresis that keeps a stripe on the
+	// boundary from thrashing through promote/demote swaps.
+	DemoteBelow int
+	// Table is the shared reader arena promoted wrappers claim slots
+	// in (default rwlock.DefaultReaderTable — the same arena the Slim
+	// cold stripes use).
+	Table *rwlock.ReaderTable
+}
+
+// WithAdaptiveLocks turns on adaptive per-stripe lock promotion.
+// Incompatible with WithLockFactory: adaptive mode owns the stripe
+// locks on both ends of the swap.
+func WithAdaptiveLocks(c AdaptiveConfig) Option {
+	if c.HotSet <= 0 {
+		panic("rwmap: WithAdaptiveLocks needs a positive HotSet budget")
+	}
+	return func(cfg *config) { cfg.adaptive = c }
+}
+
+// WithHotSet is WithAdaptiveLocks with every knob but the hot-set
+// budget at its default.
+func WithHotSet(n int) Option {
+	return WithAdaptiveLocks(AdaptiveConfig{HotSet: n})
+}
+
+// coldFactory returns the constructor for the unpromoted stripes.
+func (c AdaptiveConfig) coldFactory() func() rwlock.RWLock {
+	if c.Protocol == PromoteEpoch {
+		return func() rwlock.RWLock { return rwlock.NewSlimEpoch() }
+	}
+	return func() rwlock.RWLock { return rwlock.NewSlimBravo() }
+}
+
+// adaptive is the per-Map promotion state.  The two sampled-path
+// atomic words are padded apart from each other and from the
+// read-mostly configuration so the sampler's cross-stripe write
+// traffic does not invalidate the lines the op fast path loads.  The
+// per-stripe counters deliberately are not line-padded each: at 2^20
+// stripes a cache line per counter would cost 4x the Slim grid it is
+// budgeting for, so they live in their own dedicated array (8 bytes a
+// stripe, no sharing with the stripe structs the unsampled fast path
+// reads) and only 1-in-SampleEvery ops dirty a line of it.
+type adaptive struct {
+	proto       Protocol
+	tbl         *rwlock.ReaderTable
+	sampleMask  uint64 // SampleEvery-1; 0 samples every op
+	windowLen   uint64
+	promoteAt   uint32
+	demoteBelow uint32
+	budget      int
+
+	// hits is the per-stripe traffic counter array: window tag in the
+	// high 32 bits, sampled hits within that window in the low 32.
+	hits []atomic.Uint64
+
+	_       [64]byte
+	sampled atomic.Uint64 // total sampled ops; window = sampled/windowLen
+	_       [56]byte
+
+	// mu serializes the maintainer: promotions, the window sweep, and
+	// the Stats snapshot.  The sampled fast path never takes it — only
+	// threshold crossings and window boundaries do.
+	mu         sync.Mutex
+	hot        []uint32 // promoted stripe indices, unordered
+	hotMax     int
+	promotions int64
+	demotions  int64
+}
+
+func newAdaptive(c AdaptiveConfig, stripes int) *adaptive {
+	if c.SampleEvery < 1 {
+		c.SampleEvery = 64
+	}
+	if c.SampleEvery&(c.SampleEvery-1) != 0 {
+		c.SampleEvery = 1 << bits.Len(uint(c.SampleEvery))
+	}
+	if c.WindowLen < 1 {
+		c.WindowLen = 1024
+	}
+	if c.PromoteAt < 1 {
+		c.PromoteAt = 8
+	}
+	if c.DemoteBelow < 1 {
+		c.DemoteBelow = 2
+	}
+	if c.DemoteBelow > c.PromoteAt {
+		c.DemoteBelow = c.PromoteAt
+	}
+	if c.Table == nil {
+		c.Table = rwlock.DefaultReaderTable()
+	}
+	return &adaptive{
+		proto:       c.Protocol,
+		tbl:         c.Table,
+		sampleMask:  uint64(c.SampleEvery - 1),
+		windowLen:   uint64(c.WindowLen),
+		promoteAt:   uint32(c.PromoteAt),
+		demoteBelow: uint32(c.DemoteBelow),
+		budget:      c.HotSet,
+		hits:        make([]atomic.Uint64, stripes),
+		hot:         make([]uint32, 0, c.HotSet),
+	}
+}
+
+// sample is the 1-in-N tail of every Map operation on an adaptive
+// Map.  The unsampled path is one random draw and a mask test; the
+// sampled path is one atomic add and one CAS on the stripe's counter
+// word.  Allocation-free in steady state — only an actual promotion
+// or demotion builds anything.
+func (m *Map[K, V]) sample(i uint64) {
+	a := m.ad
+	if a.sampleMask != 0 && rand.Uint64()&a.sampleMask != 0 {
+		return
+	}
+	n := a.sampled.Add(1)
+	w := n / a.windowLen
+	c := &a.hits[i]
+	for {
+		old := c.Load()
+		if uint32(old>>32) == uint32(w) {
+			cnt := uint32(old)
+			if cnt >= a.promoteAt {
+				// Saturated for this window: the tag is already current
+				// and recounting buys nothing.
+				break
+			}
+			if c.CompareAndSwap(old, old+1) {
+				if cnt+1 == a.promoteAt {
+					m.promote(i)
+				}
+				break
+			}
+		} else if c.CompareAndSwap(old, w<<32|1) {
+			break
+		}
+	}
+	if n%a.windowLen == 0 {
+		// This op crossed into window w; amortize the maintainer here.
+		m.sweep(w)
+	}
+}
+
+// promote swaps stripe i's Slim lock for a full wrapper on the shared
+// arena, if the hot-set budget has room.  Runs on the sampled op that
+// carried the stripe over the threshold, after that op released the
+// stripe lock (swap re-acquires it in write mode).
+func (m *Map[K, V]) promote(i uint64) {
+	a := m.ad
+	s := &m.stripes[i]
+	if s.cur.Load().hot {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	old := s.cur.Load()
+	if old.hot || len(a.hot) >= a.budget {
+		// Lost the race, or the budget is spent; the stripe stays Slim
+		// and may try again when a demotion frees a slot.
+		return
+	}
+	var l rwlock.RWLock
+	if a.proto == PromoteEpoch {
+		l = rwlock.NewEpochShared(a.tbl, nil)
+	} else {
+		l = rwlock.NewBravoShared(a.tbl, nil)
+	}
+	nl := &stripeLock{lock: l, hot: true, cold: old}
+	s.swap(old, nl)
+	a.hot = append(a.hot, uint32(i))
+	a.promotions++
+	if len(a.hot) > a.hotMax {
+		a.hotMax = len(a.hot)
+	}
+}
+
+// sweep is the maintainer: on entry to window w it walks the promoted
+// list — O(budget), never O(stripes) — and demotes every stripe whose
+// previous window stayed under DemoteBelow, republishing the original
+// Slim bundle stashed at promotion.  The abandoned wrapper is garbage
+// once the last straggler backs out of it.
+func (m *Map[K, V]) sweep(w uint64) {
+	a := m.ad
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	kept := a.hot[:0]
+	for _, i := range a.hot {
+		word := a.hits[i].Load()
+		tag, cnt := uint32(word>>32), uint32(word)
+		if tag == uint32(w) || (tag == uint32(w-1) && cnt >= a.demoteBelow) {
+			kept = append(kept, i)
+			continue
+		}
+		s := &m.stripes[i]
+		hotSL := s.cur.Load()
+		s.swap(hotSL, hotSL.cold)
+		a.demotions++
+	}
+	a.hot = kept
+}
+
+// MapStats is a snapshot of the adaptive promotion state.  On a
+// non-adaptive Map only Adaptive=false is meaningful.
+type MapStats struct {
+	Adaptive     bool
+	HotSetBudget int   // the WithHotSet/WithAdaptiveLocks budget
+	HotSetSize   int   // stripes currently promoted
+	HotSetMax    int   // high-water mark of HotSetSize
+	Promotions   int64 // total Slim→full swaps
+	Demotions    int64 // total full→Slim swaps
+	SampledOps   uint64
+	Hot          []int // currently promoted stripe indices, sorted
+}
+
+// Stats snapshots the adaptive promotion counters.
+func (m *Map[K, V]) Stats() MapStats {
+	a := m.ad
+	if a == nil {
+		return MapStats{}
+	}
+	a.mu.Lock()
+	st := MapStats{
+		Adaptive:     true,
+		HotSetBudget: a.budget,
+		HotSetSize:   len(a.hot),
+		HotSetMax:    a.hotMax,
+		Promotions:   a.promotions,
+		Demotions:    a.demotions,
+		SampledOps:   a.sampled.Load(),
+		Hot:          make([]int, len(a.hot)),
+	}
+	for i, idx := range a.hot {
+		st.Hot[i] = int(idx)
+	}
+	a.mu.Unlock()
+	sort.Ints(st.Hot)
+	return st
+}

@@ -1,0 +1,345 @@
+package rwmap
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rwsync/rwlock"
+)
+
+// exactConfig is the deterministic adaptive configuration the tests
+// drive: every op sampled, tiny windows, a low threshold — promotion
+// behavior depends only on the op sequence.
+func exactConfig(budget int) AdaptiveConfig {
+	return AdaptiveConfig{
+		HotSet:      budget,
+		SampleEvery: 1,
+		WindowLen:   64,
+		PromoteAt:   4,
+		DemoteBelow: 2,
+	}
+}
+
+// keyOn finds a key landing on the given stripe.
+func keyOn[V any](m *Map[int, V], stripe int) int {
+	for k := 0; ; k++ {
+		if int(m.indexOf(k)) == stripe {
+			return k
+		}
+	}
+}
+
+// TestGetOrCompute: sequential contract — miss fills and reports
+// loaded=false, hit returns the stored value without running fill.
+func TestGetOrCompute(t *testing.T) {
+	m := New[string, int](WithStripes(4))
+	calls := 0
+	v, loaded := m.GetOrCompute("a", func() int { calls++; return 42 })
+	if loaded || v != 42 || calls != 1 {
+		t.Fatalf("miss: got (%d,%v) after %d fills, want (42,false) after 1", v, loaded, calls)
+	}
+	v, loaded = m.GetOrCompute("a", func() int { calls++; return 99 })
+	if !loaded || v != 42 || calls != 1 {
+		t.Fatalf("hit: got (%d,%v) after %d fills, want (42,true) after 1", v, loaded, calls)
+	}
+	m.Put("a", 7)
+	if v, _ = m.GetOrCompute("a", func() int { calls++; return 0 }); v != 7 || calls != 1 {
+		t.Fatalf("hit after Put: got %d after %d fills, want 7 after 1", v, calls)
+	}
+}
+
+// TestGetOrComputeSingleFlight: of any set of concurrent callers for
+// one missing key, exactly one runs fill — the write-upgrade re-check
+// closes the Get-miss/Put lost-update window the two-acquisition
+// sequence has.
+func TestGetOrComputeSingleFlight(t *testing.T) {
+	for name, opts := range map[string][]Option{
+		"slim":     {WithStripes(1)},
+		"adaptive": {WithStripes(1), WithAdaptiveLocks(exactConfig(1))},
+	} {
+		t.Run(name, func(t *testing.T) {
+			m := New[int, int](opts...)
+			var fills, start atomic.Int64
+			const callers = 16
+			var wg sync.WaitGroup
+			results := make([]int, callers)
+			for i := range callers {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					start.Add(1)
+					for start.Load() < callers { // line everyone up on the miss
+					}
+					results[i], _ = m.GetOrCompute(0, func() int {
+						return int(fills.Add(1)) * 1000
+					})
+				}()
+			}
+			wg.Wait()
+			if fills.Load() != 1 {
+				t.Fatalf("fill ran %d times for one missing key, want 1", fills.Load())
+			}
+			for i, r := range results {
+				if r != 1000 {
+					t.Fatalf("caller %d got %d, want the single fill's 1000", i, r)
+				}
+			}
+		})
+	}
+}
+
+// TestAdaptivePromoteDemote: hot traffic promotes a stripe to a full
+// wrapper within the budget; when the traffic moves away the window
+// sweep demotes it back to the original Slim lock.
+func TestAdaptivePromoteDemote(t *testing.T) {
+	for name, proto := range map[string]Protocol{"bravo": PromoteBravo, "epoch": PromoteEpoch} {
+		t.Run(name, func(t *testing.T) {
+			cfg := exactConfig(2)
+			cfg.Protocol = proto
+			m := New[int, int](WithStripes(4), WithAdaptiveLocks(cfg))
+			hotK, coldK := keyOn(m, 0), keyOn(m, 1)
+			coldLock := m.LockOf(hotK)
+			for i := range 200 {
+				m.Put(hotK, i)
+			}
+			st := m.Stats()
+			if st.Promotions < 1 || st.HotSetSize != 1 || st.Hot[0] != 0 {
+				t.Fatalf("hot traffic did not promote stripe 0: %+v", st)
+			}
+			switch l := m.LockOf(hotK); proto {
+			case PromoteBravo:
+				if _, ok := l.(*rwlock.Bravo); !ok {
+					t.Fatalf("promoted lock is %T, want *rwlock.Bravo", l)
+				}
+			case PromoteEpoch:
+				if _, ok := l.(*rwlock.Epoch); !ok {
+					t.Fatalf("promoted lock is %T, want *rwlock.Epoch", l)
+				}
+			}
+			if v, ok := m.Get(hotK); !ok || v != 199 {
+				t.Fatalf("promoted stripe lost data: got (%d,%v)", v, ok)
+			}
+			// Move the traffic: two-plus quiet windows demote stripe 0.
+			for i := range 3 * int(m.ad.windowLen) {
+				m.Put(coldK, i)
+			}
+			st = m.Stats()
+			if st.Demotions < 1 {
+				t.Fatalf("cooled stripe was not demoted: %+v", st)
+			}
+			if l := m.LockOf(hotK); l != coldLock {
+				t.Fatalf("demotion did not republish the original Slim lock (%T)", l)
+			}
+			if v, ok := m.Get(hotK); !ok || v != 199 {
+				t.Fatalf("demoted stripe lost data: got (%d,%v)", v, ok)
+			}
+		})
+	}
+}
+
+// TestAdaptiveBudget: the hot set never exceeds the budget even when
+// many stripes qualify, and the high-water mark tracks it.
+func TestAdaptiveBudget(t *testing.T) {
+	m := New[int, int](WithStripes(16), WithAdaptiveLocks(exactConfig(3)))
+	for i := range 10000 {
+		m.Put(i%256, i) // spread hot traffic over every stripe
+	}
+	st := m.Stats()
+	if st.HotSetSize > 3 || st.HotSetMax > 3 {
+		t.Fatalf("hot set exceeded budget: %+v", st)
+	}
+	if st.Promotions < 3 {
+		t.Fatalf("uniform hot traffic promoted only %d stripes under budget 3", st.Promotions)
+	}
+	if st.Demotions > st.Promotions {
+		t.Fatalf("more demotions than promotions: %+v", st)
+	}
+}
+
+// TestAdaptiveDeterminism: with every op sampled, the same hash seed
+// and the same single-threaded op sequence land the same final hot
+// set — promotion is a function of traffic, not of scheduling.
+func TestAdaptiveDeterminism(t *testing.T) {
+	run := func(seedFrom *Map[int, int]) *Map[int, int] {
+		m := New[int, int](WithStripes(32), WithAdaptiveLocks(exactConfig(4)))
+		if seedFrom != nil {
+			m.seed = seedFrom.seed // same key→stripe mapping
+		}
+		// Zipf-flavored deterministic traffic: low keys hot.
+		x := uint64(1)
+		for range 20000 {
+			x = x*6364136223846793005 + 1442695040888963407
+			k := int(x>>33) % 64
+			k = k * k / 64 // skew toward 0
+			m.Put(k, int(x))
+		}
+		return m
+	}
+	m1 := run(nil)
+	m2 := run(m1)
+	h1, h2 := m1.Stats(), m2.Stats()
+	if len(h1.Hot) == 0 {
+		t.Fatal("skewed traffic promoted nothing")
+	}
+	if len(h1.Hot) != len(h2.Hot) {
+		t.Fatalf("hot sets differ in size: %v vs %v", h1.Hot, h2.Hot)
+	}
+	for i := range h1.Hot {
+		if h1.Hot[i] != h2.Hot[i] {
+			t.Fatalf("hot sets differ: %v vs %v", h1.Hot, h2.Hot)
+		}
+	}
+	if h1.Promotions != h2.Promotions || h1.Demotions != h2.Demotions {
+		t.Fatalf("counter histories differ: %+v vs %+v", h1, h2)
+	}
+}
+
+// TestAdaptiveSwapHammer is the -race witness for the swap protocol:
+// readers, writers, Try- and Ctx-acquirers all race a goroutine that
+// force-promotes and force-demotes the one stripe as fast as it can.
+// Every map access below validates the published bundle after
+// acquiring, exactly as the Map methods do; the race detector fails
+// the test if any interleaving lets two sides into the map at once.
+func TestAdaptiveSwapHammer(t *testing.T) {
+	m := New[int, int](WithStripes(1), WithAdaptiveLocks(exactConfig(1)))
+	s := &m.stripes[0]
+	m.Put(0, 0)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	spawn := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				f()
+			}
+		}()
+	}
+
+	// The swapper: promote, then sweep "from the far future" (any
+	// window two past the counter's tag) so the stripe looks stale and
+	// demotes — each iteration is a full promote/demote cycle racing
+	// the traffic below.
+	spawn(func() {
+		m.promote(0)
+		m.sweep(uint64(uint32(m.ad.hits[0].Load()>>32)) + 2)
+	})
+	// Plain readers and writers through the public surface.
+	spawn(func() { m.Get(0) })
+	spawn(func() { m.Put(0, 1) })
+	spawn(func() {
+		m.Update(0, func(v int, ok bool) (int, bool) { return v + 1, true })
+	})
+	spawn(func() {
+		m.GetOrCompute(0, func() int { return -1 })
+		m.Delete(1)
+	})
+	// Try-acquirers: validated exactly as the Map methods validate.
+	spawn(func() {
+		sl := s.cur.Load()
+		if tl, ok := sl.lock.(rwlock.TryRWLock); ok {
+			if tok, ok := tl.TryRLock(); ok {
+				if s.cur.Load() == sl {
+					_ = s.m[0]
+				}
+				sl.lock.RUnlock(tok)
+			}
+			if tok, ok := tl.TryLock(); ok {
+				if s.cur.Load() == sl {
+					s.m[0] = 2
+				}
+				sl.lock.Unlock(tok)
+			}
+		}
+	})
+	// Ctx-acquirers.
+	spawn(func() {
+		ctx := context.Background()
+		sl := s.cur.Load()
+		if cl, ok := sl.lock.(rwlock.CtxRWLock); ok {
+			if tok, err := cl.RLockCtx(ctx); err == nil {
+				if s.cur.Load() == sl {
+					_ = s.m[0]
+				}
+				sl.lock.RUnlock(tok)
+			}
+			if tok, err := cl.LockCtx(ctx); err == nil {
+				if s.cur.Load() == sl {
+					s.m[0] = 3
+				}
+				sl.lock.Unlock(tok)
+			}
+		}
+	})
+
+	// Drive until the swapper has demonstrably cycled a few times (a
+	// single-CPU box needs the yields to rotate the goroutines).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for range 500 {
+			m.Get(0)
+		}
+		runtime.Gosched()
+		if st := m.Stats(); st.Promotions >= 3 && st.Demotions >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	st := m.Stats()
+	if st.Promotions == 0 || st.Demotions == 0 {
+		t.Fatalf("hammer never cycled the lock: %+v", st)
+	}
+	if _, ok := m.Get(0); !ok {
+		t.Fatal("key lost under the hammer")
+	}
+}
+
+// TestServingPathAllocs pins the serving-tier hot paths at zero
+// allocations: Get/Put/Update on Slim stripes, on promoted stripes,
+// and with the sampler running every op in steady state (counters
+// saturated, budget spent — the sampled path itself must not
+// allocate).
+func TestServingPathAllocs(t *testing.T) {
+	update := func(v int, ok bool) (int, bool) { return v + 1, true }
+	fill := func() int { return 0 }
+	pin := func(t *testing.T, name string, f func()) {
+		t.Helper()
+		if n := testing.AllocsPerRun(200, f); n != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, n)
+		}
+	}
+	check := func(t *testing.T, m *Map[int, int], k int) {
+		t.Helper()
+		m.Put(k, 0)
+		pin(t, "Get", func() { m.Get(k) })
+		pin(t, "Put", func() { m.Put(k, 1) })
+		pin(t, "Update", func() { m.Update(k, update) })
+		pin(t, "GetOrCompute hit", func() { m.GetOrCompute(k, fill) })
+	}
+
+	t.Run("slim", func(t *testing.T) {
+		check(t, New[int, int](WithStripes(8)), 1)
+	})
+	t.Run("adaptive", func(t *testing.T) {
+		m := New[int, int](WithStripes(8), WithAdaptiveLocks(exactConfig(1)))
+		hotK := keyOn(m, 0)
+		for i := range 200 { // promote stripe 0, spend the budget
+			m.Put(hotK, i)
+		}
+		if st := m.Stats(); st.HotSetSize != 1 {
+			t.Fatalf("setup did not promote: %+v", st)
+		}
+		t.Run("promoted stripe", func(t *testing.T) { check(t, m, hotK) })
+		t.Run("cold stripe sampled", func(t *testing.T) { check(t, m, keyOn(m, 3)) })
+	})
+}

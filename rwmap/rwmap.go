@@ -13,10 +13,19 @@
 // 10^5–10^6-stripe grids affordable (see rwlock.WithSharedReaderTable
 // for the trade).
 //
-// Writes go through the lock's closure write path (rwlock.Write), so
-// a stripe built over a flat-combining lock batches its mutations
-// exactly as the PR 5 write path does; Update exposes that path for
-// read-modify-write without a Get/Put race.
+// Writes go through the lock's closure write path (rwlock.Write) when
+// the stripe lock flat-combines, so such a stripe batches its
+// mutations exactly as the PR 5 write path does; on every other lock
+// the token path is the same semantics with zero allocations.  Update
+// exposes read-modify-write without a Get/Put race, and GetOrCompute
+// fills a missing entry under a single write acquisition.
+//
+// WithAdaptiveLocks / WithHotSet turn on contention-driven lock
+// heterogeneity: every stripe starts on a 16-byte Slim lock, a
+// sampled per-stripe traffic counter finds the hot set, and the Map
+// promotes just those stripes to full Bravo/Epoch wrappers on the
+// shared reader arena (demoting them again when they cool).  See
+// adaptive.go for the machinery and the swap protocol.
 //
 // The zero Map is not ready; construct with New.  All methods are
 // safe for concurrent use.  Range takes no global snapshot: it locks
@@ -28,6 +37,7 @@ package rwmap
 import (
 	"hash/maphash"
 	"math/bits"
+	"sync/atomic"
 
 	"rwsync/rwlock"
 )
@@ -41,8 +51,9 @@ const maxStripes = 1 << 20
 // methods off a generic options type, so options are plain funcs over
 // this struct.
 type config struct {
-	stripes int
-	factory func() rwlock.RWLock
+	stripes  int
+	factory  func() rwlock.RWLock
+	adaptive AdaptiveConfig
 }
 
 // Option configures New.
@@ -61,6 +72,7 @@ func WithStripes(n int) Option {
 // counts prefer constructors whose per-instance footprint is small
 // (rwlock.NewSlimBravo, rwlock.NewSlimEpoch — 16 bytes each on a
 // shared reader table) over the full wrappers (kilobytes each).
+// Incompatible with WithAdaptiveLocks, which owns the stripe locks.
 func WithLockFactory(f func() rwlock.RWLock) Option {
 	if f == nil {
 		panic("rwmap: WithLockFactory needs a non-nil factory")
@@ -68,13 +80,95 @@ func WithLockFactory(f func() rwlock.RWLock) Option {
 	return func(c *config) { c.factory = f }
 }
 
-// stripe is one shard: its lock, the lock's closure write path
-// (resolved once — every stripe write goes through it, so the
-// per-write type assertion is hoisted here), and the shard map.
-type stripe[K comparable, V any] struct {
+// stripeLock bundles one published lock state: the lock, its closure
+// write path when (and only when) the lock flat-combines, and the
+// adaptive bookkeeping.  The bundle is published through an atomic
+// pointer so a promotion swaps lock and write-path resolve together.
+type stripeLock struct {
 	lock rwlock.RWLock
-	fw   rwlock.FuncWriter // nil when lock has no closure path
-	m    map[K]V
+	fw   rwlock.FuncWriter // non-nil only when lock combines closure writes
+	hot  bool              // promoted full wrapper?
+	cold *stripeLock       // promotion stashes the Slim bundle here for demotion
+}
+
+// newStripeLock resolves l's closure write path once.  Only a
+// flat-combining lock gets fw: every lock in the registry implements
+// FuncWriter, but on a non-combining lock Write is Lock/cs/Unlock
+// with the closure forced to the heap, while the token path is the
+// same semantics allocation-free.
+func newStripeLock(l rwlock.RWLock) *stripeLock {
+	sl := &stripeLock{lock: l}
+	if _, combines := rwlock.CombinerStatsOf(l); combines {
+		sl.fw, _ = l.(rwlock.FuncWriter)
+	}
+	return sl
+}
+
+// stripe is one shard: the published lock bundle and the shard map.
+// All lock access goes through cur — the indirection the adaptive
+// promotion path swaps through; a non-adaptive Map stores cur once at
+// construction and never again.
+type stripe[K comparable, V any] struct {
+	cur atomic.Pointer[stripeLock]
+	m   map[K]V
+}
+
+// rlock acquires s's current lock in read mode and revalidates the
+// published bundle after acquiring: a promotion that swapped the lock
+// between the load and the acquire would leave this caller holding a
+// lock no writer consults any more, so it backs out and retries on
+// the newly published one.  The swap publishes only while holding the
+// previous lock's write mode (see swap), so holding the lock that is
+// current after acquisition is mutual exclusion.  On a non-adaptive
+// Map the pointer never changes and the loop is one iteration.
+func (s *stripe[K, V]) rlock() (*stripeLock, rwlock.RToken) {
+	for {
+		sl := s.cur.Load()
+		t := sl.lock.RLock()
+		if s.cur.Load() == sl {
+			return sl, t
+		}
+		sl.lock.RUnlock(t)
+	}
+}
+
+// wlock is rlock's write-mode twin.
+func (s *stripe[K, V]) wlock() (*stripeLock, rwlock.WToken) {
+	for {
+		sl := s.cur.Load()
+		t := sl.lock.Lock()
+		if s.cur.Load() == sl {
+			return sl, t
+		}
+		sl.lock.Unlock(t)
+	}
+}
+
+// swap publishes nl as s's lock bundle, riding old's closure write
+// path where the lock has one.  By the time the write passage is
+// granted every holder that validated old has left; publishing inside
+// the passage means any later acquirer of old fails rlock/wlock
+// revalidation and retries on nl.  Callers serialize swaps per stripe
+// (the adaptive maintainer holds its mutex), so old is known current.
+func (s *stripe[K, V]) swap(old, nl *stripeLock) {
+	if fw, ok := old.lock.(rwlock.FuncWriter); ok {
+		fw.Write(func() { s.cur.Store(nl) })
+		return
+	}
+	t := old.lock.Lock()
+	s.cur.Store(nl)
+	old.lock.Unlock(t)
+}
+
+// apply runs one read-modify-write against the shard map; the caller
+// holds the stripe's write mode.
+func (s *stripe[K, V]) apply(k K, f func(v V, ok bool) (V, bool)) {
+	v, ok := s.m[k]
+	if nv, keep := f(v, ok); keep {
+		s.m[k] = nv
+	} else if ok {
+		delete(s.m, k)
+	}
 }
 
 // Map is a striped concurrent map.  See the package comment for the
@@ -83,6 +177,7 @@ type Map[K comparable, V any] struct {
 	seed    maphash.Seed
 	mask    uint64
 	stripes []stripe[K, V]
+	ad      *adaptive // nil unless WithAdaptiveLocks/WithHotSet
 }
 
 // defaultStripes is the stripe count when WithStripes is not given:
@@ -110,7 +205,12 @@ func New[K comparable, V any](opts ...Option) *Map[K, V] {
 		n = 1 << bits.Len(uint(n))
 	}
 	factory := cfg.factory
-	if factory == nil {
+	if cfg.adaptive.HotSet > 0 {
+		if factory != nil {
+			panic("rwmap: WithLockFactory and WithAdaptiveLocks are mutually exclusive (adaptive mode owns the stripe locks)")
+		}
+		factory = cfg.adaptive.coldFactory()
+	} else if factory == nil {
 		factory = func() rwlock.RWLock { return rwlock.NewSlimBravo() }
 	}
 	m := &Map[K, V]{
@@ -118,11 +218,19 @@ func New[K comparable, V any](opts ...Option) *Map[K, V] {
 		mask:    uint64(n - 1),
 		stripes: make([]stripe[K, V], n),
 	}
+	// One slab for the cold bundles: at 2^20 stripes a per-bundle
+	// allocation would cost an object header per stripe for state that
+	// never changes size.
+	slab := make([]stripeLock, n)
 	for i := range m.stripes {
 		s := &m.stripes[i]
-		s.lock = factory()
-		s.fw, _ = s.lock.(rwlock.FuncWriter)
+		sl := &slab[i]
+		*sl = *newStripeLock(factory())
+		s.cur.Store(sl)
 		s.m = make(map[K]V)
+	}
+	if cfg.adaptive.HotSet > 0 {
+		m.ad = newAdaptive(cfg.adaptive, n)
 	}
 	return m
 }
@@ -130,25 +238,36 @@ func New[K comparable, V any](opts ...Option) *Map[K, V] {
 // Stripes returns the stripe count (a power of two in [1, 1<<20]).
 func (m *Map[K, V]) Stripes() int { return len(m.stripes) }
 
-// stripeOf returns the key's shard.
-func (m *Map[K, V]) stripeOf(k K) *stripe[K, V] {
-	return &m.stripes[maphash.Comparable(m.seed, k)&m.mask]
+// indexOf returns the key's stripe index.
+func (m *Map[K, V]) indexOf(k K) uint64 {
+	return maphash.Comparable(m.seed, k) & m.mask
 }
 
-// LockOf returns the lock guarding k's stripe — the seam measurement
-// harnesses use to wait on or inspect the exact lock a hot key
-// contends on.  Mutating the map through this lock directly (instead
-// of the Map methods) is the caller's own consistency problem.
+// stripeOf returns the key's shard.
+func (m *Map[K, V]) stripeOf(k K) *stripe[K, V] {
+	return &m.stripes[m.indexOf(k)]
+}
+
+// LockOf returns the lock currently guarding k's stripe — the seam
+// measurement harnesses use to wait on or inspect the exact lock a
+// hot key contends on.  Mutating the map through this lock directly
+// (instead of the Map methods) is the caller's own consistency
+// problem; on an adaptive Map the returned lock can additionally be
+// demoted or promoted away at any moment, so treat it as a sample.
 func (m *Map[K, V]) LockOf(k K) rwlock.RWLock {
-	return m.stripeOf(k).lock
+	return m.stripeOf(k).cur.Load().lock
 }
 
 // Get returns the value stored for k.
 func (m *Map[K, V]) Get(k K) (V, bool) {
-	s := m.stripeOf(k)
-	t := s.lock.RLock()
+	i := m.indexOf(k)
+	s := &m.stripes[i]
+	sl, t := s.rlock()
 	v, ok := s.m[k]
-	s.lock.RUnlock(t)
+	sl.lock.RUnlock(t)
+	if m.ad != nil {
+		m.sample(i)
+	}
 	return v, ok
 }
 
@@ -157,35 +276,50 @@ func (m *Map[K, V]) Get(k K) (V, bool) {
 // pointer-valued V in place with the guarantee no Update is mutating
 // it concurrently.  f must not call back into the same Map.
 func (m *Map[K, V]) Read(k K, f func(v V, ok bool)) {
-	s := m.stripeOf(k)
-	t := s.lock.RLock()
+	i := m.indexOf(k)
+	s := &m.stripes[i]
+	sl, t := s.rlock()
 	v, ok := s.m[k]
 	f(v, ok)
-	s.lock.RUnlock(t)
-}
-
-// write runs cs under s's write lock through the closure path when
-// the lock has one (the path flat-combining locks batch on).
-func (s *stripe[K, V]) write(cs func()) {
-	if s.fw != nil {
-		s.fw.Write(cs)
-		return
+	sl.lock.RUnlock(t)
+	if m.ad != nil {
+		m.sample(i)
 	}
-	t := s.lock.Lock()
-	cs()
-	s.lock.Unlock(t)
 }
 
 // Put stores v for k.
 func (m *Map[K, V]) Put(k K, v V) {
-	s := m.stripeOf(k)
-	s.write(func() { s.m[k] = v })
+	i := m.indexOf(k)
+	s := &m.stripes[i]
+	if sl := s.cur.Load(); sl.fw != nil {
+		// Combining stripe lock (non-adaptive only — adaptive builds
+		// never combine, so no revalidation is needed on this branch):
+		// ship the mutation through the closure path it batches on.
+		sl.fw.Write(func() { s.m[k] = v })
+	} else {
+		sl, t := s.wlock()
+		s.m[k] = v
+		sl.lock.Unlock(t)
+	}
+	if m.ad != nil {
+		m.sample(i)
+	}
 }
 
 // Delete removes k.
 func (m *Map[K, V]) Delete(k K) {
-	s := m.stripeOf(k)
-	s.write(func() { delete(s.m, k) })
+	i := m.indexOf(k)
+	s := &m.stripes[i]
+	if sl := s.cur.Load(); sl.fw != nil {
+		sl.fw.Write(func() { delete(s.m, k) })
+	} else {
+		sl, t := s.wlock()
+		delete(s.m, k)
+		sl.lock.Unlock(t)
+	}
+	if m.ad != nil {
+		m.sample(i)
+	}
 }
 
 // Update atomically read-modify-writes k's entry: f receives the
@@ -196,15 +330,49 @@ func (m *Map[K, V]) Delete(k K) {
 // writes — so it must be short, must not block, and must not call
 // back into the Map.
 func (m *Map[K, V]) Update(k K, f func(v V, ok bool) (V, bool)) {
-	s := m.stripeOf(k)
-	s.write(func() {
-		v, ok := s.m[k]
-		if nv, keep := f(v, ok); keep {
-			s.m[k] = nv
-		} else if ok {
-			delete(s.m, k)
+	i := m.indexOf(k)
+	s := &m.stripes[i]
+	if sl := s.cur.Load(); sl.fw != nil {
+		sl.fw.Write(func() { s.apply(k, f) })
+	} else {
+		sl, t := s.wlock()
+		s.apply(k, f)
+		sl.lock.Unlock(t)
+	}
+	if m.ad != nil {
+		m.sample(i)
+	}
+}
+
+// GetOrCompute returns the value for k, computing and storing it on a
+// miss.  The hit path is one read acquisition.  A miss upgrades to
+// one write acquisition of k's stripe, re-checks (another caller may
+// have won the upgrade race), and only then runs fill — so of any set
+// of concurrent callers for a missing k, exactly one runs fill and
+// the rest return its value: the single-flight guarantee the separate
+// Get-miss-then-Put sequence cannot give (its lost-update window
+// between the two acquisitions runs every racer's fill and keeps an
+// arbitrary one).  loaded reports whether the value was already
+// present.  fill runs inside the stripe's write critical section: it
+// must be short, must not block, and must not call back into the Map.
+func (m *Map[K, V]) GetOrCompute(k K, fill func() V) (v V, loaded bool) {
+	i := m.indexOf(k)
+	s := &m.stripes[i]
+	sl, t := s.rlock()
+	v, loaded = s.m[k]
+	sl.lock.RUnlock(t)
+	if !loaded {
+		wl, wt := s.wlock()
+		if v, loaded = s.m[k]; !loaded {
+			v = fill()
+			s.m[k] = v
 		}
-	})
+		wl.lock.Unlock(wt)
+	}
+	if m.ad != nil {
+		m.sample(i)
+	}
+	return v, loaded
 }
 
 // Len returns the total entry count, summed stripe by stripe under
@@ -213,9 +381,9 @@ func (m *Map[K, V]) Len() int {
 	n := 0
 	for i := range m.stripes {
 		s := &m.stripes[i]
-		t := s.lock.RLock()
+		sl, t := s.rlock()
 		n += len(s.m)
-		s.lock.RUnlock(t)
+		sl.lock.RUnlock(t)
 	}
 	return n
 }
@@ -228,13 +396,13 @@ func (m *Map[K, V]) Len() int {
 func (m *Map[K, V]) Range(f func(k K, v V) bool) {
 	for i := range m.stripes {
 		s := &m.stripes[i]
-		t := s.lock.RLock()
+		sl, t := s.rlock()
 		for k, v := range s.m {
 			if !f(k, v) {
-				s.lock.RUnlock(t)
+				sl.lock.RUnlock(t)
 				return
 			}
 		}
-		s.lock.RUnlock(t)
+		sl.lock.RUnlock(t)
 	}
 }
