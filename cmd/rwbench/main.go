@@ -7,7 +7,7 @@
 //
 //	rwbench [-ops N] [-seed S] [-workers list] [-locks list]
 //	        [-scenario names|all] [-stripes list] [-skew list]
-//	        [-hotset list] [-markdown] [-json] [-quick]
+//	        [-hotset list] [-metrics] [-markdown] [-json] [-quick]
 //	        [-oversub] [-oversub-workers list] [-oversub-duration d]
 //	        [-validate file]
 //
@@ -64,6 +64,19 @@
 // park comparison set (harness.OversubLockNames) rather than the
 // spin-only E7 default.  (The "oversub" scenario is the same
 // experiment through the registry.)
+//
+// -metrics instruments every native and sharded scenario cell with a
+// fresh rwlock.WithStats counter block (the observability seam the
+// rwstats exporters serve) and folds its quiescent snapshot into the
+// point as a "counters" object — an additive schema_version 2 column,
+// like the sharded and adaptive fields before it.  The harness
+// cross-checks each block before reporting it (CheckCoherence plus
+// the one-passage-per-op tie), and -validate re-asserts the same
+// invariants on the serialized record, requiring counters exactly on
+// the points of a metrics run.  Rows outside the stats seam (Slim,
+// the classical baselines, sync.RWMutex) report all-zero blocks;
+// simulator scenarios carry no counters, so -metrics is rejected when
+// the selection contains no native scenario.
 //
 // -json emits one versioned JSON object (schema_version 2) with every
 // sweep's points instead of tables, so per-PR benchmark grids can be
@@ -170,6 +183,7 @@ func run(args []string, out io.Writer) error {
 	stripesFlag := fs.String("stripes", "", "comma-separated stripe counts for sharded scenarios (e.g. 1000,1000000)")
 	skewFlag := fs.String("skew", "", "comma-separated Zipf exponents for sharded scenarios (e.g. 0,1.07)")
 	hotsetFlag := fs.String("hotset", "", "comma-separated hot-set budgets for adaptive scenarios (0 = adaptive off, e.g. 0,64,512)")
+	metrics := fs.Bool("metrics", false, "instrument every scenario cell with a rwlock.WithStats counter block and fold the snapshots into the points (requires -scenario)")
 	validate := fs.String("validate", "", "validate a -json report file against the schema and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -269,6 +283,7 @@ func run(args []string, out io.Writer) error {
 			Stripes: stripes,
 			ZipfS:   skews,
 			HotSets: hotSets,
+			Metrics: *metrics,
 		}
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
@@ -322,6 +337,9 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("-hotset applies to no selected scenario (adaptive scenarios: %v)",
 				harness.AdaptiveScenarioNames())
 		}
+		if *metrics && !anyNative {
+			return fmt.Errorf("-metrics applies to no selected scenario (simulator scenarios have no native locks to instrument)")
+		}
 		for _, sc := range scs {
 			res, err := harness.RunScenario(sc, opts)
 			if err != nil {
@@ -352,6 +370,9 @@ func run(args []string, out io.Writer) error {
 	if len(hotSets) > 0 {
 		return fmt.Errorf("-hotset requires an adaptive -scenario selection (adaptive scenarios: %v)",
 			harness.AdaptiveScenarioNames())
+	}
+	if *metrics {
+		return fmt.Errorf("-metrics requires a -scenario selection (the classic pair reports through the legacy tables)")
 	}
 	fractions := []float64{0.5, 0.9, 0.99, 1.0}
 	readers := 8

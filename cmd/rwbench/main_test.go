@@ -705,3 +705,114 @@ func TestRunOversubDefaultsToParkComparison(t *testing.T) {
 		t.Fatalf("oversub GOMAXPROCS = %d, want pinned 2", rep.OversubGOMAXPROCS)
 	}
 }
+
+// metricsReport wraps one scenario's points in a minimal schema-2
+// report whose scenario result is flagged as a -metrics run.
+func metricsReport(scenario, points string) string {
+	return `{"schema_version":2,"gomaxprocs":1,"numcpu":1,"seed":1,` +
+		`"scenarios":[{"scenario":` + scenario +
+		`,"seed":1,"gomaxprocs":1,"metrics":true,"points":[` + points + `]}]}`
+}
+
+func TestValidateCounterFields(t *testing.T) {
+	const flat = `{"name":"throughput","title":"t","cs_work":0,"think_work":0}`
+	const base = `"lock":"MWSF","workers":4,"read_fraction":0.9,"ops_per_sec":1,"read_ops":90,"write_ops":10`
+	good := `{` + base + `,"counters":{"read_acquires":90,"write_acquires":10,"read_contended":5}}`
+	if err := validateReport([]byte(metricsReport(flat, good))); err != nil {
+		t.Fatalf("consistent counter point rejected: %v", err)
+	}
+	// A row outside the stats seam (Slim, baselines, sync.RWMutex)
+	// legitimately reports an all-zero block on a metrics run.
+	zero := `{` + base + `,"counters":{}}`
+	if err := validateReport([]byte(metricsReport(flat, zero))); err != nil {
+		t.Fatalf("all-zero counter block rejected: %v", err)
+	}
+	for name, rep := range map[string]string{
+		"metrics run without counters": metricsReport(flat, `{`+base+`}`),
+		"counters without metrics":     scenarioReport(flat, good),
+		"read acquires disagree with ops": metricsReport(flat,
+			`{`+base+`,"counters":{"read_acquires":80,"write_acquires":10}}`),
+		"write acquires disagree with ops": metricsReport(flat,
+			`{`+base+`,"counters":{"read_acquires":90,"write_acquires":11}}`),
+		"sheds disagree with ops": metricsReport(flat,
+			`{`+base+`,"counters":{"read_acquires":90,"write_acquires":10,"ctx_sheds":3}}`),
+		"incoherent block": metricsReport(flat,
+			`{`+base+`,"counters":{"read_acquires":90,"write_acquires":10,"read_contended":91}}`),
+	} {
+		if err := validateReport([]byte(rep)); err == nil {
+			t.Errorf("%s: validator accepted the report", name)
+		}
+	}
+	// The counter block and the point's epoch columns are two
+	// bookkeepers of one history; a disagreement is corruption.
+	const epochScenario = `{"name":"age-frontier","title":"t","cs_work":0,"think_work":0,"version_bytes":1024}`
+	mirrorBad := `{"lock":"MWSF/epoch","workers":8,"ops_per_sec":1,"read_ops":90,"write_ops":10,` +
+		`"epoch_advances":10,"grace_waits":5,"retired_versions":40,` +
+		`"reclaimed_versions":30,"retained_versions_max":12,` +
+		`"counters":{"read_acquires":90,"write_acquires":10,"retired_versions":39,"reclaimed_versions":30}}`
+	if err := validateReport([]byte(metricsReport(epochScenario, mirrorBad))); err == nil {
+		t.Error("validator accepted counter reclamation disagreeing with the epoch columns")
+	}
+	// Counters never ride on simulator points.
+	const simScenario = `{"name":"rmr","title":"t","cs_work":0,"think_work":0,` +
+		`"sim":{"systems":["mwsf"],"attempts":1}}`
+	simPoint := `{"system":"mwsf","writers":1,"readers":1,` +
+		`"reader_rmr":{},"writer_rmr":{},"counters":{}}`
+	if err := validateReport([]byte(scenarioReport(simScenario, simPoint))); err == nil {
+		t.Error("validator accepted counters on a simulator point")
+	}
+}
+
+func TestRunScenarioMetricsJSONValidates(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-json", "-metrics", "-ops", "400",
+		"-scenario", "throughput,zipf-grid",
+		"-locks", "MWSF,Bravo(MWSF),sync.RWMutex"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateReport([]byte(b.String())); err != nil {
+		t.Fatalf("fresh -metrics emission fails validation: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(b.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	instrumented, silent := 0, 0
+	for _, sr := range rep.Scenarios {
+		if !sr.Metrics {
+			t.Fatalf("scenario %s: metrics bit not recorded", sr.Scenario.Name)
+		}
+		for i, p := range sr.Points {
+			c := p.Counters
+			if c == nil {
+				t.Fatalf("scenario %s point %d: no counters on a -metrics run", sr.Scenario.Name, i)
+			}
+			switch {
+			case c.ReadAcquires > 0 || c.WriteAcquires > 0:
+				instrumented++
+			case p.Lock == "sync.RWMutex":
+				silent++ // outside the stats seam: documented all-zero block
+			default:
+				t.Fatalf("scenario %s point %d: lock %s recorded nothing", sr.Scenario.Name, i, p.Lock)
+			}
+		}
+	}
+	if instrumented == 0 {
+		t.Fatal("no instrumented points recorded")
+	}
+	if silent == 0 {
+		t.Fatal("no sync.RWMutex baseline points ran")
+	}
+}
+
+func TestRunMetricsRequiresScenario(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-metrics"}, &b); err == nil ||
+		!strings.Contains(err.Error(), "-metrics requires") {
+		t.Fatalf("classic path accepted -metrics: %v", err)
+	}
+	if err := run([]string{"-quick", "-metrics", "-scenario", "rmr"}, &b); err == nil ||
+		!strings.Contains(err.Error(), "-metrics applies to no selected scenario") {
+		t.Fatalf("simulator-only selection accepted -metrics: %v", err)
+	}
+}

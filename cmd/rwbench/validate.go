@@ -99,6 +99,9 @@ func validateScenarioResult(sr *harness.ScenarioResult) error {
 			if p.System == "" || p.ReaderRMR == nil || p.WriterRMR == nil {
 				return fmt.Errorf("scenario %s point %d: incomplete sim point", sr.Scenario.Name, i)
 			}
+			if p.Counters != nil {
+				return fmt.Errorf("scenario %s point %d: counters on a simulator point", sr.Scenario.Name, i)
+			}
 			continue
 		}
 		if p.Lock == "" || p.Workers <= 0 || p.OpsPerSec <= 0 {
@@ -194,6 +197,51 @@ func validateScenarioResult(sr *harness.ScenarioResult) error {
 				p.RetainedVersionsMax != 0 || p.RetainedBytesMax != 0) {
 			return fmt.Errorf("scenario %s point %d: retained-memory counters without version_bytes",
 				sr.Scenario.Name, i)
+		}
+		// Counter bookkeeping (additive, schema_version 2): the lock's
+		// LockStats snapshot exists exactly when the run was
+		// instrumented (-metrics, recorded as the result's metrics
+		// bit).  A recorded block must pass the library's own quiescent
+		// coherence check, and — when the row is inside the stats seam
+		// at all (any acquire or shed counted) — the lock-level passage
+		// counts must tie to the workload's op counts: every completed
+		// op was exactly one completed passage, every deadline shed one
+		// context shed.  On epoch rows the reclamation counters must
+		// agree with the point's own epoch columns (the same run seen
+		// through rwlock.EpochStatsOf) — two bookkeepers of one
+		// history.
+		if sr.Metrics && p.Counters == nil {
+			return fmt.Errorf("scenario %s point %d: metrics run without counters", sr.Scenario.Name, i)
+		}
+		if !sr.Metrics && p.Counters != nil {
+			return fmt.Errorf("scenario %s point %d: counters without a metrics run", sr.Scenario.Name, i)
+		}
+		if c := p.Counters; c != nil {
+			if err := c.CheckCoherence(); err != nil {
+				return fmt.Errorf("scenario %s point %d: %w", sr.Scenario.Name, i, err)
+			}
+			if c.ReadAcquires > 0 || c.WriteAcquires > 0 || c.CtxSheds > 0 {
+				if int64(c.ReadAcquires) != p.ReadOps {
+					return fmt.Errorf("scenario %s point %d: %d read acquires for %d read ops",
+						sr.Scenario.Name, i, c.ReadAcquires, p.ReadOps)
+				}
+				if int64(c.WriteAcquires) != p.WriteOps {
+					return fmt.Errorf("scenario %s point %d: %d write acquires for %d write ops",
+						sr.Scenario.Name, i, c.WriteAcquires, p.WriteOps)
+				}
+				if int64(c.CtxSheds) != p.ShedOps {
+					return fmt.Errorf("scenario %s point %d: %d context sheds for %d shed ops",
+						sr.Scenario.Name, i, c.CtxSheds, p.ShedOps)
+				}
+				if p.RetiredVersions > 0 {
+					if int64(c.RetiredVersions) != p.RetiredVersions ||
+						int64(c.ReclaimedVersions) != p.ReclaimedVersions {
+						return fmt.Errorf("scenario %s point %d: counter reclamation %d/%d disagrees with epoch columns %d/%d",
+							sr.Scenario.Name, i, c.RetiredVersions, c.ReclaimedVersions,
+							p.RetiredVersions, p.ReclaimedVersions)
+					}
+				}
+			}
 		}
 		for name, h := range map[string]*stats.HistSnapshot{
 			"read_wait_ns": p.ReadWait, "read_hold_ns": p.ReadHold, "read_total_ns": p.ReadTotal,

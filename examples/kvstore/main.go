@@ -31,9 +31,15 @@
 // Run with:
 //
 //	go run ./examples/kvstore
+//
+// or serve the live observability endpoints instead of running the
+// batch measurements (see serve.go):
+//
+//	go run ./examples/kvstore -serve 127.0.0.1:8080
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
@@ -81,6 +87,13 @@ func (s *Store) Compact(keep func(key string) bool) {
 }
 
 func main() {
+	serveAddr := flag.String("serve", "", "serve /debug/rwsync, /metrics and /debug/vars on this address under background traffic instead of running the batch measurements")
+	flag.Parse()
+	if *serveAddr != "" {
+		serve(*serveAddr)
+		return
+	}
+
 	// The store API in one breath (and a sanity check that the stripes
 	// actually guard the map): 256 stripes of writer-priority locks.
 	s := NewStore(256, func() rwlock.RWLock { return rwlock.NewMWWP() })

@@ -157,57 +157,70 @@ const boundedWriters = 64
 // per-lock table/registry is shed; see rwlock.WithSharedReaderTable),
 // and "SlimBravo"/"SlimEpoch" are the 16-byte packed variants the
 // 10^5–10^6-stripe serving maps are built from.
-func NativeLocks() map[string]func() rwlock.RWLock {
+func NativeLocks() map[string]func() rwlock.RWLock { return NativeLocksWith() }
+
+// NativeLocksWith is NativeLocks with extra options appended to every
+// constructor — the seam the -metrics runs use to hand each measured
+// cell's locks one rwlock.WithStats counter block.  Three registry
+// rows sit outside the stats seam by design and silently ignore a
+// WithStats extra: the Slim locks (a per-instance stats pointer would
+// double the 16-byte footprint — observe a Slim grid through
+// rwmap.Map.Stats instead), the classical baselines (they model the
+// literature's algorithms, not this package's layers), and
+// sync.RWMutex (no constructor options at all).  Their instrumented
+// cells report an all-zero counter block.
+func NativeLocksWith(extra ...rwlock.Option) map[string]func() rwlock.RWLock {
 	park := rwlock.WithWaitStrategy(rwlock.SpinThenPark)
 	bound := rwlock.WithBoundedWriters(boundedWriters)
 	comb := rwlock.WithCombiningWriters()
+	shared := rwlock.WithSharedReaderTable(rwlock.DefaultReaderTable())
+	// opt appends the extras to a constructor's own options; the base
+	// slice is a fresh vararg allocation per call, so the append never
+	// aliases another constructor's options.
+	opt := func(base ...rwlock.Option) []rwlock.Option { return append(base, extra...) }
 	return map[string]func() rwlock.RWLock{
-		"MWSF":              func() rwlock.RWLock { return rwlock.NewMWSF() },
-		"MWRP":              func() rwlock.RWLock { return rwlock.NewMWRP() },
-		"MWWP":              func() rwlock.RWLock { return rwlock.NewMWWP() },
-		"MWSF/park":         func() rwlock.RWLock { return rwlock.NewMWSF(park) },
-		"MWRP/park":         func() rwlock.RWLock { return rwlock.NewMWRP(park) },
-		"MWWP/park":         func() rwlock.RWLock { return rwlock.NewMWWP(park) },
-		"MWSF/bounded":      func() rwlock.RWLock { return rwlock.NewMWSF(bound) },
-		"MWRP/bounded":      func() rwlock.RWLock { return rwlock.NewMWRP(bound) },
-		"MWWP/bounded":      func() rwlock.RWLock { return rwlock.NewMWWP(bound) },
-		"MWSF/bounded/park": func() rwlock.RWLock { return rwlock.NewMWSF(bound, park) },
-		"MWRP/bounded/park": func() rwlock.RWLock { return rwlock.NewMWRP(bound, park) },
-		"MWWP/bounded/park": func() rwlock.RWLock { return rwlock.NewMWWP(bound, park) },
-		"MWSF/combine":      func() rwlock.RWLock { return rwlock.NewMWSF(comb) },
-		"MWRP/combine":      func() rwlock.RWLock { return rwlock.NewMWRP(comb) },
-		"MWWP/combine":      func() rwlock.RWLock { return rwlock.NewMWWP(comb) },
-		"MWSF/combine/park": func() rwlock.RWLock { return rwlock.NewMWSF(comb, park) },
-		"MWRP/combine/park": func() rwlock.RWLock { return rwlock.NewMWRP(comb, park) },
-		"MWWP/combine/park": func() rwlock.RWLock { return rwlock.NewMWWP(comb, park) },
-		"MWSF/epoch":        func() rwlock.RWLock { return rwlock.NewEpochMWSF() },
-		"MWRP/epoch":        func() rwlock.RWLock { return rwlock.NewEpochMWRP() },
-		"MWWP/epoch":        func() rwlock.RWLock { return rwlock.NewEpochMWWP() },
-		"MWSF/epoch/park":   func() rwlock.RWLock { return rwlock.NewEpochMWSF(park) },
-		"MWRP/epoch/park":   func() rwlock.RWLock { return rwlock.NewEpochMWRP(park) },
-		"MWWP/epoch/park":   func() rwlock.RWLock { return rwlock.NewEpochMWWP(park) },
-		"MWSF/epoch/lazy8":  func() rwlock.RWLock { return rwlock.NewEpochMWSF(rwlock.WithEpochReclaimEvery(8)) },
-		"MWSF/epoch/lazy64": func() rwlock.RWLock { return rwlock.NewEpochMWSF(rwlock.WithEpochReclaimEvery(64)) },
-		"Bravo(MWSF)":       func() rwlock.RWLock { return rwlock.NewBravoMWSF() },
-		"Bravo(MWRP)":       func() rwlock.RWLock { return rwlock.NewBravoMWRP() },
-		"Bravo(MWWP)":       func() rwlock.RWLock { return rwlock.NewBravoMWWP() },
-		"Bravo(MWSF)/park":  func() rwlock.RWLock { return rwlock.NewBravoMWSF(park) },
-		"Bravo(MWRP)/park":  func() rwlock.RWLock { return rwlock.NewBravoMWRP(park) },
-		"Bravo(MWWP)/park":  func() rwlock.RWLock { return rwlock.NewBravoMWWP(park) },
-		"Bravo(MWSF)/shared": func() rwlock.RWLock {
-			return rwlock.NewBravoMWSF(rwlock.WithSharedReaderTable(rwlock.DefaultReaderTable()))
-		},
-		"MWSF/epoch/shared": func() rwlock.RWLock {
-			return rwlock.NewEpochMWSF(rwlock.WithSharedReaderTable(rwlock.DefaultReaderTable()))
-		},
-		"SlimBravo":          func() rwlock.RWLock { return rwlock.NewSlimBravo() },
-		"SlimEpoch":          func() rwlock.RWLock { return rwlock.NewSlimEpoch() },
-		"CentralizedRW":      func() rwlock.RWLock { return rwlock.NewCentralizedRW() },
-		"CentralizedRW/park": func() rwlock.RWLock { return rwlock.NewCentralizedRW(park) },
-		"PhaseFairRW":        func() rwlock.RWLock { return rwlock.NewPhaseFairRW() },
-		"PhaseFairRW/park":   func() rwlock.RWLock { return rwlock.NewPhaseFairRW(park) },
-		"TaskFairRW":         func() rwlock.RWLock { return rwlock.NewTaskFairRW() },
-		"TaskFairRW/park":    func() rwlock.RWLock { return rwlock.NewTaskFairRW(park) },
+		"MWSF":               func() rwlock.RWLock { return rwlock.NewMWSF(opt()...) },
+		"MWRP":               func() rwlock.RWLock { return rwlock.NewMWRP(opt()...) },
+		"MWWP":               func() rwlock.RWLock { return rwlock.NewMWWP(opt()...) },
+		"MWSF/park":          func() rwlock.RWLock { return rwlock.NewMWSF(opt(park)...) },
+		"MWRP/park":          func() rwlock.RWLock { return rwlock.NewMWRP(opt(park)...) },
+		"MWWP/park":          func() rwlock.RWLock { return rwlock.NewMWWP(opt(park)...) },
+		"MWSF/bounded":       func() rwlock.RWLock { return rwlock.NewMWSF(opt(bound)...) },
+		"MWRP/bounded":       func() rwlock.RWLock { return rwlock.NewMWRP(opt(bound)...) },
+		"MWWP/bounded":       func() rwlock.RWLock { return rwlock.NewMWWP(opt(bound)...) },
+		"MWSF/bounded/park":  func() rwlock.RWLock { return rwlock.NewMWSF(opt(bound, park)...) },
+		"MWRP/bounded/park":  func() rwlock.RWLock { return rwlock.NewMWRP(opt(bound, park)...) },
+		"MWWP/bounded/park":  func() rwlock.RWLock { return rwlock.NewMWWP(opt(bound, park)...) },
+		"MWSF/combine":       func() rwlock.RWLock { return rwlock.NewMWSF(opt(comb)...) },
+		"MWRP/combine":       func() rwlock.RWLock { return rwlock.NewMWRP(opt(comb)...) },
+		"MWWP/combine":       func() rwlock.RWLock { return rwlock.NewMWWP(opt(comb)...) },
+		"MWSF/combine/park":  func() rwlock.RWLock { return rwlock.NewMWSF(opt(comb, park)...) },
+		"MWRP/combine/park":  func() rwlock.RWLock { return rwlock.NewMWRP(opt(comb, park)...) },
+		"MWWP/combine/park":  func() rwlock.RWLock { return rwlock.NewMWWP(opt(comb, park)...) },
+		"MWSF/epoch":         func() rwlock.RWLock { return rwlock.NewEpochMWSF(opt()...) },
+		"MWRP/epoch":         func() rwlock.RWLock { return rwlock.NewEpochMWRP(opt()...) },
+		"MWWP/epoch":         func() rwlock.RWLock { return rwlock.NewEpochMWWP(opt()...) },
+		"MWSF/epoch/park":    func() rwlock.RWLock { return rwlock.NewEpochMWSF(opt(park)...) },
+		"MWRP/epoch/park":    func() rwlock.RWLock { return rwlock.NewEpochMWRP(opt(park)...) },
+		"MWWP/epoch/park":    func() rwlock.RWLock { return rwlock.NewEpochMWWP(opt(park)...) },
+		"MWSF/epoch/lazy8":   func() rwlock.RWLock { return rwlock.NewEpochMWSF(opt(rwlock.WithEpochReclaimEvery(8))...) },
+		"MWSF/epoch/lazy64":  func() rwlock.RWLock { return rwlock.NewEpochMWSF(opt(rwlock.WithEpochReclaimEvery(64))...) },
+		"Bravo(MWSF)":        func() rwlock.RWLock { return rwlock.NewBravoMWSF(opt()...) },
+		"Bravo(MWRP)":        func() rwlock.RWLock { return rwlock.NewBravoMWRP(opt()...) },
+		"Bravo(MWWP)":        func() rwlock.RWLock { return rwlock.NewBravoMWWP(opt()...) },
+		"Bravo(MWSF)/park":   func() rwlock.RWLock { return rwlock.NewBravoMWSF(opt(park)...) },
+		"Bravo(MWRP)/park":   func() rwlock.RWLock { return rwlock.NewBravoMWRP(opt(park)...) },
+		"Bravo(MWWP)/park":   func() rwlock.RWLock { return rwlock.NewBravoMWWP(opt(park)...) },
+		"Bravo(MWSF)/shared": func() rwlock.RWLock { return rwlock.NewBravoMWSF(opt(shared)...) },
+		"MWSF/epoch/shared":  func() rwlock.RWLock { return rwlock.NewEpochMWSF(opt(shared)...) },
+		"SlimBravo":          func() rwlock.RWLock { return rwlock.NewSlimBravo(opt()...) },
+		"SlimEpoch":          func() rwlock.RWLock { return rwlock.NewSlimEpoch(opt()...) },
+		"CentralizedRW":      func() rwlock.RWLock { return rwlock.NewCentralizedRW(opt()...) },
+		"CentralizedRW/park": func() rwlock.RWLock { return rwlock.NewCentralizedRW(opt(park)...) },
+		"PhaseFairRW":        func() rwlock.RWLock { return rwlock.NewPhaseFairRW(opt()...) },
+		"PhaseFairRW/park":   func() rwlock.RWLock { return rwlock.NewPhaseFairRW(opt(park)...) },
+		"TaskFairRW":         func() rwlock.RWLock { return rwlock.NewTaskFairRW(opt()...) },
+		"TaskFairRW/park":    func() rwlock.RWLock { return rwlock.NewTaskFairRW(opt(park)...) },
 		"sync.RWMutex":       func() rwlock.RWLock { return rwlock.NewRWMutexLock() },
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"rwsync/rwlock"
 )
 
 func TestRMRSweepFlatForFig1(t *testing.T) {
@@ -188,5 +190,83 @@ func TestOversubscribedSweep(t *testing.T) {
 	out := ThroughputTable("oversub", pts).Render()
 	if !strings.Contains(out, "MWSF/park") {
 		t.Fatalf("table missing park column:\n%s", out)
+	}
+}
+
+// TestNativeLocksWithStats pins the -metrics seam: a WithStats extra
+// must reach every layer of every registry row that is inside the
+// stats seam — one acquire counted per passage, nothing
+// double-counted — while the documented outside rows (Slim, the
+// classical baselines, sync.RWMutex) stay silent without erroring.
+func TestNativeLocksWithStats(t *testing.T) {
+	outside := map[string]bool{
+		"SlimBravo": true, "SlimEpoch": true,
+		"CentralizedRW": true, "CentralizedRW/park": true,
+		"PhaseFairRW": true, "PhaseFairRW/park": true,
+		"TaskFairRW": true, "TaskFairRW/park": true,
+		"sync.RWMutex": true,
+	}
+	for name := range NativeLocks() {
+		st := new(rwlock.LockStats)
+		l := NativeLocksWith(rwlock.WithStats(st))[name]()
+		for i := 0; i < 3; i++ {
+			tok := l.Lock()
+			l.Unlock(tok)
+			rt := l.RLock()
+			l.RUnlock(rt)
+		}
+		snap := st.Snapshot()
+		if err := snap.CheckCoherence(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if outside[name] {
+			if snap.ReadAcquires != 0 || snap.WriteAcquires != 0 {
+				t.Errorf("%s: outside the stats seam but counted %d/%d acquires",
+					name, snap.ReadAcquires, snap.WriteAcquires)
+			}
+			continue
+		}
+		if snap.ReadAcquires != 3 || snap.WriteAcquires != 3 {
+			t.Errorf("%s: counted %d reads / %d writes, want 3/3",
+				name, snap.ReadAcquires, snap.WriteAcquires)
+		}
+	}
+}
+
+// TestRunScenarioMetrics pins the engine-level contract: a Metrics run
+// carries one coherent counter block per point (validated against the
+// op counts by the runner itself) and records the metrics bit.
+func TestRunScenarioMetrics(t *testing.T) {
+	sc, ok := ScenarioByName("throughput")
+	if !ok {
+		t.Fatal("throughput scenario not registered")
+	}
+	res, err := RunScenario(sc, ScenarioOptions{
+		Seed:    1,
+		Quick:   true,
+		Metrics: true,
+		Ops:     200,
+		Workers: []int{2},
+		Locks:   []string{"MWSF/combine", "sync.RWMutex"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Metrics {
+		t.Fatal("metrics bit not recorded on the result")
+	}
+	var combined uint64
+	for _, p := range res.Points {
+		if p.Counters == nil {
+			t.Fatalf("lock %s: no counters", p.Lock)
+		}
+		if p.Lock == "MWSF/combine" {
+			combined = p.Counters.CombinedOps
+		}
+	}
+	// The combining row's closure writes must have flowed through the
+	// combiner's counters, not just the wrapper's.
+	if combined == 0 {
+		t.Fatal("MWSF/combine cell counted no combined ops")
 	}
 }

@@ -151,6 +151,16 @@ type ScenarioOptions struct {
 	Stripes []int
 	ZipfS   []float64
 	HotSets []int
+	// Metrics instruments every native and sharded cell with a fresh
+	// rwlock.WithStats counter block (one per cell; a sharded cell's
+	// stripes share it, so the block aggregates the grid) and folds the
+	// quiescent snapshot into the point's Counters field.  The runner
+	// cross-checks each block before reporting it: CheckCoherence plus
+	// the workload tie (one completed passage per completed op).
+	// Simulator scenarios have no native locks; Metrics is ignored
+	// there (the CLI rejects -metrics when only simulator scenarios are
+	// selected).
+	Metrics bool
 }
 
 // ScenarioPoint is one measured cell.  Native points carry the
@@ -220,16 +230,28 @@ type ScenarioPoint struct {
 
 	ReaderRMR *stats.Summary `json:"reader_rmr,omitempty"`
 	WriterRMR *stats.Summary `json:"writer_rmr,omitempty"`
+
+	// Counters is the cell's rwlock.LockStats snapshot, present exactly
+	// when the run had metrics enabled (ScenarioOptions.Metrics; rwbench
+	// -metrics) on a native or sharded point — never on simulator
+	// points.  Rows outside the stats seam (Slim, the classical
+	// baselines, sync.RWMutex) carry an all-zero block; see
+	// NativeLocksWith.
+	Counters *rwlock.LockStatsSnapshot `json:"counters,omitempty"`
 }
 
 // ScenarioResult is one scenario's complete run: the resolved
 // configuration (after overrides and -quick trimming) and every
 // measured point.
 type ScenarioResult struct {
-	Scenario   Scenario        `json:"scenario"`
-	Seed       int64           `json:"seed"`
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	Points     []ScenarioPoint `json:"points"`
+	Scenario   Scenario `json:"scenario"`
+	Seed       int64    `json:"seed"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	// Metrics records whether the run instrumented its cells with
+	// counter blocks (ScenarioOptions.Metrics) — the bit the validator
+	// uses to require Counters on every point, or on none.
+	Metrics bool            `json:"metrics,omitempty"`
+	Points  []ScenarioPoint `json:"points"`
 }
 
 // --- registry ---
@@ -702,9 +724,11 @@ func RunScenario(sc Scenario, opts ScenarioOptions) (*ScenarioResult, error) {
 	case sc.Sim != nil:
 		res.Points, err = runSimScenario(sc, opts.Seed)
 	case len(sc.Stripes) > 0:
-		res.Points, err = runShardedScenario(&sc, opts.Seed)
+		res.Metrics = opts.Metrics
+		res.Points, err = runShardedScenario(&sc, opts.Seed, opts.Metrics)
 	default:
-		res.Points, err = runNativeScenario(&sc, opts.Seed)
+		res.Metrics = opts.Metrics
+		res.Points, err = runNativeScenario(&sc, opts.Seed, opts.Metrics)
 	}
 	if err != nil {
 		return nil, err
@@ -715,9 +739,41 @@ func RunScenario(sc Scenario, opts ScenarioOptions) (*ScenarioResult, error) {
 	return res, nil
 }
 
+// checkCellCounters cross-checks an instrumented cell's quiescent
+// counter block against the workload's own op accounting before it is
+// reported: the block must pass CheckCoherence, and — because each
+// completed workload op is exactly one completed lock passage, and
+// each deadline-shed write exactly one context shed — the acquire and
+// shed counters must equal the op counts.  An all-silent block (a
+// Slim, baseline or sync.RWMutex row, which sit outside the stats
+// seam — see NativeLocksWith — or an adaptive cell, where the Map owns
+// the stripe locks) is reported as-is: absent instrumentation is a
+// documented property of the row, not a measurement error.
+func checkCellCounters(s *rwlock.LockStatsSnapshot, scenario, lock string, readOps, writeOps, shedOps int64) error {
+	if err := s.CheckCoherence(); err != nil {
+		return fmt.Errorf("scenario %s lock %s: counter block incoherent: %w", scenario, lock, err)
+	}
+	if s.ReadAcquires == 0 && s.WriteAcquires == 0 && s.CtxSheds == 0 {
+		return nil
+	}
+	if int64(s.ReadAcquires) != readOps {
+		return fmt.Errorf("scenario %s lock %s: %d read acquires counted for %d read ops",
+			scenario, lock, s.ReadAcquires, readOps)
+	}
+	if int64(s.WriteAcquires) != writeOps {
+		return fmt.Errorf("scenario %s lock %s: %d write acquires counted for %d write ops",
+			scenario, lock, s.WriteAcquires, writeOps)
+	}
+	if int64(s.CtxSheds) != shedOps {
+		return fmt.Errorf("scenario %s lock %s: %d context sheds counted for %d shed ops",
+			scenario, lock, s.CtxSheds, shedOps)
+	}
+	return nil
+}
+
 // runNativeScenario sweeps real locks with real goroutines.  It may
 // fill in sc's defaulted grids (so the result records what ran).
-func runNativeScenario(sc *Scenario, seed int64) ([]ScenarioPoint, error) {
+func runNativeScenario(sc *Scenario, seed int64, metrics bool) ([]ScenarioPoint, error) {
 	if len(sc.Locks) == 0 {
 		sc.Locks = LockNames()
 	}
@@ -755,7 +811,17 @@ func runNativeScenario(sc *Scenario, seed int64) ([]ScenarioPoint, error) {
 				if dedicated >= w {
 					dedicated = w - 1 // keep at least one reader in the probe
 				}
-				l := builders[name]()
+				build := builders[name]
+				var cellStats *rwlock.LockStats
+				if metrics {
+					// A fresh counter block per cell, and a constructor
+					// that threads it through every layer of the cell's
+					// lock (the wrapper and its inner lock share the
+					// block, so nothing double-counts).
+					cellStats = new(rwlock.LockStats)
+					build = NativeLocksWith(rwlock.WithStats(cellStats))[name]
+				}
+				l := build()
 				r := workload.Run(l, workload.Config{
 					Workers:          w,
 					ReadFraction:     f,
@@ -803,6 +869,16 @@ func runNativeScenario(sc *Scenario, seed int64) ([]ScenarioPoint, error) {
 				if sc.DedicatedWriters > 0 {
 					pt.Writers = dedicated
 					pt.Readers = w - dedicated
+				}
+				if cellStats != nil {
+					// The workers have joined: the block is quiescent, so
+					// the full coherence set holds and the acquire counts
+					// must tie to the workload's op counts exactly.
+					snap := cellStats.Snapshot()
+					if err := checkCellCounters(&snap, sc.Name, name, r.ReadOps, r.WriteOps, r.ShedOps); err != nil {
+						return nil, err
+					}
+					pt.Counters = &snap
 				}
 				points = append(points, pt)
 			}

@@ -120,7 +120,7 @@ func measureHotWrapperBytes(proto rwmap.Protocol) float64 {
 // the number is the lock's marginal cost, not the map's.  A HotSets
 // axis additionally sweeps adaptive promotion budgets (0 = adaptive
 // off) over the same cells.
-func runShardedScenario(sc *Scenario, seed int64) ([]ScenarioPoint, error) {
+func runShardedScenario(sc *Scenario, seed int64, metrics bool) ([]ScenarioPoint, error) {
 	if len(sc.Locks) == 0 {
 		sc.Locks = ShardedLockNames()
 	}
@@ -206,6 +206,22 @@ func runShardedScenario(sc *Scenario, seed int64) ([]ScenarioPoint, error) {
 				for _, s := range skews {
 					for _, w := range sc.Workers {
 						for _, f := range fractions {
+							// Instrumented cells get a fresh counter block
+							// shared by every stripe lock of the cell's
+							// grid, so the block aggregates the whole map.
+							// The bytes/lock measurement above keeps the
+							// plain constructor: its warm passages must not
+							// leak into the cell's counts.  Adaptive cells
+							// build their own Slim stripes (the factory is
+							// unused) and report the documented all-zero
+							// block — a Slim grid is observed through
+							// rwmap.Map.Stats, not the lock seam.
+							factory := build
+							var cellStats *rwlock.LockStats
+							if metrics {
+								cellStats = new(rwlock.LockStats)
+								factory = NativeLocksWith(rwlock.WithStats(cellStats))[name]
+							}
 							r := workload.RunSharded(workload.ShardedConfig{
 								Workers:      w,
 								ReadFraction: f,
@@ -221,7 +237,7 @@ func runShardedScenario(sc *Scenario, seed int64) ([]ScenarioPoint, error) {
 								SampleEvery:  sc.SampleEvery,
 								MeasureAge:   sc.MeasureAge,
 								Yield:        sc.Yield,
-								LockFactory:  build,
+								LockFactory:  factory,
 								Adaptive:     ad,
 							})
 							p := ScenarioPoint{
@@ -255,6 +271,13 @@ func runShardedScenario(sc *Scenario, seed int64) ([]ScenarioPoint, error) {
 								// over the grid.
 								p.BytesPerLockHigh = bpl +
 									float64(st.HotSetMax)*hotBytes[adaptiveProtocols[name]]/float64(stripes)
+							}
+							if cellStats != nil {
+								snap := cellStats.Snapshot()
+								if err := checkCellCounters(&snap, sc.Name, name, r.ReadOps, r.WriteOps, 0); err != nil {
+									return nil, err
+								}
+								p.Counters = &snap
 							}
 							points = append(points, p)
 						}

@@ -52,6 +52,9 @@ type AndersonLock struct {
 	// once at entry, before the successor slot opens.  Written once
 	// before the lock escapes, read per release — no atomicity needed.
 	retire func()
+	// stats, when non-nil, receives queue-geometry counters (depth,
+	// depth high-water, contended acquisitions).  See WithStats.
+	stats *LockStats
 }
 
 // NewAnderson returns an Anderson lock sized for maxConcurrent
@@ -64,9 +67,11 @@ func NewAnderson(maxConcurrent int, opts ...Option) *AndersonLock {
 	l := &AndersonLock{
 		slots: make([]waitCell, maxConcurrent),
 		sem:   make(chan struct{}, maxConcurrent),
+		stats: o.stats,
 	}
 	for i := range l.slots {
 		l.slots[i].setStrategy(o.strategy)
+		l.slots[i].setStats(o.stats)
 	}
 	l.slots[0].store(cellTrue)
 	return l
@@ -80,6 +85,12 @@ func (l *AndersonLock) Capacity() int { return len(l.slots) }
 func (l *AndersonLock) Acquire() uint32 {
 	l.sem <- struct{}{} // admission gate (see the type doc)
 	slot := uint32((l.ticket.Add(1) - 1) % uint64(len(l.slots)))
+	if st := l.stats; st != nil {
+		statsMax(&st.QueueDepthMax, uint64(st.QueueDepth.Add(1)))
+		if l.slots[slot].load() != cellTrue {
+			st.WriteContended.Add(1)
+		}
+	}
 	l.slots[slot].wait(cellTrue)
 	l.slots[slot].store(cellFalse) // own slot reset: nobody waits for false
 	return slot
@@ -108,6 +119,9 @@ func (l *AndersonLock) TryAcquire() (slot uint32, ok bool) {
 		return 0, false // held, queued, or lost the claim race
 	}
 	slot = uint32(t % uint64(len(l.slots)))
+	if st := l.stats; st != nil {
+		statsMax(&st.QueueDepthMax, uint64(st.QueueDepth.Add(1)))
+	}
 	l.slots[slot].wait(cellTrue)   // immediate: see the invariant above
 	l.slots[slot].store(cellFalse) // own slot reset, as in Acquire
 	return slot, true
@@ -137,6 +151,12 @@ func (l *AndersonLock) AcquireCtx(ctx context.Context) (uint32, error) {
 	}
 	// Point of no return: the ticket commits us to slot t.
 	slot := uint32((l.ticket.Add(1) - 1) % uint64(len(l.slots)))
+	if st := l.stats; st != nil {
+		statsMax(&st.QueueDepthMax, uint64(st.QueueDepth.Add(1)))
+		if l.slots[slot].load() != cellTrue {
+			st.WriteContended.Add(1)
+		}
+	}
 	l.slots[slot].wait(cellTrue)
 	l.slots[slot].store(cellFalse)
 	return slot, nil
@@ -145,6 +165,9 @@ func (l *AndersonLock) AcquireCtx(ctx context.Context) (uint32, error) {
 // Release hands the lock to the next waiter (or leaves it free),
 // waking the successor if it parked.
 func (l *AndersonLock) Release(slot uint32) {
+	if st := l.stats; st != nil {
+		st.QueueDepth.Add(-1)
+	}
 	if l.retire != nil {
 		// Batch boundary: the successor's slot has not opened yet, so
 		// the hook runs while this passage still owns the lock.

@@ -26,9 +26,9 @@ import (
 // including exec-vs-token mutual exclusion.
 func conformanceArbiters(s WaitStrategy) map[string]func() writerMutex {
 	return map[string]func() writerMutex{
-		"mcs":      func() writerMutex { return newMCS(s) },
+		"mcs":      func() writerMutex { return newMCS(s, nil) },
 		"anderson": func() writerMutex { return NewAnderson(64, WithWaitStrategy(s)) },
-		"combiner": func() writerMutex { return newCombiner(newMCS(s), s) },
+		"combiner": func() writerMutex { return newCombiner(newMCS(s, nil), s, nil) },
 	}
 }
 
@@ -267,7 +267,7 @@ func TestArbiterCtxChurnRandomCancel(t *testing.T) {
 func TestMCSCancelMidQueue(t *testing.T) {
 	for _, strat := range strategies() {
 		t.Run(strat.String(), func(t *testing.T) {
-			m := newMCS(strat)
+			m := newMCS(strat, nil)
 			holder := m.acquire()
 			ctx, cancel := context.WithCancel(context.Background())
 			w1 := make(chan error, 1)
@@ -301,7 +301,7 @@ func TestMCSCancelMidQueue(t *testing.T) {
 func TestMCSCancelAtTail(t *testing.T) {
 	for _, strat := range strategies() {
 		t.Run(strat.String(), func(t *testing.T) {
-			m := newMCS(strat)
+			m := newMCS(strat, nil)
 			holder := m.acquire()
 			ctx, cancel := context.WithCancel(context.Background())
 			w1 := make(chan error, 1)
@@ -336,7 +336,7 @@ func TestMCSCancelAtTail(t *testing.T) {
 func TestMCSCancelDuringHandoff(t *testing.T) {
 	for _, strat := range strategies() {
 		t.Run(strat.String(), func(t *testing.T) {
-			m := newMCS(strat)
+			m := newMCS(strat, nil)
 			rounds := 3000
 			if testing.Short() {
 				rounds = 300
@@ -435,7 +435,7 @@ func TestArbiterBatchRetireDoubleRegisterPanics(t *testing.T) {
 func TestCombinerBatchRetireOncePerDrainedBatch(t *testing.T) {
 	for _, strat := range strategies() {
 		t.Run(strat.String(), func(t *testing.T) {
-			c := newCombiner(newMCS(strat), strat)
+			c := newCombiner(newMCS(strat, nil), strat, nil)
 			var csRun int64    // plain, written by combined critical sections
 			var boundary int64 // plain, written by the hook under the same mutex
 			var behind int64   // critical sections the hook had not yet seen

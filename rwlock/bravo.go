@@ -71,6 +71,13 @@ type Bravo struct {
 	// other inner lock the token path is the same semantics with zero
 	// allocations.
 	innerCombines bool
+	// stats, when non-nil, receives the wrapper's own events: fast-path
+	// read acquisitions, revocations and re-arms.  Slow-path reads fall
+	// through to the inner lock, which counts them itself — build both
+	// layers from one option list (as the NewBravoMW* helpers do) and
+	// they share the block, so the sum is all reads with no double
+	// count.  See WithStats.
+	stats *LockStats
 }
 
 // bravoFastSide tags an RToken issued by the fast path: RToken.side is
@@ -105,7 +112,9 @@ func NewBravo(inner RWLock, opts ...Option) *Bravo {
 	if tbl == nil {
 		tbl = newReaderTable(0, o.strategy)
 	}
-	return newBravoOn(tbl, inner)
+	b := newBravoOn(tbl, inner)
+	b.stats = o.stats
+	return b
 }
 
 // newBravoOn is the resolved-form core shared by NewBravo and
@@ -175,6 +184,9 @@ func (b *Bravo) RLock() RToken {
 			// claim is visible to that writer's scan, which then waits
 			// for us.  Entering on a stale bias is impossible.
 			if b.rbias.Load() {
+				if st := b.stats; st != nil {
+					st.ReadAcquires.Add(1)
+				}
 				return RToken{side: bravoFastSide, id: idx}
 			}
 			b.slots.release(idx)
@@ -188,6 +200,9 @@ func (b *Bravo) RLock() RToken {
 	// zero, so the bias is re-armed once per revocation cycle.
 	if !b.rbias.Load() && b.slowBudget.Add(-1) == 0 {
 		b.rbias.Store(true)
+		if st := b.stats; st != nil {
+			st.ReArms.Add(1)
+		}
 	}
 	return t
 }
@@ -221,6 +236,9 @@ func (b *Bravo) revoke() {
 		b.rbias.Store(false)
 		busy := b.slots.drainFor(b.id)
 		b.slowBudget.Store(int64(1 + len(b.slots.slots)/8 + bravoBusyFactor*busy))
+		if st := b.stats; st != nil {
+			st.Revocations.Add(1)
+		}
 	}
 }
 
@@ -266,9 +284,15 @@ func (b *Bravo) TryLock() (WToken, bool) {
 		if !b.slots.idleFor(b.id) {
 			b.rbias.Store(true)
 			b.inner.Unlock(t)
+			if st := b.stats; st != nil {
+				st.TrySheds.Add(1)
+			}
 			return WToken{}, false
 		}
 		b.slowBudget.Store(int64(1 + len(b.slots.slots)/8))
+		if st := b.stats; st != nil {
+			st.Revocations.Add(1)
+		}
 	}
 	return t, true
 }
@@ -284,6 +308,9 @@ func (b *Bravo) TryRLock() (RToken, bool) {
 	if b.rbias.Load() {
 		if idx, ok := b.slots.tryClaim(b.id); ok {
 			if b.rbias.Load() {
+				if st := b.stats; st != nil {
+					st.ReadAcquires.Add(1)
+				}
 				return RToken{side: bravoFastSide, id: idx}, true
 			}
 			b.slots.release(idx)
@@ -295,6 +322,9 @@ func (b *Bravo) TryRLock() (RToken, bool) {
 	}
 	if !b.rbias.Load() && b.slowBudget.Add(-1) == 0 {
 		b.rbias.Store(true)
+		if st := b.stats; st != nil {
+			st.ReArms.Add(1)
+		}
 	}
 	return t, true
 }
@@ -322,6 +352,9 @@ func (b *Bravo) RLockCtx(ctx context.Context) (RToken, error) {
 	if b.rbias.Load() {
 		if idx, ok := b.slots.tryClaim(b.id); ok {
 			if b.rbias.Load() {
+				if st := b.stats; st != nil {
+					st.ReadAcquires.Add(1)
+				}
 				return RToken{side: bravoFastSide, id: idx}, nil
 			}
 			b.slots.release(idx)
@@ -333,6 +366,9 @@ func (b *Bravo) RLockCtx(ctx context.Context) (RToken, error) {
 	}
 	if !b.rbias.Load() && b.slowBudget.Add(-1) == 0 {
 		b.rbias.Store(true)
+		if st := b.stats; st != nil {
+			st.ReArms.Add(1)
+		}
 	}
 	return t, nil
 }

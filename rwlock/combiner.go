@@ -219,6 +219,10 @@ type combiner struct {
 	// once before the lock escapes, read under the inner mutex.
 	retire func()
 	pool   sync.Pool
+	// stats, when non-nil, receives live batch counters (Batches,
+	// BatchMax, CombinedOps) alongside the quiescent snapshot counters
+	// below.  See WithStats.
+	stats *LockStats
 
 	// Batch statistics, written only while holding inner (batches are
 	// serialized), read at quiescence via snapshot().
@@ -229,12 +233,14 @@ type combiner struct {
 }
 
 // newCombiner wraps inner with flat combining; published records'
-// completion cells wait with strategy s.
-func newCombiner(inner writerMutex, s WaitStrategy) *combiner {
-	c := &combiner{inner: inner}
+// completion cells wait with strategy s, counting into st when
+// non-nil.
+func newCombiner(inner writerMutex, s WaitStrategy, st *LockStats) *combiner {
+	c := &combiner{inner: inner, stats: st}
 	c.pool.New = func() any {
 		r := &combineRecord{}
 		r.done.setStrategy(s)
+		r.done.setStats(st)
 		return r
 	}
 	return c
@@ -317,6 +323,9 @@ func (c *combiner) finish(r *combineRecord, elected bool) {
 		// Another goroutine owns this epoch; its drain loop will
 		// execute our record and signal the cell (spin or park per
 		// the lock's strategy).
+		if st := c.stats; st != nil && r.done.load() != cellTrue {
+			st.WriteContended.Add(1)
+		}
 		r.done.wait(cellTrue)
 		c.pool.Put(r)
 		return
@@ -350,6 +359,15 @@ func (c *combiner) finish(r *combineRecord, elected bool) {
 			c.sizes[n-1]++
 		} else {
 			c.sizes[combineSizeBuckets-1]++
+		}
+		if st := c.stats; st != nil {
+			// CombinedOps, then Batches, then BatchMax: each invariant's
+			// superset side first, so a concurrent Snapshot (which loads
+			// in the reverse order) never sees batches > combined_ops or
+			// a positive batch_max with zero batches.
+			st.CombinedOps.Add(uint64(n))
+			st.Batches.Add(1)
+			statsMax(&st.BatchMax, uint64(n))
 		}
 		for rec := fifo; rec != nil; {
 			next := rec.next

@@ -32,7 +32,7 @@ func TestCombinerExecRunsEveryCS(t *testing.T) {
 		strat := strat
 		t.Run(strat.String(), func(t *testing.T) {
 			t.Parallel()
-			c := newCombiner(newMCS(strat), strat)
+			c := newCombiner(newMCS(strat, nil), strat, nil)
 			const goroutines, laps = 8, 500
 			var data int64 // plain: -race checks the batches exclude each other
 			var wg sync.WaitGroup
@@ -70,7 +70,7 @@ func TestCombinerBatchFormsWhileInnerHeld(t *testing.T) {
 		strat := strat
 		t.Run(strat.String(), func(t *testing.T) {
 			t.Parallel()
-			c := newCombiner(newMCS(strat), strat)
+			c := newCombiner(newMCS(strat, nil), strat, nil)
 			const publishers = 8
 			slot := c.acquire() // token path: batches must wait for us
 			var data int64
@@ -112,7 +112,7 @@ func TestCombinerExecVsTokenPath(t *testing.T) {
 		strat := strat
 		t.Run(strat.String(), func(t *testing.T) {
 			t.Parallel()
-			c := newCombiner(newMCS(strat), strat)
+			c := newCombiner(newMCS(strat, nil), strat, nil)
 			const goroutines, laps = 6, 400
 			var inside atomic.Int32
 			var data int64
@@ -155,7 +155,7 @@ func TestCombinerExecVsTokenPath(t *testing.T) {
 // clear a sync.Pool mid-run, so assert "well under one allocation per
 // op", not zero.
 func TestCombinerRecyclesRecords(t *testing.T) {
-	c := newCombiner(newMCS(SpinYield), SpinYield)
+	c := newCombiner(newMCS(SpinYield, nil), SpinYield, nil)
 	c.exec(func() {}) // warm the pool
 	if n := testing.AllocsPerRun(500, func() {
 		c.exec(func() {})

@@ -134,6 +134,10 @@ type Epoch struct {
 	boundaries int64
 	retired    []retiredVersion
 	stats      EpochStats
+	// lstats, when non-nil, is the live (atomic, scrape-anytime) mirror
+	// of the quiescent EpochStats above, plus the fast-path read count
+	// and the watchdog's grace register.  See WithStats.
+	lstats *LockStats
 }
 
 // epochSlot is one reader's stamp word: the waitCell keeps the word on
@@ -250,7 +254,7 @@ func NewEpoch(inner RWLock, opts ...Option) *Epoch {
 	if o.epochReclaimEvery > 1 {
 		reclaimEvery = int64(o.epochReclaimEvery)
 	}
-	return newEpochOn(inner, o.sharedTable, o.strategy, reclaimEvery)
+	return newEpochOn(inner, o.sharedTable, o.strategy, reclaimEvery, o.stats)
 }
 
 // NewEpochShared is the promotion-path constructor: Epoch(inner) in
@@ -267,13 +271,13 @@ func NewEpochShared(tbl *ReaderTable, inner RWLock) *Epoch {
 	if inner == nil {
 		inner = NewMWSF()
 	}
-	return newEpochOn(inner, tbl, SpinYield, 1)
+	return newEpochOn(inner, tbl, SpinYield, 1, nil)
 }
 
 // newEpochOn is the resolved-form core shared by NewEpoch and
 // NewEpochShared: every input is already a concrete value, so nothing
 // here forces an options struct to escape.
-func newEpochOn(inner RWLock, shared *ReaderTable, strategy WaitStrategy, reclaimEvery int64) *Epoch {
+func newEpochOn(inner RWLock, shared *ReaderTable, strategy WaitStrategy, reclaimEvery int64, st *LockStats) *Epoch {
 	var m writerMutex
 	switch l := inner.(type) {
 	case *MWSF:
@@ -285,7 +289,7 @@ func newEpochOn(inner RWLock, shared *ReaderTable, strategy WaitStrategy, reclai
 	default:
 		panic("rwlock: NewEpoch requires a multi-writer inner lock (*MWSF, *MWRP or *MWWP)")
 	}
-	e := &Epoch{inner: inner, m: m, reclaimEvery: reclaimEvery}
+	e := &Epoch{inner: inner, m: m, reclaimEvery: reclaimEvery, lstats: st}
 	if shared != nil {
 		// Shared-arena deployment: no per-P cache, no pool, no private
 		// slot registry — the per-lock reader state is one owner id,
@@ -320,6 +324,7 @@ func newEpochOn(inner RWLock, shared *ReaderTable, strategy WaitStrategy, reclai
 			}
 			s := &epochSlot{idx: int64(len(cur))}
 			s.cell.setStrategy(strategy)
+			s.cell.setStats(st)
 			next := make([]*epochSlot, len(cur)+1)
 			copy(next, cur)
 			next[len(cur)] = s
@@ -417,6 +422,9 @@ func (e *Epoch) tryFast() (RToken, bool) {
 			return RToken{}, false // arena contended: slow path
 		}
 		if e.global.v.Load() == g {
+			if st := e.lstats; st != nil {
+				st.ReadAcquires.Add(1)
+			}
 			return RToken{side: epochFastSide, id: idx}, true
 		}
 		e.shared.release(idx) // wake matters: a grace scan may be parked here
@@ -441,6 +449,9 @@ func (e *Epoch) tryFast() (RToken, bool) {
 	if e.global.v.Load() == g {
 		// Dekker: this load seeing no advance means our stamp precedes
 		// any advancing writer's scan, which will wait us out.
+		if st := e.lstats; st != nil {
+			st.ReadAcquires.Add(1)
+		}
 		return RToken{side: epochFastSide, id: s.idx, eslot: s}, true
 	}
 	// A writer advanced between stamp and recheck (or an older even
@@ -508,6 +519,16 @@ func (e *Epoch) writerEnter() {
 	g = e.global.v.Add(1) // odd: fast entry now impossible
 	e.stats.Advances++
 	e.stats.GraceWaits++
+	st := e.lstats
+	if st != nil {
+		st.EpochAdvances.Add(1)
+		st.GraceWaits.Add(1)
+		// The watchdog's grace register: nonzero exactly while this
+		// writer is waiting out the grace period.  Write mode at this
+		// layer is exclusive (the arbitration mutex is held), so plain
+		// store/clear pairs cannot interleave.
+		st.GraceActiveNS.Store(nowNanos())
+	}
 	if e.shared != nil {
 		// Shared-arena grace wait: scan the arena, waiting only on
 		// this lock's own claims (other locks' slots are skipped).
@@ -516,6 +537,9 @@ func (e *Epoch) writerEnter() {
 		// recheck sees the odd epoch and backs out.
 		e.shared.drainFor(e.sid)
 		e.lastDrain = g
+		if st != nil {
+			st.GraceActiveNS.Store(0)
+		}
 		return
 	}
 	// Grace wait: every slot stamped before the advance must clear.
@@ -529,6 +553,9 @@ func (e *Epoch) writerEnter() {
 		s.cell.wait(0)
 	}
 	e.lastDrain = g
+	if st != nil {
+		st.GraceActiveNS.Store(0)
+	}
 }
 
 // onBoundary is the batch-boundary hook (writerMutex.onBatchRetire):
@@ -540,6 +567,9 @@ func (e *Epoch) onBoundary() {
 	if e.global.v.Load()&1 != 0 {
 		e.global.v.Add(1) // reopen: back to even
 		e.stats.Advances++
+		if st := e.lstats; st != nil {
+			st.EpochAdvances.Add(1)
+		}
 	}
 	e.boundaries++
 	e.stats.Boundaries++
@@ -559,6 +589,9 @@ func (e *Epoch) sweep() {
 			e.stats.Reclaimed++
 			e.stats.RetainedVersions--
 			e.stats.RetainedBytes -= r.bytes
+			if st := e.lstats; st != nil {
+				st.ReclaimedVersions.Add(1)
+			}
 			continue
 		}
 		kept = append(kept, r)
@@ -585,6 +618,11 @@ func (e *Epoch) Retire(old any, bytes int) {
 	}
 	if e.stats.RetainedBytes > e.stats.MaxRetainedBytes {
 		e.stats.MaxRetainedBytes = e.stats.RetainedBytes
+	}
+	if st := e.lstats; st != nil {
+		st.RetiredVersions.Add(1)
+		statsMax(&st.RetainedVersionsMax, uint64(e.stats.RetainedVersions))
+		statsMax(&st.RetainedBytesMax, uint64(e.stats.RetainedBytes))
 	}
 }
 
@@ -622,11 +660,18 @@ func (e *Epoch) TryLock() (WToken, bool) {
 	}
 	e.global.v.Add(1) // odd: new fast entries now impossible
 	e.stats.Advances++
+	if st := e.lstats; st != nil {
+		st.EpochAdvances.Add(1)
+	}
 	if e.shared != nil {
 		if !e.shared.idleFor(e.sid) {
 			e.global.v.Add(1) // restore even without a grace wait
 			e.stats.Advances++
 			e.inner.Unlock(t)
+			if st := e.lstats; st != nil {
+				st.EpochAdvances.Add(1)
+				st.TrySheds.Add(1)
+			}
 			return WToken{}, false
 		}
 	} else {
@@ -635,6 +680,10 @@ func (e *Epoch) TryLock() (WToken, bool) {
 				e.global.v.Add(1) // restore even without a grace wait
 				e.stats.Advances++
 				e.inner.Unlock(t)
+				if st := e.lstats; st != nil {
+					st.EpochAdvances.Add(1)
+					st.TrySheds.Add(1)
+				}
 				return WToken{}, false
 			}
 		}
@@ -643,6 +692,9 @@ func (e *Epoch) TryLock() (WToken, bool) {
 	// completed grace wait certifies.
 	e.lastDrain = e.global.v.Load()
 	e.stats.GraceWaits++
+	if st := e.lstats; st != nil {
+		st.GraceWaits.Add(1)
+	}
 	return t, true
 }
 

@@ -104,12 +104,12 @@ type wslot struct {
 func newWriterMutex(o options) writerMutex {
 	var m writerMutex
 	if o.boundedWriters > 0 {
-		m = NewAnderson(o.boundedWriters, WithWaitStrategy(o.strategy))
+		m = NewAnderson(o.boundedWriters, WithWaitStrategy(o.strategy), WithStats(o.stats))
 	} else {
-		m = newMCS(o.strategy)
+		m = newMCS(o.strategy, o.stats)
 	}
 	if o.combining {
-		return newCombiner(m, o.strategy)
+		return newCombiner(m, o.strategy, o.stats)
 	}
 	return m
 }
@@ -209,15 +209,21 @@ type mcsLock struct {
 	// once before the lock escapes its constructor, read on every
 	// release — no atomicity needed.
 	retire func()
+	// stats, when non-nil, receives queue-geometry counters (depth,
+	// depth high-water, contended acquisitions).  See WithStats.
+	stats *LockStats
 }
 
-// newMCS returns an unbounded MCS queue mutex whose waits follow s.
-func newMCS(s WaitStrategy) *mcsLock {
-	l := &mcsLock{}
+// newMCS returns an unbounded MCS queue mutex whose waits follow s,
+// counting into st when non-nil.
+func newMCS(s WaitStrategy, st *LockStats) *mcsLock {
+	l := &mcsLock{stats: st}
 	l.pool.New = func() any {
 		n := &mcsNode{}
 		n.linked.setStrategy(s)
 		n.grant.setStrategy(s)
+		n.linked.setStats(st)
+		n.grant.setStats(st)
 		return n
 	}
 	return l
@@ -229,6 +235,12 @@ func newMCS(s WaitStrategy) *mcsLock {
 func (l *mcsLock) acquire() wslot {
 	n := l.getNode()
 	pred := l.tail.Swap(n) // FCFS linearization point
+	if st := l.stats; st != nil {
+		statsMax(&st.QueueDepthMax, uint64(st.QueueDepth.Add(1)))
+		if pred != nil {
+			st.WriteContended.Add(1)
+		}
+	}
 	if pred != nil {
 		// Link behind pred, then announce the link.  pred cannot be
 		// recycled under us: once our swap moved the tail, pred's
@@ -259,6 +271,9 @@ func (l *mcsLock) getNode() *mcsNode {
 func (l *mcsLock) tryAcquire() (wslot, bool) {
 	n := l.getNode()
 	if l.tail.CompareAndSwap(nil, n) {
+		if st := l.stats; st != nil {
+			statsMax(&st.QueueDepthMax, uint64(st.QueueDepth.Add(1)))
+		}
 		return wslot{n: n}, true
 	}
 	// Never published: the node is still exclusively ours.
@@ -278,6 +293,12 @@ func (l *mcsLock) tryAcquire() (wslot, bool) {
 func (l *mcsLock) acquireCtx(ctx context.Context) (wslot, error) {
 	n := l.getNode()
 	pred := l.tail.Swap(n) // FCFS linearization point
+	if st := l.stats; st != nil {
+		statsMax(&st.QueueDepthMax, uint64(st.QueueDepth.Add(1)))
+		if pred != nil {
+			st.WriteContended.Add(1)
+		}
+	}
 	if pred == nil {
 		return wslot{n: n}, nil
 	}
@@ -288,6 +309,9 @@ func (l *mcsLock) acquireCtx(ctx context.Context) (wslot, error) {
 			// The node now belongs to the queue, not to us: the next
 			// releaser to reach it recycles it.  We must not touch it
 			// again.
+			if st := l.stats; st != nil {
+				st.QueueDepth.Add(-1)
+			}
 			return wslot{}, err
 		}
 		// A releaser granted us first (its CAS beat ours): the
@@ -304,6 +328,9 @@ func (l *mcsLock) acquireCtx(ctx context.Context) (wslot, error) {
 // carrying the handoff onward (the loop; see the state diagram on
 // mcsNode).
 func (l *mcsLock) release(s wslot) {
+	if st := l.stats; st != nil {
+		st.QueueDepth.Add(-1)
+	}
 	if l.retire != nil {
 		// Batch boundary: the caller still owns the mutex (nothing has
 		// been handed off yet), so the hook runs fully serialized

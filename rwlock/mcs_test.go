@@ -19,7 +19,7 @@ func TestMCSMutualExclusion(t *testing.T) {
 		strat := strat
 		t.Run(strat.String(), func(t *testing.T) {
 			t.Parallel()
-			l := newMCS(strat)
+			l := newMCS(strat, nil)
 			var inside atomic.Int32
 			var wg sync.WaitGroup
 			for i := 0; i < 8; i++ {
@@ -46,7 +46,7 @@ func TestMCSMutualExclusion(t *testing.T) {
 // pool mid-run (sync.Pool's contract), so the assertion is an average
 // well under one allocation per passage rather than exactly zero.
 func TestMCSRecyclesNodes(t *testing.T) {
-	l := newMCS(SpinYield)
+	l := newMCS(SpinYield, nil)
 	s := l.acquire() // warm the pool
 	l.release(s)
 	if n := testing.AllocsPerRun(500, func() {
@@ -65,7 +65,7 @@ func TestMCSHandoffRecycling(t *testing.T) {
 	for _, strat := range strategies() {
 		strat := strat
 		t.Run(strat.String(), func(t *testing.T) {
-			l := newMCS(strat)
+			l := newMCS(strat, nil)
 			var held atomic.Int32
 			for lap := 0; lap < 200; lap++ {
 				a := l.acquire()

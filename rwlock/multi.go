@@ -27,8 +27,9 @@ import (
 // FCFS among writers, FIFE among readers, concurrent entering,
 // livelock- and starvation-freedom, with O(1) RMR complexity.
 type MWSF struct {
-	core swwpCore
-	m    writerMutex
+	core  swwpCore
+	m     writerMutex
+	stats *LockStats
 }
 
 // NewMWSF returns a starvation-free reader-writer lock.  Writer
@@ -36,8 +37,8 @@ type MWSF struct {
 // WithBoundedWriters(n) to cap concurrent write attempts at n.
 func NewMWSF(opts ...Option) *MWSF {
 	o := applyOptions(opts)
-	l := &MWSF{m: newWriterMutex(o)}
-	l.core.init(o.strategy)
+	l := &MWSF{m: newWriterMutex(o), stats: o.stats}
+	l.core.init(o.strategy, o.stats)
 	if c, ok := l.m.(*combiner); ok {
 		// Bind the combiner's per-record passage once, so Write can
 		// submit the caller's closure unwrapped (no per-op allocation).
@@ -48,14 +49,46 @@ func NewMWSF(opts ...Option) *MWSF {
 
 // Lock acquires the lock in write mode.
 func (l *MWSF) Lock() WToken {
+	if st := l.stats; st != nil {
+		return l.lockStats(st)
+	}
 	slot := l.m.acquire()
 	prev, cur := l.core.writerDoorway()
 	l.core.writerWaitingRoom(prev)
 	return WToken{prev: prev, cur: cur, slot: slot}
 }
 
+// lockStats is Lock's instrumented twin, kept separate so the
+// stats-disabled path above stays the pre-instrumentation body plus
+// one nil check.  holdStartNS is safe as a plain register: only the
+// 1-in-statsSampleEvery sampled passage stores it, and write mode is
+// exclusive, so the matching Unlock's swap sees either its own stamp
+// or zero.
+func (l *MWSF) lockStats(st *LockStats) WToken {
+	var start int64
+	sample := st.sampleNow()
+	if sample {
+		start = nowNanos()
+	}
+	slot := l.m.acquire()
+	prev, cur := l.core.writerDoorway()
+	l.core.writerWaitingRoom(prev)
+	st.WriteAcquires.Add(1)
+	if sample {
+		now := nowNanos()
+		st.recordWriteWait(now - start)
+		st.holdStartNS.Store(now)
+	}
+	return WToken{prev: prev, cur: cur, slot: slot}
+}
+
 // Unlock releases write mode.
 func (l *MWSF) Unlock(t WToken) {
+	if st := l.stats; st != nil {
+		if hs := st.holdStartNS.Swap(0); hs != 0 {
+			st.recordWriteHold(nowNanos() - hs)
+		}
+	}
 	l.core.writerExit(t.cur)
 	l.m.release(t.slot)
 }
@@ -69,6 +102,9 @@ func (l *MWSF) Unlock(t WToken) {
 func (l *MWSF) Write(cs func()) {
 	if c, ok := l.m.(*combiner); ok {
 		c.exec(cs)
+		if st := l.stats; st != nil {
+			st.WriteAcquires.Add(1)
+		}
 		return
 	}
 	t := l.Lock()
@@ -95,14 +131,23 @@ func (l *MWSF) CombinerStats() (CombinerStats, bool) {
 func (l *MWSF) TryLock() (WToken, bool) {
 	slot, ok := l.m.tryAcquire()
 	if !ok {
+		if st := l.stats; st != nil {
+			st.TrySheds.Add(1)
+		}
 		return WToken{}, false
 	}
 	if !l.core.readersIdle() {
 		l.m.release(slot)
+		if st := l.stats; st != nil {
+			st.TrySheds.Add(1)
+		}
 		return WToken{}, false
 	}
 	prev, cur := l.core.writerDoorway()
 	l.core.writerWaitingRoom(prev)
+	if st := l.stats; st != nil {
+		st.WriteAcquires.Add(1)
+	}
 	return WToken{prev: prev, cur: cur, slot: slot}, true
 }
 
@@ -121,16 +166,25 @@ func (l *MWSF) TryRLock() (RToken, bool) { return l.core.tryReaderLock() }
 func (l *MWSF) LockCtx(ctx context.Context) (WToken, error) {
 	slot, err := l.m.acquireCtx(ctx)
 	if err != nil {
+		if st := l.stats; st != nil {
+			st.CtxSheds.Add(1)
+		}
 		return WToken{}, err
 	}
 	if err := ctx.Err(); err != nil {
 		// Cancelled between grant and doorway: nothing of the core has
 		// been touched, so handing the mutex on is a complete undo.
 		l.m.release(slot)
+		if st := l.stats; st != nil {
+			st.CtxSheds.Add(1)
+		}
 		return WToken{}, err
 	}
 	prev, cur := l.core.writerDoorway() // point of no return
 	l.core.writerWaitingRoom(prev)
+	if st := l.stats; st != nil {
+		st.WriteAcquires.Add(1)
+	}
 	return WToken{prev: prev, cur: cur, slot: slot}, nil
 }
 
@@ -147,7 +201,15 @@ func (l *MWSF) RLockCtx(ctx context.Context) (RToken, error) {
 // LockCtx's commitment point applies.
 func (l *MWSF) WriteCtx(ctx context.Context, cs func()) error {
 	if c, ok := l.m.(*combiner); ok {
-		return c.execCtx(ctx, cs)
+		err := c.execCtx(ctx, cs)
+		if st := l.stats; st != nil {
+			if err != nil {
+				st.CtxSheds.Add(1)
+			} else {
+				st.WriteAcquires.Add(1)
+			}
+		}
+		return err
 	}
 	t, err := l.LockCtx(ctx)
 	if err != nil {
@@ -174,8 +236,9 @@ var _ CtxFuncWriter = (*MWSF)(nil)
 // Theorem 4: properties P1-P6 plus RP1/RP2, with O(1) RMR
 // complexity.  Writers may starve while readers keep arriving.
 type MWRP struct {
-	core swrpCore
-	m    writerMutex
+	core  swrpCore
+	m     writerMutex
+	stats *LockStats
 }
 
 // NewMWRP returns a reader-priority reader-writer lock.  Writer
@@ -183,8 +246,8 @@ type MWRP struct {
 // WithBoundedWriters(n) to cap concurrent write attempts at n.
 func NewMWRP(opts ...Option) *MWRP {
 	o := applyOptions(opts)
-	l := &MWRP{m: newWriterMutex(o)}
-	l.core.init(o.strategy)
+	l := &MWRP{m: newWriterMutex(o), stats: o.stats}
+	l.core.init(o.strategy, o.stats)
 	if c, ok := l.m.(*combiner); ok {
 		c.passage = l.core.writePassage // see NewMWSF
 	}
@@ -193,14 +256,42 @@ func NewMWRP(opts ...Option) *MWRP {
 
 // Lock acquires the lock in write mode.
 func (l *MWRP) Lock() WToken {
+	if st := l.stats; st != nil {
+		return l.lockStats(st)
+	}
 	slot := l.m.acquire()
 	t := l.core.writerLock()
 	t.slot = slot
 	return t
 }
 
+// lockStats is Lock's instrumented twin; see MWSF.lockStats for the
+// holdStartNS register discipline.
+func (l *MWRP) lockStats(st *LockStats) WToken {
+	var start int64
+	sample := st.sampleNow()
+	if sample {
+		start = nowNanos()
+	}
+	slot := l.m.acquire()
+	t := l.core.writerLock()
+	t.slot = slot
+	st.WriteAcquires.Add(1)
+	if sample {
+		now := nowNanos()
+		st.recordWriteWait(now - start)
+		st.holdStartNS.Store(now)
+	}
+	return t
+}
+
 // Unlock releases write mode.
 func (l *MWRP) Unlock(t WToken) {
+	if st := l.stats; st != nil {
+		if hs := st.holdStartNS.Swap(0); hs != 0 {
+			st.recordWriteHold(nowNanos() - hs)
+		}
+	}
 	l.core.writerUnlock(t)
 	l.m.release(t.slot)
 }
@@ -211,6 +302,9 @@ func (l *MWRP) Unlock(t WToken) {
 func (l *MWRP) Write(cs func()) {
 	if c, ok := l.m.(*combiner); ok {
 		c.exec(cs)
+		if st := l.stats; st != nil {
+			st.WriteAcquires.Add(1)
+		}
 		return
 	}
 	t := l.Lock()
@@ -236,14 +330,23 @@ func (l *MWRP) CombinerStats() (CombinerStats, bool) {
 func (l *MWRP) TryLock() (WToken, bool) {
 	slot, ok := l.m.tryAcquire()
 	if !ok {
+		if st := l.stats; st != nil {
+			st.TrySheds.Add(1)
+		}
 		return WToken{}, false
 	}
 	if l.core.c.Load() != 0 {
 		l.m.release(slot)
+		if st := l.stats; st != nil {
+			st.TrySheds.Add(1)
+		}
 		return WToken{}, false
 	}
 	t := l.core.writerLock()
 	t.slot = slot
+	if st := l.stats; st != nil {
+		st.WriteAcquires.Add(1)
+	}
 	return t, true
 }
 
@@ -261,14 +364,23 @@ func (l *MWRP) TryRLock() (RToken, bool) { return l.core.tryReaderLock() }
 func (l *MWRP) LockCtx(ctx context.Context) (WToken, error) {
 	slot, err := l.m.acquireCtx(ctx)
 	if err != nil {
+		if st := l.stats; st != nil {
+			st.CtxSheds.Add(1)
+		}
 		return WToken{}, err
 	}
 	if err := ctx.Err(); err != nil {
 		l.m.release(slot) // core untouched: a complete undo
+		if st := l.stats; st != nil {
+			st.CtxSheds.Add(1)
+		}
 		return WToken{}, err
 	}
 	t := l.core.writerLock() // point of no return
 	t.slot = slot
+	if st := l.stats; st != nil {
+		st.WriteAcquires.Add(1)
+	}
 	return t, nil
 }
 
@@ -285,7 +397,15 @@ func (l *MWRP) RLockCtx(ctx context.Context) (RToken, error) {
 // combiner.execCtx), otherwise LockCtx's commitment points apply.
 func (l *MWRP) WriteCtx(ctx context.Context, cs func()) error {
 	if c, ok := l.m.(*combiner); ok {
-		return c.execCtx(ctx, cs)
+		err := c.execCtx(ctx, cs)
+		if st := l.stats; st != nil {
+			if err != nil {
+				st.CtxSheds.Add(1)
+			} else {
+				st.WriteAcquires.Add(1)
+			}
+		}
+		return err
 	}
 	t, err := l.LockCtx(ctx)
 	if err != nil {
@@ -321,6 +441,7 @@ type MWWP struct {
 	idCtr  atomic.Int64
 	_      [56]byte
 	m      writerMutex
+	stats  *LockStats
 }
 
 // NewMWWP returns a writer-priority reader-writer lock.  Writer
@@ -328,8 +449,8 @@ type MWWP struct {
 // WithBoundedWriters(n) to cap concurrent write attempts at n.
 func NewMWWP(opts ...Option) *MWWP {
 	o := applyOptions(opts)
-	l := &MWWP{m: newWriterMutex(o)}
-	l.core.init(o.strategy)
+	l := &MWWP{m: newWriterMutex(o), stats: o.stats}
+	l.core.init(o.strategy, o.stats)
 	// W-token starts as the side token for side 1 so the first writer
 	// behaves exactly like the first SWWP attempt (D: 0 -> 1).
 	l.wtoken.Store(tokenSide(1))
@@ -359,6 +480,9 @@ func (l *MWWP) doorway() {
 // having won the CAS at line 19 but not yet reopened the gate at line
 // 20; writerExit's storeWake is the matching signal.
 func (l *MWWP) Lock() WToken {
+	if st := l.stats; st != nil {
+		return l.lockStats(st)
+	}
 	id := l.idCtr.Add(1)
 	l.doorway()           // lines 2-8
 	slot := l.m.acquire() // line 9
@@ -366,8 +490,34 @@ func (l *MWWP) Lock() WToken {
 	return WToken{prev: prev, cur: cur, slot: slot, id: id}
 }
 
+// lockStats is Lock's instrumented twin; see MWSF.lockStats for the
+// holdStartNS register discipline.
+func (l *MWWP) lockStats(st *LockStats) WToken {
+	var start int64
+	sample := st.sampleNow()
+	if sample {
+		start = nowNanos()
+	}
+	id := l.idCtr.Add(1)
+	l.doorway()           // lines 2-8
+	slot := l.m.acquire() // line 9
+	prev, cur := l.enterHeld()
+	st.WriteAcquires.Add(1)
+	if sample {
+		now := nowNanos()
+		st.recordWriteWait(now - start)
+		st.holdStartNS.Store(now)
+	}
+	return WToken{prev: prev, cur: cur, slot: slot, id: id}
+}
+
 // Unlock releases write mode (Figure 4 lines 15-20).
 func (l *MWWP) Unlock(t WToken) {
+	if st := l.stats; st != nil {
+		if hs := st.holdStartNS.Swap(0); hs != 0 {
+			st.recordWriteHold(nowNanos() - hs)
+		}
+	}
 	l.wtoken.Store(t.id)      // line 15
 	l.wcount.Add(-1)          // line 16
 	l.m.release(t.slot)       // line 17
@@ -394,6 +544,9 @@ func (l *MWWP) Write(cs func()) {
 	}
 	l.doorway() // lines 2-8, before publication
 	c.exec(cs)
+	if st := l.stats; st != nil {
+		st.WriteAcquires.Add(1)
+	}
 }
 
 // combinedPassage is the combiner-side half of a combined Figure 4
@@ -464,15 +617,24 @@ func (l *MWWP) enterHeld() (prev, cur int32) {
 func (l *MWWP) TryLock() (WToken, bool) {
 	slot, ok := l.m.tryAcquire()
 	if !ok {
+		if st := l.stats; st != nil {
+			st.TrySheds.Add(1)
+		}
 		return WToken{}, false
 	}
 	if isSideToken(l.wtoken.Load()) && !l.core.readersIdle() {
 		l.m.release(slot)
+		if st := l.stats; st != nil {
+			st.TrySheds.Add(1)
+		}
 		return WToken{}, false
 	}
 	id := l.idCtr.Add(1)
 	l.doorway() // commit
 	prev, cur := l.enterHeld()
+	if st := l.stats; st != nil {
+		st.WriteAcquires.Add(1)
+	}
 	return WToken{prev: prev, cur: cur, slot: slot, id: id}, true
 }
 
@@ -497,16 +659,25 @@ func (l *MWWP) TryRLock() (RToken, bool) { return l.core.tryReaderLock() }
 func (l *MWWP) LockCtx(ctx context.Context) (WToken, error) {
 	slot, err := l.m.acquireCtx(ctx)
 	if err != nil {
+		if st := l.stats; st != nil {
+			st.CtxSheds.Add(1)
+		}
 		return WToken{}, err
 	}
 	if err := ctx.Err(); err != nil {
 		// Not yet announced: handing the mutex on is a complete undo.
 		l.m.release(slot)
+		if st := l.stats; st != nil {
+			st.CtxSheds.Add(1)
+		}
 		return WToken{}, err
 	}
 	id := l.idCtr.Add(1)
 	l.doorway() // point of no return
 	prev, cur := l.enterHeld()
+	if st := l.stats; st != nil {
+		st.WriteAcquires.Add(1)
+	}
 	return WToken{prev: prev, cur: cur, slot: slot, id: id}, nil
 }
 
@@ -536,10 +707,16 @@ func (l *MWWP) WriteCtx(ctx context.Context, cs func()) error {
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
+		if st := l.stats; st != nil {
+			st.CtxSheds.Add(1)
+		}
 		return err
 	}
 	l.doorway() // point of no return: Wcount is announced
 	c.exec(cs)
+	if st := l.stats; st != nil {
+		st.WriteAcquires.Add(1)
+	}
 	return nil
 }
 

@@ -163,6 +163,24 @@
 // contracts, including how grant-vs-cancel races resolve and which
 // ordering details of the paper (MWWP's early doorway, strict FCFS
 // under combining) the abortable paths relax.
+//
+// # Observability
+//
+// Every constructor accepts WithStats(*LockStats), attaching a
+// cache-padded block of atomic counters (acquire/contention tallies
+// per mode, fast-path revocations, epoch reclamation, combiner
+// batching, park/unpark traffic) plus sampled wait- and hold-time
+// histograms.  A wrapper and its inner lock built from one option
+// list share one block, so each passage is counted once at the layer
+// that completed it.  Without the option the seam is a nil check on
+// paths the hot passages already execute — the uninstrumented build
+// measures identically to one compiled without the seam.  LockStats
+// is read with Snapshot (coherent under concurrent traffic) and
+// checked with CheckCoherence; the rwstats package exports snapshots
+// over expvar, Prometheus text format, and JSON, and adds a stall
+// watchdog.  The Slim locks and the classical baselines live outside
+// the seam: they accept the option but count nothing (observe a Slim
+// grid through rwmap.Map.Stats and rwmap.Map.Heatmap instead).
 package rwlock
 
 import "context"

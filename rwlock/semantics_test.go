@@ -24,7 +24,7 @@ func TestSWWPCoreGateSemantics(t *testing.T) {
 	for _, strat := range strategies() {
 		t.Run(strat.String(), func(t *testing.T) {
 			var c swwpCore
-			c.init(strat)
+			c.init(strat, nil)
 
 			prev, cur := c.writerDoorway()
 			if prev != 0 || cur != 1 {
@@ -62,7 +62,7 @@ func TestSWWPCoreLastReaderWakesWriter(t *testing.T) {
 	for _, strat := range strategies() {
 		t.Run(strat.String(), func(t *testing.T) {
 			var c swwpCore
-			c.init(strat)
+			c.init(strat, nil)
 
 			// Two readers enter on side 0 (writer idle, gate[0] open).
 			t1 := c.readerLock()
@@ -107,7 +107,7 @@ func TestSWRPCorePromoteSemantics(t *testing.T) {
 	for _, strat := range strategies() {
 		t.Run(strat.String(), func(t *testing.T) {
 			var c swrpCore
-			c.init(strat)
+			c.init(strat, nil)
 
 			// A reader registers; the writer's own Promote must NOT set
 			// Permit (C != 0).

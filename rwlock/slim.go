@@ -51,6 +51,13 @@ import (
 // reader waits out one bounded read passage spuriously; mutual
 // exclusion always comes from the lock's own state word plus the
 // claim/recheck ordering.
+//
+// Observability: the Slim locks do NOT implement the WithStats seam —
+// they take no options, and a per-instance stats pointer would double
+// the 16-byte footprint the whole design exists to protect.  Observe
+// a Slim grid one level up, through rwmap.Map.Stats and its
+// per-stripe heatmap, which samples traffic without touching the
+// locks.
 
 // slimFastSide tags an RToken issued by a Slim lock's arena fast
 // path: -1 is Bravo's, -2 is Epoch's, so -3 is unambiguous.

@@ -24,16 +24,23 @@ type swrpCore struct {
 	// be unique among concurrent attempts; monotone fresh ids give
 	// that and additionally rule out ABA on X entirely.
 	idCtr atomic.Int64
+	// stats, when non-nil, receives the read-path counters; write-path
+	// counters belong to the wrapping lock.  See WithStats and the
+	// matching field on swwpCore.
+	stats *LockStats
 }
 
 // init sets the paper's initial values — D=0, Gate[0]=true, X = some
-// pid (0, smaller than every issued id), Permit=true, C=0 — and
-// selects the wait strategy of every cell.
-func (l *swrpCore) init(s WaitStrategy) {
+// pid (0, smaller than every issued id), Permit=true, C=0 — selects
+// the wait strategy of every cell, and installs the stats block.
+func (l *swrpCore) init(s WaitStrategy, st *LockStats) {
+	l.stats = st
 	for i := range l.gate {
 		l.gate[i].setStrategy(s)
+		l.gate[i].setStats(st)
 	}
 	l.permit.setStrategy(s)
+	l.permit.setStats(st)
 	l.gate[0].store(cellTrue)
 	l.permit.store(cellTrue)
 }
@@ -110,9 +117,35 @@ func (l *swrpCore) registerReader() (d int32, id int64, mustWait bool) {
 
 // readerLock is Figure 2 lines 18-24.
 func (l *swrpCore) readerLock() RToken {
+	if st := l.stats; st != nil {
+		return l.readerLockStats(st)
+	}
 	d, id, mustWait := l.registerReader()
 	if mustWait {
 		l.gate[d].wait(cellTrue) // line 24
+	}
+	return RToken{side: d, id: id}
+}
+
+// readerLockStats is readerLock's instrumented twin (see the swwpCore
+// counterpart); mustWait is the algorithm's own contended signal.
+func (l *swrpCore) readerLockStats(st *LockStats) RToken {
+	var start int64
+	sample := st.sampleNow()
+	if sample {
+		start = nowNanos()
+	}
+	d, id, mustWait := l.registerReader()
+	if mustWait {
+		l.gate[d].wait(cellTrue) // line 24
+	}
+	// Acquires before contended; see the swwpCore twin.
+	st.ReadAcquires.Add(1)
+	if mustWait {
+		st.ReadContended.Add(1)
+	}
+	if sample {
+		st.recordReadWait(nowNanos() - start)
 	}
 	return RToken{side: d, id: id}
 }
@@ -126,7 +159,13 @@ func (l *swrpCore) tryReaderLock() (RToken, bool) {
 	d, id, mustWait := l.registerReader()
 	if mustWait {
 		l.readerUnlock(RToken{side: d, id: id})
+		if st := l.stats; st != nil {
+			st.TrySheds.Add(1)
+		}
 		return RToken{}, false
+	}
+	if st := l.stats; st != nil {
+		st.ReadAcquires.Add(1)
 	}
 	return RToken{side: d, id: id}, true
 }
@@ -139,8 +178,14 @@ func (l *swrpCore) readerLockCtx(ctx context.Context) (RToken, error) {
 	if mustWait {
 		if err := l.gate[d].waitCtx(ctx, cellTrue); err != nil {
 			l.readerUnlock(RToken{side: d, id: id})
+			if st := l.stats; st != nil {
+				st.CtxSheds.Add(1)
+			}
 			return RToken{}, err
 		}
+	}
+	if st := l.stats; st != nil {
+		st.ReadAcquires.Add(1)
 	}
 	return RToken{side: d, id: id}, nil
 }
@@ -170,7 +215,7 @@ type SWRP struct {
 func NewSWRP(opts ...Option) *SWRP {
 	o := applyOptions(opts)
 	l := &SWRP{}
-	l.core.init(o.strategy)
+	l.core.init(o.strategy, o.stats)
 	return l
 }
 
@@ -180,7 +225,11 @@ func (l *SWRP) Lock() WToken {
 	if !l.writerBusy.CompareAndSwap(false, true) {
 		panic("rwlock: concurrent Lock on single-writer SWRP lock (use NewMWRP)")
 	}
-	return l.core.writerLock()
+	t := l.core.writerLock()
+	if st := l.core.stats; st != nil {
+		st.WriteAcquires.Add(1)
+	}
+	return t
 }
 
 // Unlock releases write mode.
@@ -210,13 +259,23 @@ func (l *SWRP) Write(cs func()) {
 // never waits on a writer but can briefly wait on such a racer.
 func (l *SWRP) TryLock() (WToken, bool) {
 	if !l.writerBusy.CompareAndSwap(false, true) {
+		if st := l.core.stats; st != nil {
+			st.TrySheds.Add(1)
+		}
 		return WToken{}, false
 	}
 	if l.core.c.Load() != 0 {
 		l.writerBusy.Store(false)
+		if st := l.core.stats; st != nil {
+			st.TrySheds.Add(1)
+		}
 		return WToken{}, false
 	}
-	return l.core.writerLock(), true
+	t := l.core.writerLock()
+	if st := l.core.stats; st != nil {
+		st.WriteAcquires.Add(1)
+	}
+	return t, true
 }
 
 // TryRLock attempts read mode without blocking; see
@@ -239,9 +298,16 @@ func (l *SWRP) LockCtx(ctx context.Context) (WToken, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		l.writerBusy.Store(false)
+		if st := l.core.stats; st != nil {
+			st.CtxSheds.Add(1)
+		}
 		return WToken{}, err
 	}
-	return l.core.writerLock(), nil // line 2 = point of no return
+	t := l.core.writerLock() // line 2 = point of no return
+	if st := l.core.stats; st != nil {
+		st.WriteAcquires.Add(1)
+	}
+	return t, nil
 }
 
 // RLockCtx acquires read mode, aborting the gate wait when ctx is

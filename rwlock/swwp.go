@@ -22,6 +22,11 @@ type swwpCore struct {
 	ec         atomic.Int64
 	_          [56]byte
 	c          [2]paddedInt64
+	// stats, when non-nil, receives the read-path counters (acquires,
+	// contended, sheds) and sampled read-wait latencies.  Write-path
+	// counters belong to the wrapping lock, which knows its own
+	// arbitration; the core only ever counts reads.  See WithStats.
+	stats *LockStats
 }
 
 // paddedInt64 is an atomic.Int64 alone on its cache line.
@@ -31,13 +36,17 @@ type paddedInt64 struct {
 }
 
 // init sets the paper's initial values — D=0, Gate[0]=true,
-// Gate[1]=false, counters zero — and selects the wait strategy of
-// every cell.
-func (l *swwpCore) init(s WaitStrategy) {
+// Gate[1]=false, counters zero — selects the wait strategy of every
+// cell, and installs the stats block (nil disables all accounting).
+func (l *swwpCore) init(s WaitStrategy, st *LockStats) {
+	l.stats = st
 	l.exitPermit.setStrategy(s)
+	l.exitPermit.setStats(st)
 	for i := range l.permit {
 		l.permit[i].setStrategy(s)
+		l.permit[i].setStats(st)
 		l.gate[i].setStrategy(s)
+		l.gate[i].setStats(st)
 	}
 	l.gate[0].store(cellTrue)
 }
@@ -109,8 +118,37 @@ func (l *swwpCore) registerReader() int32 {
 
 // readerLock is Figure 1 lines 16-24.
 func (l *swwpCore) readerLock() RToken {
+	if st := l.stats; st != nil {
+		return l.readerLockStats(st)
+	}
 	d := l.registerReader()
 	l.gate[d].wait(cellTrue) // line 24
+	return RToken{side: d}
+}
+
+// readerLockStats is readerLock's instrumented twin, kept separate so
+// the stats-disabled path above stays the pre-instrumentation body
+// plus one nil check.  The contended probe reads the gate once before
+// the wait: observing an open gate means the wait would have returned
+// without blocking, so anything else counts as a contended entry.
+func (l *swwpCore) readerLockStats(st *LockStats) RToken {
+	var start int64
+	sample := st.sampleNow()
+	if sample {
+		start = nowNanos()
+	}
+	d := l.registerReader()
+	contended := l.gate[d].load() != cellTrue
+	l.gate[d].wait(cellTrue) // line 24
+	// Acquires before contended, so a concurrent Snapshot (which loads
+	// contended first) always sees ReadContended <= ReadAcquires.
+	st.ReadAcquires.Add(1)
+	if contended {
+		st.ReadContended.Add(1)
+	}
+	if sample {
+		st.recordReadWait(nowNanos() - start)
+	}
 	return RToken{side: d}
 }
 
@@ -130,7 +168,13 @@ func (l *swwpCore) tryReaderLock() (RToken, bool) {
 	d := l.registerReader()
 	if l.gate[d].load() != cellTrue {
 		l.readerUnlock(RToken{side: d})
+		if st := l.stats; st != nil {
+			st.TrySheds.Add(1)
+		}
 		return RToken{}, false
+	}
+	if st := l.stats; st != nil {
+		st.ReadAcquires.Add(1)
 	}
 	return RToken{side: d}, true
 }
@@ -142,7 +186,13 @@ func (l *swwpCore) readerLockCtx(ctx context.Context) (RToken, error) {
 	d := l.registerReader()
 	if err := l.gate[d].waitCtx(ctx, cellTrue); err != nil {
 		l.readerUnlock(RToken{side: d})
+		if st := l.stats; st != nil {
+			st.CtxSheds.Add(1)
+		}
 		return RToken{}, err
+	}
+	if st := l.stats; st != nil {
+		st.ReadAcquires.Add(1)
 	}
 	return RToken{side: d}, nil
 }
@@ -188,7 +238,7 @@ type SWWP struct {
 func NewSWWP(opts ...Option) *SWWP {
 	o := applyOptions(opts)
 	l := &SWWP{}
-	l.core.init(o.strategy)
+	l.core.init(o.strategy, o.stats)
 	return l
 }
 
@@ -200,6 +250,9 @@ func (l *SWWP) Lock() WToken {
 	}
 	prev, cur := l.core.writerDoorway()
 	l.core.writerWaitingRoom(prev)
+	if st := l.core.stats; st != nil {
+		st.WriteAcquires.Add(1)
+	}
 	return WToken{prev: prev, cur: cur}
 }
 
@@ -229,14 +282,23 @@ func (l *SWWP) Write(cs func()) {
 // briefly wait out such a racing reader's passage.
 func (l *SWWP) TryLock() (WToken, bool) {
 	if !l.writerBusy.CompareAndSwap(false, true) {
+		if st := l.core.stats; st != nil {
+			st.TrySheds.Add(1)
+		}
 		return WToken{}, false
 	}
 	if !l.core.readersIdle() {
 		l.writerBusy.Store(false)
+		if st := l.core.stats; st != nil {
+			st.TrySheds.Add(1)
+		}
 		return WToken{}, false
 	}
 	prev, cur := l.core.writerDoorway()
 	l.core.writerWaitingRoom(prev)
+	if st := l.core.stats; st != nil {
+		st.WriteAcquires.Add(1)
+	}
 	return WToken{prev: prev, cur: cur}, true
 }
 
@@ -258,10 +320,16 @@ func (l *SWWP) LockCtx(ctx context.Context) (WToken, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		l.writerBusy.Store(false)
+		if st := l.core.stats; st != nil {
+			st.CtxSheds.Add(1)
+		}
 		return WToken{}, err
 	}
 	prev, cur := l.core.writerDoorway() // point of no return
 	l.core.writerWaitingRoom(prev)
+	if st := l.core.stats; st != nil {
+		st.WriteAcquires.Add(1)
+	}
 	return WToken{prev: prev, cur: cur}, nil
 }
 

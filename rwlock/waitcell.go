@@ -78,6 +78,10 @@ type options struct {
 	// per-lock state.  See WithSharedReaderTable in readerslots.go
 	// and the footprint discussion there.
 	sharedTable *ReaderTable
+	// stats, when non-nil, is the lock's observability counter block.
+	// See WithStats in stats.go; every instrumented site nil-checks
+	// this pointer, so the default (nil) path is unchanged.
+	stats *LockStats
 }
 
 // WithSharedReaderTable makes the constructed lock publish its
@@ -179,13 +183,22 @@ type waitCell struct {
 	parked atomic.Int32
 	mu     sync.Mutex
 	cond   *sync.Cond
-	_      [40]byte
+	// stats, when non-nil, receives Parks/Unparks counts from the
+	// park slow path (see WithStats).  Cold by construction: it is
+	// only touched after the spin and yield phases have given up.
+	stats *LockStats
+	_     [32]byte
 }
 
 // setStrategy selects the cell's wait behavior.  Not safe to call
 // concurrently with waits; lock constructors call it before the lock
 // escapes.
 func (c *waitCell) setStrategy(s WaitStrategy) { c.park = s == SpinThenPark }
+
+// setStats installs the owning lock's counter block on the cell so
+// actual goroutine parks are counted.  Like setStrategy, it must be
+// called before the cell is waited on.
+func (c *waitCell) setStats(st *LockStats) { c.stats = st }
 
 // load returns the cell's current value.
 func (c *waitCell) load() int64 { return c.v.Load() }
@@ -297,11 +310,19 @@ func (c *waitCell) parkUntil(pred func(int64) bool) {
 		c.cond = sync.NewCond(&c.mu)
 	}
 	c.parked.Add(1)
+	slept := false
 	for !pred(c.v.Load()) {
+		if st := c.stats; st != nil && !slept {
+			slept = true
+			st.Parks.Add(1)
+		}
 		c.cond.Wait()
 	}
 	c.parked.Add(-1)
 	c.mu.Unlock()
+	if slept {
+		c.stats.Unparks.Add(1)
+	}
 }
 
 // waitCtx blocks until the cell's word equals want or ctx is
@@ -413,20 +434,31 @@ func (c *waitCell) parkUntilCtx(ctx context.Context, done <-chan struct{}, pred 
 		c.cond = sync.NewCond(&c.mu)
 	}
 	c.parked.Add(1)
+	slept := false
 	for !pred(c.v.Load()) {
 		select {
 		case <-done:
 			c.parked.Add(-1)
 			c.mu.Unlock()
+			if slept {
+				c.stats.Unparks.Add(1)
+			}
 			if pred(c.v.Load()) {
 				return nil
 			}
 			return ctx.Err()
 		default:
 		}
+		if st := c.stats; st != nil && !slept {
+			slept = true
+			st.Parks.Add(1)
+		}
 		c.cond.Wait()
 	}
 	c.parked.Add(-1)
 	c.mu.Unlock()
+	if slept {
+		c.stats.Unparks.Add(1)
+	}
 	return nil
 }

@@ -1,0 +1,125 @@
+package rwmap
+
+import (
+	"fmt"
+	"testing"
+
+	"rwsync/rwlock"
+)
+
+// TestHeatmapAdaptive drives single-threaded exact-sampled traffic at
+// one key and checks the heatmap ranks its stripe first, reports the
+// promoted lock kind, and carries coherent sampled counts.
+func TestHeatmapAdaptive(t *testing.T) {
+	m := New[string, int](
+		WithStripes(16),
+		WithAdaptiveLocks(AdaptiveConfig{HotSet: 2, SampleEvery: 1, PromoteAt: 8}),
+	)
+	for i := 0; i < 64; i++ {
+		m.Put("hot", i)
+	}
+	st := m.Stats()
+	if st.HotSetSize != 1 {
+		t.Fatalf("HotSetSize = %d after a hot-key burst, want 1", st.HotSetSize)
+	}
+	hotStripe := st.Hot[0]
+
+	h := m.Heatmap(4)
+	if !h.Adaptive {
+		t.Fatal("Adaptive = false on an adaptive Map")
+	}
+	if h.Stripes != 16 {
+		t.Fatalf("Stripes = %d, want 16", h.Stripes)
+	}
+	if len(h.Top) != 4 {
+		t.Fatalf("len(Top) = %d, want 4", len(h.Top))
+	}
+	top := h.Top[0]
+	if top.Index != hotStripe {
+		t.Errorf("hottest stripe %d, want promoted stripe %d", top.Index, hotStripe)
+	}
+	if !top.Hot {
+		t.Error("hottest stripe not marked Hot")
+	}
+	if top.LockKind != "Bravo" {
+		t.Errorf("hottest LockKind = %q, want Bravo (promoted)", top.LockKind)
+	}
+	if top.SampledHits == 0 {
+		t.Error("hottest stripe has zero sampled hits")
+	}
+	if top.Entries != 1 {
+		t.Errorf("hottest stripe Entries = %d, want 1", top.Entries)
+	}
+	for _, sh := range h.Top[1:] {
+		if sh.Hot {
+			t.Errorf("stripe %d marked Hot; only %d promoted", sh.Index, hotStripe)
+		}
+		if sh.LockKind != "SlimBravo" {
+			t.Errorf("cold stripe %d LockKind = %q, want SlimBravo", sh.Index, sh.LockKind)
+		}
+	}
+}
+
+// TestHeatmapNonAdaptive checks the entry-count ranking fallback and
+// the kind naming for a WithLockFactory grid.
+func TestHeatmapNonAdaptive(t *testing.T) {
+	m := New[int, int](
+		WithStripes(8),
+		WithLockFactory(func() rwlock.RWLock { return rwlock.NewMWSF() }),
+	)
+	for i := 0; i < 200; i++ {
+		m.Put(i, i)
+	}
+	h := m.Heatmap(0) // all stripes
+	if h.Adaptive {
+		t.Fatal("Adaptive = true on a plain Map")
+	}
+	if len(h.Top) != 8 {
+		t.Fatalf("len(Top) = %d, want all 8 stripes", len(h.Top))
+	}
+	if h.Entries != m.Len() {
+		t.Errorf("Entries = %d, want Len() = %d", h.Entries, m.Len())
+	}
+	for i := 1; i < len(h.Top); i++ {
+		if h.Top[i].Entries > h.Top[i-1].Entries {
+			t.Errorf("Top not sorted by entries at %d: %d > %d", i, h.Top[i].Entries, h.Top[i-1].Entries)
+		}
+	}
+	for _, sh := range h.Top {
+		if sh.LockKind != "MWSF" {
+			t.Errorf("stripe %d LockKind = %q, want MWSF", sh.Index, sh.LockKind)
+		}
+		if sh.Hot || sh.SampledHits != 0 || sh.Window != 0 {
+			t.Errorf("stripe %d has adaptive fields set on a plain Map: %+v", sh.Index, sh)
+		}
+	}
+}
+
+// TestHeatmapConcurrent races Heatmap against live traffic; run under
+// -race this pins that the snapshot takes the stripe locks it needs.
+func TestHeatmapConcurrent(t *testing.T) {
+	m := New[string, int](WithStripes(8), WithHotSet(2))
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := fmt.Sprintf("k%d", i%32)
+			m.Put(k, i)
+			m.Get(k)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		h := m.Heatmap(3)
+		if len(h.Top) != 3 {
+			t.Fatalf("len(Top) = %d, want 3", len(h.Top))
+		}
+	}
+	close(stop)
+	<-done
+}

@@ -27,6 +27,14 @@
 // shared reader arena (demoting them again when they cool).  See
 // adaptive.go for the machinery and the swap protocol.
 //
+// For introspection, Map.Stats reports grid-wide counters (entry
+// count, promotion/demotion traffic, hot-set high-water mark) and
+// Map.Heatmap returns a per-stripe load snapshot — entries, sampled
+// traffic, and promotion state per stripe — which is how a Slim-lock
+// grid is observed, since Slim locks sit outside the rwlock stats
+// seam.  The rwstats package serves both over expvar, Prometheus
+// text format, and JSON.
+//
 // The zero Map is not ready; construct with New.  All methods are
 // safe for concurrent use.  Range takes no global snapshot: it locks
 // one stripe at a time, so it observes a state in which each stripe

@@ -1,0 +1,190 @@
+package rwstats
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"rwsync/rwlock"
+	"rwsync/rwmap"
+)
+
+// HeatmapSource is the rwmap seam: any rwmap.Map[K, V] satisfies it
+// regardless of its type parameters, which is what lets a registry
+// hold maps of different shapes.
+type HeatmapSource interface {
+	Heatmap(top int) rwmap.Heatmap
+}
+
+// defaultHeatmapTop is how many stripes a registry snapshot reports
+// per map unless the scrape asks otherwise (?top=N on the handlers).
+const defaultHeatmapTop = 8
+
+// Registry names observability sources and serves them.  The zero
+// value is not ready; use NewRegistry.  All methods are safe for
+// concurrent use — registration may race with scrapes.
+type Registry struct {
+	mu    sync.RWMutex
+	locks map[string]*rwlock.LockStats
+	maps  map[string]HeatmapSource
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		locks: make(map[string]*rwlock.LockStats),
+		maps:  make(map[string]HeatmapSource),
+	}
+}
+
+// RegisterLock attaches st under name.  The same block may be
+// registered under several registries; registering a name twice in
+// one registry is an error (unregister first to replace).
+func (r *Registry) RegisterLock(name string, st *rwlock.LockStats) error {
+	if name == "" || st == nil {
+		return fmt.Errorf("rwstats: RegisterLock needs a name and a non-nil block")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.locks[name]; dup {
+		return fmt.Errorf("rwstats: lock %q already registered", name)
+	}
+	r.locks[name] = st
+	return nil
+}
+
+// RegisterMap attaches src (typically an *rwmap.Map) under name.
+func (r *Registry) RegisterMap(name string, src HeatmapSource) error {
+	if name == "" || src == nil {
+		return fmt.Errorf("rwstats: RegisterMap needs a name and a non-nil source")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.maps[name]; dup {
+		return fmt.Errorf("rwstats: map %q already registered", name)
+	}
+	r.maps[name] = src
+	return nil
+}
+
+// UnregisterLock removes a named lock source; unknown names are a
+// no-op.
+func (r *Registry) UnregisterLock(name string) {
+	r.mu.Lock()
+	delete(r.locks, name)
+	r.mu.Unlock()
+}
+
+// UnregisterMap removes a named map source; unknown names are a
+// no-op.
+func (r *Registry) UnregisterMap(name string) {
+	r.mu.Lock()
+	delete(r.maps, name)
+	r.mu.Unlock()
+}
+
+// lockSources returns the registered locks as a name-sorted slice —
+// the iteration order every exporter uses, so scrapes are stable.
+func (r *Registry) lockSources() []struct {
+	name string
+	st   *rwlock.LockStats
+} {
+	r.mu.RLock()
+	out := make([]struct {
+		name string
+		st   *rwlock.LockStats
+	}, 0, len(r.locks))
+	for n, st := range r.locks {
+		out = append(out, struct {
+			name string
+			st   *rwlock.LockStats
+		}{n, st})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (r *Registry) mapSources() []struct {
+	name string
+	src  HeatmapSource
+} {
+	r.mu.RLock()
+	out := make([]struct {
+		name string
+		src  HeatmapSource
+	}, 0, len(r.maps))
+	for n, src := range r.maps {
+		out = append(out, struct {
+			name string
+			src  HeatmapSource
+		}{n, src})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Snapshot is one registry-wide scrape: every lock block's snapshot
+// and every map's heatmap, keyed by registered name.
+type Snapshot struct {
+	Locks map[string]rwlock.LockStatsSnapshot `json:"locks"`
+	Maps  map[string]rwmap.Heatmap            `json:"maps"`
+}
+
+// Snapshot scrapes every registered source.  top bounds each map's
+// reported stripes (<= 0 means the defaultHeatmapTop, not all — pass
+// rwmap's Stripes() explicitly for a full grid).
+func (r *Registry) Snapshot(top int) Snapshot {
+	if top <= 0 {
+		top = defaultHeatmapTop
+	}
+	s := Snapshot{
+		Locks: make(map[string]rwlock.LockStatsSnapshot),
+		Maps:  make(map[string]rwmap.Heatmap),
+	}
+	for _, l := range r.lockSources() {
+		s.Locks[l.name] = l.st.Snapshot()
+	}
+	for _, m := range r.mapSources() {
+		s.Maps[m.name] = m.src.Heatmap(top)
+	}
+	return s
+}
+
+// topOf parses the scrape-depth query parameter.
+func topOf(req *http.Request) int {
+	if v := req.URL.Query().Get("top"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return 0
+}
+
+// ServeHTTP serves the JSON snapshot — the /debug/rwsync document.
+// ?top=N widens or narrows the per-map heatmap depth.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Snapshot(topOf(req))); err != nil {
+		// Headers are gone; nothing useful left to do but note it.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// PublishExpvar publishes the registry's snapshot as the expvar
+// variable name (shown by /debug/vars).  expvar names are global and
+// permanent, so a duplicate is an error rather than a replace.
+func (r *Registry) PublishExpvar(name string) error {
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("rwstats: expvar %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot(0) }))
+	return nil
+}

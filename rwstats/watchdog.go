@@ -1,0 +1,174 @@
+package rwstats
+
+import (
+	"fmt"
+	"time"
+
+	"rwsync/rwlock"
+)
+
+// The stall watchdog.
+//
+// A constant-RMR lock cannot deadlock by itself, but a DEPLOYMENT
+// can wedge its writers in two observable ways: an epoch writer
+// waiting out a grace period that a stuck reader never ends, and an
+// arbitration queue that stops draining because the current holder
+// never releases.  Both conditions are visible in the LockStats block
+// without cooperation from the stuck goroutines — the grace register
+// (GraceActiveNS) carries the wall-clock stamp of the in-progress
+// grace wait, and queue depth with no write-acquire progress is the
+// signature of a held-forever lock — so the watchdog is a pure
+// observer: it reads counters on a ticker, fires a callback naming
+// the blocking LAYER, and bumps the block's Stalls counter that the
+// exporters already serve.  It takes no locks and cannot itself block
+// traffic.  No goroutine exists until StartWatchdog.
+
+// StallLayer names the layer the watchdog found blocking.
+type StallLayer string
+
+const (
+	// StallGrace: a writer has been waiting out an epoch grace period
+	// past the threshold — some reader is sitting in (or wedged in) a
+	// read passage spanning the epoch advance.
+	StallGrace StallLayer = "grace"
+	// StallArbitration: writers are queued at the arbitration layer
+	// and no write passage has completed for the whole threshold — the
+	// current holder is stuck inside its critical section.
+	StallArbitration StallLayer = "arbitration"
+)
+
+// Stall is one watchdog finding.
+type Stall struct {
+	Lock     string        // the registry name of the stalled lock
+	Layer    StallLayer    // which layer is blocking
+	Duration time.Duration // how long the condition has held when detected
+}
+
+// WatchdogConfig tunes StartWatchdog.
+type WatchdogConfig struct {
+	// Threshold is how long a condition must persist before the
+	// watchdog fires.  Required.
+	Threshold time.Duration
+	// Interval is the polling cadence (default Threshold/2, so a
+	// stall is detected within 1.5 thresholds of starting).
+	Interval time.Duration
+	// OnStall receives each finding, called from the watchdog
+	// goroutine; it must not block for long (the next poll waits on
+	// it).  Optional — the Stalls counter is bumped either way.
+	OnStall func(Stall)
+}
+
+// lockWatch is the watchdog's per-lock memory between ticks.
+type lockWatch struct {
+	lastWriteAcquires uint64
+	progressAt        time.Time // last time write progress (or an empty queue) was seen
+	arbFired          bool      // arbitration stall reported for the current episode
+	graceFiredAt      int64     // GraceActiveNS stamp already reported
+}
+
+// Watchdog is a running stall monitor; see Registry.StartWatchdog.
+type Watchdog struct {
+	reg  *Registry
+	cfg  WatchdogConfig
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartWatchdog spawns the monitor goroutine over r's registered
+// locks (sources added after the start are picked up on their first
+// tick).  Each stuck episode fires OnStall once — the same stall is
+// not re-reported every tick; a new episode (write progress resumes
+// and stops again, or a new grace period wedges) fires again.
+func (r *Registry) StartWatchdog(cfg WatchdogConfig) (*Watchdog, error) {
+	if cfg.Threshold <= 0 {
+		return nil, fmt.Errorf("rwstats: watchdog needs a positive Threshold")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = cfg.Threshold / 2
+	}
+	w := &Watchdog{
+		reg:  r,
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go w.run()
+	return w, nil
+}
+
+// Stop tears the monitor down and waits for its goroutine to exit.
+// Safe to call once.
+func (w *Watchdog) Stop() {
+	close(w.stop)
+	<-w.done
+}
+
+func (w *Watchdog) run() {
+	defer close(w.done)
+	t := time.NewTicker(w.cfg.Interval)
+	defer t.Stop()
+	state := make(map[string]*lockWatch)
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.tick(state)
+		}
+	}
+}
+
+func (w *Watchdog) tick(state map[string]*lockWatch) {
+	now := time.Now()
+	seen := make(map[string]bool)
+	for _, l := range w.reg.lockSources() {
+		seen[l.name] = true
+		lw := state[l.name]
+		if lw == nil {
+			lw = &lockWatch{progressAt: now, lastWriteAcquires: l.st.WriteAcquires.Load()}
+			state[l.name] = lw
+		}
+		w.check(now, l.name, l.st, lw)
+	}
+	for name := range state {
+		if !seen[name] {
+			delete(state, name)
+		}
+	}
+}
+
+func (w *Watchdog) fire(st *rwlock.LockStats, s Stall) {
+	st.Stalls.Add(1)
+	if w.cfg.OnStall != nil {
+		w.cfg.OnStall(s)
+	}
+}
+
+func (w *Watchdog) check(now time.Time, name string, st *rwlock.LockStats, lw *lockWatch) {
+	// Grace layer first: while a grace period is in progress, any
+	// arbitration backlog behind it is downstream, so the grace wait
+	// is THE blocking layer and the arbitration timer is held back.
+	if g := st.GraceActiveNS.Load(); g != 0 {
+		if age := now.UnixNano() - g; age >= int64(w.cfg.Threshold) && g != lw.graceFiredAt {
+			lw.graceFiredAt = g
+			w.fire(st, Stall{Lock: name, Layer: StallGrace, Duration: time.Duration(age)})
+		}
+		lw.progressAt = now
+		lw.arbFired = false
+		return
+	}
+	lw.graceFiredAt = 0
+
+	wa := st.WriteAcquires.Load()
+	if wa != lw.lastWriteAcquires || st.QueueDepth.Load() == 0 {
+		// Progress, or nobody waiting: a healthy arbiter.
+		lw.lastWriteAcquires = wa
+		lw.progressAt = now
+		lw.arbFired = false
+		return
+	}
+	if age := now.Sub(lw.progressAt); age >= w.cfg.Threshold && !lw.arbFired {
+		lw.arbFired = true
+		w.fire(st, Stall{Lock: name, Layer: StallArbitration, Duration: age})
+	}
+}
